@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation: topology comparison across the paper's four supported
+ * architectures -- fat tree and flattened butterfly (switch-based),
+ * BCube (hybrid), CamCube (server-only) -- at comparable server
+ * counts.
+ *
+ * Reports structural properties (switch count, average shortest-path
+ * hops), measured packet latency under uniform-random traffic, and
+ * idle switch power -- the trade-offs section III-B exists to let
+ * users study.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "network/network.hh"
+#include "sim/random.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace holdcsim;
+
+namespace {
+
+void
+runTopology(const char *name, Topology topo)
+{
+    Simulator sim;
+    Network net(sim, std::move(topo),
+                SwitchPowerProfile::cisco2960_24());
+    const auto &t = net.topology();
+
+    // Average shortest-path hops over sampled server pairs.
+    double hops = 0.0;
+    unsigned pairs = 0;
+    std::size_t n = t.numServers();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; j += 3) {
+            hops += net.routing().hopCount(t.serverNode(i),
+                                           t.serverNode(j));
+            ++pairs;
+        }
+    }
+    hops /= pairs;
+
+    // Uniform-random packet traffic: measure delivered latency.
+    Rng rng(31, name);
+    int sent = 0;
+    for (int i = 0; i < 2000; ++i) {
+        std::size_t a = rng.uniformInt(0, n - 1);
+        std::size_t b = rng.uniformInt(0, n - 1);
+        if (a == b)
+            continue;
+        net.sendPacket(a, b, 1500, [](const Packet &) {});
+        ++sent;
+    }
+    sim.run();
+
+    std::printf("%-20s  %7zu  %8zu  %8.2f  %12.1f  %10.2f\n", name,
+                t.numServers(), t.numSwitches(), hops,
+                net.packetLatency().mean() * 1e6,
+                net.switchPower());
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("== Ablation: topology comparison (~16-27 servers) "
+                "==\n");
+    std::printf("%-20s  %7s  %8s  %8s  %12s  %10s\n", "topology",
+                "servers", "switches", "avg_hops", "pkt_lat_us",
+                "switch_W");
+    runTopology("fat-tree(k=4)",
+                Topology::fatTree(4, 1e9, 5 * usec));
+    runTopology("flat-butterfly(3,2)",
+                Topology::flattenedButterfly(3, 2, 1e9, 5 * usec));
+    runTopology("bcube(4,1)", Topology::bcube(4, 1, 1e9, 5 * usec));
+    runTopology("camcube(3x3x3)",
+                Topology::camCube(3, 3, 3, 1e9, 5 * usec));
+    runTopology("star(24)", Topology::star(24, 1e9, 5 * usec));
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces the scalability row of paper Table I: HolDCSim
+ * simulates more than 20K servers (versus <1K for BigHouse and
+ * ~1.5K for CloudSim).
+ *
+ * The bench instantiates server farms from 1K up to 20,480 servers,
+ * drives each with one million Poisson jobs under load-balanced
+ * dispatch, and reports wall-clock time, event throughput and job
+ * throughput. The 20K+ configuration completing in seconds-to-
+ * minutes on a laptop is the claim being checked.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "dc/datacenter.hh"
+#include "sim/logging.hh"
+#include "workload/service.hh"
+
+using namespace holdcsim;
+
+namespace {
+
+void
+scaleRun(unsigned n_servers, std::size_t n_jobs)
+{
+    auto wall0 = std::chrono::steady_clock::now();
+    DataCenterConfig cfg;
+    cfg.nServers = n_servers;
+    cfg.nCores = 4;
+    cfg.controller = DataCenterConfig::Controller::delayTimer;
+    cfg.delayTimerTau = 500 * msec;
+    cfg.dispatch = DataCenterConfig::Dispatch::roundRobin;
+    cfg.seed = 1;
+    DataCenter dc(cfg);
+    auto wall1 = std::chrono::steady_clock::now();
+
+    auto svc = std::make_shared<ExponentialService>(
+        5 * msec, dc.makeRng("service"));
+    SingleTaskGenerator jobs(svc);
+    double lambda = PoissonArrival::rateForUtilization(
+        0.3, n_servers, 4, 0.005);
+    dc.pump(std::make_unique<PoissonArrival>(lambda,
+                                             dc.makeRng("arrivals")),
+            jobs, n_jobs);
+    dc.run();
+    auto wall2 = std::chrono::steady_clock::now();
+
+    double build_s =
+        std::chrono::duration<double>(wall1 - wall0).count();
+    double run_s =
+        std::chrono::duration<double>(wall2 - wall1).count();
+    std::printf("%8u  %9zu  %8.2f  %8.2f  %10.0f  %11.0f\n",
+                n_servers, n_jobs, build_s, run_s,
+                dc.sim().eventsProcessed() / run_s, n_jobs / run_s);
+    if (dc.scheduler().jobsCompleted() != n_jobs)
+        std::printf("  WARNING: only %llu jobs completed\n",
+                    static_cast<unsigned long long>(
+                        dc.scheduler().jobsCompleted()));
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("== Table I (scalability row): farm size sweep ==\n");
+    std::printf("%8s  %9s  %8s  %8s  %10s  %11s\n", "servers", "jobs",
+                "build_s", "run_s", "events/s", "jobs/s");
+    scaleRun(1'024, 500'000);
+    scaleRun(5'120, 500'000);
+    scaleRun(20'480, 1'000'000);
+    std::printf("PASS criterion: the 20,480-server farm simulates "
+                "without structural limits.\n");
+    return 0;
+}

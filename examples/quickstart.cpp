@@ -1,0 +1,72 @@
+/**
+ * @file
+ * HolDCSim quickstart: simulate a small server farm under Poisson
+ * load, with a delay-timer sleep policy, and print latency, energy
+ * and state-residency results.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "dc/datacenter.hh"
+#include "workload/service.hh"
+
+using namespace holdcsim;
+
+int
+main()
+{
+    // 1. Describe the data center: 10 four-core servers that
+    //    suspend to RAM after 500 ms of idleness, with jobs spread
+    //    by a load-balancing (least-loaded) global scheduler.
+    DataCenterConfig cfg;
+    cfg.nServers = 10;
+    cfg.nCores = 4;
+    cfg.controller = DataCenterConfig::Controller::delayTimer;
+    cfg.delayTimerTau = 500 * msec;
+    cfg.dispatch = DataCenterConfig::Dispatch::leastLoaded;
+    cfg.seed = 42;
+    DataCenter dc(cfg);
+
+    // 2. Describe the workload: web-search-like jobs (5 ms mean
+    //    exponential service) arriving at 30% fleet utilization.
+    auto service = std::make_shared<ExponentialService>(
+        5 * msec, dc.makeRng("service"));
+    SingleTaskGenerator jobs(service);
+    double lambda = PoissonArrival::rateForUtilization(
+        0.30, cfg.nServers, cfg.nCores, 0.005);
+    dc.pump(std::make_unique<PoissonArrival>(lambda,
+                                             dc.makeRng("arrivals")),
+            jobs, /*max_jobs=*/50'000);
+
+    // 3. Run to completion and collect statistics.
+    dc.run();
+    dc.finishStats();
+
+    const auto &lat = dc.scheduler().jobLatency();
+    auto fleet = dc.energy();
+    auto residency = dc.residency();
+
+    std::printf("jobs completed      : %llu\n",
+                static_cast<unsigned long long>(
+                    dc.scheduler().jobsCompleted()));
+    std::printf("simulated time      : %.2f s\n",
+                toSeconds(dc.sim().curTick()));
+    std::printf("mean job latency    : %.3f ms\n", lat.mean() * 1e3);
+    std::printf("90th / 95th / 99th  : %.3f / %.3f / %.3f ms\n",
+                lat.p90() * 1e3, lat.p95() * 1e3, lat.p99() * 1e3);
+    std::printf("fleet energy        : %.1f J (cpu %.1f, dram %.1f, "
+                "platform %.1f)\n",
+                fleet.total.total(), fleet.total.cpu,
+                fleet.total.dram, fleet.total.platform);
+    std::printf("state residency     : active %.1f%%  wake %.1f%%  "
+                "idle %.1f%%  pkgC6 %.1f%%  sleep %.1f%%\n",
+                100 * residency[0], 100 * residency[1],
+                100 * residency[2], 100 * residency[3],
+                100 * residency[4]);
+    return 0;
+}

@@ -1,0 +1,312 @@
+#include "datacenter.hh"
+
+#include <ostream>
+
+#include "sched/dispatch_policy.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace holdcsim {
+
+/** One workload source feeding the scheduler. */
+struct DataCenter::Pump {
+    Pump(DataCenter &dc, std::unique_ptr<ArrivalProcess> process,
+         JobGenerator &gen, std::size_t max_jobs, Tick until)
+        : dc(dc), process(std::move(process)), gen(gen),
+          remaining(max_jobs), until(until),
+          arriveEvent([this] { onArrival(); }, "pump.arrival")
+    {
+        scheduleNext();
+    }
+
+    ~Pump()
+    {
+        if (arriveEvent.scheduled())
+            dc._sim.deschedule(arriveEvent);
+    }
+
+    void
+    scheduleNext()
+    {
+        if (remaining == 0 || process->exhausted())
+            return;
+        Tick t = process->nextArrival();
+        if (t > until)
+            return;
+        if (t < dc._sim.curTick())
+            t = dc._sim.curTick();
+        dc._sim.schedule(arriveEvent, t);
+    }
+
+    void
+    onArrival()
+    {
+        --remaining;
+        dc._sched->submitJob(gen.makeJob(dc._sim.curTick()));
+        scheduleNext();
+    }
+
+    DataCenter &dc;
+    std::unique_ptr<ArrivalProcess> process;
+    JobGenerator &gen;
+    std::size_t remaining;
+    Tick until;
+    EventFunctionWrapper arriveEvent;
+};
+
+DataCenter::DataCenter(const DataCenterConfig &config)
+    : _config(config)
+{
+    _config.validate();
+
+    // Fabric first: topologies dictate the server count.
+    if (_config.fabric != DataCenterConfig::Fabric::none) {
+        Topology topo;
+        switch (_config.fabric) {
+          case DataCenterConfig::Fabric::star:
+            topo = Topology::star(_config.nServers, _config.linkRate,
+                                  _config.linkLatency);
+            break;
+          case DataCenterConfig::Fabric::fatTree:
+            topo = Topology::fatTree(_config.fabricParam,
+                                     _config.linkRate,
+                                     _config.linkLatency);
+            break;
+          case DataCenterConfig::Fabric::flattenedButterfly:
+            topo = Topology::flattenedButterfly(
+                _config.fabricParam, _config.fabricParam2,
+                _config.linkRate, _config.linkLatency);
+            break;
+          case DataCenterConfig::Fabric::bcube:
+            topo = Topology::bcube(_config.fabricParam,
+                                   _config.fabricParam2,
+                                   _config.linkRate,
+                                   _config.linkLatency);
+            break;
+          case DataCenterConfig::Fabric::camCube:
+            topo = Topology::camCube(_config.fabricParam,
+                                     _config.fabricParam,
+                                     _config.fabricParam,
+                                     _config.linkRate,
+                                     _config.linkLatency);
+            break;
+          case DataCenterConfig::Fabric::none:
+            break;
+        }
+        _config.nServers = static_cast<unsigned>(topo.numServers());
+        _net = std::make_unique<Network>(_sim, std::move(topo),
+                                         _config.switchProfile,
+                                         _config.netConfig);
+    }
+
+    for (unsigned i = 0; i < _config.nServers; ++i) {
+        ServerConfig sc;
+        sc.id = i;
+        sc.nCores = _config.nCores;
+        sc.queueMode = _config.queueMode;
+        sc.corePick = _config.corePick;
+        sc.allowPkgC6 = _config.allowPkgC6;
+        auto server = std::make_unique<Server>(_sim, sc,
+                                               _config.serverProfile);
+        switch (_config.controller) {
+          case DataCenterConfig::Controller::alwaysOn:
+            server->setController(
+                std::make_unique<AlwaysOnController>());
+            break;
+          case DataCenterConfig::Controller::delayTimer:
+            server->setController(
+                std::make_unique<DelayTimerController>(
+                    _config.delayTimerTau));
+            break;
+        }
+        _serverPtrs.push_back(server.get());
+        _servers.push_back(std::move(server));
+    }
+
+    std::unique_ptr<DispatchPolicy> policy;
+    switch (_config.dispatch) {
+      case DataCenterConfig::Dispatch::roundRobin:
+        policy = std::make_unique<RoundRobinPolicy>();
+        break;
+      case DataCenterConfig::Dispatch::leastLoaded:
+        policy = std::make_unique<LeastLoadedPolicy>();
+        break;
+      case DataCenterConfig::Dispatch::random:
+        policy = std::make_unique<RandomPolicy>(
+            makeRng("dispatch.random"));
+        break;
+      case DataCenterConfig::Dispatch::networkAware:
+        policy = std::make_unique<NetworkAwarePolicy>(*_net);
+        break;
+    }
+    GlobalSchedulerConfig gsc;
+    gsc.useGlobalQueue = _config.useGlobalQueue;
+    gsc.antiAffinity = _config.taskAntiAffinity;
+    _sched = std::make_unique<GlobalScheduler>(
+        _sim, _serverPtrs, std::move(policy), gsc, _net.get());
+}
+
+DataCenter::~DataCenter()
+{
+    // Pumps hold events against the simulator; drop them first.
+    _pumps.clear();
+}
+
+void
+DataCenter::pump(std::unique_ptr<ArrivalProcess> process,
+                 JobGenerator &gen, std::size_t max_jobs, Tick until)
+{
+    if (!process)
+        fatal("pump needs an arrival process");
+    _pumps.push_back(std::make_unique<Pump>(*this, std::move(process),
+                                            gen, max_jobs, until));
+}
+
+void
+DataCenter::pumpTrace(std::vector<Tick> arrivals, JobGenerator &gen)
+{
+    pump(std::make_unique<TraceArrival>(std::move(arrivals)), gen);
+}
+
+FleetEnergy
+DataCenter::energy()
+{
+    return fleetEnergy(_serverPtrs);
+}
+
+std::vector<double>
+DataCenter::residency()
+{
+    return fleetResidency(_serverPtrs);
+}
+
+Joules
+DataCenter::switchEnergy()
+{
+    if (!_net)
+        return 0.0;
+    _net->accrue();
+    return _net->switchEnergy();
+}
+
+Watts
+DataCenter::serverPower() const
+{
+    Watts total = 0.0;
+    for (const auto &s : _servers)
+        total += s->power();
+    return total;
+}
+
+Watts
+DataCenter::switchPower() const
+{
+    return _net ? _net->switchPower() : 0.0;
+}
+
+std::size_t
+DataCenter::awakeServers() const
+{
+    std::size_t count = 0;
+    for (const auto &s : _servers)
+        count += !s->isAsleep();
+    return count;
+}
+
+void
+DataCenter::finishStats()
+{
+    for (auto &s : _servers)
+        s->finishStats();
+    if (_net)
+        _net->finishStats();
+}
+
+void
+DataCenter::dumpStats(std::ostream &os)
+{
+    finishStats();
+    Tick now = _sim.curTick();
+
+    StatGroup sim_group("sim");
+    sim_group.add("seconds", toSeconds(now));
+    sim_group.add("events", _sim.eventsProcessed());
+    sim_group.dump(os);
+
+    StatGroup sched_group("scheduler");
+    sched_group.add("jobs_submitted", _sched->jobsSubmitted());
+    sched_group.add("jobs_completed", _sched->jobsCompleted());
+    sched_group.add("tasks_dispatched", _sched->tasksDispatched());
+    sched_group.add("transfers_started", _sched->transfersStarted());
+    sched_group.add("global_queue_len",
+                    static_cast<std::uint64_t>(
+                        _sched->globalQueueLength()));
+    const auto &lat = _sched->jobLatency();
+    sched_group.add("job_latency_mean_s", lat.mean());
+    sched_group.add("job_latency_p50_s", lat.p50());
+    sched_group.add("job_latency_p90_s", lat.p90());
+    sched_group.add("job_latency_p95_s", lat.p95());
+    sched_group.add("job_latency_p99_s", lat.p99());
+    sched_group.dump(os);
+
+    for (auto &srv : _servers) {
+        StatGroup g("server" + std::to_string(srv->id()));
+        const EnergyBreakdown &e = srv->energy();
+        g.add("energy_cpu_j", e.cpu);
+        g.add("energy_dram_j", e.dram);
+        g.add("energy_platform_j", e.platform);
+        g.add("energy_total_j", e.total());
+        g.add("tasks_completed", srv->tasksCompleted());
+        g.add("wake_transitions", srv->wakeTransitions());
+        g.add("sleep_transitions", srv->sleepTransitions());
+        const StateResidency &r = srv->residency();
+        g.add("frac_active",
+              r.fraction(static_cast<int>(ServerState::active)));
+        g.add("frac_wakeup",
+              r.fraction(static_cast<int>(ServerState::wakingUp)));
+        g.add("frac_idle",
+              r.fraction(static_cast<int>(ServerState::idle)));
+        g.add("frac_pkg_c6",
+              r.fraction(static_cast<int>(ServerState::pkgC6)));
+        g.add("frac_sys_sleep",
+              r.fraction(static_cast<int>(ServerState::sysSleep)));
+        g.dump(os);
+    }
+
+    if (_net) {
+        StatGroup n("network");
+        n.add("switch_energy_j", _net->switchEnergy());
+        n.add("packets_delivered", _net->packetsDelivered());
+        n.add("packets_dropped", _net->packetsDropped());
+        n.add("flows_completed", _net->flows().flowsCompleted());
+        n.add("flow_latency_mean_s", _net->flows().flowLatency().mean());
+        n.add("packet_latency_mean_s", _net->packetLatency().mean());
+        n.add("sleeping_switches",
+              static_cast<std::uint64_t>(_net->sleepingSwitches()));
+        n.dump(os);
+        for (std::size_t i = 0; i < _net->numSwitches(); ++i) {
+            Switch &sw = _net->switchAt(i);
+            StatGroup g("switch" + std::to_string(sw.id()));
+            g.add("energy_j", sw.energy());
+            g.add("packets_forwarded", sw.packetsForwarded());
+            g.add("packets_dropped", sw.packetsDropped());
+            g.add("sleep_transitions", sw.sleepTransitions());
+            g.add("frac_asleep", sw.residency().fraction(1));
+            g.dump(os);
+        }
+    }
+}
+
+void
+DataCenter::resetStats()
+{
+    for (auto &s : _servers)
+        s->resetStats();
+    if (_net) {
+        for (std::size_t i = 0; i < _net->numSwitches(); ++i)
+            _net->switchAt(i).resetStats();
+    }
+    _sched->resetStats();
+}
+
+} // namespace holdcsim

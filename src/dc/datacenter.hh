@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The assembled data center (paper Figure 1): workload in, servers +
+ * network + global scheduler in the middle, runtime statistics out.
+ *
+ * DataCenter owns the Simulator, the server fleet (with their power
+ * controllers), the optional network fabric and the global
+ * scheduler, and provides workload pumps that inject jobs from an
+ * arrival process / trace through a JobGenerator.
+ */
+
+#ifndef HOLDCSIM_DC_DATACENTER_HH
+#define HOLDCSIM_DC_DATACENTER_HH
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "dc_config.hh"
+#include "metrics.hh"
+#include "network/network.hh"
+#include "sched/global_scheduler.hh"
+#include "server/power_controller.hh"
+#include "server/server.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "workload/arrival.hh"
+#include "workload/job_generator.hh"
+
+namespace holdcsim {
+
+/** A complete simulated data center instance. */
+class DataCenter
+{
+  public:
+    explicit DataCenter(const DataCenterConfig &config);
+    ~DataCenter();
+    DataCenter(const DataCenter &) = delete;
+    DataCenter &operator=(const DataCenter &) = delete;
+
+    /** @name Component access */
+    ///@{
+    Simulator &sim() { return _sim; }
+    GlobalScheduler &scheduler() { return *_sched; }
+    std::size_t numServers() const { return _servers.size(); }
+    Server &server(std::size_t i) { return *_servers.at(i); }
+    const std::vector<Server *> &serverPtrs() const
+    {
+        return _serverPtrs;
+    }
+    /** Null when the config has no fabric. */
+    Network *network() { return _net.get(); }
+    const DataCenterConfig &config() const { return _config; }
+    ///@}
+
+    /** Derive a named random stream from the experiment seed. */
+    Rng makeRng(const std::string &stream) const
+    {
+        return Rng(_config.seed, stream);
+    }
+
+    /** @name Workload pumps
+     * The JobGenerator must outlive the simulation run. Several
+     * pumps may be active at once (multi-workload experiments).
+     */
+    ///@{
+    /**
+     * Inject jobs at the arrival instants of @p process (which the
+     * pump takes ownership of), at most @p max_jobs jobs, with no
+     * arrivals after @p until.
+     */
+    void pump(std::unique_ptr<ArrivalProcess> process,
+              JobGenerator &gen,
+              std::size_t max_jobs = static_cast<std::size_t>(-1),
+              Tick until = maxTick);
+
+    /** Inject one job per trace timestamp. */
+    void pumpTrace(std::vector<Tick> arrivals, JobGenerator &gen);
+    ///@}
+
+    /** @name Running */
+    ///@{
+    /** Run until all events drain (arrivals exhausted, jobs done). */
+    Tick run() { return _sim.run(); }
+    Tick runUntil(Tick limit) { return _sim.runUntil(limit); }
+    ///@}
+
+    /** @name Fleet metrics */
+    ///@{
+    /** Aggregate + per-server energy (accrued to the current tick). */
+    FleetEnergy energy();
+    /** Fleet residency fractions over the five observable states. */
+    std::vector<double> residency();
+    /** Total switch energy (0 without a fabric). */
+    Joules switchEnergy();
+    /** Instantaneous total server power. */
+    Watts serverPower() const;
+    /** Instantaneous total switch power (0 without a fabric). */
+    Watts switchPower() const;
+    /** Servers not in S3/S5 (awake or waking). */
+    std::size_t awakeServers() const;
+    /** Close all books (end of measurement). */
+    void finishStats();
+    /** Zero all statistics (end of warmup). */
+    void resetStats();
+    /**
+     * Dump every runtime statistic the paper's Figure 1 lists
+     * (power/energy, network delays, job latency, state
+     * transitions) as gem5-style "component.stat value" lines.
+     * Calls finishStats() first.
+     */
+    void dumpStats(std::ostream &os);
+    ///@}
+
+  private:
+    struct Pump;
+
+    DataCenterConfig _config;
+    Simulator _sim;
+    std::unique_ptr<Network> _net;
+    std::vector<std::unique_ptr<Server>> _servers;
+    std::vector<Server *> _serverPtrs;
+    std::unique_ptr<GlobalScheduler> _sched;
+    std::vector<std::unique_ptr<Pump>> _pumps;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_DC_DATACENTER_HH

@@ -1,0 +1,114 @@
+#include "dc_config.hh"
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+void
+DataCenterConfig::validate() const
+{
+    if (fabric == Fabric::none && nServers == 0)
+        fatal("data center needs at least one server");
+    if (nCores == 0)
+        fatal("servers need at least one core");
+    if (dispatch == Dispatch::networkAware && fabric == Fabric::none)
+        fatal("network-aware dispatch requires a fabric");
+    serverProfile.validate();
+    if (fabric != Fabric::none)
+        switchProfile.validate();
+}
+
+DataCenterConfig
+DataCenterConfig::fromConfig(const Config &cfg)
+{
+    DataCenterConfig out;
+    out.nServers = static_cast<unsigned>(
+        cfg.getInt("datacenter.servers", out.nServers));
+    out.nCores = static_cast<unsigned>(
+        cfg.getInt("datacenter.cores", out.nCores));
+    out.seed = static_cast<std::uint64_t>(
+        cfg.getInt("datacenter.seed", static_cast<std::int64_t>(out.seed)));
+
+    std::string qm = cfg.getString("server.queue_mode", "unified");
+    if (qm == "unified")
+        out.queueMode = LocalQueueMode::unified;
+    else if (qm == "per_core")
+        out.queueMode = LocalQueueMode::perCore;
+    else
+        fatal("unknown server.queue_mode '", qm, "'");
+
+    std::string cp = cfg.getString("server.core_pick", "round_robin");
+    if (cp == "round_robin")
+        out.corePick = CorePickPolicy::roundRobin;
+    else if (cp == "least_loaded")
+        out.corePick = CorePickPolicy::leastLoaded;
+    else
+        fatal("unknown server.core_pick '", cp, "'");
+
+    out.allowPkgC6 = cfg.getBool("server.allow_pkg_c6", out.allowPkgC6);
+
+    std::string ctrl = cfg.getString("server.controller", "always_on");
+    if (ctrl == "always_on")
+        out.controller = Controller::alwaysOn;
+    else if (ctrl == "delay_timer")
+        out.controller = Controller::delayTimer;
+    else
+        fatal("unknown server.controller '", ctrl, "'");
+    if (cfg.has("server.tau_ms")) {
+        out.delayTimerTau = static_cast<Tick>(
+            cfg.getDouble("server.tau_ms") * static_cast<double>(msec));
+    }
+
+    std::string pol = cfg.getString("scheduler.policy", "least_loaded");
+    if (pol == "round_robin")
+        out.dispatch = Dispatch::roundRobin;
+    else if (pol == "least_loaded")
+        out.dispatch = Dispatch::leastLoaded;
+    else if (pol == "random")
+        out.dispatch = Dispatch::random;
+    else if (pol == "network_aware")
+        out.dispatch = Dispatch::networkAware;
+    else
+        fatal("unknown scheduler.policy '", pol, "'");
+    out.useGlobalQueue =
+        cfg.getBool("scheduler.global_queue", out.useGlobalQueue);
+    out.taskAntiAffinity =
+        cfg.getBool("scheduler.anti_affinity", out.taskAntiAffinity);
+
+    std::string fab = cfg.getString("network.fabric", "none");
+    if (fab == "none")
+        out.fabric = Fabric::none;
+    else if (fab == "star")
+        out.fabric = Fabric::star;
+    else if (fab == "fat_tree")
+        out.fabric = Fabric::fatTree;
+    else if (fab == "flattened_butterfly")
+        out.fabric = Fabric::flattenedButterfly;
+    else if (fab == "bcube")
+        out.fabric = Fabric::bcube;
+    else if (fab == "camcube")
+        out.fabric = Fabric::camCube;
+    else
+        fatal("unknown network.fabric '", fab, "'");
+    out.fabricParam = static_cast<unsigned>(
+        cfg.getInt("network.param", out.fabricParam));
+    out.fabricParam2 = static_cast<unsigned>(
+        cfg.getInt("network.param2", out.fabricParam2));
+    if (cfg.has("network.link_rate_gbps"))
+        out.linkRate = cfg.getDouble("network.link_rate_gbps") * 1e9;
+    if (cfg.has("network.link_latency_us")) {
+        out.linkLatency = static_cast<Tick>(
+            cfg.getDouble("network.link_latency_us") *
+            static_cast<double>(usec));
+    }
+    if (cfg.has("network.switch_sleep_ms")) {
+        out.netConfig.switchSleepDelay = static_cast<Tick>(
+            cfg.getDouble("network.switch_sleep_ms") *
+            static_cast<double>(msec));
+    }
+
+    out.validate();
+    return out;
+}
+
+} // namespace holdcsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Top-level data center configuration: the "configurable user
+ * script" (paper section III) that selects the server fleet,
+ * per-server power management, global dispatch policy and network
+ * fabric for an experiment, loadable from INI text.
+ */
+
+#ifndef HOLDCSIM_DC_DC_CONFIG_HH
+#define HOLDCSIM_DC_DC_CONFIG_HH
+
+#include <cstdint>
+
+#include "network/network.hh"
+#include "network/switch_power.hh"
+#include "server/power_profile.hh"
+#include "server/server.hh"
+#include "sim/config.hh"
+
+namespace holdcsim {
+
+/** Everything needed to instantiate a DataCenter. */
+struct DataCenterConfig {
+    /** @name Server fleet */
+    ///@{
+    /** Number of servers (ignored when a fabric dictates it). */
+    unsigned nServers = 50;
+    unsigned nCores = 4;
+    ServerPowerProfile serverProfile;
+    LocalQueueMode queueMode = LocalQueueMode::unified;
+    CorePickPolicy corePick = CorePickPolicy::roundRobin;
+    bool allowPkgC6 = true;
+    ///@}
+
+    /** @name Per-server power controller */
+    ///@{
+    enum class Controller { alwaysOn, delayTimer };
+    Controller controller = Controller::alwaysOn;
+    /** Delay-timer tau (maxTick = never suspend). */
+    Tick delayTimerTau = 1 * sec;
+    ///@}
+
+    /** @name Global dispatch */
+    ///@{
+    enum class Dispatch { roundRobin, leastLoaded, random,
+                          networkAware };
+    Dispatch dispatch = Dispatch::leastLoaded;
+    bool useGlobalQueue = false;
+    /** Never co-locate a task with its parent (forces flows). */
+    bool taskAntiAffinity = false;
+    ///@}
+
+    /** @name Network fabric */
+    ///@{
+    enum class Fabric { none, star, fatTree, flattenedButterfly,
+                        bcube, camCube };
+    Fabric fabric = Fabric::none;
+    /** k (fat tree / butterfly / torus edge) or n (BCube). */
+    unsigned fabricParam = 4;
+    /** Concentration (butterfly) or levels (BCube). */
+    unsigned fabricParam2 = 1;
+    BitsPerSec linkRate = 1e9;
+    Tick linkLatency = 5 * usec;
+    SwitchPowerProfile switchProfile =
+        SwitchPowerProfile::cisco2960_24();
+    NetworkConfig netConfig;
+    ///@}
+
+    /** Root seed for every random stream in the experiment. */
+    std::uint64_t seed = 1;
+
+    /** Throw FatalError on inconsistent combinations. */
+    void validate() const;
+
+    /**
+     * Load from parsed INI text. Recognized keys (all optional):
+     *
+     *   [datacenter] servers, cores, seed
+     *   [server]     queue_mode (unified|per_core),
+     *                core_pick (round_robin|least_loaded),
+     *                allow_pkg_c6,
+     *                controller (always_on|delay_timer), tau_ms
+     *   [scheduler]  policy (round_robin|least_loaded|random|
+     *                network_aware), global_queue
+     *   [network]    fabric (none|star|fat_tree|flattened_butterfly|
+     *                bcube|camcube), param, param2, link_rate_gbps,
+     *                link_latency_us, switch_sleep_ms
+     */
+    static DataCenterConfig fromConfig(const Config &cfg);
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_DC_DC_CONFIG_HH

@@ -1,0 +1,121 @@
+#include "metrics.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+FleetEnergy
+fleetEnergy(const std::vector<Server *> &servers)
+{
+    FleetEnergy out;
+    for (Server *s : servers) {
+        s->accrue();
+        const EnergyBreakdown &e = s->energy();
+        out.perServer.push_back(e);
+        out.total.cpu += e.cpu;
+        out.total.dram += e.dram;
+        out.total.platform += e.platform;
+    }
+    return out;
+}
+
+std::vector<double>
+fleetResidency(const std::vector<Server *> &servers)
+{
+    std::vector<double> fractions(5, 0.0);
+    Tick total = 0;
+    std::vector<Tick> per_state(5, 0);
+    for (Server *s : servers) {
+        s->finishStats();
+        const StateResidency &r = s->residency();
+        for (int st = 0; st < 5; ++st)
+            per_state[st] += r.residency(st);
+        total += r.totalTime();
+    }
+    if (total == 0)
+        return fractions;
+    for (int st = 0; st < 5; ++st) {
+        fractions[st] = static_cast<double>(per_state[st]) /
+                        static_cast<double>(total);
+    }
+    return fractions;
+}
+
+GaugeSampler::GaugeSampler(Simulator &sim, std::function<double()> fn,
+                           Tick period, std::string name)
+    : _sim(sim), _fn(std::move(fn)), _period(period),
+      _event([this] { tick(); }, std::move(name),
+             Event::statsPriority)
+{
+    if (period == 0)
+        fatal("sampler period must be positive");
+    if (!_fn)
+        fatal("sampler needs a signal callback");
+    // Samplers are observers: they must not keep the simulation
+    // alive on their own.
+    _event.setBackground(true);
+}
+
+GaugeSampler::~GaugeSampler()
+{
+    if (_event.scheduled())
+        _sim.deschedule(_event);
+}
+
+void
+GaugeSampler::start()
+{
+    _sim.reschedule(_event, _sim.curTick() + _period);
+}
+
+void
+GaugeSampler::stop()
+{
+    if (_event.scheduled())
+        _sim.deschedule(_event);
+}
+
+void
+GaugeSampler::tick()
+{
+    _series.push_back(Sample{_sim.curTick(), _fn()});
+    _sim.scheduleAfter(_event, _period);
+}
+
+double
+GaugeSampler::mean() const
+{
+    if (_series.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const Sample &s : _series)
+        sum += s.value;
+    return sum / static_cast<double>(_series.size());
+}
+
+TraceComparison
+compareTraces(const std::vector<Sample> &a, const std::vector<Sample> &b)
+{
+    TraceComparison out;
+    std::size_t n = std::min(a.size(), b.size());
+    if (n == 0)
+        return out;
+    double sum = 0.0, sum_abs = 0.0, sum_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double d = a[i].value - b[i].value;
+        sum += d;
+        sum_abs += std::abs(d);
+        sum_sq += d * d;
+    }
+    out.points = n;
+    out.meanDiff = sum / static_cast<double>(n);
+    out.meanAbsDiff = sum_abs / static_cast<double>(n);
+    double var = sum_sq / static_cast<double>(n) -
+                 out.meanDiff * out.meanDiff;
+    out.stddevDiff = var > 0.0 ? std::sqrt(var) : 0.0;
+    return out;
+}
+
+} // namespace holdcsim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fleet-level metrics: aggregated energy breakdowns, state-residency
+ * summaries and periodic power/gauge samplers for time-series
+ * figures (paper Figures 4, 12, 13).
+ */
+
+#ifndef HOLDCSIM_DC_METRICS_HH
+#define HOLDCSIM_DC_METRICS_HH
+
+#include <functional>
+#include <vector>
+
+#include "server/server.hh"
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+
+namespace holdcsim {
+
+/** Aggregate energy over a server fleet. */
+struct FleetEnergy {
+    EnergyBreakdown total;
+    std::vector<EnergyBreakdown> perServer;
+};
+
+/** Sum component energies across @p servers (accrues first). */
+FleetEnergy fleetEnergy(const std::vector<Server *> &servers);
+
+/**
+ * Time-weighted fraction each observable ServerState holds across
+ * the fleet (the paper's Figure 8 bars). Index by ServerState cast
+ * to int; fractions sum to ~1.
+ */
+std::vector<double>
+fleetResidency(const std::vector<Server *> &servers);
+
+/** One sample of a scalar signal. */
+struct Sample {
+    Tick when;
+    double value;
+};
+
+/**
+ * Samples a scalar callback at a fixed period and records the
+ * series; used for power traces and active-server/job counts.
+ */
+class GaugeSampler
+{
+  public:
+    /**
+     * @param sim      engine
+     * @param fn       signal to sample
+     * @param period   sampling period
+     * @param name     event name for diagnostics
+     */
+    GaugeSampler(Simulator &sim, std::function<double()> fn,
+                 Tick period, std::string name = "sampler");
+    ~GaugeSampler();
+    GaugeSampler(const GaugeSampler &) = delete;
+    GaugeSampler &operator=(const GaugeSampler &) = delete;
+
+    /** Begin sampling (first sample after one period). */
+    void start();
+    void stop();
+
+    const std::vector<Sample> &series() const { return _series; }
+
+    /** Mean of the recorded samples (0 when empty). */
+    double mean() const;
+
+  private:
+    void tick();
+
+    Simulator &_sim;
+    std::function<double()> _fn;
+    Tick _period;
+    EventFunctionWrapper _event;
+    std::vector<Sample> _series;
+};
+
+/** Summary statistics of the pointwise difference of two series. */
+struct TraceComparison {
+    double meanAbsDiff = 0.0;
+    double meanDiff = 0.0;
+    double stddevDiff = 0.0;
+    std::size_t points = 0;
+};
+
+/** Compare two equally-sampled series (extra tail points ignored). */
+TraceComparison compareTraces(const std::vector<Sample> &a,
+                              const std::vector<Sample> &b);
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_DC_METRICS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Workload and power-profile configuration (paper Figure 1:
+ * "HolDCSim takes a workload model, server and switch profile as
+ * inputs to run experiments"; section III-F: "HolDCSim allows users
+ * to input power profiles for various system components").
+ *
+ * Builds arrival processes, job generators and power profiles from
+ * INI text, so a whole experiment is a config file plus the
+ * `holdcsim` driver. Recognized keys:
+ *
+ *   [workload]
+ *   arrival      = poisson | mmpp | wikipedia | nlanr | trace
+ *   utilization  = 0.3        ; poisson/wikipedia/nlanr rate from rho
+ *   rate         = 120        ; jobs/s (overrides utilization)
+ *   duration_s   = 60         ; arrival horizon
+ *   max_jobs     = 0          ; 0 = unlimited
+ *   burst_ratio  = 10         ; mmpp: rate_high / rate_low
+ *   burst_fraction = 0.2      ; mmpp: fraction of time bursty
+ *   trace_file   = path.txt   ; arrival = trace
+ *   service      = exponential | fixed | uniform | pareto
+ *   service_mean_ms = 5
+ *   service_max_ms  = 100     ; uniform hi / pareto hi
+ *   job          = single | chain | fanout | dag
+ *   stages       = 2          ; chain length / fanout width / dag
+ *   transfer_kb  = 0          ; bytes shipped per DAG edge
+ *
+ *   [server_power]  / [switch_power]
+ *   any field of ServerPowerProfile / SwitchPowerProfile by
+ *   snake_case name (e.g. core_active_w = 6.5, s3_wake_ms = 1500,
+ *   port_active_w = 0.23); unset keys keep the built-in defaults.
+ */
+
+#ifndef HOLDCSIM_DC_WORKLOAD_CONFIG_HH
+#define HOLDCSIM_DC_WORKLOAD_CONFIG_HH
+
+#include <memory>
+
+#include "dc_config.hh"
+#include "sim/config.hh"
+#include "workload/arrival.hh"
+#include "workload/job_generator.hh"
+
+namespace holdcsim {
+
+/** A fully constructed workload ready to pump into a DataCenter. */
+struct ConfiguredWorkload {
+    std::unique_ptr<ArrivalProcess> arrivals;
+    std::unique_ptr<JobGenerator> jobs;
+    /** Stop injecting after this tick. */
+    Tick until = maxTick;
+    /** Stop after this many jobs (SIZE_MAX = unlimited). */
+    std::size_t maxJobs = static_cast<std::size_t>(-1);
+};
+
+/**
+ * Build the workload described by @p cfg's [workload] section for a
+ * data center shaped by @p dc_cfg (used to derive arrival rates from
+ * a utilization target). @p seed seeds every random stream.
+ */
+ConfiguredWorkload makeWorkload(const Config &cfg,
+                                const DataCenterConfig &dc_cfg,
+                                std::uint64_t seed);
+
+/** Server power profile with [server_power] overrides applied. */
+ServerPowerProfile serverProfileFromConfig(const Config &cfg);
+
+/** Switch power profile with [switch_power] overrides applied. */
+SwitchPowerProfile switchProfileFromConfig(const Config &cfg);
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_DC_WORKLOAD_CONFIG_HH

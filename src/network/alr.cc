@@ -1,0 +1,89 @@
+#include "alr.hh"
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+AlrController::AlrController(Simulator &sim, Network &net,
+                             const AlrConfig &config)
+    : _sim(sim), _net(net), _config(config),
+      _tickEvent([this] { tick(); }, "alr.tick",
+                 Event::powerPriority)
+{
+    if (config.reducedFraction <= 0.0 || config.reducedFraction > 1.0)
+        fatal("ALR reduced fraction must be in (0, 1]");
+    if (config.downWatermark >= config.upWatermark)
+        fatal("ALR needs downWatermark < upWatermark");
+    if (config.interval == 0)
+        fatal("ALR interval must be positive");
+    _tickEvent.setBackground(true);
+    _lastBytes.resize(net.numSwitches());
+    for (std::size_t s = 0; s < net.numSwitches(); ++s)
+        _lastBytes[s].assign(net.switchAt(s).numPorts(), 0);
+}
+
+AlrController::~AlrController()
+{
+    if (_tickEvent.scheduled())
+        _sim.deschedule(_tickEvent);
+}
+
+void
+AlrController::start()
+{
+    _running = true;
+    _sim.reschedule(_tickEvent, _sim.curTick() + _config.interval);
+}
+
+void
+AlrController::stop()
+{
+    _running = false;
+    if (_tickEvent.scheduled())
+        _sim.deschedule(_tickEvent);
+}
+
+std::size_t
+AlrController::reducedPorts() const
+{
+    std::size_t count = 0;
+    for (std::size_t s = 0; s < _net.numSwitches(); ++s) {
+        Switch &sw = _net.switchAt(s);
+        for (unsigned p = 0; p < sw.numPorts(); ++p)
+            count += sw.port(p).rateFraction() < 1.0;
+    }
+    return count;
+}
+
+void
+AlrController::tick()
+{
+    double window = toSeconds(_config.interval);
+    for (std::size_t s = 0; s < _net.numSwitches(); ++s) {
+        Switch &sw = _net.switchAt(s);
+        for (unsigned p = 0; p < sw.numPorts(); ++p) {
+            Port &port = sw.port(p);
+            Bytes sent = port.bytesSent();
+            double bits = static_cast<double>(sent -
+                                              _lastBytes[s][p]) * 8.0;
+            _lastBytes[s][p] = sent;
+            double line_rate = port.currentRate() /
+                               port.rateFraction();
+            double util_full = bits / (line_rate * window);
+            double util_cur = bits / (port.currentRate() * window);
+            if (port.rateFraction() >= 1.0 &&
+                util_full < _config.downWatermark) {
+                port.setRateFraction(_config.reducedFraction);
+                ++_transitions;
+            } else if (port.rateFraction() < 1.0 &&
+                       util_cur > _config.upWatermark) {
+                port.setRateFraction(1.0);
+                ++_transitions;
+            }
+        }
+    }
+    if (_running)
+        _sim.scheduleAfter(_tickEvent, _config.interval);
+}
+
+} // namespace holdcsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Adaptive Link Rate controller (paper Table I lists "switch link
+ * rate adaption" among HolDCSim's power features, after Gunaratne et
+ * al. [25]).
+ *
+ * The controller periodically measures each switch port's
+ * utilization (bytes serialized over the window against the port's
+ * line rate) and retunes the operating rate: quiet ports drop to a
+ * fraction of line rate (lower active power per the ALR model in
+ * SwitchPowerProfile), and ports nearing saturation of their reduced
+ * rate snap back to full speed.
+ */
+
+#ifndef HOLDCSIM_NETWORK_ALR_HH
+#define HOLDCSIM_NETWORK_ALR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "network.hh"
+#include "sim/event.hh"
+
+namespace holdcsim {
+
+/** ALR thresholds and cadence. */
+struct AlrConfig {
+    /** Reduced operating rate as a fraction of line rate. */
+    double reducedFraction = 0.1;
+    /**
+     * Drop to the reduced rate when utilization (relative to full
+     * line rate) stays below this over a window.
+     */
+    double downWatermark = 0.05;
+    /**
+     * Return to full rate when utilization of the *current* rate
+     * exceeds this (queueing imminent).
+     */
+    double upWatermark = 0.7;
+    /** Measurement window. */
+    Tick interval = 50 * msec;
+};
+
+/** Fabric-wide adaptive link rate controller. */
+class AlrController
+{
+  public:
+    AlrController(Simulator &sim, Network &net,
+                  const AlrConfig &config);
+    ~AlrController();
+    AlrController(const AlrController &) = delete;
+    AlrController &operator=(const AlrController &) = delete;
+
+    void start();
+    void stop();
+
+    /** Ports currently operating at the reduced rate. */
+    std::size_t reducedPorts() const;
+
+    /** Number of rate changes applied. */
+    std::uint64_t transitions() const { return _transitions; }
+
+  private:
+    void tick();
+
+    Simulator &_sim;
+    Network &_net;
+    AlrConfig _config;
+    bool _running = false;
+    EventFunctionWrapper _tickEvent;
+    /** bytesSent snapshot per (switch, port) from last window. */
+    std::vector<std::vector<Bytes>> _lastBytes;
+    std::uint64_t _transitions = 0;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_NETWORK_ALR_HH

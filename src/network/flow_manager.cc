@@ -1,0 +1,202 @@
+#include "flow_manager.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+FlowManager::FlowManager(Simulator &sim, const Topology &topo)
+    : _sim(sim), _topo(topo)
+{}
+
+FlowManager::~FlowManager()
+{
+    for (auto &[id, flow] : _flows) {
+        if (flow.completion && flow.completion->scheduled())
+            _sim.deschedule(*flow.completion);
+        if (flow.activation && flow.activation->scheduled())
+            _sim.deschedule(*flow.activation);
+    }
+}
+
+FlowId
+FlowManager::startFlow(Route route, Bytes bytes, FlowDoneFn on_done,
+                       Tick start_delay)
+{
+    FlowId id = _nextId++;
+    Flow flow;
+    flow.id = id;
+    flow.remainingBits = static_cast<double>(bytes) * 8.0;
+    flow.onDone = std::move(on_done);
+    flow.startedAt = _sim.curTick();
+
+    // Record the traversal direction on every hop.
+    for (std::size_t i = 0; i < route.links.size(); ++i) {
+        LinkId l = route.links[i];
+        bool forward = _topo.link(l).a == route.nodes[i];
+        flow.path.push_back(DirectedLink{l, forward});
+    }
+
+    flow.completion = std::make_unique<EventFunctionWrapper>(
+        [this, id] { finish(id); }, "flow.completion");
+    flow.activation = std::make_unique<EventFunctionWrapper>(
+        [this, id] { activate(id); }, "flow.activation");
+
+    auto [it, inserted] = _flows.emplace(id, std::move(flow));
+    (void)inserted;
+    _sim.scheduleAfter(*it->second.activation, start_delay);
+    return id;
+}
+
+void
+FlowManager::activate(FlowId id)
+{
+    auto it = _flows.find(id);
+    if (it == _flows.end())
+        HOLDCSIM_PANIC("activation of unknown flow ", id);
+    Flow &flow = it->second;
+    if (flow.path.empty() || flow.remainingBits <= 0.0) {
+        // Local or empty transfer: complete immediately.
+        finish(id);
+        return;
+    }
+    settleProgress();
+    flow.active = true;
+    flow.lastUpdate = _sim.curTick();
+    reshare();
+}
+
+void
+FlowManager::finish(FlowId id)
+{
+    auto it = _flows.find(id);
+    if (it == _flows.end())
+        HOLDCSIM_PANIC("completion of unknown flow ", id);
+    bool was_active = it->second.active;
+    FlowDoneFn done = std::move(it->second.onDone);
+    _flowLatency.sample(toSeconds(_sim.curTick() - it->second.startedAt));
+    ++_flowsCompleted;
+    if (was_active)
+        settleProgress();
+    _flows.erase(it);
+    if (was_active)
+        reshare();
+    if (done)
+        done();
+}
+
+void
+FlowManager::settleProgress()
+{
+    Tick now = _sim.curTick();
+    for (auto &[id, flow] : _flows) {
+        if (!flow.active)
+            continue;
+        double transferred =
+            flow.rate * toSeconds(now - flow.lastUpdate);
+        flow.remainingBits =
+            std::max(0.0, flow.remainingBits - transferred);
+        flow.lastUpdate = now;
+    }
+}
+
+void
+FlowManager::reshare()
+{
+    // Progressive filling: repeatedly saturate the most contended
+    // directed link and freeze its flows at the bottleneck share.
+    std::map<DirectedLink, double> capacity;
+    std::map<DirectedLink, unsigned> users;
+    std::vector<Flow *> unfrozen;
+    for (auto &[id, flow] : _flows) {
+        if (!flow.active)
+            continue;
+        unfrozen.push_back(&flow);
+        for (const auto &dl : flow.path) {
+            capacity.emplace(dl, _topo.link(dl.link).rate);
+            ++users[dl];
+        }
+    }
+
+    while (!unfrozen.empty()) {
+        // Find the directed link with the smallest per-flow share.
+        double best_share = std::numeric_limits<double>::infinity();
+        for (const auto &[dl, n] : users) {
+            if (n == 0)
+                continue;
+            double share = capacity[dl] / n;
+            best_share = std::min(best_share, share);
+        }
+        if (!std::isfinite(best_share))
+            HOLDCSIM_PANIC("flow reshare found no bottleneck");
+
+        // Freeze every flow crossing a bottleneck link at that share.
+        std::vector<Flow *> still;
+        for (Flow *flow : unfrozen) {
+            bool frozen = false;
+            for (const auto &dl : flow->path) {
+                if (users[dl] > 0 &&
+                    capacity[dl] / users[dl] <= best_share + 1e-9) {
+                    frozen = true;
+                    break;
+                }
+            }
+            if (frozen) {
+                flow->rate = best_share;
+                for (const auto &dl : flow->path) {
+                    capacity[dl] -= best_share;
+                    --users[dl];
+                }
+            } else {
+                still.push_back(flow);
+            }
+        }
+        if (still.size() == unfrozen.size())
+            HOLDCSIM_PANIC("flow reshare made no progress");
+        unfrozen.swap(still);
+    }
+
+    // Reschedule completion events at the new rates.
+    Tick now = _sim.curTick();
+    for (auto &[id, flow] : _flows) {
+        if (!flow.active)
+            continue;
+        if (flow.completion->scheduled())
+            _sim.deschedule(*flow.completion);
+        if (flow.rate <= 0.0)
+            HOLDCSIM_PANIC("active flow ", id, " got zero rate");
+        double seconds = flow.remainingBits / flow.rate;
+        Tick eta = fromSeconds(seconds);
+        _sim.schedule(*flow.completion, now + (eta > 0 ? eta : 1));
+    }
+}
+
+BitsPerSec
+FlowManager::flowRate(FlowId flow) const
+{
+    auto it = _flows.find(flow);
+    if (it == _flows.end() || !it->second.active)
+        return 0.0;
+    return it->second.rate;
+}
+
+double
+FlowManager::linkUtilization(LinkId l) const
+{
+    double fwd = 0.0, rev = 0.0;
+    for (const auto &[id, flow] : _flows) {
+        if (!flow.active)
+            continue;
+        for (const auto &dl : flow.path) {
+            if (dl.link != l)
+                continue;
+            (dl.forward ? fwd : rev) += flow.rate;
+        }
+    }
+    return std::max(fwd, rev) / _topo.link(l).rate;
+}
+
+} // namespace holdcsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Flow-based communication (paper section III-B): dependent tasks
+ * exchange data as flows that share link bandwidth max-min fairly.
+ *
+ * "Multiple flows or packets can simultaneously travel along a link
+ * if it has not yet been saturated" -- the manager recomputes the
+ * max-min fair allocation (progressive filling) whenever a flow
+ * starts or finishes and reschedules each affected flow's completion
+ * event accordingly.
+ */
+
+#ifndef HOLDCSIM_NETWORK_FLOW_MANAGER_HH
+#define HOLDCSIM_NETWORK_FLOW_MANAGER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "routing.hh"
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "topology.hh"
+
+namespace holdcsim {
+
+/** Identifier of an in-flight flow. */
+using FlowId = std::uint64_t;
+
+/** Max-min fair flow scheduler over a topology. */
+class FlowManager
+{
+  public:
+    using FlowDoneFn = std::function<void()>;
+
+    FlowManager(Simulator &sim, const Topology &topo);
+    ~FlowManager();
+    FlowManager(const FlowManager &) = delete;
+    FlowManager &operator=(const FlowManager &) = delete;
+
+    /**
+     * Start a flow of @p bytes along @p route. The flow joins the
+     * bandwidth competition after @p start_delay (switch wake time)
+     * and @p on_done fires when the last byte is delivered.
+     * A zero-hop route (local communication) completes after
+     * start_delay alone.
+     */
+    FlowId startFlow(Route route, Bytes bytes, FlowDoneFn on_done,
+                     Tick start_delay = 0);
+
+    /** Number of flows currently transferring or pending start. */
+    std::size_t activeFlows() const { return _flows.size(); }
+
+    /** Current fair-share rate of @p flow (0 if pending/unknown). */
+    BitsPerSec flowRate(FlowId flow) const;
+
+    /**
+     * Current utilization of link @p l in [0, 1]: the busier
+     * direction's allocated share over capacity.
+     */
+    double linkUtilization(LinkId l) const;
+
+    /** Completed-flow count and transfer-latency statistics. */
+    std::uint64_t flowsCompleted() const { return _flowsCompleted; }
+    const Percentile &flowLatency() const { return _flowLatency; }
+
+  private:
+    /** A directed use of a link. */
+    struct DirectedLink {
+        LinkId link;
+        bool forward; // traversal from LinkInfo::a toward b
+
+        bool operator<(const DirectedLink &o) const
+        {
+            return link != o.link ? link < o.link
+                                  : forward < o.forward;
+        }
+    };
+
+    struct Flow {
+        FlowId id;
+        std::vector<DirectedLink> path;
+        double remainingBits;
+        BitsPerSec rate = 0.0;
+        Tick lastUpdate = 0;
+        Tick startedAt = 0;
+        bool active = false;
+        FlowDoneFn onDone;
+        std::unique_ptr<EventFunctionWrapper> completion;
+        std::unique_ptr<EventFunctionWrapper> activation;
+    };
+
+    void activate(FlowId id);
+    void finish(FlowId id);
+    /** Debit elapsed transfer from every active flow. */
+    void settleProgress();
+    /** Recompute the max-min allocation and reschedule completions. */
+    void reshare();
+
+    Simulator &_sim;
+    const Topology &_topo;
+    std::map<FlowId, Flow> _flows;
+    FlowId _nextId = 0;
+
+    std::uint64_t _flowsCompleted = 0;
+    Percentile _flowLatency;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_NETWORK_FLOW_MANAGER_HH

@@ -1,0 +1,108 @@
+#include "linecard.hh"
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+LineCard::LineCard(Simulator &sim, unsigned id,
+                   const SwitchPowerProfile &profile, AccrueFn accrue,
+                   StateChangedFn state_changed)
+    : _sim(sim), _id(id), _profile(profile),
+      _accrue(std::move(accrue)),
+      _stateChanged(std::move(state_changed)),
+      _sleepEvent([this] {
+          if (!anyPortActive() && _state == LineCardState::active)
+              setState(LineCardState::sleep);
+      }, "linecard.sleep", Event::powerPriority)
+{
+    _residency.enter(static_cast<int>(_state), sim.curTick());
+}
+
+LineCard::~LineCard()
+{
+    if (_sleepEvent.scheduled())
+        _sim.deschedule(_sleepEvent);
+}
+
+bool
+LineCard::anyPortActive() const
+{
+    for (const Port *p : _ports) {
+        if (p->busy() || p->state() == PortState::active)
+            return true;
+    }
+    return false;
+}
+
+void
+LineCard::portActivityChanged()
+{
+    if (_state == LineCardState::off)
+        return;
+    if (anyPortActive()) {
+        if (_sleepEvent.scheduled())
+            _sim.deschedule(_sleepEvent);
+        return;
+    }
+    if (_state == LineCardState::active) {
+        _sim.reschedule(_sleepEvent,
+                        _sim.curTick() +
+                            _profile.linecardSleepThreshold);
+    }
+}
+
+Tick
+LineCard::wake()
+{
+    if (_sleepEvent.scheduled())
+        _sim.deschedule(_sleepEvent);
+    switch (_state) {
+      case LineCardState::active:
+        return 0;
+      case LineCardState::sleep:
+        setState(LineCardState::active);
+        return _profile.linecardWakeLatency;
+      case LineCardState::off:
+        fatal("cannot route traffic through a powered-off line card");
+    }
+    HOLDCSIM_PANIC("unknown LineCardState");
+}
+
+void
+LineCard::powerOff()
+{
+    for (const Port *p : _ports) {
+        if (p->busy())
+            fatal("cannot power off a line card with busy ports");
+    }
+    if (_sleepEvent.scheduled())
+        _sim.deschedule(_sleepEvent);
+    setState(LineCardState::off);
+}
+
+Watts
+LineCard::power() const
+{
+    switch (_state) {
+      case LineCardState::active:
+        return _profile.linecardActive;
+      case LineCardState::sleep:
+        return _profile.linecardSleep;
+      case LineCardState::off:
+        return _profile.linecardOff;
+    }
+    HOLDCSIM_PANIC("unknown LineCardState");
+}
+
+void
+LineCard::setState(LineCardState next)
+{
+    if (next == _state)
+        return;
+    _accrue();
+    _state = next;
+    _residency.enter(static_cast<int>(next), _sim.curTick());
+    _stateChanged();
+}
+
+} // namespace holdcsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Line card model (paper section III-B): a group of ports with
+ * shared packet-processing hardware that supports active, sleep and
+ * off power states.
+ */
+
+#ifndef HOLDCSIM_NETWORK_LINECARD_HH
+#define HOLDCSIM_NETWORK_LINECARD_HH
+
+#include <functional>
+#include <vector>
+
+#include "port.hh"
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "switch_power.hh"
+
+namespace holdcsim {
+
+/** Line card power states. */
+enum class LineCardState { active, sleep, off };
+
+/**
+ * A line card hosting a contiguous group of ports. The card sleeps
+ * when all of its ports have been quiescent (LPI or off) for the
+ * profile's threshold and wakes -- paying the wake latency -- when
+ * traffic returns.
+ */
+class LineCard
+{
+  public:
+    using AccrueFn = std::function<void()>;
+    /** Invoked after this card changes state (switch-level checks). */
+    using StateChangedFn = std::function<void()>;
+
+    LineCard(Simulator &sim, unsigned id,
+             const SwitchPowerProfile &profile, AccrueFn accrue,
+             StateChangedFn state_changed);
+    ~LineCard();
+    LineCard(const LineCard &) = delete;
+    LineCard &operator=(const LineCard &) = delete;
+
+    unsigned id() const { return _id; }
+    LineCardState state() const { return _state; }
+
+    /** Register a member port (wired once by the switch). */
+    void addPort(Port *port) { _ports.push_back(port); }
+    std::size_t numPorts() const { return _ports.size(); }
+
+    /** Whether any member port is active-state or busy. */
+    bool anyPortActive() const;
+
+    /**
+     * React to member-port activity edges: wake-relevant changes
+     * cancel the sleep countdown; quiescence arms it.
+     */
+    void portActivityChanged();
+
+    /**
+     * Wake a sleeping card; returns the wake latency the caller
+     * must account for (0 if already active).
+     */
+    Tick wake();
+
+    /** Power the card off. @pre no member port is busy. */
+    void powerOff();
+
+    /** Card electronics power (member ports accounted separately). */
+    Watts power() const;
+
+    const StateResidency &residency() const { return _residency; }
+    void finishStats(Tick now) { _residency.finish(now); }
+
+  private:
+    void setState(LineCardState next);
+
+    Simulator &_sim;
+    unsigned _id;
+    const SwitchPowerProfile &_profile;
+    AccrueFn _accrue;
+    StateChangedFn _stateChanged;
+
+    LineCardState _state = LineCardState::active;
+    std::vector<Port *> _ports;
+    EventFunctionWrapper _sleepEvent;
+    StateResidency _residency;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_NETWORK_LINECARD_HH

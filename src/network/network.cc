@@ -1,0 +1,319 @@
+#include "network.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+namespace {
+
+/**
+ * A self-deleting one-shot event. Safe because the engine does not
+ * touch the event object after process() returns.
+ */
+class OneShot : public Event
+{
+  public:
+    OneShot(std::function<void()> fn, std::size_t &pending)
+        : Event("net.oneShot"), _fn(std::move(fn)), _pending(pending)
+    {
+        ++_pending;
+    }
+
+    void
+    process() override
+    {
+        auto fn = std::move(_fn);
+        --_pending;
+        delete this;
+        fn();
+    }
+
+  private:
+    std::function<void()> _fn;
+    std::size_t &_pending;
+};
+
+} // namespace
+
+Network::Network(Simulator &sim, Topology topo,
+                 const SwitchPowerProfile &profile,
+                 const NetworkConfig &config)
+    : _sim(sim), _topo(std::move(topo)), _config(config),
+      _routing(_topo), _flowMgr(sim, _topo)
+{
+    _topo.validateConnected();
+    _portMap.resize(_topo.numNodes());
+    _nicFreeAt.assign(_topo.numServers(), 0);
+
+    // One Switch per switch node; port i of the switch drives the
+    // i-th incident link of that node.
+    for (std::size_t si = 0; si < _topo.numSwitches(); ++si) {
+        NodeId node = _topo.switchNode(si);
+        SwitchConfig sc;
+        sc.id = static_cast<unsigned>(si);
+        sc.portsPerLinecard = config.portsPerLinecard;
+        sc.portBufferCapacity = config.portBufferCapacity;
+        sc.switchSleepDelay = config.switchSleepDelay;
+        const auto &links = _topo.linksAt(node);
+        for (LinkId l : links)
+            sc.portRates.push_back(_topo.link(l).rate);
+        auto sw = std::make_unique<Switch>(sim, sc, profile);
+        sw->setForwardingDelay(config.switchForwardDelay);
+        for (unsigned p = 0; p < links.size(); ++p) {
+            _portMap[node][links[p]] = p;
+            LinkId l = links[p];
+            NodeId far = _topo.otherEnd(l, node);
+            Tick lat = _topo.link(l).latency;
+            sw->port(p).setDeliver(
+                [this, far, lat](const PacketPtr &pkt) {
+                    scheduleAfterDelay(lat, [this, pkt, far] {
+                        packetArrived(pkt, far);
+                    });
+                });
+        }
+        _switches.push_back(std::move(sw));
+    }
+}
+
+Network::~Network() = default;
+
+void
+Network::scheduleAfterDelay(Tick delay, std::function<void()> fn)
+{
+    auto *ev = new OneShot(std::move(fn), _oneShotsPending);
+    _sim.scheduleAfter(*ev, delay);
+}
+
+unsigned
+Network::portOf(NodeId n, LinkId l) const
+{
+    const auto &map = _portMap.at(n);
+    auto it = map.find(l);
+    if (it == map.end())
+        HOLDCSIM_PANIC("link ", l, " not attached to node ", n);
+    return it->second;
+}
+
+// --------------------------------------------------------------- flow model
+
+FlowId
+Network::startFlow(std::size_t src_server, std::size_t dst_server,
+                   Bytes bytes, std::function<void()> on_done)
+{
+    NodeId src = _topo.serverNode(src_server);
+    NodeId dst = _topo.serverNode(dst_server);
+    std::uint64_t key = (_nextPacketId++ << 1) | 1;
+    Route route = _routing.route(src, dst, key);
+
+    // Wake everything on the path and register the flow on every
+    // traversed switch port pair.
+    Tick wake_delay = 0;
+    struct PortUse {
+        Switch *sw;
+        unsigned in, out;
+    };
+    std::vector<PortUse> uses;
+    for (std::size_t i = 1; i + 1 < route.nodes.size(); ++i) {
+        NodeId n = route.nodes[i];
+        if (!_topo.isSwitch(n)) {
+            wake_delay += _config.serverRelayDelay;
+            continue;
+        }
+        Switch *sw = _switches[_topo.switchIndex(n)].get();
+        unsigned in = portOf(n, route.links[i - 1]);
+        unsigned out = portOf(n, route.links[i]);
+        wake_delay += sw->flowStarted(in, out);
+        uses.push_back(PortUse{sw, in, out});
+    }
+
+    auto done = [this, uses = std::move(uses),
+                 cb = std::move(on_done)]() {
+        for (const auto &u : uses)
+            u.sw->flowEnded(u.in, u.out);
+        if (cb)
+            cb();
+    };
+    return _flowMgr.startFlow(std::move(route), bytes, std::move(done),
+                              wake_delay);
+}
+
+// ------------------------------------------------------------- packet model
+
+void
+Network::sendPacket(std::size_t src_server, std::size_t dst_server,
+                    Bytes bytes,
+                    std::function<void(const Packet &)> on_delivered,
+                    std::function<void(const Packet &)> on_dropped)
+{
+    NodeId src = _topo.serverNode(src_server);
+    NodeId dst = _topo.serverNode(dst_server);
+    auto pkt = std::make_shared<Packet>();
+    pkt->id = _nextPacketId++;
+    pkt->src = src;
+    pkt->dst = dst;
+    pkt->bytes = bytes;
+    pkt->route = _routing.route(src, dst, pkt->id);
+    pkt->sentAt = _sim.curTick();
+    pkt->onDelivered = std::move(on_delivered);
+    pkt->onDropped = std::move(on_dropped);
+
+    if (src == dst) {
+        // Local delivery.
+        scheduleAfterDelay(0, [this, pkt] { packetArrived(pkt, pkt->dst); });
+        return;
+    }
+    // Source server NIC: packets serialize one after another onto
+    // the first link (FIFO NIC queue), then cross it.
+    const LinkInfo &l0 = _topo.link(pkt->route.links[0]);
+    Tick ser = serializationDelay(bytes, l0.rate);
+    Tick &nic_free = _nicFreeAt[src_server];
+    Tick start = std::max(nic_free, _sim.curTick());
+    nic_free = start + ser;
+    NodeId next = pkt->route.nodes[1];
+    pkt->hop = 1;
+    scheduleAfterDelay(nic_free - _sim.curTick() + l0.latency,
+                       [this, pkt, next] { packetArrived(pkt, next); });
+}
+
+void
+Network::packetArrived(const PacketPtr &pkt, NodeId at)
+{
+    if (at == pkt->dst) {
+        ++_packetsDelivered;
+        _packetLatency.sample(toSeconds(_sim.curTick() - pkt->sentAt));
+        if (pkt->onDelivered)
+            pkt->onDelivered(*pkt);
+        return;
+    }
+    // Relay: a switch queues on the egress port; a relay server
+    // store-and-forwards with its own fixed delay.
+    if (_topo.isSwitch(at)) {
+        forwardFrom(pkt, at, 0);
+    } else {
+        forwardFrom(pkt, at, _config.serverRelayDelay);
+    }
+}
+
+void
+Network::forwardFrom(const PacketPtr &pkt, NodeId at, Tick extra)
+{
+    if (pkt->hop >= pkt->route.links.size())
+        HOLDCSIM_PANIC("packet ", pkt->id, " ran past its route");
+    LinkId next_link = pkt->route.links[pkt->hop];
+    ++pkt->hop;
+    if (_topo.isSwitch(at)) {
+        Switch *sw = _switches[_topo.switchIndex(at)].get();
+        unsigned out = portOf(at, next_link);
+        if (!sw->forwardPacket(pkt, out))
+            dropPacket(pkt);
+        return;
+    }
+    // Relay server: serialize onto the next link after the relay
+    // delay (no queuing model at relay servers).
+    const LinkInfo &li = _topo.link(next_link);
+    NodeId next = _topo.otherEnd(next_link, at);
+    Tick ser = serializationDelay(pkt->bytes, li.rate);
+    scheduleAfterDelay(extra + ser + li.latency, [this, pkt, next] {
+        packetArrived(pkt, next);
+    });
+}
+
+void
+Network::dropPacket(const PacketPtr &pkt)
+{
+    ++_packetsDropped;
+    if (pkt->onDropped)
+        pkt->onDropped(*pkt);
+}
+
+void
+Network::sendBulk(std::size_t src_server, std::size_t dst_server,
+                  Bytes bytes,
+                  std::function<void(std::uint64_t)> on_done)
+{
+    Bytes mtu = _config.mtuBytes;
+    std::uint64_t n_packets = bytes == 0 ? 1 : (bytes + mtu - 1) / mtu;
+    auto state = std::make_shared<std::pair<std::uint64_t,
+                                            std::uint64_t>>(0, 0);
+    auto step = [state, n_packets, cb = std::move(on_done)](
+                    bool dropped) {
+        state->first += 1;
+        state->second += dropped ? 1 : 0;
+        if (state->first == n_packets && cb)
+            cb(state->second);
+    };
+    for (std::uint64_t i = 0; i < n_packets; ++i) {
+        Bytes chunk = std::min<Bytes>(mtu, bytes - i * mtu);
+        if (bytes == 0)
+            chunk = 0;
+        sendPacket(src_server, dst_server, chunk,
+                   [step](const Packet &) { step(false); },
+                   [step](const Packet &) { step(true); });
+    }
+}
+
+// ---------------------------------------------------------- policy support
+
+unsigned
+Network::sleepingSwitchesOnPath(std::size_t src_server,
+                                std::size_t dst_server)
+{
+    NodeId src = _topo.serverNode(src_server);
+    NodeId dst = _topo.serverNode(dst_server);
+    Route route = _routing.route(src, dst, 0);
+    unsigned count = 0;
+    for (NodeId n : route.nodes) {
+        if (_topo.isSwitch(n) &&
+            _switches[_topo.switchIndex(n)]->asleep()) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+unsigned
+Network::sleepingSwitches() const
+{
+    unsigned count = 0;
+    for (const auto &sw : _switches)
+        count += sw->asleep();
+    return count;
+}
+
+// ------------------------------------------------------------ power & stats
+
+Watts
+Network::switchPower() const
+{
+    Watts total = 0.0;
+    for (const auto &sw : _switches)
+        total += sw->power();
+    return total;
+}
+
+Joules
+Network::switchEnergy() const
+{
+    Joules total = 0.0;
+    for (const auto &sw : _switches)
+        total += sw->energy();
+    return total;
+}
+
+void
+Network::accrue()
+{
+    for (auto &sw : _switches)
+        sw->accrue();
+}
+
+void
+Network::finishStats()
+{
+    for (auto &sw : _switches)
+        sw->finishStats();
+}
+
+} // namespace holdcsim

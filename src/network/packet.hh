@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The unit of packet-level communication (paper section III-B).
+ */
+
+#ifndef HOLDCSIM_NETWORK_PACKET_HH
+#define HOLDCSIM_NETWORK_PACKET_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "routing.hh"
+#include "sim/types.hh"
+
+namespace holdcsim {
+
+/** One packet in flight through the switched fabric. */
+struct Packet {
+    /** Unique packet id (also the ECMP flow key by default). */
+    std::uint64_t id = 0;
+    /** Source server node. */
+    NodeId src = 0;
+    /** Destination server node. */
+    NodeId dst = 0;
+    /** Payload plus header bytes. */
+    Bytes bytes = 0;
+    /** Precomputed route (links in traversal order). */
+    Route route;
+    /** Index of the next link to traverse in route.links. */
+    std::size_t hop = 0;
+    /** Injection time (for end-to-end latency stats). */
+    Tick sentAt = 0;
+    /** Fires on arrival at the destination server. */
+    std::function<void(const struct Packet &)> onDelivered;
+    /** Fires if the packet is dropped at a full buffer (optional). */
+    std::function<void(const struct Packet &)> onDropped;
+};
+
+/** Packets move through port queues by shared ownership. */
+using PacketPtr = std::shared_ptr<Packet>;
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_NETWORK_PACKET_HH

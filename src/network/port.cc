@@ -1,0 +1,166 @@
+#include "port.hh"
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+Port::Port(Simulator &sim, unsigned id,
+           const SwitchPowerProfile &profile, BitsPerSec line_rate,
+           std::size_t buffer_capacity, AccrueFn accrue,
+           ActivityFn activity_changed)
+    : _sim(sim), _id(id), _profile(profile), _lineRate(line_rate),
+      _bufferCapacity(buffer_capacity), _accrue(std::move(accrue)),
+      _activityChanged(std::move(activity_changed)),
+      _txDoneEvent([this] { transmitDone(); }, "port.txDone"),
+      _lpiEvent([this] {
+          if (!busy() && _state == PortState::active) {
+              setState(PortState::lpi);
+              _activityChanged();
+          }
+      }, "port.lpi", Event::powerPriority)
+{
+    if (line_rate <= 0.0)
+        fatal("port line rate must be positive");
+    if (buffer_capacity == 0)
+        fatal("port buffer capacity must be positive");
+    _residency.enter(static_cast<int>(_state), sim.curTick());
+    maybeArmLpi();
+}
+
+Port::~Port()
+{
+    if (_txDoneEvent.scheduled())
+        _sim.deschedule(_txDoneEvent);
+    if (_lpiEvent.scheduled())
+        _sim.deschedule(_lpiEvent);
+}
+
+void
+Port::setState(PortState next)
+{
+    if (next == _state)
+        return;
+    _accrue();
+    _state = next;
+    _residency.enter(static_cast<int>(next), _sim.curTick());
+}
+
+Tick
+Port::wake()
+{
+    if (_lpiEvent.scheduled())
+        _sim.deschedule(_lpiEvent);
+    if (_state == PortState::active)
+        return 0;
+    if (_state == PortState::off)
+        fatal("cannot route traffic through a powered-off port");
+    setState(PortState::active);
+    _activityChanged();
+    return _profile.lpiExitLatency;
+}
+
+void
+Port::powerOff()
+{
+    if (busy())
+        fatal("cannot power off a busy port");
+    if (_lpiEvent.scheduled())
+        _sim.deschedule(_lpiEvent);
+    setState(PortState::off);
+    _activityChanged();
+}
+
+void
+Port::setRateFraction(double fraction)
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        fatal("port rate fraction must be in (0, 1]");
+    _accrue();
+    _rateFraction = fraction;
+}
+
+bool
+Port::sendPacket(const PacketPtr &pkt, Tick extra_delay)
+{
+    Tick wake_delay = wake() + extra_delay;
+    if (_queue.size() >= _bufferCapacity) {
+        ++_packetsDropped;
+        return false;
+    }
+    _queue.push_back(pkt);
+    if (!_transmitting)
+        startNext(wake_delay);
+    return true;
+}
+
+void
+Port::startNext(Tick extra_delay)
+{
+    if (_queue.empty())
+        HOLDCSIM_PANIC("port ", _id, " startNext with empty queue");
+    _inFlight = _queue.front();
+    _queue.pop_front();
+    _transmitting = true;
+    Tick ser = serializationDelay(_inFlight->bytes, currentRate());
+    _sim.scheduleAfter(_txDoneEvent, extra_delay + ser);
+}
+
+void
+Port::transmitDone()
+{
+    PacketPtr pkt = std::move(_inFlight);
+    _transmitting = false;
+    ++_packetsSent;
+    _bytesSent += pkt->bytes;
+    if (!_queue.empty())
+        startNext(0);
+    else
+        maybeArmLpi();
+    if (_deliver)
+        _deliver(pkt);
+    else
+        HOLDCSIM_PANIC("port ", _id, " transmitted with no deliver fn");
+}
+
+void
+Port::flowStarted()
+{
+    wake();
+    ++_activeFlows;
+}
+
+void
+Port::flowEnded()
+{
+    if (_activeFlows == 0)
+        HOLDCSIM_PANIC("port ", _id, " flowEnded underflow");
+    --_activeFlows;
+    maybeArmLpi();
+}
+
+void
+Port::maybeArmLpi()
+{
+    if (busy() || _state != PortState::active)
+        return;
+    if (_profile.lpiIdleThreshold == maxTick)
+        return; // LPI disabled (e.g. pre-802.3az hardware)
+    _sim.reschedule(_lpiEvent,
+                    _sim.curTick() + _profile.lpiIdleThreshold);
+}
+
+Watts
+Port::power() const
+{
+    switch (_state) {
+      case PortState::active:
+        return _profile.portPowerAt(_rateFraction);
+      case PortState::lpi:
+        return _profile.portLpi;
+      case PortState::off:
+        return _profile.portOff;
+    }
+    HOLDCSIM_PANIC("unknown PortState");
+}
+
+} // namespace holdcsim

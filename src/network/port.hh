@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Switch port model: egress queue, serialization, LPI and adaptive
+ * link rate (paper sections III-B and III-F).
+ */
+
+#ifndef HOLDCSIM_NETWORK_PORT_HH
+#define HOLDCSIM_NETWORK_PORT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "packet.hh"
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "switch_power.hh"
+
+namespace holdcsim {
+
+/** Port power states (paper: active, LPI, off). */
+enum class PortState { active, lpi, off };
+
+/**
+ * One switch port driving one link direction. The port owns an
+ * egress FIFO with bounded capacity; the head packet serializes at
+ * the port's current (possibly ALR-reduced) rate. When the port has
+ * had no queued packets and no registered flows for the profile's
+ * LPI threshold, it drops into Low Power Idle; traffic arriving at
+ * an LPI port pays the LPI exit latency.
+ */
+class Port
+{
+  public:
+    /** Invoked before any power-relevant state change. */
+    using AccrueFn = std::function<void()>;
+    /** Invoked on busy/idle edges (line-card management). */
+    using ActivityFn = std::function<void()>;
+    /** Hands a fully serialized packet to the far end of the link. */
+    using DeliverFn = std::function<void(const PacketPtr &)>;
+
+    /**
+     * @param sim       owning engine
+     * @param id        port index within the switch
+     * @param profile   power profile (not owned)
+     * @param line_rate full line rate of the attached link
+     * @param buffer_capacity max queued packets (excess are dropped)
+     */
+    Port(Simulator &sim, unsigned id, const SwitchPowerProfile &profile,
+         BitsPerSec line_rate, std::size_t buffer_capacity,
+         AccrueFn accrue, ActivityFn activity_changed);
+
+    ~Port();
+    Port(const Port &) = delete;
+    Port &operator=(const Port &) = delete;
+
+    unsigned id() const { return _id; }
+    PortState state() const { return _state; }
+
+    /** Whether traffic or registered flows keep this port busy. */
+    bool busy() const
+    {
+        return _transmitting || !_queue.empty() || _activeFlows > 0;
+    }
+
+    /** Set the delivery callback (wired by the Network facade). */
+    void setDeliver(DeliverFn fn) { _deliver = std::move(fn); }
+
+    /**
+     * Enqueue @p pkt for transmission. Returns false (and counts a
+     * drop) when the buffer is full. Waking from LPI delays the
+     * head-of-line transmission by the exit latency; @p extra_delay
+     * adds switch-level wake/forwarding time.
+     */
+    bool sendPacket(const PacketPtr &pkt, Tick extra_delay = 0);
+
+    /** @name Flow-model activity refcounting */
+    ///@{
+    /** A flow began traversing this port. */
+    void flowStarted();
+    /** A flow stopped traversing this port. */
+    void flowEnded();
+    unsigned activeFlows() const { return _activeFlows; }
+    ///@}
+
+    /**
+     * Wake the port if it is in LPI; returns the exit latency the
+     * caller must account for (0 when already active).
+     */
+    Tick wake();
+
+    /** Power the port off (unused ports). @pre !busy(). */
+    void powerOff();
+
+    /** @name Adaptive link rate */
+    ///@{
+    /** Set the operating rate as a fraction of line rate, in (0,1]. */
+    void setRateFraction(double fraction);
+    double rateFraction() const { return _rateFraction; }
+    /** Effective serialization rate right now. */
+    BitsPerSec currentRate() const { return _lineRate * _rateFraction; }
+    ///@}
+
+    /** Instantaneous power. */
+    Watts power() const;
+
+    /** @name Stats */
+    ///@{
+    std::uint64_t packetsSent() const { return _packetsSent; }
+    std::uint64_t packetsDropped() const { return _packetsDropped; }
+    Bytes bytesSent() const { return _bytesSent; }
+    std::size_t queueLength() const { return _queue.size(); }
+    const StateResidency &residency() const { return _residency; }
+    void finishStats(Tick now) { _residency.finish(now); }
+    ///@}
+
+  private:
+    void setState(PortState next);
+    void startNext(Tick extra_delay);
+    void transmitDone();
+    /** Arm the LPI timer if the port just went idle. */
+    void maybeArmLpi();
+
+    Simulator &_sim;
+    unsigned _id;
+    const SwitchPowerProfile &_profile;
+    BitsPerSec _lineRate;
+    std::size_t _bufferCapacity;
+    AccrueFn _accrue;
+    ActivityFn _activityChanged;
+    DeliverFn _deliver;
+
+    PortState _state = PortState::active;
+    double _rateFraction = 1.0;
+    unsigned _activeFlows = 0;
+
+    std::deque<PacketPtr> _queue;
+    bool _transmitting = false;
+    PacketPtr _inFlight;
+    EventFunctionWrapper _txDoneEvent;
+    EventFunctionWrapper _lpiEvent;
+
+    StateResidency _residency;
+    std::uint64_t _packetsSent = 0;
+    std::uint64_t _packetsDropped = 0;
+    Bytes _bytesSent = 0;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_NETWORK_PORT_HH

@@ -1,0 +1,107 @@
+#include "routing.hh"
+
+#include <limits>
+#include <queue>
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+namespace {
+
+constexpr std::uint32_t unreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/** Cheap stateless mix for ECMP selection. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+StaticRouting::StaticRouting(const Topology &topo) : _topo(topo) {}
+
+const StaticRouting::Table &
+StaticRouting::tableFor(NodeId src)
+{
+    auto it = _tables.find(src);
+    if (it != _tables.end())
+        return it->second;
+
+    Table table;
+    table.dist.assign(_topo.numNodes(), unreachable);
+    table.parentLinks.assign(_topo.numNodes(), {});
+    std::queue<NodeId> frontier;
+    table.dist[src] = 0;
+    frontier.push(src);
+    while (!frontier.empty()) {
+        NodeId n = frontier.front();
+        frontier.pop();
+        for (LinkId l : _topo.linksAt(n)) {
+            NodeId m = _topo.otherEnd(l, n);
+            if (table.dist[m] == unreachable) {
+                table.dist[m] = table.dist[n] + 1;
+                table.parentLinks[m].push_back(l);
+                frontier.push(m);
+            } else if (table.dist[m] == table.dist[n] + 1) {
+                // Another equal-cost parent: remember it for ECMP.
+                table.parentLinks[m].push_back(l);
+            }
+        }
+    }
+    return _tables.emplace(src, std::move(table)).first->second;
+}
+
+Route
+StaticRouting::route(NodeId src, NodeId dst, std::uint64_t flow_key)
+{
+    if (src >= _topo.numNodes() || dst >= _topo.numNodes())
+        fatal("route endpoint out of range");
+    Route r;
+    if (src == dst) {
+        r.nodes.push_back(src);
+        return r;
+    }
+    const Table &table = tableFor(src);
+    if (table.dist[dst] == unreachable)
+        fatal("no route from node ", src, " to node ", dst);
+
+    // Walk back from dst to src choosing among equal-cost parents by
+    // a per-(flow, hop) hash, then reverse.
+    std::vector<LinkId> back_links;
+    std::vector<NodeId> back_nodes{dst};
+    NodeId cur = dst;
+    while (cur != src) {
+        const auto &parents = table.parentLinks[cur];
+        std::uint64_t h =
+            mix(flow_key ^ (static_cast<std::uint64_t>(cur) << 32) ^
+                dst);
+        LinkId chosen = parents[h % parents.size()];
+        back_links.push_back(chosen);
+        cur = _topo.otherEnd(chosen, cur);
+        back_nodes.push_back(cur);
+    }
+    r.links.assign(back_links.rbegin(), back_links.rend());
+    r.nodes.assign(back_nodes.rbegin(), back_nodes.rend());
+    return r;
+}
+
+std::size_t
+StaticRouting::hopCount(NodeId src, NodeId dst)
+{
+    if (src == dst)
+        return 0;
+    const Table &table = tableFor(src);
+    if (table.dist[dst] == unreachable)
+        fatal("no route from node ", src, " to node ", dst);
+    return table.dist[dst];
+}
+
+} // namespace holdcsim

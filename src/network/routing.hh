@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Route computation over a Topology (paper section III-B: "the
+ * routing path between a source and destination can be either
+ * statically generated or dynamically computed").
+ *
+ * StaticRouting computes shortest paths by breadth-first search and
+ * caches per-source next-hop tables on first use. When several
+ * shortest paths exist, ECMP-style selection hashes a flow key over
+ * the equal-cost candidates so distinct flows spread over the fabric
+ * deterministically. invalidate() drops the caches so routes can be
+ * recomputed after a (simulated) topology change.
+ */
+
+#ifndef HOLDCSIM_NETWORK_ROUTING_HH
+#define HOLDCSIM_NETWORK_ROUTING_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "topology.hh"
+
+namespace holdcsim {
+
+/** A route: the links to traverse, in order, from source to dest. */
+struct Route {
+    std::vector<LinkId> links;
+    /** Nodes visited, source first, destination last. */
+    std::vector<NodeId> nodes;
+
+    std::size_t hops() const { return links.size(); }
+    bool empty() const { return links.empty(); }
+};
+
+/** BFS shortest-path routing with ECMP tie-breaking. */
+class StaticRouting
+{
+  public:
+    /** @param topo routed topology (must outlive the router). */
+    explicit StaticRouting(const Topology &topo);
+
+    /**
+     * Shortest route from @p src to @p dst. @p flow_key selects
+     * among equal-cost paths (pass a flow/job id for ECMP spread;
+     * the same key always yields the same path).
+     */
+    Route route(NodeId src, NodeId dst, std::uint64_t flow_key = 0);
+
+    /** Hop count of the shortest path (0 when src == dst). */
+    std::size_t hopCount(NodeId src, NodeId dst);
+
+    /** Drop all cached tables (topology changed). */
+    void invalidate() { _tables.clear(); }
+
+    const Topology &topology() const { return _topo; }
+
+  private:
+    /** Per-source BFS result. */
+    struct Table {
+        /** Distance in hops from the source (maxTick = unreachable). */
+        std::vector<std::uint32_t> dist;
+        /**
+         * For each node, every incident link that lies on some
+         * shortest path back toward the source.
+         */
+        std::vector<std::vector<LinkId>> parentLinks;
+    };
+
+    const Table &tableFor(NodeId src);
+
+    const Topology &_topo;
+    std::unordered_map<NodeId, Table> _tables;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_NETWORK_ROUTING_HH

@@ -1,0 +1,194 @@
+#include "switch.hh"
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+Switch::Switch(Simulator &sim, const SwitchConfig &config,
+               const SwitchPowerProfile &profile)
+    : _sim(sim), _config(config), _profile(profile),
+      _sleepEvent([this] { trySleep(); }, "switch.sleep",
+                  Event::powerPriority),
+      _lastAccrue(sim.curTick())
+{
+    _profile.validate();
+    if (config.portRates.empty())
+        fatal("switch needs at least one port");
+    if (config.portsPerLinecard == 0)
+        fatal("portsPerLinecard must be positive");
+
+    unsigned n_ports = static_cast<unsigned>(config.portRates.size());
+    unsigned n_cards =
+        (n_ports + config.portsPerLinecard - 1) /
+        config.portsPerLinecard;
+    for (unsigned lc = 0; lc < n_cards; ++lc) {
+        _linecards.push_back(std::make_unique<LineCard>(
+            sim, lc, _profile, [this] { accrue(); },
+            [this] { linecardStateChanged(); }));
+    }
+    for (unsigned p = 0; p < n_ports; ++p) {
+        unsigned lc = p / config.portsPerLinecard;
+        _ports.push_back(std::make_unique<Port>(
+            sim, p, _profile, config.portRates[p],
+            config.portBufferCapacity, [this] { accrue(); },
+            [this, lc] { portActivityChanged(lc); }));
+        _linecards[lc]->addPort(_ports.back().get());
+    }
+    _residency.enter(0, sim.curTick()); // awake
+    // Ports arm their LPI timers at construction; the resulting
+    // quiescence will cascade into line card / switch sleep per the
+    // configured thresholds.
+}
+
+Switch::~Switch()
+{
+    if (_sleepEvent.scheduled())
+        _sim.deschedule(_sleepEvent);
+}
+
+Tick
+Switch::wakeForActivity(unsigned port_idx)
+{
+    Tick delay = 0;
+    if (_asleep) {
+        setAsleep(false);
+        delay += _profile.switchWakeLatency;
+    }
+    if (_sleepEvent.scheduled())
+        _sim.deschedule(_sleepEvent);
+    unsigned lc = port_idx / _config.portsPerLinecard;
+    delay += _linecards.at(lc)->wake();
+    delay += _ports.at(port_idx)->wake();
+    return delay;
+}
+
+bool
+Switch::trySleep()
+{
+    if (_asleep)
+        return true;
+    for (const auto &p : _ports) {
+        if (p->busy())
+            return false;
+    }
+    setAsleep(true);
+    return true;
+}
+
+bool
+Switch::forwardPacket(const PacketPtr &pkt, unsigned out_port)
+{
+    Tick wake_delay = wakeForActivity(out_port);
+    ++_packetsForwarded;
+    return _ports.at(out_port)->sendPacket(
+        pkt, wake_delay + _forwardingDelay);
+}
+
+Tick
+Switch::flowStarted(unsigned in_port, unsigned out_port)
+{
+    Tick delay = wakeForActivity(in_port);
+    delay += wakeForActivity(out_port);
+    _ports.at(in_port)->flowStarted();
+    _ports.at(out_port)->flowStarted();
+    return delay;
+}
+
+void
+Switch::flowEnded(unsigned in_port, unsigned out_port)
+{
+    _ports.at(in_port)->flowEnded();
+    _ports.at(out_port)->flowEnded();
+}
+
+Watts
+Switch::power() const
+{
+    if (_asleep)
+        return _profile.switchSleep;
+    Watts total = _profile.chassisBase;
+    for (const auto &lc : _linecards)
+        total += lc->power();
+    for (const auto &p : _ports)
+        total += p->power();
+    return total;
+}
+
+void
+Switch::accrue()
+{
+    Tick now = _sim.curTick();
+    if (now == _lastAccrue)
+        return;
+    if (now < _lastAccrue)
+        HOLDCSIM_PANIC("switch ", id(), " accrue() with time reversed");
+    _energy += energyOver(power(), now - _lastAccrue);
+    _lastAccrue = now;
+}
+
+std::uint64_t
+Switch::packetsDropped() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : _ports)
+        total += p->packetsDropped();
+    return total;
+}
+
+void
+Switch::finishStats()
+{
+    accrue();
+    Tick now = _sim.curTick();
+    _residency.finish(now);
+    for (auto &p : _ports)
+        p->finishStats(now);
+    for (auto &lc : _linecards)
+        lc->finishStats(now);
+}
+
+void
+Switch::resetStats()
+{
+    accrue();
+    _energy = 0.0;
+    _packetsForwarded = 0;
+    _sleepTransitions = 0;
+    _residency.reset();
+    _residency.enter(_asleep ? 1 : 0, _sim.curTick());
+}
+
+void
+Switch::portActivityChanged(unsigned linecard_idx)
+{
+    _linecards.at(linecard_idx)->portActivityChanged();
+}
+
+void
+Switch::linecardStateChanged()
+{
+    if (_config.switchSleepDelay == maxTick || _asleep)
+        return;
+    // Arm the whole-switch sleep countdown once every line card has
+    // gone to sleep (or off).
+    for (const auto &lc : _linecards) {
+        if (lc->state() == LineCardState::active)
+            return;
+    }
+    _sim.reschedule(_sleepEvent,
+                    _sim.curTick() + _config.switchSleepDelay);
+}
+
+void
+Switch::setAsleep(bool asleep)
+{
+    if (asleep == _asleep)
+        return;
+    accrue();
+    _asleep = asleep;
+    if (asleep)
+        ++_sleepTransitions;
+    _residency.enter(asleep ? 1 : 0, _sim.curTick());
+}
+
+} // namespace holdcsim

@@ -1,0 +1,48 @@
+#include "switch_power.hh"
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+Watts
+SwitchPowerProfile::portPowerAt(double rate_fraction) const
+{
+    if (rate_fraction < 0.0)
+        rate_fraction = 0.0;
+    if (rate_fraction > 1.0)
+        rate_fraction = 1.0;
+    return portActive *
+           (alrFloorFraction + (1.0 - alrFloorFraction) * rate_fraction);
+}
+
+void
+SwitchPowerProfile::validate() const
+{
+    if (chassisBase < 0.0 || switchSleep < 0.0 ||
+        switchSleep > chassisBase) {
+        fatal("switch chassis powers inconsistent");
+    }
+    if (linecardActive < linecardSleep || linecardSleep < linecardOff ||
+        linecardOff < 0.0) {
+        fatal("line card powers must decrease with state depth");
+    }
+    if (portActive < portLpi || portLpi < portOff || portOff < 0.0)
+        fatal("port powers must decrease with state depth");
+    if (alrFloorFraction < 0.0 || alrFloorFraction > 1.0)
+        fatal("ALR floor fraction must be in [0, 1]");
+}
+
+SwitchPowerProfile
+SwitchPowerProfile::cisco2960_24()
+{
+    // Base 14.7 W (chassis + one line card), 0.23 W per port -- the
+    // numbers the paper gives for its simulated switch.
+    SwitchPowerProfile p;
+    p.chassisBase = 10.0;
+    p.linecardActive = 4.7;
+    p.portActive = 0.23;
+    p.portLpi = 0.023;
+    return p;
+}
+
+} // namespace holdcsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Switch power profile (paper sections III-B and III-F).
+ *
+ * Network switches have a chassis, line cards and ports. Ports
+ * support three power states (active, LPI -- IEEE 802.3az Low Power
+ * Idle -- and off) plus adaptive link rate (ALR); line cards support
+ * active/sleep/off; the switch as a whole can be put to sleep by a
+ * network-level policy. The default profile reproduces the Cisco
+ * WS-C2960-24-S the paper validates against: 14.7 W base power and
+ * 0.23 W per active port (paper section V-B).
+ */
+
+#ifndef HOLDCSIM_NETWORK_SWITCH_POWER_HH
+#define HOLDCSIM_NETWORK_SWITCH_POWER_HH
+
+#include "sim/types.hh"
+
+namespace holdcsim {
+
+/** Per-state powers and transition latencies for a switch. */
+struct SwitchPowerProfile {
+    /** @name Chassis */
+    ///@{
+    /** Chassis power while the switch is awake. */
+    Watts chassisBase = 10.0;
+    /** Whole-switch sleep residual power. */
+    Watts switchSleep = 1.5;
+    /** Latency to rouse a sleeping switch. */
+    Tick switchWakeLatency = 100 * msec;
+    ///@}
+
+    /** @name Line cards */
+    ///@{
+    Watts linecardActive = 4.7;
+    Watts linecardSleep = 0.8;
+    Watts linecardOff = 0.0;
+    /** All-ports-idle residency before a line card sleeps. */
+    Tick linecardSleepThreshold = 10 * msec;
+    /** Latency to rouse a sleeping line card. */
+    Tick linecardWakeLatency = 1 * msec;
+    ///@}
+
+    /** @name Ports */
+    ///@{
+    /** Port power at full line rate. */
+    Watts portActive = 0.23;
+    /** Port power in Low Power Idle. */
+    Watts portLpi = 0.023;
+    Watts portOff = 0.0;
+    /** Idle residency before a port enters LPI. */
+    Tick lpiIdleThreshold = 50 * usec;
+    /** Latency to resume from LPI. */
+    Tick lpiExitLatency = 5 * usec;
+    /**
+     * Adaptive-link-rate model: fraction of portActive drawn at
+     * (near-)zero rate; power rises linearly with the rate fraction
+     * to portActive at full rate.
+     */
+    double alrFloorFraction = 0.4;
+    ///@}
+
+    /** Active-port power under ALR at @p rate_fraction of line rate. */
+    Watts portPowerAt(double rate_fraction) const;
+
+    /** Throw FatalError if the profile is inconsistent. */
+    void validate() const;
+
+    /** The paper's validation switch: Cisco WS-C2960-24-S. */
+    static SwitchPowerProfile cisco2960_24();
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_NETWORK_SWITCH_POWER_HH

@@ -1,0 +1,259 @@
+#include "topology.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+NodeId
+Topology::addServer()
+{
+    NodeId id = static_cast<NodeId>(_nodes.size());
+    _nodes.push_back(NodeKind::server);
+    _adjacency.emplace_back();
+    _servers.push_back(id);
+    return id;
+}
+
+NodeId
+Topology::addSwitch()
+{
+    NodeId id = static_cast<NodeId>(_nodes.size());
+    _nodes.push_back(NodeKind::swtch);
+    _adjacency.emplace_back();
+    _switches.push_back(id);
+    return id;
+}
+
+LinkId
+Topology::addLink(NodeId a, NodeId b, BitsPerSec rate, Tick latency)
+{
+    if (a >= _nodes.size() || b >= _nodes.size())
+        fatal("link endpoint out of range");
+    if (a == b)
+        fatal("self-links are not allowed");
+    if (rate <= 0.0)
+        fatal("link rate must be positive");
+    LinkId id = static_cast<LinkId>(_links.size());
+    _links.push_back(LinkInfo{a, b, rate, latency});
+    _adjacency[a].push_back(id);
+    _adjacency[b].push_back(id);
+    return id;
+}
+
+std::size_t
+Topology::serverIndex(NodeId n) const
+{
+    auto it = std::find(_servers.begin(), _servers.end(), n);
+    if (it == _servers.end())
+        HOLDCSIM_PANIC("node ", n, " is not a server");
+    return static_cast<std::size_t>(it - _servers.begin());
+}
+
+std::size_t
+Topology::switchIndex(NodeId n) const
+{
+    auto it = std::find(_switches.begin(), _switches.end(), n);
+    if (it == _switches.end())
+        HOLDCSIM_PANIC("node ", n, " is not a switch");
+    return static_cast<std::size_t>(it - _switches.begin());
+}
+
+NodeId
+Topology::otherEnd(LinkId l, NodeId from) const
+{
+    const LinkInfo &li = link(l);
+    if (li.a == from)
+        return li.b;
+    if (li.b == from)
+        return li.a;
+    HOLDCSIM_PANIC("node ", from, " is not an endpoint of link ", l);
+}
+
+void
+Topology::validateConnected() const
+{
+    if (_nodes.empty())
+        fatal("topology has no nodes");
+    std::vector<bool> seen(_nodes.size(), false);
+    std::queue<NodeId> frontier;
+    frontier.push(0);
+    seen[0] = true;
+    std::size_t count = 1;
+    while (!frontier.empty()) {
+        NodeId n = frontier.front();
+        frontier.pop();
+        for (LinkId l : _adjacency[n]) {
+            NodeId m = otherEnd(l, n);
+            if (!seen[m]) {
+                seen[m] = true;
+                ++count;
+                frontier.push(m);
+            }
+        }
+    }
+    if (count != _nodes.size())
+        fatal("topology is not connected (", count, " of ",
+              _nodes.size(), " nodes reachable)");
+}
+
+Topology
+Topology::star(unsigned n_servers, BitsPerSec rate, Tick latency)
+{
+    if (n_servers == 0)
+        fatal("star topology needs at least one server");
+    Topology t;
+    NodeId hub = t.addSwitch();
+    for (unsigned i = 0; i < n_servers; ++i) {
+        NodeId s = t.addServer();
+        t.addLink(s, hub, rate, latency);
+    }
+    return t;
+}
+
+Topology
+Topology::fatTree(unsigned k, BitsPerSec rate, Tick latency)
+{
+    if (k < 2 || k % 2 != 0)
+        fatal("fat tree parameter k must be even and >= 2");
+    Topology t;
+    const unsigned half = k / 2;
+
+    // (k/2)^2 core switches.
+    std::vector<NodeId> core;
+    for (unsigned i = 0; i < half * half; ++i)
+        core.push_back(t.addSwitch());
+
+    for (unsigned pod = 0; pod < k; ++pod) {
+        std::vector<NodeId> agg, edge;
+        for (unsigned i = 0; i < half; ++i)
+            agg.push_back(t.addSwitch());
+        for (unsigned i = 0; i < half; ++i)
+            edge.push_back(t.addSwitch());
+        // Edge <-> aggregation full mesh within the pod.
+        for (NodeId e : edge)
+            for (NodeId a : agg)
+                t.addLink(e, a, rate, latency);
+        // Aggregation switch i uplinks to core group i.
+        for (unsigned i = 0; i < half; ++i)
+            for (unsigned j = 0; j < half; ++j)
+                t.addLink(agg[i], core[i * half + j], rate, latency);
+        // k/2 servers per edge switch.
+        for (NodeId e : edge) {
+            for (unsigned i = 0; i < half; ++i) {
+                NodeId s = t.addServer();
+                t.addLink(s, e, rate, latency);
+            }
+        }
+    }
+    return t;
+}
+
+Topology
+Topology::flattenedButterfly(unsigned k, unsigned concentration,
+                             BitsPerSec rate, Tick latency)
+{
+    if (k < 2)
+        fatal("flattened butterfly needs k >= 2");
+    if (concentration == 0)
+        fatal("flattened butterfly needs concentration >= 1");
+    Topology t;
+    std::vector<NodeId> sw(k * k);
+    for (auto &node : sw)
+        node = t.addSwitch();
+    auto at = [&](unsigned r, unsigned c) { return sw[r * k + c]; };
+    // Full connectivity within each row and each column.
+    for (unsigned r = 0; r < k; ++r)
+        for (unsigned c1 = 0; c1 < k; ++c1)
+            for (unsigned c2 = c1 + 1; c2 < k; ++c2)
+                t.addLink(at(r, c1), at(r, c2), rate, latency);
+    for (unsigned c = 0; c < k; ++c)
+        for (unsigned r1 = 0; r1 < k; ++r1)
+            for (unsigned r2 = r1 + 1; r2 < k; ++r2)
+                t.addLink(at(r1, c), at(r2, c), rate, latency);
+    for (NodeId node : sw) {
+        for (unsigned i = 0; i < concentration; ++i) {
+            NodeId s = t.addServer();
+            t.addLink(s, node, rate, latency);
+        }
+    }
+    return t;
+}
+
+Topology
+Topology::bcube(unsigned n, unsigned levels, BitsPerSec rate,
+                Tick latency)
+{
+    if (n < 2)
+        fatal("BCube needs n >= 2");
+    unsigned n_servers = 1;
+    for (unsigned l = 0; l <= levels; ++l) {
+        if (n_servers > 1'000'000 / n)
+            fatal("BCube(", n, ", ", levels, ") is too large");
+        n_servers *= n;
+    }
+    unsigned switches_per_level = n_servers / n;
+
+    Topology t;
+    std::vector<NodeId> servers(n_servers);
+    for (auto &s : servers)
+        s = t.addServer();
+
+    for (unsigned level = 0; level <= levels; ++level) {
+        // Stride between addresses differing only in digit 'level'.
+        unsigned stride = 1;
+        for (unsigned l = 0; l < level; ++l)
+            stride *= n;
+        for (unsigned sw_idx = 0; sw_idx < switches_per_level;
+             ++sw_idx) {
+            NodeId sw = t.addSwitch();
+            // The n servers on this switch share every address digit
+            // except digit 'level'.
+            unsigned block = sw_idx / stride;
+            unsigned offset = sw_idx % stride;
+            unsigned base = block * stride * n + offset;
+            for (unsigned i = 0; i < n; ++i)
+                t.addLink(servers[base + i * stride], sw, rate,
+                          latency);
+        }
+    }
+    return t;
+}
+
+Topology
+Topology::camCube(unsigned x, unsigned y, unsigned z, BitsPerSec rate,
+                  Tick latency)
+{
+    if (x == 0 || y == 0 || z == 0)
+        fatal("CamCube dimensions must be positive");
+    Topology t;
+    std::vector<NodeId> servers(x * y * z);
+    for (auto &s : servers)
+        s = t.addServer();
+    auto at = [&](unsigned i, unsigned j, unsigned k) {
+        return servers[(i * y + j) * z + k];
+    };
+    // Torus neighbor links along each dimension; a dimension of size
+    // 2 gets a single link (the wrap-around duplicates it), size 1
+    // gets none.
+    for (unsigned i = 0; i < x; ++i) {
+        for (unsigned j = 0; j < y; ++j) {
+            for (unsigned k = 0; k < z; ++k) {
+                if (x > 1 && (i + 1 < x || x > 2))
+                    t.addLink(at(i, j, k), at((i + 1) % x, j, k), rate,
+                              latency);
+                if (y > 1 && (j + 1 < y || y > 2))
+                    t.addLink(at(i, j, k), at(i, (j + 1) % y, k), rate,
+                              latency);
+                if (z > 1 && (k + 1 < z || z > 2))
+                    t.addLink(at(i, j, k), at(i, j, (k + 1) % z), rate,
+                              latency);
+            }
+        }
+    }
+    return t;
+}
+
+} // namespace holdcsim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Data center network topologies (paper section III-B).
+ *
+ * A Topology is an undirected graph of nodes (servers and switches)
+ * and full-duplex links. Builders are provided for the architectures
+ * the paper supports:
+ *
+ *  - switch-based: fat tree [8] and flattened butterfly [34];
+ *  - server-based: CamCube [6] (3-D torus of servers);
+ *  - hybrid: BCube [26] (servers + commodity switches);
+ *  - star: single switch, used in the paper's switch validation.
+ */
+
+#ifndef HOLDCSIM_NETWORK_TOPOLOGY_HH
+#define HOLDCSIM_NETWORK_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace holdcsim {
+
+/** Graph node index. */
+using NodeId = std::uint32_t;
+/** Graph link index. */
+using LinkId = std::uint32_t;
+
+/** What a topology node represents. */
+enum class NodeKind { server, swtch };
+
+/** A full-duplex link between two nodes. */
+struct LinkInfo {
+    NodeId a;
+    NodeId b;
+    /** Capacity per direction. */
+    BitsPerSec rate;
+    /** Propagation delay per hop. */
+    Tick latency;
+};
+
+/** An undirected multigraph of servers, switches and links. */
+class Topology
+{
+  public:
+    /** @name Construction */
+    ///@{
+    NodeId addServer();
+    NodeId addSwitch();
+    /** Add a full-duplex link; returns its id. */
+    LinkId addLink(NodeId a, NodeId b, BitsPerSec rate, Tick latency);
+    ///@}
+
+    /** @name Queries */
+    ///@{
+    std::size_t numNodes() const { return _nodes.size(); }
+    std::size_t numLinks() const { return _links.size(); }
+    std::size_t numServers() const { return _servers.size(); }
+    std::size_t numSwitches() const { return _switches.size(); }
+
+    NodeKind kind(NodeId n) const { return _nodes.at(n); }
+    bool isServer(NodeId n) const { return kind(n) == NodeKind::server; }
+    bool isSwitch(NodeId n) const { return kind(n) == NodeKind::swtch; }
+
+    /** Node id of the i-th server / switch. */
+    NodeId serverNode(std::size_t i) const { return _servers.at(i); }
+    NodeId switchNode(std::size_t i) const { return _switches.at(i); }
+
+    /** Ordinal of a server/switch node among its kind. */
+    std::size_t serverIndex(NodeId n) const;
+    std::size_t switchIndex(NodeId n) const;
+
+    const LinkInfo &link(LinkId l) const { return _links.at(l); }
+
+    /** Links incident to @p n, in insertion order. */
+    const std::vector<LinkId> &linksAt(NodeId n) const
+    {
+        return _adjacency.at(n);
+    }
+
+    /** Degree of node @p n. */
+    std::size_t degree(NodeId n) const { return linksAt(n).size(); }
+
+    /** The far end of @p l as seen from @p from. */
+    NodeId otherEnd(LinkId l, NodeId from) const;
+
+    /** Throw FatalError unless every node can reach every other. */
+    void validateConnected() const;
+    ///@}
+
+    /** @name Builders */
+    ///@{
+    /** @p n_servers leaves on one switch. */
+    static Topology star(unsigned n_servers, BitsPerSec rate,
+                         Tick latency);
+
+    /**
+     * Al-Fares fat tree of even parameter @p k: k pods of k/2 edge
+     * and k/2 aggregation switches, (k/2)^2 core switches and k^3/4
+     * servers; full bisection bandwidth.
+     */
+    static Topology fatTree(unsigned k, BitsPerSec rate, Tick latency);
+
+    /**
+     * 2-D flattened butterfly: a @p k x @p k array of switches, each
+     * fully connected within its row and its column, each hosting
+     * @p concentration servers.
+     */
+    static Topology flattenedButterfly(unsigned k,
+                                       unsigned concentration,
+                                       BitsPerSec rate, Tick latency);
+
+    /**
+     * BCube(@p n, @p levels): n^(levels+1) servers; at each level l
+     * in [0, levels] there are n^levels n-port switches; a server's
+     * level-l switch is shared with servers differing only in digit
+     * l of their base-n address. Servers participate in forwarding
+     * (hybrid architecture).
+     */
+    static Topology bcube(unsigned n, unsigned levels, BitsPerSec rate,
+                          Tick latency);
+
+    /**
+     * CamCube: @p x x @p y x @p z 3-D torus of servers with six
+     * neighbor links each (server-only architecture; servers do all
+     * the switching). Dimensions of size 2 use a single link.
+     */
+    static Topology camCube(unsigned x, unsigned y, unsigned z,
+                            BitsPerSec rate, Tick latency);
+    ///@}
+
+  private:
+    std::vector<NodeKind> _nodes;
+    std::vector<LinkInfo> _links;
+    std::vector<std::vector<LinkId>> _adjacency;
+    std::vector<NodeId> _servers;
+    std::vector<NodeId> _switches;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_NETWORK_TOPOLOGY_HH

@@ -1,0 +1,169 @@
+#include "dispatch_policy.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "network/network.hh"
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+std::size_t
+RoundRobinPolicy::pick(const std::vector<std::size_t> &candidates,
+                       const std::vector<Server *> &servers,
+                       const DispatchContext &ctx)
+{
+    (void)servers;
+    (void)ctx;
+    if (candidates.empty())
+        HOLDCSIM_PANIC("dispatch with no candidates");
+    // Advance a global cursor and take the first candidate at or
+    // after it (binary search: candidates are sorted), wrapping to
+    // the front; ineligible servers are skipped transparently.
+    auto it = std::lower_bound(candidates.begin(), candidates.end(),
+                               _next);
+    std::size_t chosen =
+        it == candidates.end() ? candidates.front() : *it;
+    _next = chosen + 1;
+    return chosen;
+}
+
+std::size_t
+LeastLoadedPolicy::pick(const std::vector<std::size_t> &candidates,
+                        const std::vector<Server *> &servers,
+                        const DispatchContext &ctx)
+{
+    (void)ctx;
+    if (candidates.empty())
+        HOLDCSIM_PANIC("dispatch with no candidates");
+    std::size_t start = _rotate++ % candidates.size();
+    std::size_t best = candidates[start];
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        std::size_t c = candidates[(start + i) % candidates.size()];
+        if (servers[c]->load() < servers[best]->load())
+            best = c;
+    }
+    return best;
+}
+
+std::size_t
+RandomPolicy::pick(const std::vector<std::size_t> &candidates,
+                   const std::vector<Server *> &servers,
+                   const DispatchContext &ctx)
+{
+    (void)servers;
+    (void)ctx;
+    if (candidates.empty())
+        HOLDCSIM_PANIC("dispatch with no candidates");
+    return candidates[_rng.uniformInt(0, candidates.size() - 1)];
+}
+
+PreferredPoolPolicy::PreferredPoolPolicy(std::set<std::size_t> preferred,
+                                         double spill_depth)
+    : _preferred(std::move(preferred)), _spillDepth(spill_depth)
+{
+    if (_preferred.empty())
+        fatal("preferred pool must not be empty");
+    if (spill_depth < 1.0)
+        fatal("spill depth must be >= 1");
+}
+
+std::size_t
+PreferredPoolPolicy::pick(const std::vector<std::size_t> &candidates,
+                          const std::vector<Server *> &servers,
+                          const DispatchContext &ctx)
+{
+    (void)ctx;
+    if (candidates.empty())
+        HOLDCSIM_PANIC("dispatch with no candidates");
+    // Escalation order: (1) free core in the preferred pool;
+    // (2) moderate queuing in the preferred pool (keeps transient
+    // bursts from waking the low pool); (3) an already-awake
+    // low-tau server with a free core; (4) any low-tau server
+    // (waking one); (5) least loaded overall.
+    auto least = [&](auto &&accept) -> std::optional<std::size_t> {
+        std::optional<std::size_t> best;
+        for (std::size_t c : candidates) {
+            Server *s = servers[c];
+            if (!accept(c, s))
+                continue;
+            if (!best || s->load() < servers[*best]->load())
+                best = c;
+        }
+        return best;
+    };
+    if (auto s = least([&](std::size_t c, Server *srv) {
+            return _preferred.count(c) &&
+                   srv->load() < srv->numCores();
+        })) {
+        return *s;
+    }
+    if (auto s = least([&](std::size_t c, Server *srv) {
+            return _preferred.count(c) &&
+                   srv->load() <
+                       static_cast<std::size_t>(
+                           _spillDepth * srv->numCores());
+        })) {
+        return *s;
+    }
+    if (auto s = least([&](std::size_t c, Server *srv) {
+            return !_preferred.count(c) && !srv->isAsleep() &&
+                   !srv->isWaking() &&
+                   srv->load() < srv->numCores();
+        })) {
+        return *s;
+    }
+    if (auto s = least([&](std::size_t c, Server *srv) {
+            (void)srv;
+            return !_preferred.count(c);
+        })) {
+        return *s;
+    }
+    std::size_t best = candidates[0];
+    for (std::size_t c : candidates) {
+        if (servers[c]->load() < servers[best]->load())
+            best = c;
+    }
+    return best;
+}
+
+NetworkAwarePolicy::NetworkAwarePolicy(Network &net) : _net(net) {}
+
+std::size_t
+NetworkAwarePolicy::pick(const std::vector<std::size_t> &candidates,
+                         const std::vector<Server *> &servers,
+                         const DispatchContext &ctx)
+{
+    if (candidates.empty())
+        HOLDCSIM_PANIC("dispatch with no candidates");
+    // First choice: awake servers with spare capacity, least loaded.
+    std::optional<std::size_t> best_awake;
+    for (std::size_t c : candidates) {
+        Server *s = servers[c];
+        if (s->isAsleep() || s->load() >= s->numCores())
+            continue;
+        if (!best_awake || s->load() < servers[*best_awake]->load())
+            best_awake = c;
+    }
+    if (best_awake)
+        return *best_awake;
+
+    // A new server must be engaged: minimize the number of sleeping
+    // switches the communication path would wake; ties break toward
+    // the lower load.
+    std::size_t reference = ctx.parentServer.value_or(candidates[0]);
+    std::size_t best = candidates[0];
+    unsigned best_cost = std::numeric_limits<unsigned>::max();
+    for (std::size_t c : candidates) {
+        unsigned cost = _net.sleepingSwitchesOnPath(reference, c);
+        if (cost < best_cost ||
+            (cost == best_cost &&
+             servers[c]->load() < servers[best]->load())) {
+            best_cost = cost;
+            best = c;
+        }
+    }
+    return best;
+}
+
+} // namespace holdcsim

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Global dispatch policies (paper section III-E).
+ *
+ * The global scheduler hands every ready task to a DispatchPolicy,
+ * which selects a target server among the currently eligible ones.
+ * Built-ins cover the paper's policies: round-robin, load-balancing
+ * (least loaded), random, a preferred-pool policy (dual delay timer,
+ * section IV-B) and the server/network-aware policy of section IV-D.
+ */
+
+#ifndef HOLDCSIM_SCHED_DISPATCH_POLICY_HH
+#define HOLDCSIM_SCHED_DISPATCH_POLICY_HH
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "server/server.hh"
+#include "server/task.hh"
+#include "sim/random.hh"
+
+namespace holdcsim {
+
+class Network;
+
+/** Context handed to the policy for one dispatch decision. */
+struct DispatchContext {
+    /** The task to place. */
+    const TaskRef &task;
+    /**
+     * Server index a parent task ran on, when the task has parents
+     * (used by locality/network-aware policies).
+     */
+    std::optional<std::size_t> parentServer;
+};
+
+/** Picks a server index for each ready task. */
+class DispatchPolicy
+{
+  public:
+    virtual ~DispatchPolicy() = default;
+
+    /**
+     * Choose one of @p candidates (indices into the scheduler's
+     * server list, already filtered for eligibility and task type).
+     * @pre candidates is non-empty.
+     */
+    virtual std::size_t pick(const std::vector<std::size_t> &candidates,
+                             const std::vector<Server *> &servers,
+                             const DispatchContext &ctx) = 0;
+};
+
+/** Cycle through servers in order. */
+class RoundRobinPolicy : public DispatchPolicy
+{
+  public:
+    std::size_t pick(const std::vector<std::size_t> &candidates,
+                     const std::vector<Server *> &servers,
+                     const DispatchContext &ctx) override;
+
+  private:
+    std::size_t _next = 0;
+};
+
+/**
+ * Load balancing: the candidate with the smallest load(). Ties are
+ * broken round-robin (a rotating starting offset), so a fleet of
+ * equally-idle servers is used uniformly rather than funneling all
+ * work -- and all result flows -- through the lowest-index server.
+ */
+class LeastLoadedPolicy : public DispatchPolicy
+{
+  public:
+    std::size_t pick(const std::vector<std::size_t> &candidates,
+                     const std::vector<Server *> &servers,
+                     const DispatchContext &ctx) override;
+
+  private:
+    std::size_t _rotate = 0;
+};
+
+/** Uniform random candidate. */
+class RandomPolicy : public DispatchPolicy
+{
+  public:
+    explicit RandomPolicy(Rng rng) : _rng(rng) {}
+
+    std::size_t pick(const std::vector<std::size_t> &candidates,
+                     const std::vector<Server *> &servers,
+                     const DispatchContext &ctx) override;
+
+  private:
+    Rng _rng;
+};
+
+/**
+ * Dual-delay-timer dispatch (paper section IV-B, after [69]): a
+ * preferred pool of servers (the high-tau pool) absorbs load first
+ * -- including moderate queuing up to @p spill_depth times the core
+ * count -- before work spills to the remaining (low-tau) servers.
+ * Spills prefer low-tau servers that are already awake, so a burst
+ * wakes as few sleeping servers as possible; the low pool therefore
+ * idles long enough for its short timers to suspend it.
+ */
+class PreferredPoolPolicy : public DispatchPolicy
+{
+  public:
+    explicit PreferredPoolPolicy(std::set<std::size_t> preferred,
+                                 double spill_depth = 2.0);
+
+    std::size_t pick(const std::vector<std::size_t> &candidates,
+                     const std::vector<Server *> &servers,
+                     const DispatchContext &ctx) override;
+
+    const std::set<std::size_t> &preferred() const { return _preferred; }
+
+  private:
+    std::set<std::size_t> _preferred;
+    double _spillDepth;
+};
+
+/**
+ * Server/network cooperative placement (paper section IV-D): among
+ * servers with a free core, pick the least loaded; when none has
+ * spare capacity (a sleeping/busy server must be engaged), pick the
+ * server whose path from the parent's server wakes the fewest
+ * sleeping switches.
+ */
+class NetworkAwarePolicy : public DispatchPolicy
+{
+  public:
+    /** @param net fabric to query for sleeping switches (not owned). */
+    explicit NetworkAwarePolicy(Network &net);
+
+    std::size_t pick(const std::vector<std::size_t> &candidates,
+                     const std::vector<Server *> &servers,
+                     const DispatchContext &ctx) override;
+
+  private:
+    Network &_net;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SCHED_DISPATCH_POLICY_HH

@@ -1,0 +1,302 @@
+#include "global_scheduler.hh"
+
+#include <algorithm>
+
+#include "network/network.hh"
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+GlobalScheduler::GlobalScheduler(Simulator &sim,
+                                 std::vector<Server *> servers,
+                                 std::unique_ptr<DispatchPolicy> policy,
+                                 GlobalSchedulerConfig config,
+                                 Network *net)
+    : _sim(sim), _servers(std::move(servers)),
+      _policy(std::move(policy)), _config(config), _net(net),
+      _eligible(_servers.size(), true)
+{
+    if (_servers.empty())
+        fatal("global scheduler needs at least one server");
+    if (!_policy)
+        fatal("global scheduler needs a dispatch policy");
+    for (std::size_t i = 0; i < _servers.size(); ++i) {
+        if (_servers[i]->id() != i)
+            fatal("server ", i, " must be configured with id ", i);
+        _servers[i]->setTaskDoneCallback(
+            [this](Server &srv, const TaskRef &task) {
+                onTaskDone(srv, task);
+            });
+    }
+    if (_net && _net->topology().numServers() < _servers.size())
+        fatal("network topology has fewer servers than the fleet");
+}
+
+void
+GlobalScheduler::setPolicy(std::unique_ptr<DispatchPolicy> policy)
+{
+    if (!policy)
+        fatal("cannot install a null dispatch policy");
+    _policy = std::move(policy);
+}
+
+void
+GlobalScheduler::setEligible(std::size_t idx, bool eligible)
+{
+    if (_eligible.at(idx) != eligible)
+        invalidateCandidateCache();
+    _eligible.at(idx) = eligible;
+}
+
+std::size_t
+GlobalScheduler::numEligible() const
+{
+    return static_cast<std::size_t>(
+        std::count(_eligible.begin(), _eligible.end(), true));
+}
+
+double
+GlobalScheduler::loadPerEligibleServer() const
+{
+    std::size_t eligible = numEligible();
+    if (eligible == 0)
+        return 0.0;
+    std::size_t total = _globalQueue.size();
+    for (std::size_t i = 0; i < _servers.size(); ++i) {
+        if (_eligible[i])
+            total += _servers[i]->load();
+    }
+    return static_cast<double>(total) / static_cast<double>(eligible);
+}
+
+void
+GlobalScheduler::resetStats()
+{
+    _jobsSubmitted = _jobsCompleted = 0;
+    _tasksDispatched = _transfersStarted = 0;
+    _jobLatency.reset();
+}
+
+TaskRef
+GlobalScheduler::makeRef(const RuntimeJob &rt, TaskId t) const
+{
+    const TaskSpec &spec = rt.job.task(t);
+    return TaskRef{rt.job.id(), t, spec.serviceTime,
+                   spec.computeIntensity, spec.type};
+}
+
+void
+GlobalScheduler::submitJob(Job job)
+{
+    ++_jobsSubmitted;
+    JobId id = job.id();
+    RuntimeJob rt{std::move(job), {}, {}, {}, 0};
+    const std::size_t n = rt.job.numTasks();
+    rt.pendingParents.resize(n);
+    rt.pendingTransfers.assign(n, 0);
+    rt.taskServer.assign(n, -1);
+    rt.remaining = n;
+    for (TaskId t = 0; t < n; ++t)
+        rt.pendingParents[t] =
+            static_cast<std::uint32_t>(rt.job.parents(t).size());
+
+    auto [it, inserted] = _jobs.emplace(id, std::move(rt));
+    if (!inserted)
+        fatal("duplicate job id ", id);
+    RuntimeJob &stored = it->second;
+    // Roots are ready immediately. Copy the list: taskReady may
+    // complete zero-task transfers synchronously.
+    std::vector<TaskId> roots = stored.job.rootTasks();
+    for (TaskId t : roots)
+        taskReady(stored, t);
+    notifyLoadChanged();
+}
+
+std::vector<std::size_t>
+GlobalScheduler::candidatesFor(int type, bool need_capacity) const
+{
+    if (!need_capacity) {
+        // Load-independent: cache per type, invalidated whenever
+        // eligibility changes. Keeps dispatch O(1) amortized even
+        // for >20K-server fleets (the Table I scalability claim).
+        auto it = _candidateCache.find(type);
+        if (it != _candidateCache.end())
+            return it->second;
+        std::vector<std::size_t> out;
+        for (std::size_t i = 0; i < _servers.size(); ++i) {
+            if (_eligible[i] && _servers[i]->servesType(type))
+                out.push_back(i);
+        }
+        return _candidateCache.emplace(type, std::move(out))
+            .first->second;
+    }
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < _servers.size(); ++i) {
+        if (!_eligible[i] || !_servers[i]->servesType(type))
+            continue;
+        if (_servers[i]->load() >= _servers[i]->numCores())
+            continue;
+        out.push_back(i);
+    }
+    return out;
+}
+
+void
+GlobalScheduler::taskReady(RuntimeJob &rt, TaskId t)
+{
+    TaskRef ref = makeRef(rt, t);
+    if (_config.useGlobalQueue) {
+        // Pull model: only dispatch when a free execution unit
+        // exists; otherwise park the task centrally.
+        auto candidates = candidatesFor(ref.type, true);
+        if (candidates.empty()) {
+            _globalQueue.push_back(QueuedTask{rt.job.id(), t});
+            return;
+        }
+        std::optional<std::size_t> parent;
+        if (!rt.job.parents(t).empty())
+            parent = static_cast<std::size_t>(
+                rt.taskServer[rt.job.parents(t)[0]]);
+        std::size_t target = _policy->pick(candidates, _servers,
+                                           DispatchContext{ref, parent});
+        assignTask(rt, t, target);
+        return;
+    }
+
+    auto candidates = candidatesFor(ref.type, false);
+    std::optional<std::size_t> parent;
+    if (!rt.job.parents(t).empty())
+        parent = static_cast<std::size_t>(
+            rt.taskServer[rt.job.parents(t)[0]]);
+    if (_config.antiAffinity && parent && candidates.size() > 1) {
+        candidates.erase(std::remove(candidates.begin(),
+                                     candidates.end(), *parent),
+                         candidates.end());
+    }
+    if (candidates.empty()) {
+        // Eligibility filtered everything out: fall back to any
+        // type-capable server rather than deadlock.
+        for (std::size_t i = 0; i < _servers.size(); ++i) {
+            if (_servers[i]->servesType(ref.type))
+                candidates.push_back(i);
+        }
+        if (candidates.empty())
+            fatal("no server can serve task type ", ref.type);
+        warn("no eligible server for task type ", ref.type,
+             "; dispatching to an ineligible one");
+    }
+    std::size_t target = _policy->pick(candidates, _servers,
+                                       DispatchContext{ref, parent});
+    assignTask(rt, t, target);
+}
+
+void
+GlobalScheduler::assignTask(RuntimeJob &rt, TaskId t,
+                            std::size_t server)
+{
+    rt.taskServer[t] = static_cast<std::int64_t>(server);
+    // Ship each parent's result over the fabric; the task launches
+    // when the last transfer lands.
+    if (_net) {
+        JobId id = rt.job.id();
+        unsigned transfers = 0;
+        for (TaskId p : rt.job.parents(t)) {
+            Bytes bytes = rt.job.edgeBytes(p, t);
+            auto src = static_cast<std::size_t>(rt.taskServer[p]);
+            if (src == server || bytes == 0)
+                continue;
+            ++transfers;
+        }
+        if (transfers > 0) {
+            rt.pendingTransfers[t] = transfers;
+            for (TaskId p : rt.job.parents(t)) {
+                Bytes bytes = rt.job.edgeBytes(p, t);
+                auto src = static_cast<std::size_t>(rt.taskServer[p]);
+                if (src == server || bytes == 0)
+                    continue;
+                ++_transfersStarted;
+                _net->startFlow(src, server, bytes, [this, id, t] {
+                    auto it = _jobs.find(id);
+                    if (it == _jobs.end())
+                        HOLDCSIM_PANIC("transfer for finished job ", id);
+                    RuntimeJob &rj = it->second;
+                    if (--rj.pendingTransfers[t] == 0)
+                        launchTask(rj, t);
+                });
+            }
+            return;
+        }
+    }
+    launchTask(rt, t);
+}
+
+void
+GlobalScheduler::launchTask(RuntimeJob &rt, TaskId t)
+{
+    auto server = static_cast<std::size_t>(rt.taskServer[t]);
+    ++_tasksDispatched;
+    _servers[server]->submit(makeRef(rt, t));
+}
+
+void
+GlobalScheduler::onTaskDone(Server &server, const TaskRef &task)
+{
+    auto it = _jobs.find(task.job);
+    if (it == _jobs.end())
+        HOLDCSIM_PANIC("completion for unknown job ", task.job);
+    RuntimeJob &rt = it->second;
+    if (rt.remaining == 0)
+        HOLDCSIM_PANIC("job ", task.job, " over-completed");
+    --rt.remaining;
+
+    // Wake children whose last parent just finished.
+    for (TaskId child : rt.job.children(task.task)) {
+        if (--rt.pendingParents[child] == 0)
+            taskReady(rt, child);
+    }
+
+    if (rt.remaining == 0) {
+        Tick latency = _sim.curTick() - rt.job.arrivalTick();
+        ++_jobsCompleted;
+        _jobLatency.sample(toSeconds(latency));
+        JobId id = task.job;
+        _jobs.erase(it);
+        if (_jobDone)
+            _jobDone(id, latency);
+    }
+
+    if (_config.useGlobalQueue)
+        drainGlobalQueue(server);
+    notifyLoadChanged();
+}
+
+void
+GlobalScheduler::drainGlobalQueue(Server &server)
+{
+    // The freed server pulls the first queued task it can serve
+    // while it still has spare execution units.
+    while (server.load() < server.numCores() && !_globalQueue.empty()) {
+        auto pos = std::find_if(
+            _globalQueue.begin(), _globalQueue.end(),
+            [&](const QueuedTask &q) {
+                auto jit = _jobs.find(q.job);
+                return jit != _jobs.end() &&
+                       server.servesType(jit->second.job.task(q.task).type);
+            });
+        if (pos == _globalQueue.end())
+            return;
+        QueuedTask q = *pos;
+        _globalQueue.erase(pos);
+        RuntimeJob &rt = _jobs.at(q.job);
+        assignTask(rt, q.task, server.id());
+    }
+}
+
+void
+GlobalScheduler::notifyLoadChanged()
+{
+    if (_loadChanged)
+        _loadChanged();
+}
+
+} // namespace holdcsim

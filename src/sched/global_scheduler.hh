@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The global job scheduler (paper section III-E).
+ *
+ * The front end receives job requests, expands each into its task
+ * DAG, and dispatches ready tasks to servers through a pluggable
+ * DispatchPolicy. Two dispatch models are supported, as in the
+ * paper: direct dispatch (push: the chosen server buffers the task
+ * in its local queue) and a global task queue (pull: when no
+ * eligible server has a free execution unit, the task waits
+ * centrally and servers pull work as they free up).
+ *
+ * When a Network is attached, a parent task's results are shipped to
+ * the child's server as flows of the DAG edge's transfer size; the
+ * child starts only after every inbound transfer arrives (temporal
+ * dependence, section III-C).
+ */
+
+#ifndef HOLDCSIM_SCHED_GLOBAL_SCHEDULER_HH
+#define HOLDCSIM_SCHED_GLOBAL_SCHEDULER_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dispatch_policy.hh"
+#include "server/server.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "workload/job.hh"
+
+namespace holdcsim {
+
+class Network;
+
+/** Scheduler-level configuration. */
+struct GlobalSchedulerConfig {
+    /** Use the global task queue (pull) model. */
+    bool useGlobalQueue = false;
+    /**
+     * Place a task away from its parent's server whenever another
+     * candidate exists (models distributed services whose tiers
+     * always communicate over the fabric, as in the paper's
+     * server/network study where every DAG edge is a 100 MB flow).
+     */
+    bool antiAffinity = false;
+};
+
+/** The data center front end: job intake and task dispatch. */
+class GlobalScheduler
+{
+  public:
+    /** (job id, response time in ticks). */
+    using JobDoneFn = std::function<void(JobId, Tick)>;
+    /** Invoked whenever offered load changes (policy hooks). */
+    using LoadChangedFn = std::function<void()>;
+
+    /**
+     * @param sim     engine
+     * @param servers the server fleet; server i must have id i
+     * @param policy  dispatch policy (owned)
+     * @param config  scheduler options
+     * @param net     optional fabric for result transfers
+     */
+    GlobalScheduler(Simulator &sim, std::vector<Server *> servers,
+                    std::unique_ptr<DispatchPolicy> policy,
+                    GlobalSchedulerConfig config = {},
+                    Network *net = nullptr);
+
+    /** Accept a job (ownership transfers). */
+    void submitJob(Job job);
+
+    void setJobDoneCallback(JobDoneFn fn) { _jobDone = std::move(fn); }
+    void setLoadChangedHook(LoadChangedFn fn)
+    {
+        _loadChanged = std::move(fn);
+    }
+
+    /** Swap the dispatch policy at runtime (policy studies). */
+    void setPolicy(std::unique_ptr<DispatchPolicy> policy);
+
+    /** @name Eligibility (server pool management) */
+    ///@{
+    /** Allow/disallow dispatching new tasks to server @p idx. */
+    void setEligible(std::size_t idx, bool eligible);
+    bool eligible(std::size_t idx) const { return _eligible.at(idx); }
+    std::size_t numEligible() const;
+    ///@}
+
+    /** @name Introspection */
+    ///@{
+    /** Jobs admitted but not yet fully finished. */
+    std::size_t activeJobs() const { return _jobs.size(); }
+    /** Tasks waiting in the global queue. */
+    std::size_t globalQueueLength() const { return _globalQueue.size(); }
+    /** Offered tasks (queued + running) per eligible server. */
+    double loadPerEligibleServer() const;
+    const std::vector<Server *> &servers() const { return _servers; }
+    Simulator &simulator() { return _sim; }
+    Network *network() { return _net; }
+    ///@}
+
+    /** @name Statistics */
+    ///@{
+    std::uint64_t jobsSubmitted() const { return _jobsSubmitted; }
+    std::uint64_t jobsCompleted() const { return _jobsCompleted; }
+    std::uint64_t tasksDispatched() const { return _tasksDispatched; }
+    std::uint64_t transfersStarted() const { return _transfersStarted; }
+    /** Job response time distribution, in seconds. */
+    const Percentile &jobLatency() const { return _jobLatency; }
+    /** Reset measured statistics (end of warmup). */
+    void resetStats();
+    ///@}
+
+  private:
+    struct RuntimeJob {
+        Job job;
+        /** Unfinished parents per task. */
+        std::vector<std::uint32_t> pendingParents;
+        /** Inbound transfers still in flight per task. */
+        std::vector<std::uint32_t> pendingTransfers;
+        /** Assigned server per task (-1 = unassigned). */
+        std::vector<std::int64_t> taskServer;
+        std::size_t remaining;
+    };
+
+    /** A task waiting in the global queue. */
+    struct QueuedTask {
+        JobId job;
+        TaskId task;
+    };
+
+    /** All parents done: place and (if needed) transfer. */
+    void taskReady(RuntimeJob &rt, TaskId t);
+    /** Place @p t on @p server and ship parent results. */
+    void assignTask(RuntimeJob &rt, TaskId t, std::size_t server);
+    /** All transfers arrived: hand the task to its server. */
+    void launchTask(RuntimeJob &rt, TaskId t);
+    void onTaskDone(Server &server, const TaskRef &task);
+    /** Let a freed-up server pull from the global queue. */
+    void drainGlobalQueue(Server &server);
+    /** Eligible servers that can serve @p type. */
+    std::vector<std::size_t> candidatesFor(int type,
+                                           bool need_capacity) const;
+    void invalidateCandidateCache() { _candidateCache.clear(); }
+    TaskRef makeRef(const RuntimeJob &rt, TaskId t) const;
+    void notifyLoadChanged();
+
+    Simulator &_sim;
+    std::vector<Server *> _servers;
+    std::unique_ptr<DispatchPolicy> _policy;
+    GlobalSchedulerConfig _config;
+    Network *_net;
+
+    std::vector<bool> _eligible;
+    /** Cached eligibility+type candidate lists (O(N) to rebuild). */
+    mutable std::map<int, std::vector<std::size_t>> _candidateCache;
+    std::map<JobId, RuntimeJob> _jobs;
+    std::deque<QueuedTask> _globalQueue;
+
+    JobDoneFn _jobDone;
+    LoadChangedFn _loadChanged;
+
+    std::uint64_t _jobsSubmitted = 0;
+    std::uint64_t _jobsCompleted = 0;
+    std::uint64_t _tasksDispatched = 0;
+    std::uint64_t _transfersStarted = 0;
+    Percentile _jobLatency;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SCHED_GLOBAL_SCHEDULER_HH

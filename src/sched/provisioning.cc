@@ -1,0 +1,97 @@
+#include "provisioning.hh"
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+ProvisioningPolicy::ProvisioningPolicy(GlobalScheduler &sched,
+                                       const ProvisioningConfig &config)
+    : _sched(sched), _config(config),
+      _checkEvent([this] { check(); }, "provisioning.check",
+                  Event::powerPriority)
+{
+    // A policy heartbeat must not keep an otherwise-finished
+    // simulation running.
+    _checkEvent.setBackground(true);
+    if (config.minLoadPerServer >= config.maxLoadPerServer)
+        fatal("provisioning thresholds must satisfy min < max");
+    if (config.checkInterval == 0)
+        fatal("provisioning check interval must be positive");
+}
+
+ProvisioningPolicy::~ProvisioningPolicy()
+{
+    if (_checkEvent.scheduled())
+        _sched.simulator().deschedule(_checkEvent);
+}
+
+void
+ProvisioningPolicy::start()
+{
+    _running = true;
+    _sched.simulator().reschedule(
+        _checkEvent,
+        _sched.simulator().curTick() + _config.checkInterval);
+}
+
+void
+ProvisioningPolicy::stop()
+{
+    _running = false;
+    if (_checkEvent.scheduled())
+        _sched.simulator().deschedule(_checkEvent);
+}
+
+void
+ProvisioningPolicy::check()
+{
+    double load = _sched.loadPerEligibleServer();
+    const auto &servers = _sched.servers();
+
+    if (load > _config.maxLoadPerServer) {
+        // Bring one parked server back.
+        for (std::size_t i = 0; i < servers.size(); ++i) {
+            if (_sched.eligible(i))
+                continue;
+            _sched.setEligible(i, true);
+            servers[i]->wakeUp();
+            ++_activateEvents;
+            break;
+        }
+    } else if (load < _config.minLoadPerServer &&
+               _sched.numEligible() > 1) {
+        // Put aside the least-loaded active server.
+        std::size_t best = servers.size();
+        for (std::size_t i = 0; i < servers.size(); ++i) {
+            if (!_sched.eligible(i))
+                continue;
+            if (best == servers.size() ||
+                servers[i]->load() < servers[best]->load()) {
+                best = i;
+            }
+        }
+        if (best < servers.size()) {
+            _sched.setEligible(best, false);
+            ++_parkEvents;
+        }
+    }
+
+    sweepParked();
+    if (_running) {
+        _sched.simulator().scheduleAfter(_checkEvent,
+                                         _config.checkInterval);
+    }
+}
+
+void
+ProvisioningPolicy::sweepParked()
+{
+    // Parked servers suspend once their pending tasks have drained.
+    const auto &servers = _sched.servers();
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        if (!_sched.eligible(i) && servers[i]->isIdle())
+            servers[i]->sleep(SState::s3);
+    }
+}
+
+} // namespace holdcsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Dynamic resource provisioning (paper case study IV-A).
+ *
+ * The policy watches the load per active server. When it drops below
+ * the minimum threshold one server is put aside (no new work; it is
+ * suspended once its pending tasks finish); when it exceeds the
+ * maximum threshold a parked server is reactivated. Over a
+ * fluctuating trace the number of active servers tracks the offered
+ * load, which is exactly the paper's Figure 4.
+ */
+
+#ifndef HOLDCSIM_SCHED_PROVISIONING_HH
+#define HOLDCSIM_SCHED_PROVISIONING_HH
+
+#include <cstdint>
+
+#include "global_scheduler.hh"
+#include "sim/event.hh"
+
+namespace holdcsim {
+
+/** Thresholds and cadence for the provisioning controller. */
+struct ProvisioningConfig {
+    /** Park one server when load/server falls below this. */
+    double minLoadPerServer = 0.5;
+    /** Activate one server when load/server exceeds this. */
+    double maxLoadPerServer = 2.0;
+    /** Re-evaluation period. */
+    Tick checkInterval = 100 * msec;
+};
+
+/** Threshold-driven active-server-pool controller. */
+class ProvisioningPolicy
+{
+  public:
+    ProvisioningPolicy(GlobalScheduler &sched,
+                       const ProvisioningConfig &config);
+    ~ProvisioningPolicy();
+    ProvisioningPolicy(const ProvisioningPolicy &) = delete;
+    ProvisioningPolicy &operator=(const ProvisioningPolicy &) = delete;
+
+    /** Begin periodic control. */
+    void start();
+    /** Stop periodic control (parked servers stay parked). */
+    void stop();
+
+    /** Servers currently receiving new work. */
+    std::size_t activeServers() const { return _sched.numEligible(); }
+
+    std::uint64_t parkEvents() const { return _parkEvents; }
+    std::uint64_t activateEvents() const { return _activateEvents; }
+
+  private:
+    void check();
+    /** Suspend parked servers that have drained. */
+    void sweepParked();
+
+    GlobalScheduler &_sched;
+    ProvisioningConfig _config;
+    bool _running = false;
+    EventFunctionWrapper _checkEvent;
+    std::uint64_t _parkEvents = 0;
+    std::uint64_t _activateEvents = 0;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SCHED_PROVISIONING_HH

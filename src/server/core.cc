@@ -1,0 +1,192 @@
+#include "core.hh"
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+Core::Core(Simulator &sim, unsigned id, const ServerPowerProfile &profile,
+           double base_freq_ghz, AccrueFn accrue,
+           StateChangedFn state_changed)
+    : _sim(sim), _id(id), _profile(profile),
+      _baseFreqGhz(base_freq_ghz), _accrue(std::move(accrue)),
+      _stateChanged(std::move(state_changed)),
+      _completionEvent([this] {
+          // Task done: hand the result up, then fall idle.
+          TaskRef finished = _current;
+          TaskDoneFn done = std::move(_done);
+          _done = nullptr;
+          ++_tasksExecuted;
+          setCState(CoreCState::c0Idle);
+          armDemotion();
+          if (done)
+              done(finished);
+      }, "core.completion"),
+      _demotionEvent([this] { demote(); }, "core.demotion",
+                     Event::powerPriority)
+{
+    if (base_freq_ghz <= 0.0)
+        fatal("core base frequency must be positive");
+    _residency.enter(static_cast<int>(_cstate), sim.curTick());
+    armDemotion();
+}
+
+Core::~Core()
+{
+    if (_completionEvent.scheduled())
+        _sim.deschedule(_completionEvent);
+    if (_demotionEvent.scheduled())
+        _sim.deschedule(_demotionEvent);
+}
+
+double
+Core::frequencyGhz() const
+{
+    const auto &ps = _profile.pstates;
+    return _baseFreqGhz * ps[_pstate].freqGhz / ps[0].freqGhz;
+}
+
+void
+Core::setPState(std::size_t idx)
+{
+    if (idx >= _profile.pstates.size())
+        fatal("P-state ", idx, " out of range");
+    if (busy())
+        fatal("changing P-state mid-task is not modeled");
+    if (idx == _pstate)
+        return;
+    _accrue();
+    _pstate = idx;
+    _stateChanged();
+}
+
+Tick
+Core::exitLatency(CoreCState from) const
+{
+    switch (from) {
+      case CoreCState::c0Active:
+      case CoreCState::c0Idle:
+        return 0;
+      case CoreCState::c1:
+        return _profile.c1ExitLatency;
+      case CoreCState::c3:
+        return _profile.c3ExitLatency;
+      case CoreCState::c6:
+        return _profile.c6ExitLatency;
+    }
+    HOLDCSIM_PANIC("unknown CoreCState");
+}
+
+Tick
+Core::processingTime(const TaskRef &task) const
+{
+    double ratio = _profile.pstates[0].freqGhz / frequencyGhz();
+    double scaled = static_cast<double>(task.serviceTime) *
+                    (task.computeIntensity * ratio +
+                     (1.0 - task.computeIntensity));
+    Tick t = static_cast<Tick>(scaled + 0.5);
+    return t > 0 ? t : 1;
+}
+
+void
+Core::startTask(const TaskRef &task, Tick extra_wake, TaskDoneFn done)
+{
+    if (busy())
+        HOLDCSIM_PANIC("core ", _id, " given a task while busy");
+    Tick wake = exitLatency(_cstate) + extra_wake;
+    if (_demotionEvent.scheduled())
+        _sim.deschedule(_demotionEvent);
+    setCState(CoreCState::c0Active);
+    _current = task;
+    _done = std::move(done);
+    // The wake latency delays the task but the core is already
+    // powered up (C0) while exiting, so C0-active power during the
+    // exit window is a close approximation.
+    _sim.scheduleAfter(_completionEvent, wake + processingTime(task));
+}
+
+Watts
+Core::power() const
+{
+    switch (_cstate) {
+      case CoreCState::c0Active:
+        return _profile.coreActive * _profile.pstates[_pstate].powerScale;
+      case CoreCState::c0Idle:
+        return _profile.coreC0Idle;
+      case CoreCState::c1:
+        return _profile.coreC1;
+      case CoreCState::c3:
+        return _profile.coreC3;
+      case CoreCState::c6:
+        return _profile.coreC6;
+    }
+    HOLDCSIM_PANIC("unknown CoreCState");
+}
+
+void
+Core::setCState(CoreCState next)
+{
+    if (next == _cstate)
+        return;
+    _accrue();
+    _cstate = next;
+    _residency.enter(static_cast<int>(next), _sim.curTick());
+    _stateChanged();
+}
+
+void
+Core::armDemotion()
+{
+    if (busy())
+        return;
+    // Pick the next deeper state this governor is configured for.
+    Tick delay = 0;
+    switch (_cstate) {
+      case CoreCState::c0Idle:
+        delay = _profile.demoteC1After;
+        break;
+      case CoreCState::c1:
+        delay = _profile.demoteC3After;
+        break;
+      case CoreCState::c3:
+        delay = _profile.demoteC6After;
+        break;
+      default:
+        return; // c6: nowhere deeper to go
+    }
+    if (delay == maxTick)
+        return; // state disabled
+    _sim.reschedule(_demotionEvent, _sim.curTick() + delay);
+}
+
+void
+Core::demote()
+{
+    if (busy())
+        return; // raced with a task start; harmless
+    switch (_cstate) {
+      case CoreCState::c0Idle:
+        setCState(CoreCState::c1);
+        break;
+      case CoreCState::c1:
+        setCState(CoreCState::c3);
+        break;
+      case CoreCState::c3:
+        setCState(CoreCState::c6);
+        break;
+      default:
+        return;
+    }
+    armDemotion();
+}
+
+void
+Core::forceDeepSleep()
+{
+    if (busy())
+        HOLDCSIM_PANIC("core ", _id, " forced to sleep while busy");
+    if (_demotionEvent.scheduled())
+        _sim.deschedule(_demotionEvent);
+    setCState(CoreCState::c6);
+}
+
+} // namespace holdcsim

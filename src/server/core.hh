@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Processor core model (paper section III-A).
+ *
+ * Each core is a processing unit that serves one task at a time. The
+ * task processing time is determined by the task's service time, the
+ * core's operating frequency (P-state and per-core base frequency for
+ * heterogeneous processors), and the task's computation
+ * intensiveness. When idle, the built-in idle governor demotes the
+ * core through progressively deeper C-states after the profile's
+ * residency thresholds; starting a task pays the exit latency of the
+ * state the core is found in.
+ */
+
+#ifndef HOLDCSIM_SERVER_CORE_HH
+#define HOLDCSIM_SERVER_CORE_HH
+
+#include <functional>
+
+#include "power_profile.hh"
+#include "power_state.hh"
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "task.hh"
+
+namespace holdcsim {
+
+/** One processing unit inside a server. */
+class Core
+{
+  public:
+    /** Called just before any power-relevant state change. */
+    using AccrueFn = std::function<void()>;
+    /** Called after a C-state change (package recompute etc.). */
+    using StateChangedFn = std::function<void()>;
+    /** Task-completion callback. */
+    using TaskDoneFn = std::function<void(const TaskRef &)>;
+
+    /**
+     * @param sim           owning simulation engine
+     * @param id            core index within the server
+     * @param profile       power/latency profile (not owned; must
+     *                      outlive the core)
+     * @param base_freq_ghz this core's P0 frequency (heterogeneous
+     *                      processors give different cores different
+     *                      base frequencies)
+     * @param accrue        energy-accrual hook, invoked before state
+     *                      changes
+     * @param state_changed post-change hook
+     */
+    Core(Simulator &sim, unsigned id, const ServerPowerProfile &profile,
+         double base_freq_ghz, AccrueFn accrue,
+         StateChangedFn state_changed);
+
+    /** Deschedules any pending completion/demotion events. */
+    ~Core();
+
+    unsigned id() const { return _id; }
+
+    /** Whether a task is currently executing (C0-active). */
+    bool busy() const { return _cstate == CoreCState::c0Active; }
+
+    CoreCState cstate() const { return _cstate; }
+
+    /** Current operating frequency under the active P-state. */
+    double frequencyGhz() const;
+
+    /** This core's base (P0) frequency. */
+    double baseFrequencyGhz() const { return _baseFreqGhz; }
+
+    /** Select DVFS operating point @p idx (0 = fastest). */
+    void setPState(std::size_t idx);
+    std::size_t pstate() const { return _pstate; }
+
+    /**
+     * Begin executing @p task. The start is delayed by this core's
+     * C-state exit latency plus @p extra_wake (e.g. package C6
+     * exit); @p done fires when the task completes.
+     * @pre !busy()
+     */
+    void startTask(const TaskRef &task, Tick extra_wake,
+                   TaskDoneFn done);
+
+    /**
+     * Processing time for @p task on this core right now:
+     * service * (intensity * fNominal/fCur + (1 - intensity)),
+     * where fNominal is the profile's P0 frequency (the reference
+     * the service time was specified at).
+     */
+    Tick processingTime(const TaskRef &task) const;
+
+    /** Instantaneous power draw of this core. */
+    Watts power() const;
+
+    /**
+     * Force the deepest C-state immediately (server entering a
+     * system sleep state). @pre !busy()
+     */
+    void forceDeepSleep();
+
+    /** Per-C-state residency (states indexed by CoreCState). */
+    const StateResidency &residency() const { return _residency; }
+
+    /** Close residency books at @p now. */
+    void finishStats(Tick now) { _residency.finish(now); }
+
+    /** Zero residency and counters (end of warmup). */
+    void
+    resetStats(Tick now)
+    {
+        _residency.reset();
+        _residency.enter(static_cast<int>(_cstate), now);
+        _tasksExecuted = 0;
+    }
+
+    std::uint64_t tasksExecuted() const { return _tasksExecuted; }
+
+  private:
+    void setCState(CoreCState next);
+    /** (Re)arm the idle-governor demotion event. */
+    void armDemotion();
+    void demote();
+    Tick exitLatency(CoreCState from) const;
+
+    Simulator &_sim;
+    unsigned _id;
+    const ServerPowerProfile &_profile;
+    double _baseFreqGhz;
+    AccrueFn _accrue;
+    StateChangedFn _stateChanged;
+
+    CoreCState _cstate = CoreCState::c0Idle;
+    std::size_t _pstate = 0;
+
+    TaskRef _current{};
+    TaskDoneFn _done;
+    EventFunctionWrapper _completionEvent;
+    EventFunctionWrapper _demotionEvent;
+
+    StateResidency _residency;
+    std::uint64_t _tasksExecuted = 0;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SERVER_CORE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-core DVFS governor (paper Table I lists per-core DVFS among
+ * HolDCSim's power features; section III-A: "performance states can
+ * be configured to determine the speed of instruction execution at
+ * runtime").
+ *
+ * The governor periodically samples the server's load (tasks queued
+ * plus running, normalized by core count) and retunes the P-state of
+ * every *idle* core: heavily loaded servers run at P0, lightly
+ * loaded ones drop to deeper P-states, trading task latency for
+ * active power. Frequency changes apply at task boundaries (the
+ * core model does not rescale a task mid-flight), which matches how
+ * OS governors behave at millisecond granularity.
+ */
+
+#ifndef HOLDCSIM_SERVER_DVFS_HH
+#define HOLDCSIM_SERVER_DVFS_HH
+
+#include <cstdint>
+
+#include "server.hh"
+#include "sim/event.hh"
+
+namespace holdcsim {
+
+/** Governor thresholds and cadence. */
+struct DvfsConfig {
+    /** Load/cores above which cores run at P0. */
+    double highWatermark = 0.75;
+    /** Load/cores below which cores drop to the deepest P-state. */
+    double lowWatermark = 0.25;
+    /** Sampling period. */
+    Tick interval = 10 * msec;
+};
+
+/** Utilization-driven P-state governor for one server. */
+class DvfsGovernor
+{
+  public:
+    DvfsGovernor(Server &server, const DvfsConfig &config);
+    ~DvfsGovernor();
+    DvfsGovernor(const DvfsGovernor &) = delete;
+    DvfsGovernor &operator=(const DvfsGovernor &) = delete;
+
+    void start();
+    void stop();
+
+    /** P-state the governor currently targets. */
+    std::size_t targetPState() const { return _target; }
+
+    /** Number of per-core P-state changes applied. */
+    std::uint64_t transitions() const { return _transitions; }
+
+  private:
+    void tick();
+
+    Server &_server;
+    DvfsConfig _config;
+    bool _running = false;
+    std::size_t _target = 0;
+    EventFunctionWrapper _tickEvent;
+    std::uint64_t _transitions = 0;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SERVER_DVFS_HH

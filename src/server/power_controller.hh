@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Built-in server power controllers (paper sections III-F, IV-B and
+ * IV-C).
+ *
+ * Controllers implement the local sleep-state transition policies the
+ * case studies compare:
+ *
+ *  - AlwaysOnController: the "Active-Idle" baseline; the server never
+ *    enters a system sleep state (cores still use C-states).
+ *  - DelayTimerController: after tau of idleness, suspend to RAM --
+ *    the single delay timer of case study IV-B. tau = 0 gives the
+ *    aggressive on-off policy.
+ *  - DeepSleepController: the WASP sleep-pool behavior of case study
+ *    IV-C -- enter package C6 immediately on idle (via the core idle
+ *    governor) and drop to system sleep after a short residency
+ *    threshold.
+ */
+
+#ifndef HOLDCSIM_SERVER_POWER_CONTROLLER_HH
+#define HOLDCSIM_SERVER_POWER_CONTROLLER_HH
+
+#include <memory>
+#include <optional>
+
+#include "server.hh"
+#include "sim/event.hh"
+
+namespace holdcsim {
+
+/** The Active-Idle baseline: never suspends the system. */
+class AlwaysOnController : public ServerPowerController
+{
+  public:
+    void becameBusy(Server &server) override { (void)server; }
+    void becameIdle(Server &server) override { (void)server; }
+};
+
+/**
+ * Single delay timer: when the server has been idle for tau, it is
+ * suspended (default S3). New work cancels the timer; work arriving
+ * during sleep triggers the server's wake path.
+ */
+class DelayTimerController : public ServerPowerController
+{
+  public:
+    explicit DelayTimerController(Tick tau, SState target = SState::s3);
+    ~DelayTimerController() override;
+
+    void attach(Server &server) override;
+    void becameBusy(Server &server) override;
+    void becameIdle(Server &server) override;
+
+    Tick tau() const { return _tau; }
+
+    /**
+     * Retune the timer. Takes effect immediately: a pending
+     * countdown is re-armed from its start; maxTick disables the
+     * timer entirely (the server then never self-suspends).
+     */
+    void setTau(Tick tau);
+
+  private:
+    Tick _tau;
+    SState _target;
+    Server *_server = nullptr;
+    std::optional<EventFunctionWrapper> _timer;
+};
+
+/**
+ * WASP-style sleep-pool controller: package C6 is reached through
+ * the core idle governor as soon as the cores drain; after
+ * @p s3_after of continued idleness the server suspends to RAM.
+ * Equivalent to a DelayTimerController with a (typically short)
+ * threshold, packaged separately so pool policies can identify and
+ * retune it.
+ */
+class DeepSleepController : public ServerPowerController
+{
+  public:
+    explicit DeepSleepController(Tick s3_after);
+    ~DeepSleepController() override;
+
+    void attach(Server &server) override;
+    void becameBusy(Server &server) override;
+    void becameIdle(Server &server) override;
+
+    /** Retune the C6 -> S3 threshold (takes effect next idle). */
+    void setS3After(Tick s3_after) { _s3After = s3_after; }
+    Tick s3After() const { return _s3After; }
+
+  private:
+    Tick _s3After;
+    Server *_server = nullptr;
+    std::optional<EventFunctionWrapper> _timer;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SERVER_POWER_CONTROLLER_HH

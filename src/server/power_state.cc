@@ -1,0 +1,55 @@
+#include "power_state.hh"
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+std::string
+toString(CoreCState s)
+{
+    switch (s) {
+      case CoreCState::c0Active: return "C0-active";
+      case CoreCState::c0Idle:   return "C0-idle";
+      case CoreCState::c1:       return "C1";
+      case CoreCState::c3:       return "C3";
+      case CoreCState::c6:       return "C6";
+    }
+    HOLDCSIM_PANIC("unknown CoreCState");
+}
+
+std::string
+toString(PkgCState s)
+{
+    switch (s) {
+      case PkgCState::pc0: return "PC0";
+      case PkgCState::pc2: return "PC2";
+      case PkgCState::pc6: return "PC6";
+    }
+    HOLDCSIM_PANIC("unknown PkgCState");
+}
+
+std::string
+toString(SState s)
+{
+    switch (s) {
+      case SState::s0: return "S0";
+      case SState::s3: return "S3";
+      case SState::s5: return "S5";
+    }
+    HOLDCSIM_PANIC("unknown SState");
+}
+
+std::string
+toString(ServerState s)
+{
+    switch (s) {
+      case ServerState::active:   return "active";
+      case ServerState::wakingUp: return "wake-up";
+      case ServerState::idle:     return "idle";
+      case ServerState::pkgC6:    return "pkg-c6";
+      case ServerState::sysSleep: return "sys-sleep";
+    }
+    HOLDCSIM_PANIC("unknown ServerState");
+}
+
+} // namespace holdcsim

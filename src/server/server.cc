@@ -1,0 +1,331 @@
+#include "server.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+Server::Server(Simulator &sim, const ServerConfig &config,
+               const ServerPowerProfile &profile)
+    : _sim(sim), _config(config), _profile(profile),
+      _local(config.queueMode, config.corePick, config.nCores),
+      _wakeDoneEvent([this] {
+          accrue();
+          _waking = false;
+          _sstate = SState::s0;
+          updateResidency();
+          dispatch();
+      }, "server.wakeDone", Event::powerPriority),
+      _lastAccrue(sim.curTick())
+{
+    _profile.validate();
+    if (config.nCores == 0)
+        fatal("server needs at least one core");
+    if (!config.coreFreqGhz.empty() &&
+        config.coreFreqGhz.size() != config.nCores) {
+        fatal("coreFreqGhz must be empty or have one entry per core");
+    }
+    for (unsigned i = 0; i < config.nCores; ++i) {
+        double freq = config.coreFreqGhz.empty()
+                          ? _profile.pstates[0].freqGhz
+                          : config.coreFreqGhz[i];
+        _cores.push_back(std::make_unique<Core>(
+            sim, i, _profile, freq, [this] { accrue(); },
+            [this] {
+                recomputePkgState();
+                updateResidency();
+            }));
+    }
+    recomputePkgState();
+    _residency.enter(static_cast<int>(observableState()), sim.curTick());
+}
+
+Server::~Server()
+{
+    // Controllers hold timer events against our simulator; destroy
+    // them (and their events) before the cores.
+    _controller.reset();
+    if (_wakeDoneEvent.scheduled())
+        _sim.deschedule(_wakeDoneEvent);
+}
+
+void
+Server::setController(std::unique_ptr<ServerPowerController> ctrl)
+{
+    _controller = std::move(ctrl);
+    if (_controller)
+        _controller->attach(*this);
+}
+
+bool
+Server::servesType(int type) const
+{
+    return _config.taskTypes.empty() || _config.taskTypes.count(type);
+}
+
+bool
+Server::isIdle() const
+{
+    return _sstate == SState::s0 && !_waking && load() == 0;
+}
+
+void
+Server::submit(const TaskRef &task)
+{
+    if (!servesType(task.type)) {
+        fatal("server ", id(), " does not serve task type ", task.type,
+              " (scheduler bug or misconfiguration)");
+    }
+    _local.enqueue(task);
+    if (_controller)
+        _controller->becameBusy(*this);
+    if (isAsleep()) {
+        wakeUp();
+        return;
+    }
+    if (!_waking)
+        dispatch();
+}
+
+bool
+Server::sleep(SState target)
+{
+    if (target == SState::s0)
+        fatal("sleep target must be S3 or S5");
+    if (_sstate != SState::s0 || _waking || load() != 0)
+        return false;
+    accrue();
+    for (auto &core : _cores)
+        core->forceDeepSleep();
+    _sstate = target;
+    ++_sleepTransitions;
+    updateResidency();
+    return true;
+}
+
+void
+Server::wakeUp()
+{
+    if (_sstate == SState::s0 || _waking)
+        return;
+    accrue();
+    _waking = true;
+    ++_wakeTransitions;
+    updateResidency();
+    // Entry latency is folded into the wake path: a server roused
+    // during/after suspend pays wake plus any residual entry time.
+    _sim.scheduleAfter(_wakeDoneEvent,
+                       _profile.s3WakeLatency +
+                           _profile.s3EntryLatency);
+}
+
+void
+Server::setAllowPkgC6(bool allow)
+{
+    if (_config.allowPkgC6 == allow)
+        return;
+    _config.allowPkgC6 = allow;
+    recomputePkgState();
+    updateResidency();
+}
+
+ServerState
+Server::observableState() const
+{
+    if (_waking)
+        return ServerState::wakingUp;
+    if (_sstate != SState::s0)
+        return ServerState::sysSleep;
+    if (_running > 0)
+        return ServerState::active;
+    if (_pkgState == PkgCState::pc6)
+        return ServerState::pkgC6;
+    return ServerState::idle;
+}
+
+Server::ComponentPower
+Server::componentPower() const
+{
+    if (_waking) {
+        // Wake-up burns near-idle-active power without doing work:
+        // every component is powered but no instructions retire.
+        return {_profile.pkgPc0 +
+                    numCores() * _profile.coreC0Idle,
+                _profile.dramActive, _profile.platformS0};
+    }
+    switch (_sstate) {
+      case SState::s5:
+        return {0.0, 0.0, _profile.platformS5};
+      case SState::s3:
+        return {0.0, _profile.dramSelfRefresh, _profile.platformS3};
+      case SState::s0:
+        break;
+    }
+    Watts cpu = 0.0;
+    bool any_busy = false;
+    for (const auto &core : _cores) {
+        cpu += core->power();
+        any_busy = any_busy || core->busy();
+    }
+    switch (_pkgState) {
+      case PkgCState::pc0:
+        cpu += _profile.pkgPc0;
+        break;
+      case PkgCState::pc2:
+        cpu += _profile.pkgPc2;
+        break;
+      case PkgCState::pc6:
+        cpu += _profile.pkgPc6;
+        break;
+    }
+    Watts dram = any_busy ? _profile.dramActive
+                          : (_pkgState == PkgCState::pc6
+                                 ? _profile.dramSelfRefresh
+                                 : _profile.dramIdle);
+    return {cpu, dram, _profile.platformS0};
+}
+
+Watts
+Server::power() const
+{
+    ComponentPower p = componentPower();
+    return p.cpu + p.dram + p.platform;
+}
+
+void
+Server::accrue()
+{
+    Tick now = _sim.curTick();
+    if (now == _lastAccrue)
+        return;
+    if (now < _lastAccrue)
+        HOLDCSIM_PANIC("server ", id(), " accrue() with time reversed");
+    Tick dt = now - _lastAccrue;
+    ComponentPower p = componentPower();
+    _energy.cpu += energyOver(p.cpu, dt);
+    _energy.dram += energyOver(p.dram, dt);
+    _energy.platform += energyOver(p.platform, dt);
+    _lastAccrue = now;
+}
+
+void
+Server::finishStats()
+{
+    accrue();
+    Tick now = _sim.curTick();
+    _residency.finish(now);
+    for (auto &core : _cores)
+        core->finishStats(now);
+}
+
+void
+Server::resetStats()
+{
+    accrue();
+    _energy = EnergyBreakdown{};
+    _tasksCompleted = 0;
+    _wakeTransitions = 0;
+    _sleepTransitions = 0;
+    Tick now = _sim.curTick();
+    _residency.reset();
+    _residency.enter(static_cast<int>(observableState()), now);
+    for (auto &core : _cores)
+        core->resetStats(now);
+}
+
+void
+Server::dispatch()
+{
+    if (_sstate != SState::s0 || _waking || _inDispatch)
+        return;
+    _inDispatch = true;
+    // Package C6 exit is paid once by the first task that rouses the
+    // package; capture the state before any core wakes.
+    Tick pkg_exit =
+        _pkgState == PkgCState::pc6 ? _profile.pc6ExitLatency : 0;
+    if (_local.mode() == LocalQueueMode::unified) {
+        while (_local.pending() > 0) {
+            // Prefer the fastest free core (heterogeneous-aware).
+            Core *best = nullptr;
+            for (auto &core : _cores) {
+                if (core->busy())
+                    continue;
+                if (!best ||
+                    core->frequencyGhz() > best->frequencyGhz()) {
+                    best = core.get();
+                }
+            }
+            if (!best)
+                break;
+            auto task = _local.dequeueFor(best->id());
+            ++_running;
+            best->startTask(*task, pkg_exit, [this](const TaskRef &t) {
+                taskFinished(t);
+            });
+            pkg_exit = 0;
+        }
+    } else {
+        for (auto &core : _cores) {
+            if (core->busy() || !_local.hasWorkFor(core->id()))
+                continue;
+            auto task = _local.dequeueFor(core->id());
+            ++_running;
+            core->startTask(*task, pkg_exit, [this](const TaskRef &t) {
+                taskFinished(t);
+            });
+            pkg_exit = 0;
+        }
+    }
+    _inDispatch = false;
+    updateResidency();
+}
+
+void
+Server::taskFinished(const TaskRef &task)
+{
+    if (_running == 0)
+        HOLDCSIM_PANIC("server ", id(), " finished a task it never ran");
+    --_running;
+    ++_tasksCompleted;
+    updateResidency();
+    if (_taskDone)
+        _taskDone(*this, task); // may submit follow-up work
+    dispatch();
+    if (load() == 0 && _controller)
+        _controller->becameIdle(*this);
+}
+
+void
+Server::recomputePkgState()
+{
+    if (_sstate != SState::s0)
+        return; // package state is moot while suspended
+    bool any_c0 = false;
+    bool all_c6 = true;
+    for (const auto &core : _cores) {
+        CoreCState s = core->cstate();
+        any_c0 = any_c0 || s == CoreCState::c0Active ||
+                 s == CoreCState::c0Idle;
+        all_c6 = all_c6 && s == CoreCState::c6;
+    }
+    PkgCState next = PkgCState::pc2;
+    if (any_c0)
+        next = PkgCState::pc0;
+    else if (all_c6 && _config.allowPkgC6)
+        next = PkgCState::pc6;
+    if (next != _pkgState) {
+        accrue();
+        _pkgState = next;
+    }
+}
+
+void
+Server::updateResidency()
+{
+    auto s = static_cast<int>(observableState());
+    if (s != _residency.currentState())
+        _residency.enter(s, _sim.curTick());
+}
+
+} // namespace holdcsim

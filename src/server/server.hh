@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Full server model (paper sections III-A and III-F).
+ *
+ * A Server is a multi-core machine with a local task queue, a DRAM
+ * component, platform hardware (PSU, fans, disks), an ACPI system
+ * sleep state machine (S0/S3/S5), and a hierarchical power model:
+ * per-core C-states, a derived package C-state, DRAM power modes and
+ * platform power. Tasks submitted while the server sleeps are
+ * buffered and trigger an S3 wake that costs the profile's wake
+ * latency at high power -- the effect at the heart of the delay-timer
+ * case studies.
+ *
+ * Power policy is pluggable: a ServerPowerController is notified on
+ * busy/idle transitions and drives sleep()/wakeUp().
+ */
+
+#ifndef HOLDCSIM_SERVER_SERVER_HH
+#define HOLDCSIM_SERVER_SERVER_HH
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core.hh"
+#include "local_scheduler.hh"
+#include "power_profile.hh"
+#include "power_state.hh"
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "task.hh"
+
+namespace holdcsim {
+
+class Server;
+
+/**
+ * Power-management policy hook. The server calls becameBusy() when
+ * work arrives and becameIdle() when its last task completes; the
+ * controller reacts by calling Server::sleep()/wakeUp(), typically
+ * through delay-timer events.
+ */
+class ServerPowerController
+{
+  public:
+    virtual ~ServerPowerController() = default;
+
+    /** Called once when installed on @p server. */
+    virtual void attach(Server &server) { (void)server; }
+
+    /** The server has work again (task submitted or started). */
+    virtual void becameBusy(Server &server) = 0;
+
+    /** The server just ran out of work (no queued or running task). */
+    virtual void becameIdle(Server &server) = 0;
+};
+
+/** Static configuration for one server. */
+struct ServerConfig {
+    /** Identifier used in callbacks and stats. */
+    unsigned id = 0;
+    /** Number of cores. */
+    unsigned nCores = 4;
+    /**
+     * Per-core base frequencies (GHz) for heterogeneous processors;
+     * empty means every core runs at the profile's P0 frequency.
+     */
+    std::vector<double> coreFreqGhz;
+    /** Local queue structure. */
+    LocalQueueMode queueMode = LocalQueueMode::unified;
+    /** Core-pick policy for per-core queues. */
+    CorePickPolicy corePick = CorePickPolicy::roundRobin;
+    /** Whether the package may enter PC6. */
+    bool allowPkgC6 = true;
+    /** Task types this server serves; empty = all types. */
+    std::set<int> taskTypes;
+};
+
+/** Per-component energy totals (paper Figure 9 breakdown). */
+struct EnergyBreakdown {
+    Joules cpu = 0.0;      ///< cores + package/uncore
+    Joules dram = 0.0;     ///< memory
+    Joules platform = 0.0; ///< PSU, fans, disk, NIC
+
+    Joules total() const { return cpu + dram + platform; }
+};
+
+/** A complete simulated server. */
+class Server
+{
+  public:
+    /** Completion callback: (server, finished task). */
+    using TaskDoneFn = std::function<void(Server &, const TaskRef &)>;
+
+    Server(Simulator &sim, const ServerConfig &config,
+           const ServerPowerProfile &profile);
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Deschedules any pending wake event. */
+    ~Server();
+
+    unsigned id() const { return _config.id; }
+    unsigned numCores() const { return static_cast<unsigned>(_cores.size()); }
+    Core &core(unsigned i) { return *_cores.at(i); }
+    const Core &core(unsigned i) const { return *_cores.at(i); }
+
+    /** Install the power-management policy (may be null). */
+    void setController(std::unique_ptr<ServerPowerController> ctrl);
+    ServerPowerController *controller() { return _controller.get(); }
+
+    /** Set the task-completion callback. */
+    void setTaskDoneCallback(TaskDoneFn fn) { _taskDone = std::move(fn); }
+
+    /** Whether this server is configured to serve @p type tasks. */
+    bool servesType(int type) const;
+
+    /**
+     * Submit a task. If the server sleeps, the task is buffered and
+     * a wake transition starts; otherwise it is queued/dispatched
+     * according to the local scheduler.
+     */
+    void submit(const TaskRef &task);
+
+    /** @name Load introspection (global scheduler / policies) */
+    ///@{
+    /** Buffered tasks not yet running. */
+    std::size_t pendingTasks() const { return _local.pending(); }
+    /** Tasks currently executing on cores. */
+    std::size_t runningTasks() const { return _running; }
+    /** pending + running: the "pending jobs per server" load metric. */
+    std::size_t load() const { return pendingTasks() + _running; }
+    /** In S0, not waking, with no work at all. */
+    bool isIdle() const;
+    /** In S3/S5 (not waking). */
+    bool isAsleep() const { return _sstate != SState::s0 && !_waking; }
+    bool isWaking() const { return _waking; }
+    ///@}
+
+    /** @name Power control (used by controllers and global policies) */
+    ///@{
+    /**
+     * Enter system sleep state @p target (S3 or S5). Ignored (returns
+     * false) when tasks are running or queued, or when already
+     * asleep/waking.
+     */
+    bool sleep(SState target = SState::s3);
+
+    /** Begin waking from S3/S5 if asleep; no-op otherwise. */
+    void wakeUp();
+
+    /** Disallow/allow package C6 at runtime (WASP pools). */
+    void setAllowPkgC6(bool allow);
+    ///@}
+
+    /** Observable state per the paper's Figure 8 categories. */
+    ServerState observableState() const;
+
+    SState sstate() const { return _sstate; }
+    PkgCState pkgState() const { return _pkgState; }
+
+    /** @name Power and energy */
+    ///@{
+    /** Instantaneous total power draw. */
+    Watts power() const;
+    /** Component energies accrued so far (call accrue() first for
+     *  up-to-the-tick figures). */
+    const EnergyBreakdown &energy() const { return _energy; }
+    /** Integrate energy up to the current simulated time. */
+    void accrue();
+    ///@}
+
+    /** @name Statistics */
+    ///@{
+    const StateResidency &residency() const { return _residency; }
+    std::uint64_t tasksCompleted() const { return _tasksCompleted; }
+    std::uint64_t wakeTransitions() const { return _wakeTransitions; }
+    std::uint64_t sleepTransitions() const { return _sleepTransitions; }
+    /** Accrue energy and close residency books at the current tick. */
+    void finishStats();
+    /** Zero energies, residencies and counters (end of warmup). */
+    void resetStats();
+    ///@}
+
+    Simulator &simulator() { return _sim; }
+    const ServerPowerProfile &profile() const { return _profile; }
+    const ServerConfig &config() const { return _config; }
+
+  private:
+    /** Give every free core work while any is available. */
+    void dispatch();
+    /** Core @p core_id finished @p task. */
+    void taskFinished(const TaskRef &task);
+    /** Recompute the package C-state from core states. */
+    void recomputePkgState();
+    /** Update the observable-state residency tracker. */
+    void updateResidency();
+    /** Component powers at this instant. */
+    struct ComponentPower {
+        Watts cpu, dram, platform;
+    };
+    ComponentPower componentPower() const;
+
+    Simulator &_sim;
+    ServerConfig _config;
+    /** Owned copy: the server must not dangle if the caller's
+     *  profile was a temporary. Cores reference this copy. */
+    ServerPowerProfile _profile;
+
+    std::vector<std::unique_ptr<Core>> _cores;
+    LocalScheduler _local;
+    std::unique_ptr<ServerPowerController> _controller;
+    TaskDoneFn _taskDone;
+
+    SState _sstate = SState::s0;
+    bool _waking = false;
+    PkgCState _pkgState = PkgCState::pc0;
+    EventFunctionWrapper _wakeDoneEvent;
+
+    std::size_t _running = 0;
+    bool _inDispatch = false;
+
+    Tick _lastAccrue = 0;
+    EnergyBreakdown _energy;
+    StateResidency _residency;
+    std::uint64_t _tasksCompleted = 0;
+    std::uint64_t _wakeTransitions = 0;
+    std::uint64_t _sleepTransitions = 0;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SERVER_SERVER_HH

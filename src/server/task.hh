@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The unit of work a server executes: a reference to one task of one
+ * job, carrying everything the server needs to run it.
+ */
+
+#ifndef HOLDCSIM_SERVER_TASK_HH
+#define HOLDCSIM_SERVER_TASK_HH
+
+#include "sim/types.hh"
+#include "workload/job.hh"
+
+namespace holdcsim {
+
+/**
+ * A dispatched task. The global scheduler creates one TaskRef per
+ * task when it assigns the task to a server; the server reports it
+ * back through the completion callback.
+ */
+struct TaskRef {
+    /** Job this task belongs to. */
+    JobId job = 0;
+    /** Task index within the job. */
+    TaskId task = 0;
+    /** Execution-time requirement at the nominal core frequency. */
+    Tick serviceTime = 0;
+    /** Fraction of serviceTime that scales with core frequency. */
+    double computeIntensity = 1.0;
+    /** Task type, for type-restricted servers. */
+    int type = 0;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SERVER_TASK_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Event base classes for the discrete-event kernel.
+ *
+ * Model code derives from Event and implements process(), or uses
+ * EventFunctionWrapper to wrap a lambda. Events are owned by the model
+ * (never by the queue); the queue only references scheduled events.
+ */
+
+#ifndef HOLDCSIM_SIM_EVENT_HH
+#define HOLDCSIM_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "types.hh"
+
+namespace holdcsim {
+
+class EventQueue;
+
+/**
+ * An occurrence scheduled to happen at a simulated instant.
+ *
+ * Among events scheduled for the same tick, lower priority values run
+ * first; ties are broken by scheduling order (FIFO), which makes the
+ * simulation deterministic.
+ */
+class Event
+{
+  public:
+    /** Scheduling priority; lower runs first within a tick. */
+    enum Priority : int {
+        /** Power-state bookkeeping runs before normal model events. */
+        powerPriority = -10,
+        /** Default for model events. */
+        defaultPriority = 0,
+        /** Statistics sampling runs after the model settles. */
+        statsPriority = 10,
+        /** Simulation-exit events run last. */
+        exitPriority = 100,
+    };
+
+    explicit Event(std::string name = "event",
+                   int priority = defaultPriority)
+        : _name(std::move(name)), _priority(priority)
+    {}
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+    virtual ~Event();
+
+    /** Invoked by the event queue when simulated time reaches when(). */
+    virtual void process() = 0;
+
+    /** Debug name of this event. */
+    const std::string &name() const { return _name; }
+
+    /** Priority within a tick (lower runs first). */
+    int priority() const { return _priority; }
+
+    /** Whether the event currently sits in an event queue. */
+    bool scheduled() const { return _scheduled; }
+
+    /** Tick this event is scheduled for; only valid when scheduled(). */
+    Tick when() const { return _when; }
+
+    /**
+     * Background events (periodic samplers, policy heartbeats) do
+     * not keep the simulation alive: run() returns once only
+     * background events remain. Must be set while unscheduled.
+     */
+    bool background() const { return _background; }
+    void setBackground(bool background);
+
+  private:
+    friend class EventQueue;
+
+    std::string _name;
+    int _priority;
+    bool _background = false;
+    bool _scheduled = false;
+    Tick _when = 0;
+    /** Current slot in the owning queue's heap (indexed heap). */
+    std::size_t _heapIndex = 0;
+};
+
+/**
+ * Event that runs a std::function. The workhorse for model code:
+ *
+ *   EventFunctionWrapper ev([this]{ finishTask(); }, "finish");
+ *   sim.schedule(ev, sim.curTick() + delay);
+ */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> fn,
+                         std::string name = "lambda",
+                         int priority = defaultPriority)
+        : Event(std::move(name), priority), _fn(std::move(fn))
+    {}
+
+    void process() override { _fn(); }
+
+  private:
+    std::function<void()> _fn;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SIM_EVENT_HH

@@ -1,0 +1,160 @@
+#include "event_queue.hh"
+
+#include <utility>
+
+#include "logging.hh"
+
+namespace holdcsim {
+
+Event::~Event()
+{
+    // An event must not be destroyed while a queue still references
+    // it; the queue would later touch freed memory.
+    if (_scheduled)
+        HOLDCSIM_PANIC("event '", _name, "' destroyed while scheduled");
+}
+
+void
+Event::setBackground(bool background)
+{
+    // Flipping while scheduled would corrupt the queue's foreground
+    // accounting.
+    if (_scheduled)
+        HOLDCSIM_PANIC("event '", _name,
+                       "' changed background-ness while scheduled");
+    _background = background;
+}
+
+EventQueue::~EventQueue()
+{
+    // Mark survivors unscheduled so their destructors don't panic.
+    for (auto &entry : _heap)
+        entry.event->_scheduled = false;
+}
+
+bool
+EventQueue::earlier(const Entry &a, const Entry &b)
+{
+    if (a.when != b.when)
+        return a.when < b.when;
+    if (a.priority != b.priority)
+        return a.priority < b.priority;
+    return a.sequence < b.sequence;
+}
+
+void
+EventQueue::place(std::size_t idx)
+{
+    _heap[idx].event->_heapIndex = idx;
+}
+
+void
+EventQueue::siftUp(std::size_t idx)
+{
+    while (idx > 0) {
+        std::size_t parent = (idx - 1) / 2;
+        if (!earlier(_heap[idx], _heap[parent]))
+            break;
+        std::swap(_heap[idx], _heap[parent]);
+        place(idx);
+        place(parent);
+        idx = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t idx)
+{
+    const std::size_t n = _heap.size();
+    for (;;) {
+        std::size_t left = 2 * idx + 1;
+        std::size_t right = left + 1;
+        std::size_t smallest = idx;
+        if (left < n && earlier(_heap[left], _heap[smallest]))
+            smallest = left;
+        if (right < n && earlier(_heap[right], _heap[smallest]))
+            smallest = right;
+        if (smallest == idx)
+            return;
+        std::swap(_heap[idx], _heap[smallest]);
+        place(idx);
+        place(smallest);
+        idx = smallest;
+    }
+}
+
+void
+EventQueue::schedule(Event &ev, Tick when)
+{
+    if (ev._scheduled)
+        HOLDCSIM_PANIC("event '", ev.name(), "' scheduled twice");
+    ev._scheduled = true;
+    ev._when = when;
+    _heap.push_back(Entry{when, ev.priority(), _nextSequence++, &ev});
+    place(_heap.size() - 1);
+    siftUp(_heap.size() - 1);
+    if (ev.background())
+        ++_liveBackground;
+}
+
+void
+EventQueue::removeAt(std::size_t idx)
+{
+    std::size_t last = _heap.size() - 1;
+    if (idx != last) {
+        std::swap(_heap[idx], _heap[last]);
+        place(idx);
+    }
+    _heap.pop_back();
+    if (idx != _heap.size()) {
+        // Restore the heap property for the moved entry.
+        siftUp(idx);
+        siftDown(idx);
+    }
+}
+
+void
+EventQueue::deschedule(Event &ev)
+{
+    if (!ev._scheduled)
+        HOLDCSIM_PANIC("deschedule of unscheduled event '", ev.name(),
+                       "'");
+    std::size_t idx = ev._heapIndex;
+    if (idx >= _heap.size() || _heap[idx].event != &ev)
+        HOLDCSIM_PANIC("event '", ev.name(), "' has a corrupt heap slot");
+    ev._scheduled = false;
+    if (ev.background())
+        --_liveBackground;
+    removeAt(idx);
+}
+
+void
+EventQueue::reschedule(Event &ev, Tick when)
+{
+    if (ev._scheduled)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    if (_heap.empty())
+        HOLDCSIM_PANIC("nextTick() on empty event queue");
+    return _heap.front().when;
+}
+
+Event &
+EventQueue::pop()
+{
+    if (_heap.empty())
+        HOLDCSIM_PANIC("pop() on empty event queue");
+    Event &ev = *_heap.front().event;
+    ev._scheduled = false;
+    if (ev.background())
+        --_liveBackground;
+    removeAt(0);
+    return ev;
+}
+
+} // namespace holdcsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Pending-event queue: an indexed binary heap ordered by (tick,
+ * priority, schedule sequence) so simultaneous events run in
+ * deterministic FIFO order.
+ *
+ * Every scheduled event carries its own heap slot index, so
+ * deschedule() removes the entry eagerly in O(log n); no stale
+ * entry can ever outlive (and dangle behind) its event object.
+ */
+
+#ifndef HOLDCSIM_SIM_EVENT_QUEUE_HH
+#define HOLDCSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "event.hh"
+#include "types.hh"
+
+namespace holdcsim {
+
+/** Priority queue of scheduled events. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
+
+    /**
+     * Insert @p ev to fire at tick @p when.
+     * @pre !ev.scheduled(); @pre when >= the last popped tick.
+     */
+    void schedule(Event &ev, Tick when);
+
+    /** Remove @p ev from the queue. @pre ev.scheduled(). */
+    void deschedule(Event &ev);
+
+    /** Move an (optionally scheduled) event to a new tick. */
+    void reschedule(Event &ev, Tick when);
+
+    /** Whether any events remain. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of scheduled events. */
+    std::size_t size() const { return _heap.size(); }
+
+    /** Scheduled events that are not background heartbeats. */
+    std::size_t foregroundCount() const
+    {
+        return _heap.size() - _liveBackground;
+    }
+
+    /** Tick of the earliest event. @pre !empty(). */
+    Tick nextTick() const;
+
+    /**
+     * Pop and return the earliest event, marking it unscheduled.
+     * @pre !empty().
+     */
+    Event &pop();
+
+  private:
+    struct Entry {
+        Tick when;
+        int priority;
+        std::uint64_t sequence;
+        Event *event;
+    };
+
+    /** Strict ordering: does @p a fire before @p b? */
+    static bool earlier(const Entry &a, const Entry &b);
+
+    /** Record entry @p idx's position inside its event. */
+    void place(std::size_t idx);
+    void siftUp(std::size_t idx);
+    void siftDown(std::size_t idx);
+    /** Remove the entry at @p idx, restoring the heap property. */
+    void removeAt(std::size_t idx);
+
+    std::vector<Entry> _heap;
+    std::size_t _liveBackground = 0;
+    std::uint64_t _nextSequence = 0;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SIM_EVENT_QUEUE_HH

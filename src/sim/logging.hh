@@ -1,0 +1,87 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  -- something happened that can never happen unless the
+ *             simulator itself is broken; aborts.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, invalid arguments); throws
+ *             FatalError so tests and embedding applications can
+ *             recover.
+ * warn()   -- functionality may not behave exactly as intended.
+ * inform() -- normal operating message.
+ */
+
+#ifndef HOLDCSIM_SIM_LOGGING_HH
+#define HOLDCSIM_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace holdcsim {
+
+/** Exception thrown by fatal(): a user-correctable error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail {
+
+/** Fold any streamable argument pack into one string. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Report a simulator bug and abort. */
+#define HOLDCSIM_PANIC(...)                                             \
+    ::holdcsim::detail::panicImpl(__FILE__, __LINE__,                   \
+        ::holdcsim::detail::format(__VA_ARGS__))
+
+/** Report an unrecoverable user error; throws FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::format(std::forward<Args>(args)...));
+}
+
+/** Report a condition that might indicate trouble. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::format(std::forward<Args>(args)...));
+}
+
+/** Report normal simulator status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::format(std::forward<Args>(args)...));
+}
+
+/** Globally silence warn()/inform() (useful in benchmarks). */
+void setQuiet(bool quiet);
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SIM_LOGGING_HH

@@ -1,0 +1,61 @@
+#include "simulator.hh"
+
+#include "logging.hh"
+
+namespace holdcsim {
+
+void
+Simulator::schedule(Event &ev, Tick when)
+{
+    if (when < _curTick) {
+        HOLDCSIM_PANIC("event '", ev.name(), "' scheduled in the past (",
+                       when, " < ", _curTick, ")");
+    }
+    _queue.schedule(ev, when);
+}
+
+void
+Simulator::reschedule(Event &ev, Tick when)
+{
+    if (when < _curTick) {
+        HOLDCSIM_PANIC("event '", ev.name(), "' rescheduled in the past (",
+                       when, " < ", _curTick, ")");
+    }
+    _queue.reschedule(ev, when);
+}
+
+Tick
+Simulator::run()
+{
+    _stopRequested = false;
+    while (_queue.foregroundCount() > 0 && !_stopRequested) {
+        Tick next = _queue.nextTick();
+        Event &ev = _queue.pop();
+        _curTick = next;
+        ++_eventsProcessed;
+        ev.process();
+    }
+    return _curTick;
+}
+
+Tick
+Simulator::runUntil(Tick limit)
+{
+    _stopRequested = false;
+    while (!_queue.empty() && !_stopRequested) {
+        Tick next = _queue.nextTick();
+        if (next > limit) {
+            _curTick = limit;
+            return _curTick;
+        }
+        Event &ev = _queue.pop();
+        _curTick = next;
+        ++_eventsProcessed;
+        ev.process();
+    }
+    if (_curTick < limit)
+        _curTick = limit;
+    return _curTick;
+}
+
+} // namespace holdcsim

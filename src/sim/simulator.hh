@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The discrete-event simulation engine.
+ *
+ * A Simulator owns the event queue and the simulated clock. Model
+ * components keep a reference to their Simulator and schedule events
+ * against it. One Simulator per experiment; no global state, so tests
+ * and parameter sweeps can run many simulations in one process.
+ */
+
+#ifndef HOLDCSIM_SIM_SIMULATOR_HH
+#define HOLDCSIM_SIM_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "event_queue.hh"
+#include "types.hh"
+
+namespace holdcsim {
+
+/** Event-driven simulation engine with a nanosecond clock. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /** Number of events processed so far (engine throughput metric). */
+    std::uint64_t eventsProcessed() const { return _eventsProcessed; }
+
+    /** Schedule @p ev at absolute tick @p when (>= curTick()). */
+    void schedule(Event &ev, Tick when);
+
+    /** Schedule @p ev at curTick() + @p delay. */
+    void scheduleAfter(Event &ev, Tick delay)
+    {
+        schedule(ev, _curTick + delay);
+    }
+
+    /** Remove a scheduled event. */
+    void deschedule(Event &ev) { _queue.deschedule(ev); }
+
+    /** Move a scheduled (or unscheduled) event to @p when. */
+    void reschedule(Event &ev, Tick when);
+
+    /** Whether any events remain. */
+    bool hasPendingEvents() const { return !_queue.empty(); }
+
+    /** Tick of the next pending event. @pre hasPendingEvents(). */
+    Tick nextEventTick() { return _queue.nextTick(); }
+
+    /**
+     * Run until the event queue drains or stop() is called.
+     * @return the final simulated time.
+     */
+    Tick run();
+
+    /**
+     * Run until simulated time would exceed @p limit; events at
+     * exactly @p limit still execute. The clock is left at
+     * min(limit, last event tick).
+     */
+    Tick runUntil(Tick limit);
+
+    /** Request that run()/runUntil() return after the current event. */
+    void stop() { _stopRequested = true; }
+
+    /** Direct access to the queue (tests and advanced harnesses). */
+    EventQueue &eventQueue() { return _queue; }
+
+  private:
+    EventQueue _queue;
+    Tick _curTick = 0;
+    std::uint64_t _eventsProcessed = 0;
+    bool _stopRequested = false;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SIM_SIMULATOR_HH

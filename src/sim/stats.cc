@@ -1,0 +1,283 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace holdcsim {
+
+// ---------------------------------------------------------------- Accumulator
+
+void
+Accumulator::sample(double v)
+{
+    if (_count == 0) {
+        _min = _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    ++_count;
+    _sum += v;
+    double delta = v - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (v - _mean);
+}
+
+double
+Accumulator::mean() const
+{
+    return _count ? _mean : 0.0;
+}
+
+double
+Accumulator::variance() const
+{
+    return _count ? _m2 / static_cast<double>(_count) : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::min() const
+{
+    return _count ? _min : 0.0;
+}
+
+double
+Accumulator::max() const
+{
+    return _count ? _max : 0.0;
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator{};
+}
+
+// ----------------------------------------------------------------- Percentile
+
+void
+Percentile::sample(double v)
+{
+    _samples.push_back(v);
+    _sorted = _samples.size() <= 1;
+    _sum += v;
+}
+
+double
+Percentile::mean() const
+{
+    return _samples.empty() ? 0.0
+                            : _sum / static_cast<double>(_samples.size());
+}
+
+const std::vector<double> &
+Percentile::sorted() const
+{
+    if (!_sorted) {
+        std::sort(_samples.begin(), _samples.end());
+        _sorted = true;
+    }
+    return _samples;
+}
+
+double
+Percentile::quantile(double q) const
+{
+    if (_samples.empty())
+        return 0.0;
+    if (q < 0.0 || q > 1.0)
+        HOLDCSIM_PANIC("quantile ", q, " outside [0, 1]");
+    const auto &s = sorted();
+    if (s.size() == 1)
+        return s.front();
+    double pos = q * static_cast<double>(s.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    if (lo + 1 >= s.size())
+        return s.back();
+    double frac = pos - static_cast<double>(lo);
+    return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+
+double
+Percentile::cdfAt(double x) const
+{
+    if (_samples.empty())
+        return 0.0;
+    const auto &s = sorted();
+    auto it = std::upper_bound(s.begin(), s.end(), x);
+    return static_cast<double>(it - s.begin()) /
+           static_cast<double>(s.size());
+}
+
+void
+Percentile::reset()
+{
+    _samples.clear();
+    _sorted = true;
+    _sum = 0.0;
+}
+
+// ------------------------------------------------------------------ Histogram
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : _lo(lo), _hi(hi),
+      _width((hi - lo) / static_cast<double>(buckets)),
+      _counts(buckets, 0)
+{
+    if (!(hi > lo) || buckets == 0)
+        HOLDCSIM_PANIC("histogram with empty range or zero buckets");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++_total;
+    if (v < _lo) {
+        ++_underflow;
+    } else if (v >= _hi) {
+        ++_overflow;
+    } else {
+        auto idx = static_cast<std::size_t>((v - _lo) / _width);
+        if (idx >= _counts.size())
+            idx = _counts.size() - 1; // guards FP edge at v ~= hi
+        ++_counts[idx];
+    }
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return _lo + _width * static_cast<double>(i);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_counts.begin(), _counts.end(), 0);
+    _underflow = _overflow = _total = 0;
+}
+
+// --------------------------------------------------------------- TimeWeighted
+
+void
+TimeWeighted::set(double value, Tick now)
+{
+    if (!_started) {
+        _started = true;
+        _firstTick = now;
+        _lastTick = now;
+        _current = value;
+        return;
+    }
+    if (now < _lastTick)
+        HOLDCSIM_PANIC("TimeWeighted fed a tick that moves backwards");
+    _integral += _current * toSeconds(now - _lastTick);
+    _lastTick = now;
+    _current = value;
+}
+
+double
+TimeWeighted::average() const
+{
+    if (!_started || _lastTick == _firstTick)
+        return _current;
+    return _integral / toSeconds(_lastTick - _firstTick);
+}
+
+void
+TimeWeighted::reset()
+{
+    *this = TimeWeighted{};
+}
+
+// ------------------------------------------------------------- StateResidency
+
+void
+StateResidency::enter(int state, Tick now)
+{
+    if (_started) {
+        if (now < _lastTick)
+            HOLDCSIM_PANIC("StateResidency fed a tick that moves backwards");
+        _residency[_current] += now - _lastTick;
+        _total += now - _lastTick;
+    }
+    _started = true;
+    _current = state;
+    _lastTick = now;
+    ++_entries[state];
+}
+
+void
+StateResidency::finish(Tick now)
+{
+    if (!_started)
+        return;
+    if (now < _lastTick)
+        HOLDCSIM_PANIC("StateResidency finished with a tick in the past");
+    _residency[_current] += now - _lastTick;
+    _total += now - _lastTick;
+    _lastTick = now;
+}
+
+Tick
+StateResidency::residency(int state) const
+{
+    auto it = _residency.find(state);
+    return it == _residency.end() ? 0 : it->second;
+}
+
+double
+StateResidency::fraction(int state) const
+{
+    if (_total == 0)
+        return 0.0;
+    return static_cast<double>(residency(state)) /
+           static_cast<double>(_total);
+}
+
+std::uint64_t
+StateResidency::transitionsInto(int state) const
+{
+    auto it = _entries.find(state);
+    return it == _entries.end() ? 0 : it->second;
+}
+
+void
+StateResidency::reset()
+{
+    *this = StateResidency{};
+}
+
+// ------------------------------------------------------------------ StatGroup
+
+void
+StatGroup::add(const std::string &key, double value)
+{
+    std::ostringstream os;
+    os << value;
+    _entries.emplace_back(key, os.str());
+}
+
+void
+StatGroup::add(const std::string &key, std::uint64_t value)
+{
+    _entries.emplace_back(key, std::to_string(value));
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[key, value] : _entries)
+        os << _name << '.' << key << ' ' << value << '\n';
+}
+
+} // namespace holdcsim

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Statistics primitives used throughout the simulator.
+ *
+ * All statistics are plain value types owned by the component they
+ * describe; StatGroup offers a lightweight registry for pretty
+ * dumping. Time-integrating statistics (TimeWeighted, StateResidency)
+ * are fed explicit ticks rather than reading a global clock, keeping
+ * them testable in isolation.
+ */
+
+#ifndef HOLDCSIM_SIM_STATS_HH
+#define HOLDCSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace holdcsim {
+
+/** Monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { _value += n; }
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Streaming mean / variance / extrema over sample values. */
+class Accumulator
+{
+  public:
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const;
+    /** Population variance. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    void reset();
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _mean = 0.0;
+    double _m2 = 0.0; // Welford accumulator
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * Exact percentile tracker: stores every sample, sorts on demand.
+ * Suited to job-latency distributions at case-study scale (up to a
+ * few million samples).
+ */
+class Percentile
+{
+  public:
+    void sample(double v);
+
+    std::uint64_t count() const { return _samples.size(); }
+    double mean() const;
+    /** Value at quantile @p q in [0, 1] (linear interpolation). */
+    double quantile(double q) const;
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+    /** Empirical CDF evaluated at @p x: P[sample <= x]. */
+    double cdfAt(double x) const;
+    /** All samples, sorted ascending. */
+    const std::vector<double> &sorted() const;
+    void reset();
+
+  private:
+    mutable std::vector<double> _samples;
+    mutable bool _sorted = true;
+    double _sum = 0.0;
+};
+
+/** Fixed-width-bucket histogram over [lo, hi) with overflow bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void sample(double v);
+
+    std::size_t buckets() const { return _counts.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return _counts[i]; }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    std::uint64_t total() const { return _total; }
+    /** Lower edge of bucket @p i. */
+    double bucketLo(std::size_t i) const;
+    void reset();
+
+  private:
+    double _lo, _hi, _width;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _total = 0;
+};
+
+/**
+ * Time-weighted average of a piecewise-constant signal (e.g. queue
+ * length, power draw). Call set(value, now) on every change, then
+ * finish(now) before reading.
+ */
+class TimeWeighted
+{
+  public:
+    /** Record that the signal takes @p value from tick @p now on. */
+    void set(double value, Tick now);
+
+    /** Integrate the final segment up to @p now. */
+    void finish(Tick now) { set(_current, now); }
+
+    /** Time-average over [first set, last update]. */
+    double average() const;
+
+    /** Integral of the signal over time, in value * seconds. */
+    double integral() const { return _integral; }
+
+    double current() const { return _current; }
+    void reset();
+
+  private:
+    bool _started = false;
+    Tick _lastTick = 0;
+    Tick _firstTick = 0;
+    double _current = 0.0;
+    double _integral = 0.0;
+};
+
+/**
+ * Tracks how long a component resides in each of a set of discrete
+ * states, keyed by small integer state ids.
+ */
+class StateResidency
+{
+  public:
+    /** Record a transition into @p state at tick @p now. */
+    void enter(int state, Tick now);
+
+    /** Close the books at tick @p now before reading residencies. */
+    void finish(Tick now);
+
+    /** Total ticks spent in @p state so far. */
+    Tick residency(int state) const;
+
+    /** Fraction of observed time spent in @p state, in [0, 1]. */
+    double fraction(int state) const;
+
+    /** Number of entries into @p state. */
+    std::uint64_t transitionsInto(int state) const;
+
+    /** Total observed time. */
+    Tick totalTime() const { return _total; }
+
+    int currentState() const { return _current; }
+    void reset();
+
+  private:
+    bool _started = false;
+    int _current = -1;
+    Tick _lastTick = 0;
+    Tick _total = 0;
+    std::map<int, Tick> _residency;
+    std::map<int, std::uint64_t> _entries;
+};
+
+/**
+ * Named registry of scalar statistics for human-readable dumps.
+ * Components register name/value pairs at dump time; this avoids any
+ * static registration order problems.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    void add(const std::string &key, double value);
+    void add(const std::string &key, std::uint64_t value);
+
+    /** Pretty-print "group.key value" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    std::vector<std::pair<std::string, std::string>> _entries;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SIM_STATS_HH

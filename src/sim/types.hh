@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fundamental simulated-time and physical-unit types for HolDCSim.
+ *
+ * The simulator counts time in integer nanosecond ticks. Two hours of
+ * simulated time is 7.2e12 ticks, leaving ample headroom in a 64-bit
+ * counter, while one byte at 1 Gb/s (8 ns) is still exactly
+ * representable.
+ */
+
+#ifndef HOLDCSIM_SIM_TYPES_HH
+#define HOLDCSIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace holdcsim {
+
+/** Simulated time, in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** A tick value that compares after every schedulable time. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** One nanosecond, the base tick. */
+constexpr Tick nsec = 1;
+/** One microsecond in ticks. */
+constexpr Tick usec = 1000 * nsec;
+/** One millisecond in ticks. */
+constexpr Tick msec = 1000 * usec;
+/** One second in ticks. */
+constexpr Tick sec = 1000 * msec;
+
+/** Instantaneous power draw, in watts. */
+using Watts = double;
+
+/** Accumulated energy, in joules. */
+using Joules = double;
+
+/** Data size in bytes (flows can be hundreds of megabytes). */
+using Bytes = std::uint64_t;
+
+/** Link/port rate in bits per second. */
+using BitsPerSec = double;
+
+/** Convert a tick count to (floating-point) seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(sec);
+}
+
+/** Convert (floating-point) seconds to the nearest tick count. */
+constexpr Tick
+fromSeconds(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(sec) + 0.5);
+}
+
+/** Energy accumulated by holding @p p watts for @p dt ticks. */
+constexpr Joules
+energyOver(Watts p, Tick dt)
+{
+    return p * toSeconds(dt);
+}
+
+/**
+ * Time needed to serialize @p bytes onto a link running at @p rate
+ * bits per second. Returns at least one tick for non-empty payloads so
+ * that transmission always advances simulated time.
+ */
+constexpr Tick
+serializationDelay(Bytes bytes, BitsPerSec rate)
+{
+    if (bytes == 0 || rate <= 0.0)
+        return 0;
+    double seconds = static_cast<double>(bytes) * 8.0 / rate;
+    Tick t = fromSeconds(seconds);
+    return t > 0 ? t : 1;
+}
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SIM_TYPES_HH

@@ -1,0 +1,101 @@
+#include "arrival.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+// ------------------------------------------------------------- PoissonArrival
+
+PoissonArrival::PoissonArrival(double rate, Rng rng)
+    : _rate(rate), _rng(rng)
+{
+    if (rate <= 0.0)
+        fatal("Poisson arrival rate must be positive, got ", rate);
+}
+
+Tick
+PoissonArrival::nextArrival()
+{
+    double gap_sec = _rng.exponential(1.0 / _rate);
+    _now += fromSeconds(gap_sec);
+    return _now;
+}
+
+double
+PoissonArrival::rateForUtilization(double rho, unsigned n_servers,
+                                   unsigned n_cores,
+                                   double mean_service_sec)
+{
+    if (rho <= 0.0 || mean_service_sec <= 0.0 || n_servers == 0 ||
+        n_cores == 0) {
+        fatal("rateForUtilization: invalid parameters");
+    }
+    // rho = lambda / (mu * nServers * nCores), mu = 1/meanService.
+    return rho * n_servers * n_cores / mean_service_sec;
+}
+
+// --------------------------------------------------------------- Mmpp2Arrival
+
+Mmpp2Arrival::Mmpp2Arrival(double rate_high, double rate_low,
+                           double mean_high_sojourn_sec,
+                           double mean_low_sojourn_sec, Rng rng)
+    : _rateHigh(rate_high), _rateLow(rate_low),
+      _sojournHigh(mean_high_sojourn_sec),
+      _sojournLow(mean_low_sojourn_sec), _rng(rng)
+{
+    if (rate_high <= 0.0 || rate_low <= 0.0)
+        fatal("MMPP rates must be positive");
+    if (rate_high < rate_low)
+        fatal("MMPP bursty rate must be >= quiet rate");
+    if (mean_high_sojourn_sec <= 0.0 || mean_low_sojourn_sec <= 0.0)
+        fatal("MMPP sojourn times must be positive");
+}
+
+Tick
+Mmpp2Arrival::nextArrival()
+{
+    // Competing exponentials: in the current state, the next arrival
+    // and the next state switch race; whichever fires first wins.
+    for (;;) {
+        double to_arrival = _rng.exponential(1.0 / currentRate());
+        double to_switch = _rng.exponential(currentSojourn());
+        if (to_arrival <= to_switch) {
+            _now += fromSeconds(to_arrival);
+            return _now;
+        }
+        _now += fromSeconds(to_switch);
+        _bursty = !_bursty;
+    }
+}
+
+double
+Mmpp2Arrival::averageRate()
+const
+{
+    // Stationary fraction of time in each state is proportional to
+    // its mean sojourn.
+    double total = _sojournHigh + _sojournLow;
+    double p_high = _sojournHigh / total;
+    return p_high * _rateHigh + (1.0 - p_high) * _rateLow;
+}
+
+// --------------------------------------------------------------- TraceArrival
+
+TraceArrival::TraceArrival(std::vector<Tick> arrivals)
+    : _arrivals(std::move(arrivals))
+{
+    if (!std::is_sorted(_arrivals.begin(), _arrivals.end()))
+        fatal("arrival trace timestamps must be nondecreasing");
+}
+
+Tick
+TraceArrival::nextArrival()
+{
+    if (exhausted())
+        HOLDCSIM_PANIC("nextArrival() on exhausted trace");
+    return _arrivals[_next++];
+}
+
+} // namespace holdcsim

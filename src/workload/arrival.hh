@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Job-arrival processes (paper section III-D).
+ *
+ * HolDCSim drives the simulated data center with either stochastic
+ * arrivals -- a Poisson process or a 2-state Markov-modulated Poisson
+ * process (MMPP) for bursty load -- or with recorded traces of
+ * arrival timestamps.
+ */
+
+#ifndef HOLDCSIM_WORKLOAD_ARRIVAL_HH
+#define HOLDCSIM_WORKLOAD_ARRIVAL_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace holdcsim {
+
+/**
+ * Source of job-arrival instants. Implementations return successive
+ * absolute arrival ticks; exhausted() reports when a finite source
+ * (trace) has run dry.
+ */
+class ArrivalProcess
+{
+  public:
+    virtual ~ArrivalProcess() = default;
+
+    /**
+     * Absolute tick of the next arrival (strictly nondecreasing
+     * across calls). @pre !exhausted().
+     */
+    virtual Tick nextArrival() = 0;
+
+    /** Whether the source can produce more arrivals. */
+    virtual bool exhausted() const { return false; }
+};
+
+/**
+ * Homogeneous Poisson arrivals with rate @p rate jobs/second:
+ * exponential inter-arrival times with mean 1/rate.
+ *
+ * The paper relates utilization to rate for a multi-core server farm
+ * as rho = lambda / (mu * nServers * nCores); use rateForUtilization
+ * to configure an experiment by target utilization.
+ */
+class PoissonArrival : public ArrivalProcess
+{
+  public:
+    /** @param rate arrivals per second (> 0). */
+    PoissonArrival(double rate, Rng rng);
+
+    Tick nextArrival() override;
+
+    double rate() const { return _rate; }
+
+    /**
+     * Arrival rate (jobs/s) that produces utilization @p rho on
+     * @p n_servers x @p n_cores cores whose mean service time is
+     * @p mean_service_sec: lambda = rho * nServers * nCores / (1/mu).
+     */
+    static double rateForUtilization(double rho, unsigned n_servers,
+                                     unsigned n_cores,
+                                     double mean_service_sec);
+
+  private:
+    double _rate;
+    Rng _rng;
+    Tick _now = 0;
+};
+
+/**
+ * 2-state Markov-modulated Poisson process: a bursty state with high
+ * arrival rate lambda_h and a quiet state with low rate lambda_l,
+ * with exponential sojourn times in each state. Burstiness is tuned
+ * by the rate ratio Ra = lambda_h / lambda_l and by the fraction of
+ * time spent in the bursty state.
+ */
+class Mmpp2Arrival : public ArrivalProcess
+{
+  public:
+    /**
+     * @param rate_high  arrival rate in the bursty state (jobs/s)
+     * @param rate_low   arrival rate in the quiet state (jobs/s)
+     * @param mean_high_sojourn_sec mean time per visit to bursty state
+     * @param mean_low_sojourn_sec  mean time per visit to quiet state
+     */
+    Mmpp2Arrival(double rate_high, double rate_low,
+                 double mean_high_sojourn_sec,
+                 double mean_low_sojourn_sec, Rng rng);
+
+    Tick nextArrival() override;
+
+    /** Long-run average arrival rate of the process (jobs/s). */
+    double averageRate() const;
+
+    /** Burstiness ratio Ra = lambda_h / lambda_l. */
+    double burstinessRatio() const { return _rateHigh / _rateLow; }
+
+    /** Whether the process currently sits in the bursty state. */
+    bool inBurstyState() const { return _bursty; }
+
+  private:
+    double _rateHigh, _rateLow;
+    double _sojournHigh, _sojournLow;
+    Rng _rng;
+    bool _bursty = false; // start quiet
+    Tick _now = 0;
+
+    double currentRate() const { return _bursty ? _rateHigh : _rateLow; }
+    double currentSojourn() const
+    {
+        return _bursty ? _sojournHigh : _sojournLow;
+    }
+};
+
+/**
+ * Replays a recorded list of absolute arrival ticks (trace-based
+ * workload simulation). Arrival times must be nondecreasing.
+ */
+class TraceArrival : public ArrivalProcess
+{
+  public:
+    explicit TraceArrival(std::vector<Tick> arrivals);
+
+    Tick nextArrival() override;
+    bool exhausted() const override { return _next >= _arrivals.size(); }
+
+    std::size_t remaining() const { return _arrivals.size() - _next; }
+
+  private:
+    std::vector<Tick> _arrivals;
+    std::size_t _next = 0;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_WORKLOAD_ARRIVAL_HH

@@ -1,0 +1,104 @@
+#include "job.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+TaskId
+Job::addTask(const TaskSpec &spec)
+{
+    if (spec.serviceTime == 0)
+        fatal("task service time must be positive");
+    if (spec.computeIntensity < 0.0 || spec.computeIntensity > 1.0)
+        fatal("task compute intensity must be in [0, 1]");
+    _tasks.push_back(spec);
+    return static_cast<TaskId>(_tasks.size() - 1);
+}
+
+void
+Job::addEdge(TaskId from, TaskId to, Bytes bytes)
+{
+    _edges.push_back(TaskEdge{from, to, bytes});
+}
+
+Bytes
+Job::edgeBytes(TaskId from, TaskId to) const
+{
+    for (const auto &e : _edges) {
+        if (e.from == from && e.to == to)
+            return e.bytes;
+    }
+    return 0;
+}
+
+Tick
+Job::totalWork() const
+{
+    Tick total = 0;
+    for (const auto &t : _tasks)
+        total += t.serviceTime;
+    return total;
+}
+
+void
+Job::validate()
+{
+    const auto n = static_cast<TaskId>(_tasks.size());
+    if (n == 0)
+        fatal("job ", _id, " has no tasks");
+
+    std::set<std::pair<TaskId, TaskId>> seen;
+    for (const auto &e : _edges) {
+        if (e.from >= n || e.to >= n)
+            fatal("job ", _id, ": edge endpoint out of range");
+        if (e.from == e.to)
+            fatal("job ", _id, ": self-edge on task ", e.from);
+        if (!seen.insert({e.from, e.to}).second)
+            fatal("job ", _id, ": duplicate edge ", e.from, "->", e.to);
+    }
+
+    _parents.assign(n, {});
+    _children.assign(n, {});
+    for (const auto &e : _edges) {
+        _parents[e.to].push_back(e.from);
+        _children[e.from].push_back(e.to);
+    }
+
+    _roots.clear();
+    for (TaskId t = 0; t < n; ++t) {
+        if (_parents[t].empty())
+            _roots.push_back(t);
+    }
+
+    // Acyclicity via Kahn's algorithm; a cycle leaves tasks unvisited.
+    if (topologicalOrder().size() != n)
+        fatal("job ", _id, ": task dependence graph has a cycle");
+}
+
+std::vector<TaskId>
+Job::topologicalOrder() const
+{
+    const auto n = static_cast<TaskId>(_tasks.size());
+    std::vector<std::size_t> indegree(n, 0);
+    for (TaskId t = 0; t < n; ++t)
+        indegree[t] = _parents[t].size();
+
+    std::vector<TaskId> order;
+    order.reserve(n);
+    std::vector<TaskId> frontier = _roots;
+    while (!frontier.empty()) {
+        TaskId t = frontier.back();
+        frontier.pop_back();
+        order.push_back(t);
+        for (TaskId c : _children[t]) {
+            if (--indegree[c] == 0)
+                frontier.push_back(c);
+        }
+    }
+    return order;
+}
+
+} // namespace holdcsim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Jobs and tasks (paper section III-C).
+ *
+ * Each job j is a directed acyclic graph G_j(V_j, E_j): vertices are
+ * tasks with an execution-time requirement w_v; a link (i, r) means
+ * task i must finish and communicate its result (D_l bytes) to the
+ * server of task r before r may start. A job finishes when all of its
+ * tasks finish.
+ *
+ * Job is pure structure -- runtime progress (which tasks have run,
+ * where) lives with the scheduler so that one Job template could in
+ * principle be shared.
+ */
+
+#ifndef HOLDCSIM_WORKLOAD_JOB_HH
+#define HOLDCSIM_WORKLOAD_JOB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace holdcsim {
+
+/** Task index within its job. */
+using TaskId = std::uint32_t;
+/** Globally unique job identifier. */
+using JobId = std::uint64_t;
+
+/** Static description of one task. */
+struct TaskSpec {
+    /** Execution-time requirement w_v at nominal core frequency. */
+    Tick serviceTime = 0;
+    /**
+     * Task type; servers can be configured to serve specific types
+     * (e.g. application tier vs database tier). Type 0 = any.
+     */
+    int type = 0;
+    /**
+     * Computation intensiveness in [0, 1]: the fraction of the
+     * service time that scales with core frequency (the rest is
+     * memory/IO bound). 1.0 = fully compute bound.
+     */
+    double computeIntensity = 1.0;
+};
+
+/** A dependence edge: @p from must finish and ship @p bytes to @p to. */
+struct TaskEdge {
+    TaskId from;
+    TaskId to;
+    Bytes bytes;
+};
+
+/**
+ * A user service request: a DAG of tasks. Build with addTask/addEdge,
+ * then call validate() once; accessors assume a validated job.
+ */
+class Job
+{
+  public:
+    Job(JobId id, Tick arrival) : _id(id), _arrival(arrival) {}
+
+    JobId id() const { return _id; }
+    Tick arrivalTick() const { return _arrival; }
+
+    /** Append a task; returns its TaskId. */
+    TaskId addTask(const TaskSpec &spec);
+
+    /** Add a dependence edge with a result-transfer size. */
+    void addEdge(TaskId from, TaskId to, Bytes bytes);
+
+    std::size_t numTasks() const { return _tasks.size(); }
+    std::size_t numEdges() const { return _edges.size(); }
+
+    const TaskSpec &task(TaskId t) const { return _tasks[t]; }
+    const std::vector<TaskEdge> &edges() const { return _edges; }
+
+    /** Tasks with no incoming edges (runnable on arrival). */
+    const std::vector<TaskId> &rootTasks() const { return _roots; }
+
+    /** Parent tasks of @p t. */
+    const std::vector<TaskId> &parents(TaskId t) const
+    {
+        return _parents[t];
+    }
+
+    /** Child tasks of @p t. */
+    const std::vector<TaskId> &children(TaskId t) const
+    {
+        return _children[t];
+    }
+
+    /** Transfer size on edge (from, to); 0 when no such edge. */
+    Bytes edgeBytes(TaskId from, TaskId to) const;
+
+    /** Sum of all task service times (work content of the job). */
+    Tick totalWork() const;
+
+    /**
+     * Check structural sanity: edge endpoints in range, no
+     * self-edges, no duplicate edges, acyclic. Throws FatalError on
+     * violation; also (re)builds the parent/child/root indexes.
+     * Must be called after the last addTask/addEdge.
+     */
+    void validate();
+
+    /** A topological order of the tasks. @pre validate() passed. */
+    std::vector<TaskId> topologicalOrder() const;
+
+  private:
+    JobId _id;
+    Tick _arrival;
+    std::vector<TaskSpec> _tasks;
+    std::vector<TaskEdge> _edges;
+    std::vector<std::vector<TaskId>> _parents;
+    std::vector<std::vector<TaskId>> _children;
+    std::vector<TaskId> _roots;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_WORKLOAD_JOB_HH

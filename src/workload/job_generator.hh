@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Factories for common job DAG shapes.
+ *
+ * The paper's examples: a single-task job (resource provisioning and
+ * delay-timer studies), a two-stage web request (application server
+ * then database query -- "spatial inter-dependence"), fan-out/fan-in
+ * jobs (partition/aggregate services such as web search), and random
+ * layered DAGs with per-edge flow sizes (server-network study, 100 MB
+ * flows).
+ */
+
+#ifndef HOLDCSIM_WORKLOAD_JOB_GENERATOR_HH
+#define HOLDCSIM_WORKLOAD_JOB_GENERATOR_HH
+
+#include <memory>
+
+#include "job.hh"
+#include "service.hh"
+#include "sim/random.hh"
+
+namespace holdcsim {
+
+/**
+ * Produces Jobs on demand. Job ids are drawn from a process-wide
+ * counter so several generators can feed one scheduler (multi-
+ * workload experiments) without id collisions.
+ */
+class JobGenerator
+{
+  public:
+    virtual ~JobGenerator() = default;
+
+    /** Build the next job, arriving at @p arrival. */
+    virtual Job makeJob(Tick arrival) = 0;
+
+  protected:
+    /** Next process-globally-unique job id. */
+    static JobId nextId();
+};
+
+/** One task per job (the paper's provisioning/delay-timer setup). */
+class SingleTaskGenerator : public JobGenerator
+{
+  public:
+    SingleTaskGenerator(std::shared_ptr<ServiceModel> service,
+                        int task_type = 0);
+    Job makeJob(Tick arrival) override;
+
+  private:
+    std::shared_ptr<ServiceModel> _service;
+    int _taskType;
+};
+
+/**
+ * A sequential chain of @p length tasks (e.g. web tier -> database
+ * tier), each stage with its own service model and type, and
+ * @p transfer_bytes shipped between consecutive stages.
+ */
+class ChainJobGenerator : public JobGenerator
+{
+  public:
+    ChainJobGenerator(std::vector<std::shared_ptr<ServiceModel>> stages,
+                      std::vector<int> stage_types, Bytes transfer_bytes);
+    Job makeJob(Tick arrival) override;
+
+  private:
+    std::vector<std::shared_ptr<ServiceModel>> _stages;
+    std::vector<int> _stageTypes;
+    Bytes _transferBytes;
+};
+
+/**
+ * Partition/aggregate: a root task fans out to @p width parallel
+ * workers whose results feed one aggregator (the web-search shape).
+ */
+class FanOutInGenerator : public JobGenerator
+{
+  public:
+    FanOutInGenerator(std::shared_ptr<ServiceModel> root_service,
+                      std::shared_ptr<ServiceModel> worker_service,
+                      std::shared_ptr<ServiceModel> agg_service,
+                      unsigned width, Bytes transfer_bytes);
+    Job makeJob(Tick arrival) override;
+
+  private:
+    std::shared_ptr<ServiceModel> _rootService;
+    std::shared_ptr<ServiceModel> _workerService;
+    std::shared_ptr<ServiceModel> _aggService;
+    unsigned _width;
+    Bytes _transferBytes;
+};
+
+/**
+ * Random layered DAG: @p layers layers of up to @p width tasks;
+ * every task in layer k draws edges from random tasks in layer k-1
+ * with probability @p edge_probability (at least one, so the graph
+ * stays connected front-to-back). Used for the server-network joint
+ * study with large per-edge flows.
+ */
+class RandomDagGenerator : public JobGenerator
+{
+  public:
+    RandomDagGenerator(std::shared_ptr<ServiceModel> service,
+                       unsigned layers, unsigned width,
+                       double edge_probability, Bytes transfer_bytes,
+                       Rng rng);
+    Job makeJob(Tick arrival) override;
+
+  private:
+    std::shared_ptr<ServiceModel> _service;
+    unsigned _layers;
+    unsigned _width;
+    double _edgeProbability;
+    Bytes _transferBytes;
+    Rng _rng;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_WORKLOAD_JOB_GENERATOR_HH

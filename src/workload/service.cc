@@ -1,0 +1,114 @@
+#include "service.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+FixedService::FixedService(Tick service_time)
+    : _serviceTime(service_time)
+{
+    if (service_time == 0)
+        fatal("fixed service time must be positive");
+}
+
+ExponentialService::ExponentialService(Tick mean, Rng rng)
+    : _mean(mean), _rng(rng)
+{
+    if (mean == 0)
+        fatal("exponential service mean must be positive");
+}
+
+Tick
+ExponentialService::sample()
+{
+    Tick t = fromSeconds(_rng.exponential(toSeconds(_mean)));
+    return t > 0 ? t : 1;
+}
+
+UniformService::UniformService(Tick lo, Tick hi, Rng rng)
+    : _lo(lo), _hi(hi), _rng(rng)
+{
+    if (lo == 0 || hi < lo)
+        fatal("uniform service needs 0 < lo <= hi");
+}
+
+Tick
+UniformService::sample()
+{
+    return _rng.uniformInt(_lo, _hi);
+}
+
+BoundedParetoService::BoundedParetoService(double alpha, Tick lo, Tick hi,
+                                           Rng rng)
+    : _alpha(alpha), _lo(lo), _hi(hi), _rng(rng)
+{
+    if (alpha <= 0.0 || lo == 0 || hi <= lo)
+        fatal("bounded-Pareto service needs alpha > 0, 0 < lo < hi");
+}
+
+Tick
+BoundedParetoService::sample()
+{
+    double v = _rng.boundedPareto(_alpha, static_cast<double>(_lo),
+                                  static_cast<double>(_hi));
+    Tick t = static_cast<Tick>(v);
+    return t > 0 ? t : 1;
+}
+
+double
+BoundedParetoService::meanSeconds() const
+{
+    double lo = static_cast<double>(_lo);
+    double hi = static_cast<double>(_hi);
+    double a = _alpha;
+    double mean_ticks;
+    if (std::abs(a - 1.0) < 1e-12) {
+        mean_ticks = (std::log(hi) - std::log(lo)) /
+                     (1.0 / lo - 1.0 / hi);
+    } else {
+        double la = std::pow(lo, a);
+        mean_ticks = la / (1.0 - std::pow(lo / hi, a)) * (a / (a - 1.0)) *
+                     (1.0 / std::pow(lo, a - 1.0) -
+                      1.0 / std::pow(hi, a - 1.0));
+    }
+    return toSeconds(static_cast<Tick>(mean_ticks));
+}
+
+EmpiricalService::EmpiricalService(std::vector<Tick> samples, Rng rng)
+    : _samples(std::move(samples)), _rng(rng)
+{
+    if (_samples.empty())
+        fatal("empirical service model needs at least one sample");
+    double total = 0.0;
+    for (Tick t : _samples)
+        total += toSeconds(t);
+    _meanSec = total / static_cast<double>(_samples.size());
+}
+
+Tick
+EmpiricalService::sample()
+{
+    std::size_t idx = _rng.uniformInt(0, _samples.size() - 1);
+    Tick t = _samples[idx];
+    return t > 0 ? t : 1;
+}
+
+std::unique_ptr<ServiceModel>
+makeServiceModel(const std::string &kind, Tick mean, Tick spread, Rng rng)
+{
+    if (kind == "fixed")
+        return std::make_unique<FixedService>(mean);
+    if (kind == "exponential")
+        return std::make_unique<ExponentialService>(mean, rng);
+    if (kind == "uniform")
+        return std::make_unique<UniformService>(mean, spread, rng);
+    if (kind == "pareto")
+        return std::make_unique<BoundedParetoService>(1.5, mean, spread,
+                                                      rng);
+    fatal("unknown service model '", kind, "'");
+}
+
+} // namespace holdcsim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Task service-time models.
+ *
+ * The paper's case studies use exponential service (Poisson model),
+ * fixed service times (web search 5 ms, web serving 120 ms), uniform
+ * ranges (provisioning study, 3-10 ms) and, for validation traces,
+ * heavy-tailed empirical mixes; all are provided here behind one
+ * interface.
+ */
+
+#ifndef HOLDCSIM_WORKLOAD_SERVICE_HH
+#define HOLDCSIM_WORKLOAD_SERVICE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace holdcsim {
+
+/** Draws per-task service times (at nominal core frequency). */
+class ServiceModel
+{
+  public:
+    virtual ~ServiceModel() = default;
+
+    /** Next service time in ticks (> 0). */
+    virtual Tick sample() = 0;
+
+    /** Long-run mean service time in seconds. */
+    virtual double meanSeconds() const = 0;
+};
+
+/** Every task takes exactly the same time. */
+class FixedService : public ServiceModel
+{
+  public:
+    explicit FixedService(Tick service_time);
+    Tick sample() override { return _serviceTime; }
+    double meanSeconds() const override { return toSeconds(_serviceTime); }
+
+  private:
+    Tick _serviceTime;
+};
+
+/** Exponentially distributed service with a given mean. */
+class ExponentialService : public ServiceModel
+{
+  public:
+    ExponentialService(Tick mean, Rng rng);
+    Tick sample() override;
+    double meanSeconds() const override { return toSeconds(_mean); }
+
+  private:
+    Tick _mean;
+    Rng _rng;
+};
+
+/** Uniformly distributed service over [lo, hi]. */
+class UniformService : public ServiceModel
+{
+  public:
+    UniformService(Tick lo, Tick hi, Rng rng);
+    Tick sample() override;
+    double meanSeconds() const override
+    {
+        return toSeconds(_lo + (_hi - _lo) / 2);
+    }
+
+  private:
+    Tick _lo, _hi;
+    Rng _rng;
+};
+
+/**
+ * Bounded-Pareto service over [lo, hi] with shape alpha: the classic
+ * heavy-tailed web workload model (most requests short, rare requests
+ * very long).
+ */
+class BoundedParetoService : public ServiceModel
+{
+  public:
+    BoundedParetoService(double alpha, Tick lo, Tick hi, Rng rng);
+    Tick sample() override;
+    double meanSeconds() const override;
+
+  private:
+    double _alpha;
+    Tick _lo, _hi;
+    Rng _rng;
+};
+
+/** Resamples uniformly from a recorded set of service times. */
+class EmpiricalService : public ServiceModel
+{
+  public:
+    EmpiricalService(std::vector<Tick> samples, Rng rng);
+    Tick sample() override;
+    double meanSeconds() const override { return _meanSec; }
+
+  private:
+    std::vector<Tick> _samples;
+    Rng _rng;
+    double _meanSec;
+};
+
+/**
+ * Build a service model by name: "fixed", "exponential", "uniform",
+ * "pareto". Used by the config-driven experiment layer.
+ *
+ * @param kind   model name
+ * @param mean   mean service time (fixed/exponential) or low bound
+ * @param spread high bound for uniform/pareto (ignored otherwise)
+ * @param rng    dedicated random stream for the model
+ */
+std::unique_ptr<ServiceModel> makeServiceModel(const std::string &kind,
+                                               Tick mean, Tick spread,
+                                               Rng rng);
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_WORKLOAD_SERVICE_HH

@@ -1,0 +1,178 @@
+#include "trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+std::vector<Tick>
+readArrivalTrace(std::istream &in)
+{
+    std::vector<Tick> arrivals;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        std::istringstream ls(line);
+        double seconds;
+        if (!(ls >> seconds) || seconds < 0.0)
+            fatal("trace line ", lineno, ": bad timestamp");
+        Tick t = fromSeconds(seconds);
+        if (!arrivals.empty() && t < arrivals.back())
+            fatal("trace line ", lineno, ": timestamps go backwards");
+        arrivals.push_back(t);
+    }
+    return arrivals;
+}
+
+std::vector<Tick>
+loadArrivalTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '", path, "'");
+    return readArrivalTrace(in);
+}
+
+void
+writeArrivalTrace(std::ostream &out, const std::vector<Tick> &arrivals)
+{
+    out << "# holdcsim arrival trace, seconds\n";
+    for (Tick t : arrivals)
+        out << toSeconds(t) << '\n';
+}
+
+namespace {
+
+/**
+ * Emit Poisson arrivals over [window_start, window_start + window)
+ * at the given rate, appending to @p out in sorted order.
+ */
+void
+emitWindow(std::vector<Tick> &out, Tick window_start, Tick window,
+           double rate, Rng &rng)
+{
+    if (rate <= 0.0)
+        return;
+    // Sequential exponential gaps within the window keep the output
+    // sorted without a post-sort.
+    double limit = toSeconds(window);
+    double t = rng.exponential(1.0 / rate);
+    while (t < limit) {
+        out.push_back(window_start + fromSeconds(t));
+        t += rng.exponential(1.0 / rate);
+    }
+}
+
+} // namespace
+
+std::vector<Tick>
+makeWikipediaTrace(const WikipediaTraceParams &params, Rng rng)
+{
+    if (params.baseRate <= 0.0 || params.duration == 0)
+        fatal("Wikipedia trace needs positive rate and duration");
+    if (params.diurnalAmplitude < 0.0 || params.diurnalAmplitude > 2.0)
+        fatal("diurnal amplitude must be in [0, 2]");
+
+    std::vector<Tick> arrivals;
+    arrivals.reserve(static_cast<std::size_t>(
+        params.baseRate * toSeconds(params.duration) * 1.2));
+
+    double noise = 0.0; // AR(1) state, in relative units
+    Tick burst_until = 0;
+    const Tick window = 1 * sec;
+
+    for (Tick t0 = 0; t0 < params.duration; t0 += window) {
+        double phase = 2.0 * M_PI * toSeconds(t0) /
+                       toSeconds(params.diurnalPeriod);
+        double diurnal = 1.0 + params.diurnalAmplitude * std::sin(phase);
+        noise = params.noisePersistence * noise +
+                rng.normal(0.0, params.noiseLevel *
+                                    std::sqrt(1.0 -
+                                              params.noisePersistence *
+                                                  params.noisePersistence));
+        double rate = params.baseRate * diurnal * (1.0 + noise);
+        if (t0 >= burst_until && rng.bernoulli(params.burstProbability))
+            burst_until = t0 + params.burstLength;
+        if (t0 < burst_until)
+            rate *= params.burstMultiplier;
+        if (rate < 0.0)
+            rate = 0.0;
+        Tick w = std::min(window, params.duration - t0);
+        emitWindow(arrivals, t0, w, rate, rng);
+    }
+    return arrivals;
+}
+
+std::vector<Tick>
+makeNlanrTrace(const NlanrTraceParams &params, Rng rng)
+{
+    if (params.baseRate <= 0.0 || params.duration == 0)
+        fatal("NLANR trace needs positive rate and duration");
+    if (params.levelSpread < 0.0 || params.levelSpread >= 1.0)
+        fatal("level spread must be in [0, 1)");
+
+    std::vector<Tick> arrivals;
+    Tick t0 = 0;
+    while (t0 < params.duration) {
+        Tick level_len = fromSeconds(
+            rng.exponential(toSeconds(params.meanLevelLength)));
+        if (level_len == 0)
+            level_len = 1 * sec;
+        level_len = std::min(level_len, params.duration - t0);
+        double rate = params.baseRate *
+                      rng.uniform(1.0 - params.levelSpread,
+                                  1.0 + params.levelSpread);
+        emitWindow(arrivals, t0, level_len, rate, rng);
+        t0 += level_len;
+    }
+    return arrivals;
+}
+
+std::vector<Tick>
+rescaleTraceRate(const std::vector<Tick> &arrivals, double target_rate,
+                 Rng rng)
+{
+    if (target_rate <= 0.0)
+        fatal("target trace rate must be positive");
+    double current = traceRate(arrivals);
+    if (current <= 0.0)
+        return arrivals;
+    double factor = target_rate / current;
+    std::vector<Tick> out;
+    out.reserve(static_cast<std::size_t>(arrivals.size() * factor) + 1);
+    for (Tick t : arrivals) {
+        // Keep each arrival floor(factor) times plus a Bernoulli
+        // trial on the fractional part; duplicates get a tiny jitter
+        // so the queue still sees distinct arrivals.
+        double f = factor;
+        while (f >= 1.0) {
+            out.push_back(t);
+            f -= 1.0;
+        }
+        if (f > 0.0 && rng.bernoulli(f))
+            out.push_back(t + rng.uniformInt(0, msec));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+double
+traceRate(const std::vector<Tick> &arrivals)
+{
+    if (arrivals.size() < 2)
+        return 0.0;
+    double span = toSeconds(arrivals.back() - arrivals.front());
+    if (span <= 0.0)
+        return 0.0;
+    return static_cast<double>(arrivals.size() - 1) / span;
+}
+
+} // namespace holdcsim

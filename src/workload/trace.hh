@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Arrival-trace I/O and synthetic trace generators.
+ *
+ * The paper drives several experiments from recorded traces: the
+ * Wikipedia request trace [59] (provisioning, WASP and switch
+ * validation studies) and the NLANR web trace [2] (server power
+ * validation). Those datasets are not redistributable, so this module
+ * provides synthetic generators that reproduce the *characteristics*
+ * the experiments depend on -- a diurnally fluctuating arrival rate
+ * with short-term burstiness (Wikipedia) and piecewise-varying web
+ * request load (NLANR). See DESIGN.md section 3 for the substitution
+ * rationale.
+ */
+
+#ifndef HOLDCSIM_WORKLOAD_TRACE_HH
+#define HOLDCSIM_WORKLOAD_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace holdcsim {
+
+/**
+ * Read an arrival trace: one arrival per line, the timestamp in
+ * seconds (floating point) in the first column; extra columns are
+ * ignored. Lines starting with '#' are comments. Timestamps must be
+ * nondecreasing.
+ */
+std::vector<Tick> readArrivalTrace(std::istream &in);
+
+/** Read an arrival trace from a file. Throws FatalError on error. */
+std::vector<Tick> loadArrivalTrace(const std::string &path);
+
+/** Write arrivals as seconds, one per line. */
+void writeArrivalTrace(std::ostream &out,
+                       const std::vector<Tick> &arrivals);
+
+/** Parameters for the Wikipedia-like synthetic trace. */
+struct WikipediaTraceParams {
+    /** Total trace duration. */
+    Tick duration = 3600 * sec;
+    /** Long-run average arrival rate, jobs/s. */
+    double baseRate = 100.0;
+    /**
+     * Relative amplitude of the diurnal swing, in [0, 2]. Values
+     * above 1 clip the trough at zero rate, producing genuinely
+     * quiet periods (deep-trough day/night patterns).
+     */
+    double diurnalAmplitude = 0.4;
+    /** Period of the diurnal component (compressed "day"). */
+    Tick diurnalPeriod = 3600 * sec;
+    /** AR(1) coefficient of the short-term rate noise, in [0, 1). */
+    double noisePersistence = 0.8;
+    /** Std-dev of the rate noise relative to the base rate. */
+    double noiseLevel = 0.15;
+    /** Probability per second of a transient burst. */
+    double burstProbability = 0.005;
+    /** Rate multiplier while a burst lasts. */
+    double burstMultiplier = 3.0;
+    /** Burst duration. */
+    Tick burstLength = 5 * sec;
+};
+
+/**
+ * Generate a Wikipedia-like arrival trace: a sinusoidal diurnal
+ * base rate modulated by persistent AR(1) noise with occasional
+ * multiplicative bursts; arrivals are drawn per-second as an
+ * inhomogeneous Poisson process.
+ */
+std::vector<Tick> makeWikipediaTrace(const WikipediaTraceParams &params,
+                                     Rng rng);
+
+/** Parameters for the NLANR-like synthetic web trace. */
+struct NlanrTraceParams {
+    Tick duration = 1000 * sec;
+    /** Average arrival rate, jobs/s. */
+    double baseRate = 50.0;
+    /** Rate levels switch every this long on average. */
+    Tick meanLevelLength = 30 * sec;
+    /** Each level's rate is base * uniform[1-spread, 1+spread]. */
+    double levelSpread = 0.6;
+};
+
+/**
+ * Generate an NLANR-like arrival trace: piecewise-constant request
+ * rate with exponentially distributed level durations, mimicking the
+ * level shifts seen in wide-area web server logs.
+ */
+std::vector<Tick> makeNlanrTrace(const NlanrTraceParams &params, Rng rng);
+
+/**
+ * Scale a trace's arrival rate by dropping or duplicating arrivals so
+ * that its mean rate becomes @p target_rate jobs/s (used to sweep
+ * utilization with a fixed trace shape, as the case studies do).
+ */
+std::vector<Tick> rescaleTraceRate(const std::vector<Tick> &arrivals,
+                                   double target_rate, Rng rng);
+
+/** Mean arrival rate of a trace in jobs/s (0 for traces < 2 events). */
+double traceRate(const std::vector<Tick> &arrivals);
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_WORKLOAD_TRACE_HH

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Integration tests for the assembled DataCenter: configuration,
+ * workload pumps, metric aggregation, validation noise models and a
+ * queueing-theory sanity check on measured utilization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dc/datacenter.hh"
+#include "dc/validation.hh"
+#include "sim/logging.hh"
+#include "workload/service.hh"
+
+using namespace holdcsim;
+
+namespace {
+
+std::shared_ptr<ServiceModel>
+fixedSvc(Tick t)
+{
+    return std::make_shared<FixedService>(t);
+}
+
+} // namespace
+
+TEST(DcConfig, Defaults)
+{
+    DataCenterConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(DcConfig, FromIniText)
+{
+    auto ini = Config::parseString(R"(
+[datacenter]
+servers = 20
+cores = 8
+seed = 99
+[server]
+queue_mode = per_core
+core_pick = least_loaded
+controller = delay_timer
+tau_ms = 400
+[scheduler]
+policy = round_robin
+global_queue = true
+[network]
+fabric = fat_tree
+param = 4
+link_rate_gbps = 10
+link_latency_us = 2
+)");
+    auto cfg = DataCenterConfig::fromConfig(ini);
+    EXPECT_EQ(cfg.nServers, 20u);
+    EXPECT_EQ(cfg.nCores, 8u);
+    EXPECT_EQ(cfg.seed, 99u);
+    EXPECT_EQ(cfg.queueMode, LocalQueueMode::perCore);
+    EXPECT_EQ(cfg.corePick, CorePickPolicy::leastLoaded);
+    EXPECT_EQ(cfg.controller, DataCenterConfig::Controller::delayTimer);
+    EXPECT_EQ(cfg.delayTimerTau, 400 * msec);
+    EXPECT_EQ(cfg.dispatch, DataCenterConfig::Dispatch::roundRobin);
+    EXPECT_TRUE(cfg.useGlobalQueue);
+    EXPECT_EQ(cfg.fabric, DataCenterConfig::Fabric::fatTree);
+    EXPECT_DOUBLE_EQ(cfg.linkRate, 1e10);
+    EXPECT_EQ(cfg.linkLatency, 2 * usec);
+}
+
+TEST(DcConfig, RejectsBadValues)
+{
+    EXPECT_THROW(DataCenterConfig::fromConfig(Config::parseString(
+                     "[server]\nqueue_mode = bogus\n")),
+                 FatalError);
+    EXPECT_THROW(DataCenterConfig::fromConfig(Config::parseString(
+                     "[scheduler]\npolicy = bogus\n")),
+                 FatalError);
+    EXPECT_THROW(DataCenterConfig::fromConfig(Config::parseString(
+                     "[network]\nfabric = bogus\n")),
+                 FatalError);
+    // network_aware without fabric is inconsistent.
+    EXPECT_THROW(DataCenterConfig::fromConfig(Config::parseString(
+                     "[scheduler]\npolicy = network_aware\n")),
+                 FatalError);
+}
+
+TEST(DataCenter, BuildsConfiguredFleet)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 5;
+    cfg.nCores = 2;
+    DataCenter dc(cfg);
+    EXPECT_EQ(dc.numServers(), 5u);
+    EXPECT_EQ(dc.server(0).numCores(), 2u);
+    EXPECT_EQ(dc.network(), nullptr);
+    EXPECT_EQ(dc.awakeServers(), 5u);
+}
+
+TEST(DataCenter, FabricDictatesServerCount)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 3; // overridden by fat tree k=4
+    cfg.fabric = DataCenterConfig::Fabric::fatTree;
+    cfg.fabricParam = 4;
+    DataCenter dc(cfg);
+    EXPECT_EQ(dc.numServers(), 16u);
+    ASSERT_NE(dc.network(), nullptr);
+    EXPECT_EQ(dc.network()->numSwitches(), 20u);
+}
+
+TEST(DataCenter, PoissonPumpRunsJobs)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 4;
+    cfg.nCores = 2;
+    DataCenter dc(cfg);
+    SingleTaskGenerator gen(fixedSvc(5 * msec));
+    dc.pump(std::make_unique<PoissonArrival>(
+                200.0, dc.makeRng("arrivals")),
+            gen, 500);
+    dc.run();
+    EXPECT_EQ(dc.scheduler().jobsCompleted(), 500u);
+    EXPECT_GT(dc.scheduler().jobLatency().mean(), 0.0);
+}
+
+TEST(DataCenter, TracePumpReplaysArrivals)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 2;
+    cfg.nCores = 1;
+    DataCenter dc(cfg);
+    SingleTaskGenerator gen(fixedSvc(1 * msec));
+    dc.pumpTrace({10 * msec, 20 * msec, 20 * msec, 50 * msec}, gen);
+    dc.run();
+    EXPECT_EQ(dc.scheduler().jobsCompleted(), 4u);
+    // Last job arrives at 50 ms onto a C6-parked core: it pays the
+    // package + core exit latencies before its 1 ms of service.
+    EXPECT_GE(dc.sim().curTick(), 51 * msec);
+    EXPECT_LT(dc.sim().curTick(), 53 * msec);
+}
+
+TEST(DataCenter, MultiplePumpsCoexist)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 4;
+    DataCenter dc(cfg);
+    SingleTaskGenerator gen_a(fixedSvc(1 * msec));
+    SingleTaskGenerator gen_b(fixedSvc(2 * msec));
+    dc.pumpTrace({1 * msec, 2 * msec}, gen_a);
+    dc.pumpTrace({1 * msec, 3 * msec}, gen_b);
+    dc.run();
+    EXPECT_EQ(dc.scheduler().jobsCompleted(), 4u);
+}
+
+TEST(DataCenter, MeasuredUtilizationMatchesConfigured)
+{
+    // M/M/k sanity: at configured rho, the fleet's active-state
+    // residency fraction should approach rho.
+    const double rho = 0.3;
+    const double service_s = 0.005;
+    DataCenterConfig cfg;
+    cfg.nServers = 10;
+    cfg.nCores = 4;
+    DataCenter dc(cfg);
+    auto svc = std::make_shared<ExponentialService>(
+        5 * msec, dc.makeRng("service"));
+    SingleTaskGenerator gen(svc);
+    double lambda = PoissonArrival::rateForUtilization(
+        rho, cfg.nServers, cfg.nCores, service_s);
+    dc.pump(std::make_unique<PoissonArrival>(lambda,
+                                             dc.makeRng("arrivals")),
+            gen, 20000);
+    dc.run();
+    dc.finishStats();
+    // Aggregate core busy fraction == utilization.
+    double busy = 0.0;
+    for (std::size_t s = 0; s < dc.numServers(); ++s) {
+        for (unsigned c = 0; c < cfg.nCores; ++c) {
+            busy += dc.server(s).core(c).residency().fraction(
+                static_cast<int>(CoreCState::c0Active));
+        }
+    }
+    busy /= cfg.nServers * cfg.nCores;
+    EXPECT_NEAR(busy, rho, 0.03);
+}
+
+TEST(DataCenter, EnergyBreakdownAggregates)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 3;
+    DataCenter dc(cfg);
+    SingleTaskGenerator gen(fixedSvc(10 * msec));
+    dc.pumpTrace({0, 0, 0}, gen);
+    dc.run();
+    dc.runUntil(1 * sec);
+    auto fleet = dc.energy();
+    EXPECT_EQ(fleet.perServer.size(), 3u);
+    EXPECT_GT(fleet.total.cpu, 0.0);
+    EXPECT_GT(fleet.total.dram, 0.0);
+    EXPECT_GT(fleet.total.platform, 0.0);
+    double sum = 0.0;
+    for (const auto &e : fleet.perServer)
+        sum += e.total();
+    EXPECT_NEAR(sum, fleet.total.total(), 1e-9);
+}
+
+TEST(DataCenter, ResidencyFractionsSumToOne)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 4;
+    cfg.controller = DataCenterConfig::Controller::delayTimer;
+    cfg.delayTimerTau = 50 * msec;
+    DataCenter dc(cfg);
+    SingleTaskGenerator gen(fixedSvc(5 * msec));
+    dc.pumpTrace({0, 100 * msec, 400 * msec}, gen);
+    dc.run();
+    dc.runUntil(2 * sec);
+    auto frac = dc.residency();
+    double sum = 0.0;
+    for (double f : frac)
+        sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GT(frac[static_cast<int>(ServerState::sysSleep)], 0.0);
+}
+
+TEST(DataCenter, ResetStatsDropsHistory)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 2;
+    DataCenter dc(cfg);
+    SingleTaskGenerator gen(fixedSvc(5 * msec));
+    dc.pumpTrace({0}, gen);
+    dc.run();
+    dc.resetStats();
+    EXPECT_EQ(dc.scheduler().jobsCompleted(), 0u);
+    auto fleet = dc.energy();
+    EXPECT_NEAR(fleet.total.total(), 0.0, 1e-9);
+    EXPECT_EQ(dc.server(0).tasksCompleted(), 0u);
+}
+
+TEST(DataCenter, NetworkAwareConfigBuilds)
+{
+    DataCenterConfig cfg;
+    cfg.fabric = DataCenterConfig::Fabric::fatTree;
+    cfg.fabricParam = 4;
+    cfg.dispatch = DataCenterConfig::Dispatch::networkAware;
+    cfg.netConfig.switchSleepDelay = 100 * msec;
+    DataCenter dc(cfg);
+    SingleTaskGenerator gen(fixedSvc(1 * msec));
+    dc.pumpTrace({0, 1 * msec}, gen);
+    dc.run();
+    EXPECT_EQ(dc.scheduler().jobsCompleted(), 2u);
+    EXPECT_GT(dc.switchEnergy(), 0.0);
+}
+
+// ------------------------------------------------------------ gauge sampler
+
+TEST(GaugeSampler, RecordsPeriodicSeries)
+{
+    Simulator sim;
+    double signal = 1.0;
+    GaugeSampler sampler(sim, [&] { return signal; }, 100 * msec);
+    sampler.start();
+    EventFunctionWrapper bump([&] { signal = 5.0; }, "bump");
+    sim.schedule(bump, 450 * msec);
+    sim.runUntil(1 * sec);
+    sampler.stop();
+    ASSERT_EQ(sampler.series().size(), 10u);
+    EXPECT_DOUBLE_EQ(sampler.series()[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(sampler.series()[4].value, 5.0);
+    EXPECT_NEAR(sampler.mean(), (4 * 1.0 + 6 * 5.0) / 10.0, 1e-9);
+}
+
+TEST(TraceCompare, Statistics)
+{
+    std::vector<Sample> a{{0, 1.0}, {1, 2.0}, {2, 3.0}};
+    std::vector<Sample> b{{0, 1.5}, {1, 2.5}, {2, 3.5}, {3, 9.0}};
+    auto cmp = compareTraces(a, b);
+    EXPECT_EQ(cmp.points, 3u);
+    EXPECT_DOUBLE_EQ(cmp.meanDiff, -0.5);
+    EXPECT_DOUBLE_EQ(cmp.meanAbsDiff, 0.5);
+    EXPECT_NEAR(cmp.stddevDiff, 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- validation
+
+TEST(Validation, NoiseModelTracksTruth)
+{
+    double truth = 20.0;
+    PhysicalPowerModel model([&] { return truth; },
+                             serverMeasurementNoise(),
+                             Rng(1, "phys"));
+    Accumulator acc;
+    for (int i = 0; i < 5000; ++i)
+        acc.sample(model.sample() - truth);
+    // Residual mean small, sigma in the ~1-2 W band the paper saw.
+    EXPECT_LT(std::abs(acc.mean()), 0.5);
+    EXPECT_GT(acc.stddev(), 0.5);
+    EXPECT_LT(acc.stddev(), 3.0);
+}
+
+TEST(Validation, SwitchNoiseIsSmall)
+{
+    double truth = 15.0;
+    PhysicalPowerModel model([&] { return truth; },
+                             switchMeasurementNoise(),
+                             Rng(2, "phys"));
+    Accumulator acc;
+    for (int i = 0; i < 5000; ++i)
+        acc.sample(model.sample() - truth);
+    EXPECT_LT(std::abs(acc.mean()), 0.3);
+    EXPECT_LT(acc.stddev(), 0.2);
+}
+
+TEST(Validation, NeverNegative)
+{
+    PhysicalPowerModel model([] { return 0.05; },
+                             serverMeasurementNoise(),
+                             Rng(3, "phys"));
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(model.sample(), 0.0);
+}
+
+TEST(Validation, RejectsBadParams)
+{
+    MeasurementNoiseParams p;
+    p.driftPersistence = 1.5;
+    EXPECT_THROW(PhysicalPowerModel([] { return 1.0; }, p, Rng(1)),
+                 FatalError);
+    EXPECT_THROW(PhysicalPowerModel(nullptr,
+                                    MeasurementNoiseParams{}, Rng(1)),
+                 FatalError);
+}

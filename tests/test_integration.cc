@@ -1,0 +1,118 @@
+/**
+ * @file
+ * End-to-end integration tests: the stats dump, fat-tree structure
+ * across k, and a randomized DAG fuzz that pushes many job shapes
+ * through a networked data center.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "dc/datacenter.hh"
+#include "workload/service.hh"
+
+using namespace holdcsim;
+
+TEST(StatsDump, ContainsAllComponentGroups)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 2;
+    cfg.nCores = 2;
+    cfg.fabric = DataCenterConfig::Fabric::star;
+    DataCenter dc(cfg);
+    auto svc = std::make_shared<FixedService>(5 * msec);
+    ChainJobGenerator gen({svc, svc}, {0, 0}, 10'000);
+    cfg.taskAntiAffinity = true;
+    dc.pumpTrace({0, 1 * msec, 2 * msec}, gen);
+    dc.run();
+
+    std::ostringstream os;
+    dc.dumpStats(os);
+    std::string out = os.str();
+    for (const char *needle :
+         {"sim.seconds", "sim.events", "scheduler.jobs_completed 3",
+          "scheduler.job_latency_p99_s", "server0.energy_total_j",
+          "server1.frac_active", "server0.tasks_completed",
+          "network.flows_completed", "switch0.energy_j",
+          "switch0.packets_forwarded"}) {
+        EXPECT_NE(out.find(needle), std::string::npos)
+            << "missing stat line: " << needle << "\nDump:\n"
+            << out;
+    }
+}
+
+class FatTreeStructure : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(FatTreeStructure, CountsMatchFormulae)
+{
+    unsigned k = GetParam();
+    auto t = Topology::fatTree(k, 1e9, 5 * usec);
+    EXPECT_EQ(t.numServers(), k * k * k / 4);
+    EXPECT_EQ(t.numSwitches(), k * k / 4 + k * k); // core + agg/edge
+    EXPECT_EQ(t.numLinks(), 3 * k * k * k / 4);
+    t.validateConnected();
+    // Full bisection: every switch has radix k.
+    for (std::size_t i = 0; i < t.numSwitches(); ++i)
+        EXPECT_EQ(t.degree(t.switchNode(i)), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreeStructure,
+                         ::testing::Values(2u, 4u, 6u, 8u),
+                         [](const auto &info) {
+                             return "k" + std::to_string(info.param);
+                         });
+
+class DagFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(DagFuzz, RandomDagsDrainCleanly)
+{
+    // Many random DAG jobs with transfers over a fabric, with sleep
+    // management active: everything must complete, residencies must
+    // partition time, and nothing may linger.
+    DataCenterConfig cfg;
+    cfg.nCores = 2;
+    cfg.fabric = DataCenterConfig::Fabric::bcube;
+    cfg.fabricParam = 3;
+    cfg.fabricParam2 = 1; // 9 servers
+    cfg.controller = DataCenterConfig::Controller::delayTimer;
+    cfg.delayTimerTau = 30 * msec;
+    cfg.netConfig.switchSleepDelay = 100 * msec;
+    cfg.seed = GetParam();
+    DataCenter dc(cfg);
+
+    auto svc = std::make_shared<ExponentialService>(
+        3 * msec, dc.makeRng("svc"));
+    RandomDagGenerator gen(svc, /*layers=*/3, /*width=*/3,
+                           /*edge_probability=*/0.4,
+                           /*transfer_bytes=*/200'000,
+                           dc.makeRng("dag"));
+    dc.pump(std::make_unique<PoissonArrival>(40.0,
+                                             dc.makeRng("arrivals")),
+            gen, 400);
+    dc.run();
+    dc.finishStats();
+
+    EXPECT_EQ(dc.scheduler().jobsCompleted(), 400u);
+    EXPECT_EQ(dc.scheduler().activeJobs(), 0u);
+    EXPECT_EQ(dc.network()->flows().activeFlows(), 0u);
+    Tick end = dc.sim().curTick();
+    for (std::size_t s = 0; s < dc.numServers(); ++s) {
+        const auto &res = dc.server(s).residency();
+        Tick total = 0;
+        for (int st = 0; st < 5; ++st)
+            total += res.residency(st);
+        EXPECT_EQ(total, end) << "server " << s;
+    }
+    EXPECT_GT(dc.energy().total.total(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u),
+                         [](const auto &info) {
+                             return "seed" + std::to_string(info.param);
+                         });

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * End-to-end tests for the two communication models: max-min fair
+ * flows and packet-level store-and-forward, over several topologies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "network/network.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace holdcsim;
+
+namespace {
+
+constexpr BitsPerSec gbps = 1e9;
+constexpr Tick lat = 5 * usec;
+
+struct NetFixture : ::testing::Test {
+    Simulator sim;
+    SwitchPowerProfile prof = SwitchPowerProfile::cisco2960_24();
+    std::unique_ptr<Network> net;
+
+    void
+    make(Topology topo, NetworkConfig cfg = {})
+    {
+        net = std::make_unique<Network>(sim, std::move(topo), prof,
+                                        cfg);
+    }
+};
+
+} // namespace
+
+TEST_F(NetFixture, SingleFlowFullLineRate)
+{
+    make(Topology::star(4, gbps, lat));
+    Tick done_at = 0;
+    net->startFlow(0, 1, 125'000'000, [&] { done_at = sim.curTick(); });
+    sim.run();
+    // 1 Gb of data at 1 Gb/s: about one second (plus negligible
+    // wake-up of the two ports, which start active).
+    EXPECT_NEAR(toSeconds(done_at), 1.0, 0.01);
+    EXPECT_EQ(net->flows().flowsCompleted(), 1u);
+}
+
+TEST_F(NetFixture, TwoFlowsShareBottleneck)
+{
+    make(Topology::star(4, gbps, lat));
+    // Both flows converge on server 1's link: each gets 500 Mb/s.
+    std::vector<Tick> done;
+    net->startFlow(0, 1, 62'500'000,
+                   [&] { done.push_back(sim.curTick()); });
+    net->startFlow(2, 1, 62'500'000,
+                   [&] { done.push_back(sim.curTick()); });
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    // 0.5 Gb each at 0.5 Gb/s share: ~1 s.
+    EXPECT_NEAR(toSeconds(done[0]), 1.0, 0.02);
+    EXPECT_NEAR(toSeconds(done[1]), 1.0, 0.02);
+}
+
+TEST_F(NetFixture, DisjointFlowsDontShare)
+{
+    make(Topology::star(4, gbps, lat));
+    std::vector<Tick> done;
+    net->startFlow(0, 1, 62'500'000,
+                   [&] { done.push_back(sim.curTick()); });
+    net->startFlow(2, 3, 62'500'000,
+                   [&] { done.push_back(sim.curTick()); });
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    // Each ~0.5 s: no common bottleneck in a star with distinct
+    // endpoints.
+    EXPECT_NEAR(toSeconds(done[0]), 0.5, 0.01);
+    EXPECT_NEAR(toSeconds(done[1]), 0.5, 0.01);
+}
+
+TEST_F(NetFixture, LateFlowSlowsEarlyFlow)
+{
+    make(Topology::star(4, gbps, lat));
+    Tick done_a = 0;
+    net->startFlow(0, 1, 125'000'000, [&] { done_a = sim.curTick(); });
+    // After 0.5 s, a second flow contends for server 1's link.
+    EventFunctionWrapper later(
+        [&] {
+            net->startFlow(2, 1, 125'000'000, [] {});
+        },
+        "later");
+    sim.schedule(later, 500 * msec);
+    sim.run();
+    // Flow A: 0.5 s at full rate (half done), then the remaining
+    // 0.5 Gb at 0.5 Gb/s = 1 more second -> ~1.5 s total.
+    EXPECT_NEAR(toSeconds(done_a), 1.5, 0.03);
+}
+
+TEST_F(NetFixture, SelfFlowCompletesImmediately)
+{
+    make(Topology::star(4, gbps, lat));
+    Tick done_at = maxTick;
+    net->startFlow(2, 2, 1'000'000, [&] { done_at = sim.curTick(); });
+    sim.run();
+    EXPECT_LT(done_at, 1 * msec);
+}
+
+TEST_F(NetFixture, FlowKeepsPortsOutOfLpi)
+{
+    make(Topology::star(4, gbps, lat));
+    net->startFlow(0, 1, 125'000'000, [] {});
+    sim.runUntil(500 * msec);
+    auto &sw = net->switchAt(0);
+    EXPECT_EQ(sw.port(0).state(), PortState::active);
+    EXPECT_EQ(sw.port(1).state(), PortState::active);
+    EXPECT_EQ(sw.port(2).state(), PortState::lpi);
+    sim.run();
+    sim.runUntil(sim.curTick() + 10 * msec);
+    EXPECT_EQ(sw.port(0).state(), PortState::lpi);
+}
+
+TEST_F(NetFixture, SleepingSwitchDelaysFlow)
+{
+    NetworkConfig cfg;
+    cfg.switchSleepDelay = 100 * msec;
+    make(Topology::star(4, gbps, lat), cfg);
+    sim.runUntil(1 * sec);
+    ASSERT_TRUE(net->switchAt(0).asleep());
+    EXPECT_EQ(net->sleepingSwitches(), 1u);
+    EXPECT_EQ(net->sleepingSwitchesOnPath(0, 1), 1u);
+    Tick t0 = sim.curTick();
+    Tick done_at = 0;
+    net->startFlow(0, 1, 1250, [&] { done_at = sim.curTick(); });
+    EXPECT_FALSE(net->switchAt(0).asleep());
+    sim.run();
+    // 10 us of payload, but the switch wake dominates.
+    EXPECT_GE(done_at - t0, prof.switchWakeLatency);
+    // After the flow ends and the queue drains, the idle switch has
+    // re-armed and re-entered sleep.
+    EXPECT_EQ(net->sleepingSwitches(), 1u);
+    EXPECT_EQ(net->switchAt(0).sleepTransitions(), 2u);
+}
+
+TEST_F(NetFixture, FatTreeCrossPodFlow)
+{
+    make(Topology::fatTree(4, gbps, lat));
+    Tick done_at = 0;
+    net->startFlow(0, 15, 12'500'000, [&] { done_at = sim.curTick(); });
+    sim.run();
+    EXPECT_NEAR(toSeconds(done_at), 0.1, 0.01);
+    EXPECT_EQ(net->flows().flowsCompleted(), 1u);
+}
+
+TEST_F(NetFixture, ManyConcurrentFlowsAllComplete)
+{
+    make(Topology::fatTree(4, gbps, lat));
+    int done = 0;
+    for (std::size_t s = 0; s < 16; ++s) {
+        net->startFlow(s, (s + 5) % 16, 1'000'000,
+                       [&] { ++done; });
+    }
+    sim.run();
+    EXPECT_EQ(done, 16);
+    EXPECT_EQ(net->flows().activeFlows(), 0u);
+}
+
+// ------------------------------------------------------------- packet level
+
+TEST_F(NetFixture, PacketEndToEndLatency)
+{
+    make(Topology::star(4, gbps, lat));
+    Tick delivered = 0;
+    net->sendPacket(0, 1, 1500, [&](const Packet &) {
+        delivered = sim.curTick();
+    });
+    sim.run();
+    // Two serializations (NIC + switch port), two link latencies and
+    // one forwarding delay.
+    Tick expected = 2 * 12 * usec + 2 * lat + 1 * usec;
+    EXPECT_EQ(delivered, expected);
+    EXPECT_EQ(net->packetsDelivered(), 1u);
+}
+
+TEST_F(NetFixture, PacketThroughFatTree)
+{
+    make(Topology::fatTree(4, gbps, lat));
+    int got = 0;
+    for (int i = 0; i < 10; ++i)
+        net->sendPacket(0, 15, 1500,
+                        [&](const Packet &) { ++got; });
+    sim.run();
+    EXPECT_EQ(got, 10);
+    EXPECT_EQ(net->packetsDelivered(), 10u);
+    EXPECT_GT(net->packetLatency().mean(), 0.0);
+}
+
+TEST_F(NetFixture, PacketLocalDelivery)
+{
+    make(Topology::star(4, gbps, lat));
+    bool got = false;
+    net->sendPacket(1, 1, 1500, [&](const Packet &) { got = true; });
+    sim.run();
+    EXPECT_TRUE(got);
+}
+
+TEST_F(NetFixture, BCubeRelayThroughServer)
+{
+    NetworkConfig cfg;
+    make(Topology::bcube(4, 1, gbps, lat), cfg);
+    Tick delivered = 0;
+    net->sendPacket(0, 5, 1500, [&](const Packet &) {
+        delivered = sim.curTick();
+    });
+    sim.run();
+    // 4 links: NIC + 2 switch ports + relay server, plus the relay
+    // delay; just check it arrived with a sane latency.
+    EXPECT_GT(delivered, 4 * 12 * usec);
+    EXPECT_LT(delivered, 1 * msec);
+}
+
+TEST_F(NetFixture, CamCubeServerOnlyForwarding)
+{
+    make(Topology::camCube(3, 3, 3, gbps, lat));
+    int got = 0;
+    net->sendPacket(0, 26, 1500, [&](const Packet &) { ++got; });
+    sim.run();
+    EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetFixture, BulkTransferChunksAndCompletes)
+{
+    make(Topology::star(4, gbps, lat));
+    std::uint64_t drops = 99;
+    net->sendBulk(0, 1, 150'000, [&](std::uint64_t d) { drops = d; });
+    sim.run();
+    EXPECT_EQ(drops, 0u);
+    EXPECT_EQ(net->packetsDelivered(), 100u);
+}
+
+TEST_F(NetFixture, DropsReportedOnTinyBuffers)
+{
+    NetworkConfig cfg;
+    cfg.portBufferCapacity = 4;
+    make(Topology::star(4, gbps, lat), cfg);
+    std::uint64_t delivered_or_dropped = 0;
+    std::uint64_t drops = 0;
+    // Two senders blast one receiver faster than its 1 Gb/s egress.
+    for (int i = 0; i < 50; ++i) {
+        net->sendPacket(0, 1, 1500,
+                        [&](const Packet &) { ++delivered_or_dropped; },
+                        [&](const Packet &) {
+                            ++delivered_or_dropped;
+                            ++drops;
+                        });
+        net->sendPacket(2, 1, 1500,
+                        [&](const Packet &) { ++delivered_or_dropped; },
+                        [&](const Packet &) {
+                            ++delivered_or_dropped;
+                            ++drops;
+                        });
+    }
+    sim.run();
+    EXPECT_EQ(delivered_or_dropped, 100u);
+    EXPECT_GT(drops, 0u);
+    EXPECT_EQ(net->packetsDropped(), drops);
+}
+
+TEST_F(NetFixture, SwitchEnergyAccrues)
+{
+    make(Topology::star(4, gbps, lat));
+    net->startFlow(0, 1, 12'500'000, [] {});
+    sim.run();
+    sim.runUntil(1 * sec);
+    net->finishStats();
+    EXPECT_GT(net->switchEnergy(), 0.0);
+    EXPECT_GT(net->switchPower(), 0.0);
+}

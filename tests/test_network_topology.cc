@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for topology builders and shortest-path/ECMP routing,
+ * including the structural invariants of fat tree, flattened
+ * butterfly, BCube and CamCube.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "network/routing.hh"
+#include "network/topology.hh"
+#include "sim/logging.hh"
+
+using namespace holdcsim;
+
+namespace {
+constexpr BitsPerSec gbps = 1e9;
+constexpr Tick lat = 5 * usec;
+} // namespace
+
+TEST(Topology, BasicConstruction)
+{
+    Topology t;
+    NodeId s0 = t.addServer();
+    NodeId s1 = t.addServer();
+    NodeId sw = t.addSwitch();
+    LinkId l0 = t.addLink(s0, sw, gbps, lat);
+    LinkId l1 = t.addLink(s1, sw, gbps, lat);
+    EXPECT_EQ(t.numNodes(), 3u);
+    EXPECT_EQ(t.numServers(), 2u);
+    EXPECT_EQ(t.numSwitches(), 1u);
+    EXPECT_EQ(t.numLinks(), 2u);
+    EXPECT_TRUE(t.isServer(s0));
+    EXPECT_TRUE(t.isSwitch(sw));
+    EXPECT_EQ(t.degree(sw), 2u);
+    EXPECT_EQ(t.otherEnd(l0, s0), sw);
+    EXPECT_EQ(t.otherEnd(l1, sw), s1);
+    EXPECT_EQ(t.serverIndex(s1), 1u);
+    EXPECT_EQ(t.switchIndex(sw), 0u);
+    EXPECT_NO_THROW(t.validateConnected());
+}
+
+TEST(Topology, RejectsBadLinks)
+{
+    Topology t;
+    NodeId a = t.addServer();
+    EXPECT_THROW(t.addLink(a, a, gbps, lat), FatalError);
+    EXPECT_THROW(t.addLink(a, 99, gbps, lat), FatalError);
+    EXPECT_THROW(t.addLink(a, a, 0.0, lat), FatalError);
+}
+
+TEST(Topology, DisconnectedDetected)
+{
+    Topology t;
+    t.addServer();
+    t.addServer();
+    EXPECT_THROW(t.validateConnected(), FatalError);
+}
+
+TEST(Topology, StarShape)
+{
+    auto t = Topology::star(24, gbps, lat);
+    EXPECT_EQ(t.numServers(), 24u);
+    EXPECT_EQ(t.numSwitches(), 1u);
+    EXPECT_EQ(t.numLinks(), 24u);
+    EXPECT_EQ(t.degree(t.switchNode(0)), 24u);
+    t.validateConnected();
+}
+
+TEST(Topology, FatTreeK4Counts)
+{
+    // k=4: 16 servers, 4 core + 8 agg + 8 edge = 20 switches.
+    auto t = Topology::fatTree(4, gbps, lat);
+    EXPECT_EQ(t.numServers(), 16u);
+    EXPECT_EQ(t.numSwitches(), 20u);
+    // Links: 16 server-edge + 16 edge-agg + 16 agg-core = 48.
+    EXPECT_EQ(t.numLinks(), 48u);
+    t.validateConnected();
+    // Every switch in a k=4 fat tree has degree 4.
+    for (std::size_t i = 0; i < t.numSwitches(); ++i)
+        EXPECT_EQ(t.degree(t.switchNode(i)), 4u);
+    for (std::size_t i = 0; i < t.numServers(); ++i)
+        EXPECT_EQ(t.degree(t.serverNode(i)), 1u);
+}
+
+TEST(Topology, FatTreeK8Counts)
+{
+    auto t = Topology::fatTree(8, gbps, lat);
+    EXPECT_EQ(t.numServers(), 128u); // k^3/4
+    EXPECT_EQ(t.numSwitches(), 80u); // 16 core + 32 agg + 32 edge
+    t.validateConnected();
+}
+
+TEST(Topology, FatTreeRejectsOddK)
+{
+    EXPECT_THROW(Topology::fatTree(3, gbps, lat), FatalError);
+    EXPECT_THROW(Topology::fatTree(0, gbps, lat), FatalError);
+}
+
+TEST(Topology, FlattenedButterflyShape)
+{
+    auto t = Topology::flattenedButterfly(3, 2, gbps, lat);
+    EXPECT_EQ(t.numSwitches(), 9u);
+    EXPECT_EQ(t.numServers(), 18u);
+    // Each switch: 2 row + 2 col + 2 servers = degree 6.
+    for (std::size_t i = 0; i < t.numSwitches(); ++i)
+        EXPECT_EQ(t.degree(t.switchNode(i)), 6u);
+    t.validateConnected();
+}
+
+TEST(Topology, BCubeShape)
+{
+    // BCube(4, 1): 16 servers, 2 levels x 4 switches, each 4-port.
+    auto t = Topology::bcube(4, 1, gbps, lat);
+    EXPECT_EQ(t.numServers(), 16u);
+    EXPECT_EQ(t.numSwitches(), 8u);
+    for (std::size_t i = 0; i < t.numSwitches(); ++i)
+        EXPECT_EQ(t.degree(t.switchNode(i)), 4u);
+    // Every server has one port per level.
+    for (std::size_t i = 0; i < t.numServers(); ++i)
+        EXPECT_EQ(t.degree(t.serverNode(i)), 2u);
+    t.validateConnected();
+}
+
+TEST(Topology, CamCubeIsServerOnlyTorus)
+{
+    auto t = Topology::camCube(3, 3, 3, gbps, lat);
+    EXPECT_EQ(t.numServers(), 27u);
+    EXPECT_EQ(t.numSwitches(), 0u);
+    // 3-D torus with all dims of size 3: degree 6 everywhere.
+    for (std::size_t i = 0; i < t.numServers(); ++i)
+        EXPECT_EQ(t.degree(t.serverNode(i)), 6u);
+    t.validateConnected();
+}
+
+TEST(Topology, CamCubeSize2NoDuplicateLinks)
+{
+    auto t = Topology::camCube(2, 2, 2, gbps, lat);
+    EXPECT_EQ(t.numServers(), 8u);
+    // Dimension size 2: a single link per neighbor pair -> degree 3.
+    for (std::size_t i = 0; i < t.numServers(); ++i)
+        EXPECT_EQ(t.degree(t.serverNode(i)), 3u);
+    t.validateConnected();
+}
+
+// -------------------------------------------------------------------- routing
+
+TEST(Routing, DirectNeighborAndSelf)
+{
+    auto t = Topology::star(4, gbps, lat);
+    StaticRouting r(t);
+    auto self = r.route(t.serverNode(0), t.serverNode(0));
+    EXPECT_TRUE(self.empty());
+    EXPECT_EQ(r.hopCount(t.serverNode(0), t.serverNode(0)), 0u);
+    auto via_hub = r.route(t.serverNode(0), t.serverNode(3));
+    EXPECT_EQ(via_hub.hops(), 2u);
+    EXPECT_EQ(via_hub.nodes.front(), t.serverNode(0));
+    EXPECT_EQ(via_hub.nodes[1], t.switchNode(0));
+    EXPECT_EQ(via_hub.nodes.back(), t.serverNode(3));
+}
+
+TEST(Routing, RouteIsConsistentLinkWalk)
+{
+    auto t = Topology::fatTree(4, gbps, lat);
+    StaticRouting r(t);
+    for (std::size_t i = 0; i < t.numServers(); ++i) {
+        auto route = r.route(t.serverNode(0), t.serverNode(i), i);
+        ASSERT_EQ(route.nodes.size(), route.links.size() + 1);
+        for (std::size_t h = 0; h < route.links.size(); ++h) {
+            EXPECT_EQ(t.otherEnd(route.links[h], route.nodes[h]),
+                      route.nodes[h + 1]);
+        }
+    }
+}
+
+TEST(Routing, FatTreeHopCounts)
+{
+    auto t = Topology::fatTree(4, gbps, lat);
+    StaticRouting r(t);
+    // Same edge switch: 2 hops; same pod: 4; cross-pod: 6.
+    EXPECT_EQ(r.hopCount(t.serverNode(0), t.serverNode(1)), 2u);
+    EXPECT_EQ(r.hopCount(t.serverNode(0), t.serverNode(2)), 4u);
+    EXPECT_EQ(r.hopCount(t.serverNode(0), t.serverNode(15)), 6u);
+}
+
+TEST(Routing, EcmpSpreadsAcrossCores)
+{
+    auto t = Topology::fatTree(4, gbps, lat);
+    StaticRouting r(t);
+    // Cross-pod routes with different flow keys should not all use
+    // the same core switch.
+    std::set<NodeId> middles;
+    for (std::uint64_t key = 0; key < 64; ++key) {
+        auto route = r.route(t.serverNode(0), t.serverNode(15), key);
+        middles.insert(route.nodes[3]); // the core hop
+    }
+    EXPECT_GT(middles.size(), 1u);
+}
+
+TEST(Routing, SameKeySamePath)
+{
+    auto t = Topology::fatTree(4, gbps, lat);
+    StaticRouting r(t);
+    auto a = r.route(t.serverNode(1), t.serverNode(14), 77);
+    auto b = r.route(t.serverNode(1), t.serverNode(14), 77);
+    EXPECT_EQ(a.links, b.links);
+}
+
+TEST(Routing, BcubeServerRelayPaths)
+{
+    auto t = Topology::bcube(4, 1, gbps, lat);
+    StaticRouting r(t);
+    // Servers sharing a level-0 switch: 2 hops. Others relay through
+    // an intermediate server: server-sw-server-sw-server = 4 hops.
+    EXPECT_EQ(r.hopCount(t.serverNode(0), t.serverNode(1)), 2u);
+    EXPECT_EQ(r.hopCount(t.serverNode(0), t.serverNode(5)), 4u);
+    auto route = r.route(t.serverNode(0), t.serverNode(5), 0);
+    int relay_servers = 0;
+    for (std::size_t i = 1; i + 1 < route.nodes.size(); ++i)
+        relay_servers += t.isServer(route.nodes[i]);
+    EXPECT_EQ(relay_servers, 1);
+}
+
+TEST(Routing, CamCubeManhattanDistances)
+{
+    auto t = Topology::camCube(4, 4, 4, gbps, lat);
+    StaticRouting r(t);
+    // (0,0,0) to (1,1,1): torus Manhattan distance 3.
+    NodeId a = t.serverNode(0);
+    NodeId b = t.serverNode((1 * 4 + 1) * 4 + 1);
+    EXPECT_EQ(r.hopCount(a, b), 3u);
+    // Wrap-around: (0,0,0) to (3,0,0) is one hop.
+    NodeId c = t.serverNode((3 * 4 + 0) * 4 + 0);
+    EXPECT_EQ(r.hopCount(a, c), 1u);
+}
+
+TEST(Routing, UnreachableAndBadArgsFatal)
+{
+    Topology t;
+    t.addServer();
+    t.addServer();
+    StaticRouting r(t);
+    EXPECT_THROW(r.route(0, 1), FatalError);
+    EXPECT_THROW(r.route(0, 9), FatalError);
+}
+
+TEST(Routing, InvalidateRecomputes)
+{
+    auto t = Topology::star(4, gbps, lat);
+    StaticRouting r(t);
+    EXPECT_EQ(r.hopCount(t.serverNode(0), t.serverNode(1)), 2u);
+    r.invalidate();
+    EXPECT_EQ(r.hopCount(t.serverNode(0), t.serverNode(1)), 2u);
+}

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Parameterized property tests: invariants that must hold across
+ * whole families of configurations (policies, topologies,
+ * utilizations, workload generators), checked with TEST_P sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "dc/datacenter.hh"
+#include "network/network.hh"
+#include "sim/logging.hh"
+#include "workload/service.hh"
+#include "workload/trace.hh"
+
+using namespace holdcsim;
+
+// ---------------------------------------------------------------------------
+// Property: measured core utilization tracks the configured rho for
+// every (rho, service distribution) combination.
+// ---------------------------------------------------------------------------
+
+using UtilParam = std::tuple<double, std::string>;
+
+class UtilizationProperty
+    : public ::testing::TestWithParam<UtilParam>
+{};
+
+TEST_P(UtilizationProperty, CoreBusyFractionMatchesRho)
+{
+    auto [rho, service_kind] = GetParam();
+    DataCenterConfig cfg;
+    cfg.nServers = 8;
+    cfg.nCores = 4;
+    cfg.seed = 77;
+    DataCenter dc(cfg);
+
+    std::shared_ptr<ServiceModel> svc;
+    if (service_kind == "fixed") {
+        svc = std::make_shared<FixedService>(5 * msec);
+    } else if (service_kind == "exponential") {
+        svc = std::make_shared<ExponentialService>(
+            5 * msec, dc.makeRng("svc"));
+    } else {
+        svc = std::make_shared<UniformService>(2 * msec, 8 * msec,
+                                               dc.makeRng("svc"));
+    }
+    SingleTaskGenerator gen(svc);
+    double lambda = PoissonArrival::rateForUtilization(
+        rho, cfg.nServers, cfg.nCores, svc->meanSeconds());
+    dc.pump(std::make_unique<PoissonArrival>(lambda,
+                                             dc.makeRng("arrivals")),
+            gen, 15000);
+    dc.run();
+    dc.finishStats();
+
+    double busy = 0.0;
+    for (std::size_t s = 0; s < dc.numServers(); ++s) {
+        for (unsigned c = 0; c < cfg.nCores; ++c) {
+            busy += dc.server(s).core(c).residency().fraction(
+                static_cast<int>(CoreCState::c0Active));
+        }
+    }
+    busy /= cfg.nServers * cfg.nCores;
+    EXPECT_NEAR(busy, rho, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RhoSweep, UtilizationProperty,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.7),
+                       ::testing::Values("fixed", "exponential",
+                                         "uniform")),
+    [](const ::testing::TestParamInfo<UtilParam> &info) {
+        return std::get<1>(info.param) + "_rho" +
+               std::to_string(static_cast<int>(
+                   std::get<0>(info.param) * 10));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: structural invariants hold on every supported topology.
+// ---------------------------------------------------------------------------
+
+class TopologyProperty
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    Topology
+    build() const
+    {
+        const std::string &kind = GetParam();
+        if (kind == "star")
+            return Topology::star(12, 1e9, 5 * usec);
+        if (kind == "fat_tree")
+            return Topology::fatTree(4, 1e9, 5 * usec);
+        if (kind == "fbfly")
+            return Topology::flattenedButterfly(3, 2, 1e9, 5 * usec);
+        if (kind == "bcube")
+            return Topology::bcube(3, 1, 1e9, 5 * usec);
+        return Topology::camCube(3, 3, 2, 1e9, 5 * usec);
+    }
+};
+
+TEST_P(TopologyProperty, ConnectedAndIndexable)
+{
+    Topology t = build();
+    EXPECT_NO_THROW(t.validateConnected());
+    EXPECT_EQ(t.numServers() + t.numSwitches(), t.numNodes());
+    for (std::size_t i = 0; i < t.numServers(); ++i)
+        EXPECT_EQ(t.serverIndex(t.serverNode(i)), i);
+    for (std::size_t i = 0; i < t.numSwitches(); ++i)
+        EXPECT_EQ(t.switchIndex(t.switchNode(i)), i);
+}
+
+TEST_P(TopologyProperty, RoutesAreValidWalks)
+{
+    Topology t = build();
+    StaticRouting r(t);
+    const std::size_t n = t.numServers();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t j = (i * 7 + 3) % n;
+        auto route = r.route(t.serverNode(i), t.serverNode(j), i);
+        // Consecutive links connect; endpoints match.
+        ASSERT_EQ(route.nodes.size(), route.links.size() + 1);
+        EXPECT_EQ(route.nodes.front(), t.serverNode(i));
+        EXPECT_EQ(route.nodes.back(), t.serverNode(j));
+        for (std::size_t h = 0; h < route.links.size(); ++h) {
+            EXPECT_EQ(t.otherEnd(route.links[h], route.nodes[h]),
+                      route.nodes[h + 1]);
+        }
+    }
+}
+
+TEST_P(TopologyProperty, HopCountsAreSymmetric)
+{
+    Topology t = build();
+    StaticRouting r(t);
+    const std::size_t n = std::min<std::size_t>(t.numServers(), 8);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            EXPECT_EQ(r.hopCount(t.serverNode(i), t.serverNode(j)),
+                      r.hopCount(t.serverNode(j), t.serverNode(i)));
+        }
+    }
+}
+
+TEST_P(TopologyProperty, AllFlowsComplete)
+{
+    Simulator sim;
+    Network net(sim, build(), SwitchPowerProfile::cisco2960_24());
+    const std::size_t n = net.topology().numServers();
+    int done = 0;
+    int started = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t j = (i * 5 + 1) % n;
+        if (j == i)
+            continue; // self-transfers are trivially instant
+        net.startFlow(i, j, 500'000, [&] { ++done; });
+        ++started;
+    }
+    sim.run();
+    EXPECT_EQ(done, started);
+    EXPECT_EQ(net.flows().activeFlows(), 0u);
+    // No flow can beat the line-rate lower bound (4 ms for 500 kB
+    // at 1 Gb/s).
+    EXPECT_GE(net.flows().flowLatency().quantile(0.0), 0.004);
+}
+
+TEST_P(TopologyProperty, AllPacketsDeliveredUnderLightLoad)
+{
+    Simulator sim;
+    Network net(sim, build(), SwitchPowerProfile::cisco2960_24());
+    const std::size_t n = net.topology().numServers();
+    int got = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        net.sendPacket(i, (i + n / 2) % n, 1500,
+                       [&](const Packet &) { ++got; });
+    sim.run();
+    EXPECT_EQ(got, static_cast<int>(n));
+    EXPECT_EQ(net.packetsDropped(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, TopologyProperty,
+                         ::testing::Values("star", "fat_tree", "fbfly",
+                                           "bcube", "camcube"),
+                         [](const auto &info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Property: accounting invariants hold under every dispatch policy
+// and controller combination.
+// ---------------------------------------------------------------------------
+
+using PolicyParam =
+    std::tuple<DataCenterConfig::Dispatch, DataCenterConfig::Controller>;
+
+class AccountingProperty
+    : public ::testing::TestWithParam<PolicyParam>
+{};
+
+TEST_P(AccountingProperty, JobsEnergyAndResidencyConsistent)
+{
+    auto [dispatch, controller] = GetParam();
+    DataCenterConfig cfg;
+    cfg.nServers = 6;
+    cfg.nCores = 2;
+    cfg.dispatch = dispatch;
+    cfg.controller = controller;
+    cfg.delayTimerTau = 50 * msec;
+    cfg.seed = 99;
+    DataCenter dc(cfg);
+
+    auto svc = std::make_shared<ExponentialService>(
+        8 * msec, dc.makeRng("svc"));
+    SingleTaskGenerator gen(svc);
+    dc.pump(std::make_unique<PoissonArrival>(150.0,
+                                             dc.makeRng("arrivals")),
+            gen, 3000);
+    dc.run();
+    Tick end = dc.sim().curTick();
+    dc.finishStats();
+
+    // Every job completed exactly once.
+    EXPECT_EQ(dc.scheduler().jobsCompleted(), 3000u);
+    EXPECT_EQ(dc.scheduler().jobsSubmitted(), 3000u);
+    EXPECT_EQ(dc.scheduler().activeJobs(), 0u);
+    std::uint64_t server_tasks = 0;
+    for (std::size_t s = 0; s < dc.numServers(); ++s)
+        server_tasks += dc.server(s).tasksCompleted();
+    EXPECT_EQ(server_tasks, 3000u);
+
+    // Residency partitions simulated time on every server.
+    for (std::size_t s = 0; s < dc.numServers(); ++s) {
+        const auto &res = dc.server(s).residency();
+        Tick total = 0;
+        for (int st = 0; st < 5; ++st)
+            total += res.residency(st);
+        EXPECT_EQ(total, end);
+    }
+
+    // Energy is bounded by min/max conceivable fleet power.
+    auto fleet = dc.energy();
+    double seconds = toSeconds(end);
+    const auto &p = cfg.serverProfile;
+    double max_power =
+        cfg.nServers * (cfg.nCores * p.coreActive + p.pkgPc0 +
+                        p.dramActive + p.platformS0);
+    double min_power = cfg.nServers * p.platformS5;
+    EXPECT_LE(fleet.total.total(), max_power * seconds * 1.001);
+    EXPECT_GE(fleet.total.total(), min_power * seconds);
+
+    // Latency can never beat the bare service time of some task.
+    EXPECT_GT(dc.scheduler().jobLatency().quantile(0.0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyGrid, AccountingProperty,
+    ::testing::Combine(
+        ::testing::Values(DataCenterConfig::Dispatch::roundRobin,
+                          DataCenterConfig::Dispatch::leastLoaded,
+                          DataCenterConfig::Dispatch::random),
+        ::testing::Values(DataCenterConfig::Controller::alwaysOn,
+                          DataCenterConfig::Controller::delayTimer)),
+    [](const ::testing::TestParamInfo<PolicyParam> &info) {
+        std::string d;
+        switch (std::get<0>(info.param)) {
+          case DataCenterConfig::Dispatch::roundRobin:
+            d = "rr";
+            break;
+          case DataCenterConfig::Dispatch::leastLoaded:
+            d = "ll";
+            break;
+          default:
+            d = "rand";
+            break;
+        }
+        return d + (std::get<1>(info.param) ==
+                            DataCenterConfig::Controller::alwaysOn
+                        ? "_alwaysOn"
+                        : "_delayTimer");
+    });
+
+// ---------------------------------------------------------------------------
+// Property: determinism -- identical seeds give identical results,
+// different seeds differ, for every workload generator shape.
+// ---------------------------------------------------------------------------
+
+class DeterminismProperty
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    double
+    runOnce(std::uint64_t seed)
+    {
+        DataCenterConfig cfg;
+        cfg.nServers = 4;
+        cfg.nCores = 2;
+        cfg.seed = seed;
+        DataCenter dc(cfg);
+        auto svc = std::make_shared<ExponentialService>(
+            5 * msec, dc.makeRng("svc"));
+        std::unique_ptr<JobGenerator> gen;
+        const std::string &kind = GetParam();
+        if (kind == "single") {
+            gen = std::make_unique<SingleTaskGenerator>(svc);
+        } else if (kind == "chain") {
+            gen = std::make_unique<ChainJobGenerator>(
+                std::vector<std::shared_ptr<ServiceModel>>{svc, svc},
+                std::vector<int>{0, 0}, Bytes{0});
+        } else if (kind == "fanout") {
+            gen = std::make_unique<FanOutInGenerator>(svc, svc, svc,
+                                                      4, Bytes{0});
+        } else {
+            gen = std::make_unique<RandomDagGenerator>(
+                svc, 3, 3, 0.4, Bytes{0}, dc.makeRng("dag"));
+        }
+        dc.pump(std::make_unique<PoissonArrival>(
+                    100.0, dc.makeRng("arrivals")),
+                *gen, 800);
+        dc.run();
+        return dc.scheduler().jobLatency().mean();
+    }
+};
+
+TEST_P(DeterminismProperty, SameSeedSameResult)
+{
+    EXPECT_DOUBLE_EQ(runOnce(5), runOnce(5));
+}
+
+TEST_P(DeterminismProperty, DifferentSeedDifferentResult)
+{
+    EXPECT_NE(runOnce(5), runOnce(6));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, DeterminismProperty,
+                         ::testing::Values("single", "chain", "fanout",
+                                           "dag"),
+                         [](const auto &info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Property: synthetic traces are sorted, in-range and deterministic
+// for every generator and a sweep of rates.
+// ---------------------------------------------------------------------------
+
+using TraceParam = std::tuple<std::string, double>;
+
+class TraceProperty : public ::testing::TestWithParam<TraceParam>
+{
+  protected:
+    std::vector<Tick>
+    make(std::uint64_t seed) const
+    {
+        auto [kind, rate] = GetParam();
+        if (kind == "wikipedia") {
+            WikipediaTraceParams p;
+            p.duration = 120 * sec;
+            p.baseRate = rate;
+            return makeWikipediaTrace(p, Rng(seed, "t"));
+        }
+        NlanrTraceParams p;
+        p.duration = 120 * sec;
+        p.baseRate = rate;
+        return makeNlanrTrace(p, Rng(seed, "t"));
+    }
+};
+
+TEST_P(TraceProperty, SortedInRangeDeterministic)
+{
+    auto a = make(3);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+    ASSERT_FALSE(a.empty());
+    EXPECT_LT(a.back(), 120 * sec);
+    EXPECT_EQ(a, make(3));
+    EXPECT_NE(a, make(4));
+    // Long-run rate in the right ballpark.
+    EXPECT_NEAR(traceRate(a), std::get<1>(GetParam()),
+                std::get<1>(GetParam()) * 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneratorsAndRates, TraceProperty,
+    ::testing::Combine(::testing::Values("wikipedia", "nlanr"),
+                       ::testing::Values(20.0, 100.0, 400.0)),
+    [](const ::testing::TestParamInfo<TraceParam> &info) {
+        return std::get<0>(info.param) + "_r" +
+               std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });

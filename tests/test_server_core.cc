@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the core model: C-state machine, DVFS scaling and
+ * the idle governor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "server/core.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace holdcsim;
+
+namespace {
+
+struct CoreFixture : ::testing::Test {
+    Simulator sim;
+    ServerPowerProfile prof;
+    std::optional<Core> core;
+    int accrues = 0;
+    int changes = 0;
+
+    void
+    makeCore(double freq = 0.0)
+    {
+        if (freq == 0.0)
+            freq = prof.pstates[0].freqGhz;
+        core.emplace(sim, 0, prof, freq, [this] { ++accrues; },
+                     [this] { ++changes; });
+    }
+
+    TaskRef
+    task(Tick service, double intensity = 1.0)
+    {
+        return TaskRef{0, 0, service, intensity, 0};
+    }
+};
+
+} // namespace
+
+TEST_F(CoreFixture, ExecutesTaskForServiceTime)
+{
+    makeCore();
+    Tick done_at = 0;
+    core->startTask(task(5 * msec), 0, [&](const TaskRef &) {
+        done_at = sim.curTick();
+    });
+    EXPECT_TRUE(core->busy());
+    sim.run();
+    EXPECT_FALSE(core->busy());
+    // Started from C0-idle: no exit latency.
+    EXPECT_EQ(done_at, 5 * msec);
+    EXPECT_EQ(core->tasksExecuted(), 1u);
+}
+
+TEST_F(CoreFixture, IdleGovernorDemotesThroughStates)
+{
+    makeCore();
+    // Demotion thresholds (defaults): C1 immediately, C3 after
+    // 100 us in C1, C6 after 500 us more.
+    sim.runUntil(1);
+    EXPECT_EQ(core->cstate(), CoreCState::c1);
+    sim.runUntil(prof.demoteC3After + 1);
+    EXPECT_EQ(core->cstate(), CoreCState::c3);
+    sim.runUntil(prof.demoteC3After + prof.demoteC6After + 1);
+    EXPECT_EQ(core->cstate(), CoreCState::c6);
+    // Terminal state: queue drained.
+    EXPECT_FALSE(sim.hasPendingEvents());
+}
+
+TEST_F(CoreFixture, WakeLatencyDelaysCompletion)
+{
+    makeCore();
+    sim.runUntil(10 * msec); // governor reaches C6
+    ASSERT_EQ(core->cstate(), CoreCState::c6);
+    Tick started = sim.curTick();
+    Tick done_at = 0;
+    core->startTask(task(1 * msec), 0, [&](const TaskRef &) {
+        done_at = sim.curTick();
+    });
+    sim.run();
+    EXPECT_EQ(done_at, started + prof.c6ExitLatency + 1 * msec);
+}
+
+TEST_F(CoreFixture, ExtraWakeLatencyApplied)
+{
+    makeCore();
+    Tick extra = 600 * usec;
+    Tick done_at = 0;
+    core->startTask(task(1 * msec), extra, [&](const TaskRef &) {
+        done_at = sim.curTick();
+    });
+    sim.run();
+    EXPECT_EQ(done_at, extra + 1 * msec);
+}
+
+TEST_F(CoreFixture, PStateSlowsComputeBoundTask)
+{
+    makeCore();
+    core->setPState(2); // 2.0 GHz vs nominal 2.8
+    Tick t = core->processingTime(task(10 * msec, 1.0));
+    EXPECT_NEAR(static_cast<double>(t), 10.0 * msec * 2.8 / 2.0,
+                1.0);
+}
+
+TEST_F(CoreFixture, MemoryBoundTaskUnaffectedByFrequency)
+{
+    makeCore();
+    core->setPState(4); // slowest
+    Tick t = core->processingTime(task(10 * msec, 0.0));
+    EXPECT_EQ(t, 10 * msec);
+}
+
+TEST_F(CoreFixture, MixedIntensityInterpolates)
+{
+    makeCore();
+    core->setPState(2); // ratio 2.8/2.0 = 1.4
+    Tick t = core->processingTime(task(10 * msec, 0.5));
+    EXPECT_NEAR(static_cast<double>(t),
+                10.0 * msec * (0.5 * 1.4 + 0.5), 1.0);
+}
+
+TEST_F(CoreFixture, HeterogeneousBaseFrequency)
+{
+    makeCore(1.4); // half the nominal 2.8 GHz
+    EXPECT_DOUBLE_EQ(core->frequencyGhz(), 1.4);
+    Tick t = core->processingTime(task(10 * msec, 1.0));
+    EXPECT_NEAR(static_cast<double>(t), 20.0 * msec, 1.0);
+}
+
+TEST_F(CoreFixture, PowerFollowsCState)
+{
+    makeCore();
+    EXPECT_DOUBLE_EQ(core->power(), prof.coreC0Idle);
+    core->startTask(task(1 * msec), 0, nullptr);
+    EXPECT_DOUBLE_EQ(core->power(), prof.coreActive);
+    sim.run();
+    sim.runUntil(sim.curTick() + 10 * msec);
+    EXPECT_EQ(core->cstate(), CoreCState::c6);
+    EXPECT_DOUBLE_EQ(core->power(), prof.coreC6);
+}
+
+TEST_F(CoreFixture, ActivePowerScalesWithPState)
+{
+    makeCore();
+    core->setPState(1);
+    core->startTask(task(1 * msec), 0, nullptr);
+    EXPECT_DOUBLE_EQ(core->power(),
+                     prof.coreActive * prof.pstates[1].powerScale);
+    sim.run();
+}
+
+TEST_F(CoreFixture, ForceDeepSleepFromIdle)
+{
+    makeCore();
+    core->forceDeepSleep();
+    EXPECT_EQ(core->cstate(), CoreCState::c6);
+    // No demotion events left behind.
+    EXPECT_FALSE(sim.hasPendingEvents());
+}
+
+TEST_F(CoreFixture, ResidencyTracksStates)
+{
+    makeCore();
+    core->startTask(task(10 * msec), 0, nullptr);
+    sim.run();
+    sim.runUntil(20 * msec);
+    core->finishStats(sim.curTick());
+    const auto &res = core->residency();
+    EXPECT_EQ(res.residency(static_cast<int>(CoreCState::c0Active)),
+              10 * msec);
+    EXPECT_GT(res.residency(static_cast<int>(CoreCState::c6)), 0u);
+}
+
+TEST_F(CoreFixture, RejectsBadParameters)
+{
+    makeCore();
+    EXPECT_THROW(core->setPState(99), FatalError);
+    EXPECT_THROW(Core(sim, 1, prof, -1.0, [] {}, [] {}), FatalError);
+}
+
+TEST_F(CoreFixture, ProfileValidation)
+{
+    ServerPowerProfile bad;
+    bad.coreC6 = bad.coreActive + 1.0;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = ServerPowerProfile{};
+    bad.pstates.clear();
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = ServerPowerProfile{};
+    bad.pstates = {{2.0, 1.0}, {2.8, 1.2}}; // wrong order
+    EXPECT_THROW(bad.validate(), FatalError);
+    EXPECT_NO_THROW(ServerPowerProfile::xeonE5_2680().validate());
+    EXPECT_NO_THROW(
+        ServerPowerProfile::xeonE5_2680RaplOnly().validate());
+}

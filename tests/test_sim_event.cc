@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the event queue and simulation engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/event_queue.hh"
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+
+using namespace holdcsim;
+
+namespace {
+
+/** Collects the order in which tagged events fire. */
+struct TraceEvent : Event {
+    TraceEvent(std::vector<int> &log, int tag, int prio = defaultPriority)
+        : Event("trace", prio), log(log), tag(tag)
+    {}
+    void process() override { log.push_back(tag); }
+    std::vector<int> &log;
+    int tag;
+};
+
+} // namespace
+
+TEST(EventQueue, OrdersByTick)
+{
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent a(log, 1), b(log, 2), c(log, 3);
+    sim.schedule(b, 20);
+    sim.schedule(c, 30);
+    sim.schedule(a, 10);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.curTick(), 30u);
+}
+
+TEST(EventQueue, FifoAmongSimultaneous)
+{
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent a(log, 1), b(log, 2), c(log, 3), d(log, 4);
+    sim.schedule(a, 5);
+    sim.schedule(b, 5);
+    sim.schedule(c, 5);
+    sim.schedule(d, 5);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PriorityBeatsFifoWithinTick)
+{
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent normal(log, 1, Event::defaultPriority);
+    TraceEvent power(log, 2, Event::powerPriority);
+    TraceEvent stats(log, 3, Event::statsPriority);
+    sim.schedule(stats, 7);
+    sim.schedule(normal, 7);
+    sim.schedule(power, 7);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent a(log, 1), b(log, 2);
+    sim.schedule(a, 10);
+    sim.schedule(b, 20);
+    sim.deschedule(a);
+    EXPECT_FALSE(a.scheduled());
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent a(log, 1), b(log, 2);
+    sim.schedule(a, 10);
+    sim.schedule(b, 20);
+    sim.reschedule(a, 30);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+    EXPECT_EQ(sim.curTick(), 30u);
+}
+
+TEST(EventQueue, RescheduleOfUnscheduledSchedules)
+{
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent a(log, 1);
+    sim.reschedule(a, 15);
+    EXPECT_TRUE(a.scheduled());
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue q;
+    std::vector<int> log;
+    TraceEvent a(log, 1), b(log, 2);
+    EXPECT_TRUE(q.empty());
+    q.schedule(a, 1);
+    q.schedule(b, 2);
+    EXPECT_EQ(q.size(), 2u);
+    q.deschedule(a);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(&q.pop(), &b);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ManyRedundantReschedulesStayCorrect)
+{
+    // Exercises lazy deletion: stale heap entries must be skipped.
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent a(log, 1);
+    for (int i = 0; i < 1000; ++i)
+        sim.reschedule(a, 1000 + static_cast<Tick>(i));
+    EXPECT_EQ(sim.eventQueue().size(), 1u);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(sim.curTick(), 1999u);
+}
+
+TEST(Simulator, LambdaEventsAndSelfRescheduling)
+{
+    Simulator sim;
+    int count = 0;
+    EventFunctionWrapper tick(
+        [&] {
+            ++count;
+            if (count < 5)
+                sim.scheduleAfter(tick, 10);
+        },
+        "tick");
+    sim.schedule(tick, 0);
+    sim.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(sim.curTick(), 40u);
+}
+
+TEST(Simulator, RunUntilStopsAtLimit)
+{
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent a(log, 1), b(log, 2), c(log, 3);
+    sim.schedule(a, 10);
+    sim.schedule(b, 20);
+    sim.schedule(c, 30);
+    Tick t = sim.runUntil(20);
+    EXPECT_EQ(t, 20u);
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(sim.hasPendingEvents());
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueDrains)
+{
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent a(log, 1);
+    sim.schedule(a, 10);
+    Tick t = sim.runUntil(100);
+    EXPECT_EQ(t, 100u);
+    EXPECT_EQ(sim.curTick(), 100u);
+}
+
+TEST(Simulator, StopAbortsRun)
+{
+    Simulator sim;
+    std::vector<int> log;
+    EventFunctionWrapper stopper([&] { sim.stop(); }, "stopper");
+    TraceEvent late(log, 9);
+    sim.schedule(stopper, 5);
+    sim.schedule(late, 10);
+    sim.run();
+    EXPECT_TRUE(log.empty());
+    EXPECT_TRUE(sim.hasPendingEvents());
+    EXPECT_EQ(sim.curTick(), 5u);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{9}));
+}
+
+TEST(Simulator, EventsProcessedCounts)
+{
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent a(log, 1), b(log, 2);
+    sim.schedule(a, 1);
+    sim.schedule(b, 2);
+    sim.run();
+    EXPECT_EQ(sim.eventsProcessed(), 2u);
+}
+
+TEST(Simulator, EventScheduledDuringProcessingRuns)
+{
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent child(log, 2);
+    EventFunctionWrapper parent(
+        [&] {
+            log.push_back(1);
+            sim.scheduleAfter(child, 0); // same-tick child
+        },
+        "parent");
+    sim.schedule(parent, 10);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_EQ(sim.curTick(), 10u);
+}
+
+TEST(Types, UnitConversions)
+{
+    EXPECT_EQ(sec, 1000u * msec);
+    EXPECT_EQ(msec, 1000u * usec);
+    EXPECT_DOUBLE_EQ(toSeconds(2 * sec + 500 * msec), 2.5);
+    EXPECT_EQ(fromSeconds(0.001), msec);
+    EXPECT_DOUBLE_EQ(energyOver(100.0, 10 * sec), 1000.0);
+}
+
+TEST(Types, SerializationDelay)
+{
+    // 1500 bytes at 1 Gb/s = 12 us.
+    EXPECT_EQ(serializationDelay(1500, 1e9), 12 * usec);
+    // 100 MB at 1 Gb/s = 0.8 s.
+    EXPECT_EQ(serializationDelay(100'000'000ull, 1e9), 800 * msec);
+    EXPECT_EQ(serializationDelay(0, 1e9), 0u);
+    // Tiny payloads still advance time.
+    EXPECT_GE(serializationDelay(1, 1e12), 1u);
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+using namespace holdcsim;
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator acc;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.sample(v);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator acc;
+    acc.sample(5.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    acc.sample(1.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 1.0);
+}
+
+TEST(Percentile, QuantilesOfKnownSequence)
+{
+    Percentile p;
+    for (int i = 1; i <= 100; ++i)
+        p.sample(i);
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+    EXPECT_NEAR(p.p50(), 50.5, 1e-9);
+    EXPECT_NEAR(p.p90(), 90.1, 1e-9);
+    EXPECT_NEAR(p.p99(), 99.01, 1e-9);
+    EXPECT_DOUBLE_EQ(p.mean(), 50.5);
+}
+
+TEST(Percentile, UnsortedInputIsSorted)
+{
+    Percentile p;
+    for (double v : {5.0, 1.0, 4.0, 2.0, 3.0})
+        p.sample(v);
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(p.p50(), 3.0);
+}
+
+TEST(Percentile, CdfAt)
+{
+    Percentile p;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        p.sample(v);
+    EXPECT_DOUBLE_EQ(p.cdfAt(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(p.cdfAt(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(p.cdfAt(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(p.cdfAt(4.0), 1.0);
+}
+
+TEST(Percentile, SamplingAfterQuantileStillWorks)
+{
+    Percentile p;
+    p.sample(10.0);
+    p.sample(20.0);
+    EXPECT_DOUBLE_EQ(p.p50(), 15.0);
+    p.sample(0.0); // forces a re-sort on next query
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (double v : {-1.0, 0.0, 0.5, 5.0, 9.99, 10.0, 42.0})
+        h.sample(v);
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(5), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_DOUBLE_EQ(h.bucketLo(5), 5.0);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage)
+{
+    TimeWeighted tw;
+    tw.set(2.0, 0);
+    tw.set(4.0, 10 * sec);  // 2.0 held for 10 s
+    tw.set(0.0, 30 * sec);  // 4.0 held for 20 s
+    tw.finish(40 * sec);    // 0.0 held for 10 s
+    // (2*10 + 4*20 + 0*10) / 40 = 2.5
+    EXPECT_DOUBLE_EQ(tw.average(), 2.5);
+    EXPECT_DOUBLE_EQ(tw.integral(), 100.0);
+}
+
+TEST(TimeWeighted, SingleValueAverageIsValue)
+{
+    TimeWeighted tw;
+    tw.set(7.0, 5 * sec);
+    EXPECT_DOUBLE_EQ(tw.average(), 7.0);
+}
+
+TEST(TimeWeighted, RepeatedFinishIsIdempotent)
+{
+    TimeWeighted tw;
+    tw.set(3.0, 0);
+    tw.finish(10 * sec);
+    tw.finish(10 * sec);
+    EXPECT_DOUBLE_EQ(tw.integral(), 30.0);
+}
+
+TEST(StateResidency, FractionsAndTransitions)
+{
+    enum { idle, active, asleep };
+    StateResidency sr;
+    sr.enter(idle, 0);
+    sr.enter(active, 10 * sec);
+    sr.enter(idle, 30 * sec);
+    sr.enter(asleep, 40 * sec);
+    sr.finish(100 * sec);
+    EXPECT_EQ(sr.totalTime(), 100 * sec);
+    EXPECT_DOUBLE_EQ(sr.fraction(idle), 0.2);
+    EXPECT_DOUBLE_EQ(sr.fraction(active), 0.2);
+    EXPECT_DOUBLE_EQ(sr.fraction(asleep), 0.6);
+    EXPECT_EQ(sr.transitionsInto(idle), 2u);
+    EXPECT_EQ(sr.transitionsInto(active), 1u);
+    EXPECT_EQ(sr.currentState(), asleep);
+}
+
+TEST(StateResidency, UnseenStateIsZero)
+{
+    StateResidency sr;
+    sr.enter(0, 0);
+    sr.finish(10);
+    EXPECT_EQ(sr.residency(99), 0u);
+    EXPECT_DOUBLE_EQ(sr.fraction(99), 0.0);
+}
+
+TEST(StateResidency, ReenteringSameStateAccumulates)
+{
+    StateResidency sr;
+    sr.enter(1, 0);
+    sr.enter(1, 10);
+    sr.finish(30);
+    EXPECT_EQ(sr.residency(1), 30u);
+    EXPECT_EQ(sr.transitionsInto(1), 2u);
+}
+
+TEST(StatGroup, DumpFormatsLines)
+{
+    StatGroup g("server0");
+    g.add("energy_j", 12.5);
+    g.add("jobs", std::uint64_t{42});
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "server0.energy_j 12.5\nserver0.jobs 42\n");
+}

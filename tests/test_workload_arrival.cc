@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit and statistical tests for arrival processes and service-time
+ * models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "workload/arrival.hh"
+#include "workload/service.hh"
+
+using namespace holdcsim;
+
+TEST(PoissonArrival, MeanRateMatches)
+{
+    const double rate = 200.0; // jobs/s
+    PoissonArrival arr(rate, Rng(1, "poisson"));
+    const int n = 100000;
+    Tick last = 0;
+    for (int i = 0; i < n; ++i)
+        last = arr.nextArrival();
+    double measured = n / toSeconds(last);
+    EXPECT_NEAR(measured, rate, rate * 0.02);
+}
+
+TEST(PoissonArrival, ArrivalsStrictlyOrdered)
+{
+    PoissonArrival arr(1000.0, Rng(2, "poisson"));
+    Tick prev = 0;
+    for (int i = 0; i < 1000; ++i) {
+        Tick t = arr.nextArrival();
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(PoissonArrival, InterarrivalCvNearOne)
+{
+    // Exponential gaps: coefficient of variation = 1.
+    PoissonArrival arr(100.0, Rng(3, "poisson"));
+    std::vector<double> gaps;
+    Tick prev = 0;
+    for (int i = 0; i < 50000; ++i) {
+        Tick t = arr.nextArrival();
+        gaps.push_back(toSeconds(t - prev));
+        prev = t;
+    }
+    double sum = 0, sumsq = 0;
+    for (double g : gaps) {
+        sum += g;
+        sumsq += g * g;
+    }
+    double mean = sum / gaps.size();
+    double var = sumsq / gaps.size() - mean * mean;
+    double cv = std::sqrt(var) / mean;
+    EXPECT_NEAR(cv, 1.0, 0.05);
+}
+
+TEST(PoissonArrival, RateForUtilization)
+{
+    // rho = lambda * meanService / (nServers * nCores)
+    double lambda =
+        PoissonArrival::rateForUtilization(0.3, 50, 4, 0.005);
+    EXPECT_DOUBLE_EQ(lambda, 0.3 * 50 * 4 / 0.005);
+    EXPECT_THROW(PoissonArrival::rateForUtilization(0, 50, 4, 0.005),
+                 FatalError);
+}
+
+TEST(PoissonArrival, RejectsBadRate)
+{
+    EXPECT_THROW(PoissonArrival(-1.0, Rng(1)), FatalError);
+    EXPECT_THROW(PoissonArrival(0.0, Rng(1)), FatalError);
+}
+
+TEST(Mmpp2Arrival, AverageRateFormula)
+{
+    Mmpp2Arrival arr(1000.0, 100.0, 1.0, 9.0, Rng(4, "mmpp"));
+    // 10% of time at 1000/s, 90% at 100/s.
+    EXPECT_DOUBLE_EQ(arr.averageRate(), 0.1 * 1000.0 + 0.9 * 100.0);
+    EXPECT_DOUBLE_EQ(arr.burstinessRatio(), 10.0);
+}
+
+TEST(Mmpp2Arrival, MeasuredRateMatchesAverage)
+{
+    // Convergence of n/T is slow for MMPP (per-cycle counts have
+    // high variance), so use many cycles and a loose band.
+    Mmpp2Arrival arr(500.0, 50.0, 2.0, 8.0, Rng(5, "mmpp"));
+    const int n = 1000000;
+    Tick last = 0;
+    for (int i = 0; i < n; ++i)
+        last = arr.nextArrival();
+    double measured = n / toSeconds(last);
+    EXPECT_NEAR(measured, arr.averageRate(), arr.averageRate() * 0.08);
+}
+
+TEST(Mmpp2Arrival, BurstierThanPoisson)
+{
+    // Index of dispersion of counts (variance/mean of per-window
+    // counts) is 1 for Poisson, > 1 for MMPP.
+    Mmpp2Arrival mmpp(2000.0, 100.0, 0.5, 2.0, Rng(6, "mmpp"));
+    std::vector<int> counts;
+    const Tick window = 100 * msec;
+    Tick limit = window;
+    int current = 0;
+    for (int i = 0; i < 100000; ++i) {
+        Tick t = mmpp.nextArrival();
+        while (t >= limit) {
+            counts.push_back(current);
+            current = 0;
+            limit += window;
+        }
+        ++current;
+    }
+    double sum = 0, sumsq = 0;
+    for (int c : counts) {
+        sum += c;
+        sumsq += static_cast<double>(c) * c;
+    }
+    double mean = sum / counts.size();
+    double var = sumsq / counts.size() - mean * mean;
+    EXPECT_GT(var / mean, 2.0); // strongly over-dispersed
+}
+
+TEST(Mmpp2Arrival, RejectsInvalidParameters)
+{
+    EXPECT_THROW(Mmpp2Arrival(0.0, 0.0, 1.0, 1.0, Rng(1)), FatalError);
+    EXPECT_THROW(Mmpp2Arrival(10.0, 20.0, 1.0, 1.0, Rng(1)),
+                 FatalError); // high < low
+    EXPECT_THROW(Mmpp2Arrival(20.0, 10.0, 0.0, 1.0, Rng(1)), FatalError);
+}
+
+TEST(TraceArrival, ReplaysExactly)
+{
+    std::vector<Tick> times{10, 20, 20, 35};
+    TraceArrival arr(times);
+    EXPECT_FALSE(arr.exhausted());
+    EXPECT_EQ(arr.remaining(), 4u);
+    for (Tick t : times)
+        EXPECT_EQ(arr.nextArrival(), t);
+    EXPECT_TRUE(arr.exhausted());
+}
+
+TEST(TraceArrival, RejectsUnsortedTrace)
+{
+    EXPECT_THROW(TraceArrival({30, 10}), FatalError);
+}
+
+// ------------------------------------------------------------ service models
+
+TEST(ServiceModels, FixedAlwaysSame)
+{
+    FixedService s(5 * msec);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(s.sample(), 5 * msec);
+    EXPECT_DOUBLE_EQ(s.meanSeconds(), 0.005);
+}
+
+TEST(ServiceModels, ExponentialMean)
+{
+    ExponentialService s(120 * msec, Rng(7, "svc"));
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += toSeconds(s.sample());
+    EXPECT_NEAR(sum / n, 0.120, 0.003);
+}
+
+TEST(ServiceModels, UniformBoundsAndMean)
+{
+    UniformService s(3 * msec, 10 * msec, Rng(8, "svc"));
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        Tick t = s.sample();
+        EXPECT_GE(t, 3 * msec);
+        EXPECT_LE(t, 10 * msec);
+        sum += toSeconds(t);
+    }
+    EXPECT_NEAR(sum / n, 0.0065, 0.0002);
+}
+
+TEST(ServiceModels, ParetoBoundsRespected)
+{
+    BoundedParetoService s(1.5, 1 * msec, 1 * sec, Rng(9, "svc"));
+    for (int i = 0; i < 20000; ++i) {
+        Tick t = s.sample();
+        EXPECT_GE(t, 1 * msec);
+        EXPECT_LE(t, 1 * sec);
+    }
+}
+
+TEST(ServiceModels, ParetoEmpiricalMeanMatchesFormula)
+{
+    BoundedParetoService s(1.5, 1 * msec, 1 * sec, Rng(10, "svc"));
+    double sum = 0;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i)
+        sum += toSeconds(s.sample());
+    EXPECT_NEAR(sum / n, s.meanSeconds(), s.meanSeconds() * 0.05);
+}
+
+TEST(ServiceModels, EmpiricalResamples)
+{
+    EmpiricalService s({1 * msec, 2 * msec, 3 * msec}, Rng(11, "svc"));
+    for (int i = 0; i < 1000; ++i) {
+        Tick t = s.sample();
+        EXPECT_TRUE(t == 1 * msec || t == 2 * msec || t == 3 * msec);
+    }
+    EXPECT_DOUBLE_EQ(s.meanSeconds(), 0.002);
+    EXPECT_THROW(EmpiricalService({}, Rng(1)), FatalError);
+}
+
+TEST(ServiceModels, FactoryByName)
+{
+    auto fixed = makeServiceModel("fixed", 5 * msec, 0, Rng(12));
+    EXPECT_EQ(fixed->sample(), 5 * msec);
+    auto expo = makeServiceModel("exponential", 5 * msec, 0, Rng(12));
+    EXPECT_GT(expo->sample(), 0u);
+    auto uni = makeServiceModel("uniform", 3 * msec, 10 * msec, Rng(12));
+    EXPECT_GE(uni->sample(), 3 * msec);
+    auto par = makeServiceModel("pareto", 1 * msec, 1 * sec, Rng(12));
+    EXPECT_GE(par->sample(), 1 * msec);
+    EXPECT_THROW(makeServiceModel("bogus", 1, 1, Rng(12)), FatalError);
+}

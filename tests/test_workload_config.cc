@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for INI-driven workload construction and power-profile
+ * overrides (the paper's "configurable user script" input path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "dc/datacenter.hh"
+#include "dc/workload_config.hh"
+#include "sim/logging.hh"
+
+using namespace holdcsim;
+
+namespace {
+
+ConfiguredWorkload
+build(const std::string &ini, unsigned servers = 10,
+      unsigned cores = 4)
+{
+    auto cfg = Config::parseString(ini);
+    DataCenterConfig dc_cfg;
+    dc_cfg.nServers = servers;
+    dc_cfg.nCores = cores;
+    return makeWorkload(cfg, dc_cfg, 3);
+}
+
+} // namespace
+
+TEST(WorkloadConfig, PoissonRateFromUtilization)
+{
+    auto wl = build(R"(
+[workload]
+arrival = poisson
+utilization = 0.3
+service = fixed
+service_mean_ms = 5
+)");
+    ASSERT_TRUE(wl.arrivals);
+    auto *poisson = dynamic_cast<PoissonArrival *>(wl.arrivals.get());
+    ASSERT_NE(poisson, nullptr);
+    // rho * servers * cores / service = 0.3 * 40 / 0.005.
+    EXPECT_NEAR(poisson->rate(), 2400.0, 1e-9);
+    EXPECT_EQ(wl.until, maxTick);
+    EXPECT_EQ(wl.maxJobs, static_cast<std::size_t>(-1));
+}
+
+TEST(WorkloadConfig, ExplicitRateOverridesUtilization)
+{
+    auto wl = build(R"(
+[workload]
+arrival = poisson
+rate = 77
+utilization = 0.3
+)");
+    auto *poisson = dynamic_cast<PoissonArrival *>(wl.arrivals.get());
+    ASSERT_NE(poisson, nullptr);
+    EXPECT_DOUBLE_EQ(poisson->rate(), 77.0);
+}
+
+TEST(WorkloadConfig, ChainJobsDivideRateByTaskCount)
+{
+    auto wl = build(R"(
+[workload]
+arrival = poisson
+utilization = 0.3
+service = fixed
+service_mean_ms = 5
+job = chain
+stages = 2
+)");
+    auto *poisson = dynamic_cast<PoissonArrival *>(wl.arrivals.get());
+    ASSERT_NE(poisson, nullptr);
+    EXPECT_NEAR(poisson->rate(), 1200.0, 1e-9); // 2400 / 2 tasks
+    Job j = wl.jobs->makeJob(0);
+    EXPECT_EQ(j.numTasks(), 2u);
+}
+
+TEST(WorkloadConfig, MmppAverageRateMatches)
+{
+    auto wl = build(R"(
+[workload]
+arrival = mmpp
+rate = 100
+burst_ratio = 10
+burst_fraction = 0.2
+)");
+    auto *mmpp = dynamic_cast<Mmpp2Arrival *>(wl.arrivals.get());
+    ASSERT_NE(mmpp, nullptr);
+    EXPECT_NEAR(mmpp->averageRate(), 100.0, 1e-6);
+    EXPECT_DOUBLE_EQ(mmpp->burstinessRatio(), 10.0);
+}
+
+TEST(WorkloadConfig, SyntheticTracesNeedDuration)
+{
+    EXPECT_THROW(build("[workload]\narrival = wikipedia\n"),
+                 FatalError);
+    auto wl = build(R"(
+[workload]
+arrival = wikipedia
+rate = 50
+duration_s = 30
+)");
+    EXPECT_FALSE(wl.arrivals->exhausted());
+    EXPECT_EQ(wl.until, 30 * sec);
+}
+
+TEST(WorkloadConfig, TraceFileArrivals)
+{
+    const char *path = "/tmp/holdcsim_test_trace.txt";
+    {
+        std::ofstream out(path);
+        out << "0.5\n1.0\n1.5\n";
+    }
+    auto wl = build(std::string(R"(
+[workload]
+arrival = trace
+trace_file = )") + path + "\n");
+    auto *trace = dynamic_cast<TraceArrival *>(wl.arrivals.get());
+    ASSERT_NE(trace, nullptr);
+    EXPECT_EQ(trace->remaining(), 3u);
+    std::remove(path);
+}
+
+TEST(WorkloadConfig, JobShapesAndLimits)
+{
+    auto wl = build(R"(
+[workload]
+arrival = poisson
+rate = 10
+max_jobs = 123
+job = fanout
+stages = 4
+transfer_kb = 16
+)");
+    EXPECT_EQ(wl.maxJobs, 123u);
+    Job j = wl.jobs->makeJob(0);
+    EXPECT_EQ(j.numTasks(), 6u); // root + agg + 4 workers
+    EXPECT_EQ(j.edgeBytes(0, 2), 16u * 1024u);
+}
+
+TEST(WorkloadConfig, RejectsUnknownKinds)
+{
+    EXPECT_THROW(build("[workload]\narrival = bogus\n"), FatalError);
+    EXPECT_THROW(build("[workload]\nservice = bogus\n"), FatalError);
+    EXPECT_THROW(build("[workload]\njob = bogus\n"), FatalError);
+}
+
+// -------------------------------------------------------- profile overrides
+
+TEST(ProfileConfig, ServerOverridesApplied)
+{
+    auto cfg = Config::parseString(R"(
+[server_power]
+core_active_w = 9.0
+platform_s0_w = 60
+s3_wake_ms = 250
+)");
+    auto p = serverProfileFromConfig(cfg);
+    EXPECT_DOUBLE_EQ(p.coreActive, 9.0);
+    EXPECT_DOUBLE_EQ(p.platformS0, 60.0);
+    EXPECT_EQ(p.s3WakeLatency, 250 * msec);
+    // Unset keys keep defaults.
+    ServerPowerProfile defaults;
+    EXPECT_DOUBLE_EQ(p.dramActive, defaults.dramActive);
+}
+
+TEST(ProfileConfig, ServerOverridesValidated)
+{
+    auto cfg = Config::parseString(
+        "[server_power]\ncore_c6_w = 50\n"); // deeper > active
+    EXPECT_THROW(serverProfileFromConfig(cfg), FatalError);
+}
+
+TEST(ProfileConfig, SwitchOverridesApplied)
+{
+    auto cfg = Config::parseString(R"(
+[switch_power]
+chassis_base_w = 20
+port_active_w = 0.5
+linecard_wake_ms = 5
+)");
+    auto p = switchProfileFromConfig(cfg);
+    EXPECT_DOUBLE_EQ(p.chassisBase, 20.0);
+    EXPECT_DOUBLE_EQ(p.portActive, 0.5);
+    EXPECT_EQ(p.linecardWakeLatency, 5 * msec);
+}
+
+// ---------------------------------------------------------------- end to end
+
+TEST(ConfigDrivenRun, FullExperimentFromIniText)
+{
+    auto cfg = Config::parseString(R"(
+[datacenter]
+servers = 4
+cores = 2
+seed = 5
+[server]
+controller = delay_timer
+tau_ms = 100
+[workload]
+arrival = poisson
+utilization = 0.2
+duration_s = 5
+service = exponential
+service_mean_ms = 5
+)");
+    DataCenterConfig dc_cfg = DataCenterConfig::fromConfig(cfg);
+    dc_cfg.serverProfile = serverProfileFromConfig(cfg);
+    DataCenter dc(dc_cfg);
+    ConfiguredWorkload wl = makeWorkload(cfg, dc.config(),
+                                         dc_cfg.seed);
+    JobGenerator &jobs = *wl.jobs;
+    dc.pump(std::move(wl.arrivals), jobs, wl.maxJobs, wl.until);
+    dc.runUntil(wl.until);
+    dc.run();
+    EXPECT_GT(dc.scheduler().jobsCompleted(), 800u); // ~320/s * 5 s
+    EXPECT_EQ(dc.scheduler().activeJobs(), 0u);
+}

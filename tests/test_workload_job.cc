@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit and property tests for job DAGs and job generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "sim/logging.hh"
+#include "workload/job.hh"
+#include "workload/job_generator.hh"
+#include "workload/service.hh"
+
+using namespace holdcsim;
+
+TEST(Job, SingleTask)
+{
+    Job job(1, 100);
+    TaskId t = job.addTask(TaskSpec{5 * msec, 0, 1.0});
+    job.validate();
+    EXPECT_EQ(job.numTasks(), 1u);
+    EXPECT_EQ(job.rootTasks(), std::vector<TaskId>{t});
+    EXPECT_TRUE(job.parents(t).empty());
+    EXPECT_TRUE(job.children(t).empty());
+    EXPECT_EQ(job.totalWork(), 5 * msec);
+    EXPECT_EQ(job.arrivalTick(), 100u);
+}
+
+TEST(Job, ChainParentChildIndexes)
+{
+    Job job(2, 0);
+    TaskId a = job.addTask(TaskSpec{1 * msec, 1, 1.0});
+    TaskId b = job.addTask(TaskSpec{2 * msec, 2, 1.0});
+    TaskId c = job.addTask(TaskSpec{3 * msec, 2, 1.0});
+    job.addEdge(a, b, 1000);
+    job.addEdge(b, c, 2000);
+    job.validate();
+    EXPECT_EQ(job.rootTasks(), std::vector<TaskId>{a});
+    EXPECT_EQ(job.children(a), std::vector<TaskId>{b});
+    EXPECT_EQ(job.parents(c), std::vector<TaskId>{b});
+    EXPECT_EQ(job.edgeBytes(a, b), 1000u);
+    EXPECT_EQ(job.edgeBytes(b, c), 2000u);
+    EXPECT_EQ(job.edgeBytes(a, c), 0u);
+    EXPECT_EQ(job.totalWork(), 6 * msec);
+}
+
+TEST(Job, TopologicalOrderRespectsEdges)
+{
+    Job job(3, 0);
+    // Diamond: a -> {b, c} -> d
+    TaskId a = job.addTask(TaskSpec{1 * msec});
+    TaskId b = job.addTask(TaskSpec{1 * msec});
+    TaskId c = job.addTask(TaskSpec{1 * msec});
+    TaskId d = job.addTask(TaskSpec{1 * msec});
+    job.addEdge(a, b, 0);
+    job.addEdge(a, c, 0);
+    job.addEdge(b, d, 0);
+    job.addEdge(c, d, 0);
+    job.validate();
+    auto order = job.topologicalOrder();
+    ASSERT_EQ(order.size(), 4u);
+    auto pos = [&](TaskId t) {
+        return std::find(order.begin(), order.end(), t) - order.begin();
+    };
+    EXPECT_LT(pos(a), pos(b));
+    EXPECT_LT(pos(a), pos(c));
+    EXPECT_LT(pos(b), pos(d));
+    EXPECT_LT(pos(c), pos(d));
+}
+
+TEST(Job, CycleDetected)
+{
+    Job job(4, 0);
+    TaskId a = job.addTask(TaskSpec{1 * msec});
+    TaskId b = job.addTask(TaskSpec{1 * msec});
+    job.addEdge(a, b, 0);
+    job.addEdge(b, a, 0);
+    EXPECT_THROW(job.validate(), FatalError);
+}
+
+TEST(Job, StructuralErrorsDetected)
+{
+    {
+        Job job(5, 0);
+        EXPECT_THROW(job.validate(), FatalError); // no tasks
+    }
+    {
+        Job job(6, 0);
+        TaskId a = job.addTask(TaskSpec{1 * msec});
+        job.addEdge(a, 7, 0); // out of range
+        EXPECT_THROW(job.validate(), FatalError);
+    }
+    {
+        Job job(7, 0);
+        TaskId a = job.addTask(TaskSpec{1 * msec});
+        job.addEdge(a, a, 0); // self edge
+        EXPECT_THROW(job.validate(), FatalError);
+    }
+    {
+        Job job(8, 0);
+        TaskId a = job.addTask(TaskSpec{1 * msec});
+        TaskId b = job.addTask(TaskSpec{1 * msec});
+        job.addEdge(a, b, 0);
+        job.addEdge(a, b, 0); // duplicate
+        EXPECT_THROW(job.validate(), FatalError);
+    }
+}
+
+TEST(Job, RejectsBadTaskSpecs)
+{
+    Job job(9, 0);
+    EXPECT_THROW(job.addTask(TaskSpec{0, 0, 1.0}), FatalError);
+    EXPECT_THROW(job.addTask(TaskSpec{1 * msec, 0, 1.5}), FatalError);
+}
+
+// --------------------------------------------------------------- generators
+
+namespace {
+
+std::shared_ptr<ServiceModel>
+fixedSvc(Tick t)
+{
+    return std::make_shared<FixedService>(t);
+}
+
+} // namespace
+
+TEST(JobGenerators, SingleTaskGenerator)
+{
+    SingleTaskGenerator gen(fixedSvc(5 * msec), 3);
+    Job j0 = gen.makeJob(10);
+    Job j1 = gen.makeJob(20);
+    EXPECT_NE(j0.id(), j1.id());
+    EXPECT_EQ(j0.numTasks(), 1u);
+    EXPECT_EQ(j0.task(0).serviceTime, 5 * msec);
+    EXPECT_EQ(j0.task(0).type, 3);
+}
+
+TEST(JobGenerators, ChainGeneratorShape)
+{
+    ChainJobGenerator gen({fixedSvc(2 * msec), fixedSvc(8 * msec)},
+                          {1, 2}, 4096);
+    Job j = gen.makeJob(0);
+    EXPECT_EQ(j.numTasks(), 2u);
+    EXPECT_EQ(j.numEdges(), 1u);
+    EXPECT_EQ(j.rootTasks().size(), 1u);
+    EXPECT_EQ(j.task(0).type, 1);
+    EXPECT_EQ(j.task(1).type, 2);
+    EXPECT_EQ(j.edgeBytes(0, 1), 4096u);
+}
+
+TEST(JobGenerators, FanOutInShape)
+{
+    FanOutInGenerator gen(fixedSvc(1 * msec), fixedSvc(4 * msec),
+                          fixedSvc(2 * msec), 8, 1 << 20);
+    Job j = gen.makeJob(0);
+    EXPECT_EQ(j.numTasks(), 10u); // root + agg + 8 workers
+    EXPECT_EQ(j.numEdges(), 16u);
+    ASSERT_EQ(j.rootTasks().size(), 1u);
+    TaskId root = j.rootTasks()[0];
+    EXPECT_EQ(j.children(root).size(), 8u);
+    // The aggregator is the only task with 8 parents.
+    int aggs = 0;
+    for (TaskId t = 0; t < j.numTasks(); ++t)
+        aggs += j.parents(t).size() == 8;
+    EXPECT_EQ(aggs, 1);
+}
+
+TEST(JobGenerators, RandomDagAlwaysValidAndConnected)
+{
+    RandomDagGenerator gen(fixedSvc(3 * msec), 4, 5, 0.3, 100 << 20,
+                           Rng(13, "dag"));
+    for (int i = 0; i < 50; ++i) {
+        Job j = gen.makeJob(i);
+        // validate() ran inside makeJob; check single root layer and
+        // that every non-root task has at least one parent.
+        EXPECT_EQ(j.rootTasks().size(), 1u);
+        for (TaskId t = 0; t < j.numTasks(); ++t) {
+            if (t != j.rootTasks()[0]) {
+                EXPECT_GE(j.parents(t).size(), 1u);
+            }
+        }
+        EXPECT_EQ(j.topologicalOrder().size(), j.numTasks());
+    }
+}
+
+TEST(JobGenerators, JobIdsUniqueWithinGenerator)
+{
+    SingleTaskGenerator gen(fixedSvc(1 * msec));
+    std::set<JobId> ids;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(ids.insert(gen.makeJob(i).id()).second);
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for trace I/O and the synthetic trace generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "workload/trace.hh"
+
+using namespace holdcsim;
+
+TEST(TraceIo, RoundTrip)
+{
+    std::vector<Tick> in{0, 500 * msec, 1 * sec, 1 * sec + 1};
+    std::ostringstream out;
+    writeArrivalTrace(out, in);
+    std::istringstream is(out.str());
+    auto back = readArrivalTrace(is);
+    ASSERT_EQ(back.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_NEAR(static_cast<double>(back[i]),
+                    static_cast<double>(in[i]), 2.0);
+}
+
+TEST(TraceIo, SkipsCommentsAndExtraColumns)
+{
+    std::istringstream is(
+        "# comment\n0.5 extra tokens here\n\n1.5\n");
+    auto t = readArrivalTrace(is);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0], 500 * msec);
+    EXPECT_EQ(t[1], 1 * sec + 500 * msec);
+}
+
+TEST(TraceIo, RejectsBackwardsTimestamps)
+{
+    std::istringstream is("2.0\n1.0\n");
+    EXPECT_THROW(readArrivalTrace(is), FatalError);
+}
+
+TEST(TraceIo, RejectsGarbage)
+{
+    std::istringstream is("not-a-number\n");
+    EXPECT_THROW(readArrivalTrace(is), FatalError);
+}
+
+TEST(WikipediaTrace, RateAndSortedness)
+{
+    WikipediaTraceParams p;
+    p.duration = 600 * sec;
+    p.baseRate = 80.0;
+    auto trace = makeWikipediaTrace(p, Rng(1, "wiki"));
+    EXPECT_TRUE(std::is_sorted(trace.begin(), trace.end()));
+    EXPECT_TRUE(trace.back() < p.duration);
+    // Long-run rate should be near the base rate (diurnal and noise
+    // average out).
+    EXPECT_NEAR(traceRate(trace), p.baseRate, p.baseRate * 0.25);
+}
+
+TEST(WikipediaTrace, DiurnalSwingVisible)
+{
+    WikipediaTraceParams p;
+    p.duration = 3600 * sec;
+    p.diurnalPeriod = 3600 * sec;
+    p.baseRate = 100.0;
+    p.diurnalAmplitude = 0.5;
+    p.noiseLevel = 0.05;
+    p.burstProbability = 0.0;
+    auto trace = makeWikipediaTrace(p, Rng(2, "wiki"));
+    // Count arrivals in the peak quarter (centered on sin=+1, i.e.
+    // t in [T/8, 3T/8)) vs the trough quarter ([5T/8, 7T/8)).
+    auto count_in = [&](Tick lo, Tick hi) {
+        return std::count_if(trace.begin(), trace.end(), [&](Tick t) {
+            return t >= lo && t < hi;
+        });
+    };
+    auto peak = count_in(450 * sec, 1350 * sec);
+    auto trough = count_in(2250 * sec, 3150 * sec);
+    EXPECT_GT(peak, trough * 2);
+}
+
+TEST(WikipediaTrace, DeterministicForSeed)
+{
+    WikipediaTraceParams p;
+    p.duration = 60 * sec;
+    auto a = makeWikipediaTrace(p, Rng(3, "wiki"));
+    auto b = makeWikipediaTrace(p, Rng(3, "wiki"));
+    EXPECT_EQ(a, b);
+}
+
+TEST(WikipediaTrace, RejectsBadParams)
+{
+    WikipediaTraceParams p;
+    p.baseRate = 0.0;
+    EXPECT_THROW(makeWikipediaTrace(p, Rng(1)), FatalError);
+    p = WikipediaTraceParams{};
+    p.diurnalAmplitude = 2.5;
+    EXPECT_THROW(makeWikipediaTrace(p, Rng(1)), FatalError);
+    // Clipped amplitudes above 1 are legal: troughs pin at rate 0.
+    p.diurnalAmplitude = 1.3;
+    p.duration = 30 * sec;
+    EXPECT_NO_THROW(makeWikipediaTrace(p, Rng(1)));
+}
+
+TEST(NlanrTrace, RateAndSortedness)
+{
+    NlanrTraceParams p;
+    p.duration = 500 * sec;
+    p.baseRate = 40.0;
+    auto trace = makeNlanrTrace(p, Rng(4, "nlanr"));
+    EXPECT_TRUE(std::is_sorted(trace.begin(), trace.end()));
+    EXPECT_NEAR(traceRate(trace), p.baseRate, p.baseRate * 0.3);
+}
+
+TEST(NlanrTrace, HasRateLevelShifts)
+{
+    NlanrTraceParams p;
+    p.duration = 1000 * sec;
+    p.baseRate = 50.0;
+    p.levelSpread = 0.8;
+    p.meanLevelLength = 50 * sec;
+    auto trace = makeNlanrTrace(p, Rng(5, "nlanr"));
+    // Per-100s window rates should vary substantially more than
+    // Poisson sampling noise alone (sigma/mu ~ 1/sqrt(5000) ~ 1.4%).
+    std::vector<double> window_rates;
+    for (Tick w = 0; w + 100 * sec <= p.duration; w += 100 * sec) {
+        auto count = std::count_if(
+            trace.begin(), trace.end(),
+            [&](Tick t) { return t >= w && t < w + 100 * sec; });
+        window_rates.push_back(count / 100.0);
+    }
+    double sum = 0, sumsq = 0;
+    for (double r : window_rates) {
+        sum += r;
+        sumsq += r * r;
+    }
+    double mean = sum / window_rates.size();
+    double cv =
+        std::sqrt(sumsq / window_rates.size() - mean * mean) / mean;
+    EXPECT_GT(cv, 0.05);
+}
+
+TEST(RescaleTrace, HitsTargetRate)
+{
+    NlanrTraceParams p;
+    p.duration = 300 * sec;
+    p.baseRate = 50.0;
+    auto trace = makeNlanrTrace(p, Rng(6, "nlanr"));
+    for (double target : {10.0, 120.0}) {
+        auto scaled = rescaleTraceRate(trace, target, Rng(7, "scale"));
+        EXPECT_TRUE(std::is_sorted(scaled.begin(), scaled.end()));
+        EXPECT_NEAR(traceRate(scaled), target, target * 0.15);
+    }
+}
+
+TEST(RescaleTrace, PreservesShape)
+{
+    // Scaling down a bursty trace must keep the burst located where
+    // it was: compare first-half/second-half arrival ratio.
+    std::vector<Tick> trace;
+    for (int i = 0; i < 9000; ++i) // dense first half
+        trace.push_back(static_cast<Tick>(i) * 10 * msec / 90);
+    for (int i = 0; i < 1000; ++i) // sparse second half
+        trace.push_back(1 * sec + static_cast<Tick>(i) * msec);
+    std::sort(trace.begin(), trace.end());
+    auto scaled = rescaleTraceRate(trace, traceRate(trace) / 5.0,
+                                   Rng(8, "scale"));
+    auto half = std::lower_bound(scaled.begin(), scaled.end(), 1 * sec) -
+                scaled.begin();
+    double first_frac = static_cast<double>(half) / scaled.size();
+    EXPECT_GT(first_frac, 0.8);
+}
+
+TEST(TraceRate, EdgeCases)
+{
+    EXPECT_DOUBLE_EQ(traceRate({}), 0.0);
+    EXPECT_DOUBLE_EQ(traceRate({5}), 0.0);
+    EXPECT_DOUBLE_EQ(traceRate({0, 0}), 0.0);
+    EXPECT_NEAR(traceRate({0, 1 * sec, 2 * sec}), 1.0, 1e-9);
+}
