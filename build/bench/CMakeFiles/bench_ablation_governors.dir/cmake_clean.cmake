@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_governors.dir/bench_ablation_governors.cpp.o"
+  "CMakeFiles/bench_ablation_governors.dir/bench_ablation_governors.cpp.o.d"
+  "bench_ablation_governors"
+  "bench_ablation_governors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_joint.dir/bench_fig11_joint.cpp.o"
+  "CMakeFiles/bench_fig11_joint.dir/bench_fig11_joint.cpp.o.d"
+  "bench_fig11_joint"
+  "bench_fig11_joint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_switch_validation.cpp" "bench/CMakeFiles/bench_fig13_switch_validation.dir/bench_fig13_switch_validation.cpp.o" "gcc" "bench/CMakeFiles/bench_fig13_switch_validation.dir/bench_fig13_switch_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dc/CMakeFiles/holdcsim_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/holdcsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/holdcsim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/holdcsim_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/holdcsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/holdcsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

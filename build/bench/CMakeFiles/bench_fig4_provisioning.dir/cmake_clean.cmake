@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_provisioning.dir/bench_fig4_provisioning.cpp.o"
+  "CMakeFiles/bench_fig4_provisioning.dir/bench_fig4_provisioning.cpp.o.d"
+  "bench_fig4_provisioning"
+  "bench_fig4_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_delay_timer.dir/bench_fig5_delay_timer.cpp.o"
+  "CMakeFiles/bench_fig5_delay_timer.dir/bench_fig5_delay_timer.cpp.o.d"
+  "bench_fig5_delay_timer"
+  "bench_fig5_delay_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_delay_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

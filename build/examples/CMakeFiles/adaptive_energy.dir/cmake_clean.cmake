@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_energy.dir/adaptive_energy.cpp.o"
+  "CMakeFiles/adaptive_energy.dir/adaptive_energy.cpp.o.d"
+  "adaptive_energy"
+  "adaptive_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holdcsim_cli.dir/holdcsim_cli.cpp.o"
+  "CMakeFiles/holdcsim_cli.dir/holdcsim_cli.cpp.o.d"
+  "holdcsim_cli"
+  "holdcsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holdcsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joint_server_network.dir/joint_server_network.cpp.o"
+  "CMakeFiles/joint_server_network.dir/joint_server_network.cpp.o.d"
+  "joint_server_network"
+  "joint_server_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joint_server_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_provisioning.dir/resource_provisioning.cpp.o"
+  "CMakeFiles/resource_provisioning.dir/resource_provisioning.cpp.o.d"
+  "resource_provisioning"
+  "resource_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dc/datacenter.cc" "src/dc/CMakeFiles/holdcsim_dc.dir/datacenter.cc.o" "gcc" "src/dc/CMakeFiles/holdcsim_dc.dir/datacenter.cc.o.d"
+  "/root/repo/src/dc/dc_config.cc" "src/dc/CMakeFiles/holdcsim_dc.dir/dc_config.cc.o" "gcc" "src/dc/CMakeFiles/holdcsim_dc.dir/dc_config.cc.o.d"
+  "/root/repo/src/dc/metrics.cc" "src/dc/CMakeFiles/holdcsim_dc.dir/metrics.cc.o" "gcc" "src/dc/CMakeFiles/holdcsim_dc.dir/metrics.cc.o.d"
+  "/root/repo/src/dc/validation.cc" "src/dc/CMakeFiles/holdcsim_dc.dir/validation.cc.o" "gcc" "src/dc/CMakeFiles/holdcsim_dc.dir/validation.cc.o.d"
+  "/root/repo/src/dc/workload_config.cc" "src/dc/CMakeFiles/holdcsim_dc.dir/workload_config.cc.o" "gcc" "src/dc/CMakeFiles/holdcsim_dc.dir/workload_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/holdcsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/holdcsim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/holdcsim_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/holdcsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/holdcsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holdcsim_dc.dir/datacenter.cc.o"
+  "CMakeFiles/holdcsim_dc.dir/datacenter.cc.o.d"
+  "CMakeFiles/holdcsim_dc.dir/dc_config.cc.o"
+  "CMakeFiles/holdcsim_dc.dir/dc_config.cc.o.d"
+  "CMakeFiles/holdcsim_dc.dir/metrics.cc.o"
+  "CMakeFiles/holdcsim_dc.dir/metrics.cc.o.d"
+  "CMakeFiles/holdcsim_dc.dir/validation.cc.o"
+  "CMakeFiles/holdcsim_dc.dir/validation.cc.o.d"
+  "CMakeFiles/holdcsim_dc.dir/workload_config.cc.o"
+  "CMakeFiles/holdcsim_dc.dir/workload_config.cc.o.d"
+  "libholdcsim_dc.a"
+  "libholdcsim_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holdcsim_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

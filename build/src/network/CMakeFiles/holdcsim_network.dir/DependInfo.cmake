@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/alr.cc" "src/network/CMakeFiles/holdcsim_network.dir/alr.cc.o" "gcc" "src/network/CMakeFiles/holdcsim_network.dir/alr.cc.o.d"
+  "/root/repo/src/network/flow_manager.cc" "src/network/CMakeFiles/holdcsim_network.dir/flow_manager.cc.o" "gcc" "src/network/CMakeFiles/holdcsim_network.dir/flow_manager.cc.o.d"
+  "/root/repo/src/network/linecard.cc" "src/network/CMakeFiles/holdcsim_network.dir/linecard.cc.o" "gcc" "src/network/CMakeFiles/holdcsim_network.dir/linecard.cc.o.d"
+  "/root/repo/src/network/network.cc" "src/network/CMakeFiles/holdcsim_network.dir/network.cc.o" "gcc" "src/network/CMakeFiles/holdcsim_network.dir/network.cc.o.d"
+  "/root/repo/src/network/port.cc" "src/network/CMakeFiles/holdcsim_network.dir/port.cc.o" "gcc" "src/network/CMakeFiles/holdcsim_network.dir/port.cc.o.d"
+  "/root/repo/src/network/routing.cc" "src/network/CMakeFiles/holdcsim_network.dir/routing.cc.o" "gcc" "src/network/CMakeFiles/holdcsim_network.dir/routing.cc.o.d"
+  "/root/repo/src/network/switch.cc" "src/network/CMakeFiles/holdcsim_network.dir/switch.cc.o" "gcc" "src/network/CMakeFiles/holdcsim_network.dir/switch.cc.o.d"
+  "/root/repo/src/network/switch_power.cc" "src/network/CMakeFiles/holdcsim_network.dir/switch_power.cc.o" "gcc" "src/network/CMakeFiles/holdcsim_network.dir/switch_power.cc.o.d"
+  "/root/repo/src/network/topology.cc" "src/network/CMakeFiles/holdcsim_network.dir/topology.cc.o" "gcc" "src/network/CMakeFiles/holdcsim_network.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/holdcsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holdcsim_network.dir/alr.cc.o"
+  "CMakeFiles/holdcsim_network.dir/alr.cc.o.d"
+  "CMakeFiles/holdcsim_network.dir/flow_manager.cc.o"
+  "CMakeFiles/holdcsim_network.dir/flow_manager.cc.o.d"
+  "CMakeFiles/holdcsim_network.dir/linecard.cc.o"
+  "CMakeFiles/holdcsim_network.dir/linecard.cc.o.d"
+  "CMakeFiles/holdcsim_network.dir/network.cc.o"
+  "CMakeFiles/holdcsim_network.dir/network.cc.o.d"
+  "CMakeFiles/holdcsim_network.dir/port.cc.o"
+  "CMakeFiles/holdcsim_network.dir/port.cc.o.d"
+  "CMakeFiles/holdcsim_network.dir/routing.cc.o"
+  "CMakeFiles/holdcsim_network.dir/routing.cc.o.d"
+  "CMakeFiles/holdcsim_network.dir/switch.cc.o"
+  "CMakeFiles/holdcsim_network.dir/switch.cc.o.d"
+  "CMakeFiles/holdcsim_network.dir/switch_power.cc.o"
+  "CMakeFiles/holdcsim_network.dir/switch_power.cc.o.d"
+  "CMakeFiles/holdcsim_network.dir/topology.cc.o"
+  "CMakeFiles/holdcsim_network.dir/topology.cc.o.d"
+  "libholdcsim_network.a"
+  "libholdcsim_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holdcsim_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/adaptive_policy.cc" "src/sched/CMakeFiles/holdcsim_sched.dir/adaptive_policy.cc.o" "gcc" "src/sched/CMakeFiles/holdcsim_sched.dir/adaptive_policy.cc.o.d"
+  "/root/repo/src/sched/dispatch_policy.cc" "src/sched/CMakeFiles/holdcsim_sched.dir/dispatch_policy.cc.o" "gcc" "src/sched/CMakeFiles/holdcsim_sched.dir/dispatch_policy.cc.o.d"
+  "/root/repo/src/sched/global_scheduler.cc" "src/sched/CMakeFiles/holdcsim_sched.dir/global_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/holdcsim_sched.dir/global_scheduler.cc.o.d"
+  "/root/repo/src/sched/provisioning.cc" "src/sched/CMakeFiles/holdcsim_sched.dir/provisioning.cc.o" "gcc" "src/sched/CMakeFiles/holdcsim_sched.dir/provisioning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/holdcsim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/holdcsim_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/holdcsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/holdcsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holdcsim_sched.dir/adaptive_policy.cc.o"
+  "CMakeFiles/holdcsim_sched.dir/adaptive_policy.cc.o.d"
+  "CMakeFiles/holdcsim_sched.dir/dispatch_policy.cc.o"
+  "CMakeFiles/holdcsim_sched.dir/dispatch_policy.cc.o.d"
+  "CMakeFiles/holdcsim_sched.dir/global_scheduler.cc.o"
+  "CMakeFiles/holdcsim_sched.dir/global_scheduler.cc.o.d"
+  "CMakeFiles/holdcsim_sched.dir/provisioning.cc.o"
+  "CMakeFiles/holdcsim_sched.dir/provisioning.cc.o.d"
+  "libholdcsim_sched.a"
+  "libholdcsim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holdcsim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/core.cc" "src/server/CMakeFiles/holdcsim_server.dir/core.cc.o" "gcc" "src/server/CMakeFiles/holdcsim_server.dir/core.cc.o.d"
+  "/root/repo/src/server/dvfs.cc" "src/server/CMakeFiles/holdcsim_server.dir/dvfs.cc.o" "gcc" "src/server/CMakeFiles/holdcsim_server.dir/dvfs.cc.o.d"
+  "/root/repo/src/server/local_scheduler.cc" "src/server/CMakeFiles/holdcsim_server.dir/local_scheduler.cc.o" "gcc" "src/server/CMakeFiles/holdcsim_server.dir/local_scheduler.cc.o.d"
+  "/root/repo/src/server/power_controller.cc" "src/server/CMakeFiles/holdcsim_server.dir/power_controller.cc.o" "gcc" "src/server/CMakeFiles/holdcsim_server.dir/power_controller.cc.o.d"
+  "/root/repo/src/server/power_profile.cc" "src/server/CMakeFiles/holdcsim_server.dir/power_profile.cc.o" "gcc" "src/server/CMakeFiles/holdcsim_server.dir/power_profile.cc.o.d"
+  "/root/repo/src/server/power_state.cc" "src/server/CMakeFiles/holdcsim_server.dir/power_state.cc.o" "gcc" "src/server/CMakeFiles/holdcsim_server.dir/power_state.cc.o.d"
+  "/root/repo/src/server/server.cc" "src/server/CMakeFiles/holdcsim_server.dir/server.cc.o" "gcc" "src/server/CMakeFiles/holdcsim_server.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/holdcsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/holdcsim_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

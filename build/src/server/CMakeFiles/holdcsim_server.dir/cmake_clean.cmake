@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holdcsim_server.dir/core.cc.o"
+  "CMakeFiles/holdcsim_server.dir/core.cc.o.d"
+  "CMakeFiles/holdcsim_server.dir/dvfs.cc.o"
+  "CMakeFiles/holdcsim_server.dir/dvfs.cc.o.d"
+  "CMakeFiles/holdcsim_server.dir/local_scheduler.cc.o"
+  "CMakeFiles/holdcsim_server.dir/local_scheduler.cc.o.d"
+  "CMakeFiles/holdcsim_server.dir/power_controller.cc.o"
+  "CMakeFiles/holdcsim_server.dir/power_controller.cc.o.d"
+  "CMakeFiles/holdcsim_server.dir/power_profile.cc.o"
+  "CMakeFiles/holdcsim_server.dir/power_profile.cc.o.d"
+  "CMakeFiles/holdcsim_server.dir/power_state.cc.o"
+  "CMakeFiles/holdcsim_server.dir/power_state.cc.o.d"
+  "CMakeFiles/holdcsim_server.dir/server.cc.o"
+  "CMakeFiles/holdcsim_server.dir/server.cc.o.d"
+  "libholdcsim_server.a"
+  "libholdcsim_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holdcsim_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

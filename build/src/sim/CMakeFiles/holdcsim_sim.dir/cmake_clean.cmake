@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holdcsim_sim.dir/config.cc.o"
+  "CMakeFiles/holdcsim_sim.dir/config.cc.o.d"
+  "CMakeFiles/holdcsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/holdcsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/holdcsim_sim.dir/logging.cc.o"
+  "CMakeFiles/holdcsim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/holdcsim_sim.dir/random.cc.o"
+  "CMakeFiles/holdcsim_sim.dir/random.cc.o.d"
+  "CMakeFiles/holdcsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/holdcsim_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/holdcsim_sim.dir/stats.cc.o"
+  "CMakeFiles/holdcsim_sim.dir/stats.cc.o.d"
+  "libholdcsim_sim.a"
+  "libholdcsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holdcsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

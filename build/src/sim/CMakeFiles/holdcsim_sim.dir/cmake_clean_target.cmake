@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libholdcsim_sim.a"
+)

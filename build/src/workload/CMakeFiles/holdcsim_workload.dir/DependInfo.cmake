@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival.cc" "src/workload/CMakeFiles/holdcsim_workload.dir/arrival.cc.o" "gcc" "src/workload/CMakeFiles/holdcsim_workload.dir/arrival.cc.o.d"
+  "/root/repo/src/workload/job.cc" "src/workload/CMakeFiles/holdcsim_workload.dir/job.cc.o" "gcc" "src/workload/CMakeFiles/holdcsim_workload.dir/job.cc.o.d"
+  "/root/repo/src/workload/job_generator.cc" "src/workload/CMakeFiles/holdcsim_workload.dir/job_generator.cc.o" "gcc" "src/workload/CMakeFiles/holdcsim_workload.dir/job_generator.cc.o.d"
+  "/root/repo/src/workload/service.cc" "src/workload/CMakeFiles/holdcsim_workload.dir/service.cc.o" "gcc" "src/workload/CMakeFiles/holdcsim_workload.dir/service.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/holdcsim_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/holdcsim_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/holdcsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

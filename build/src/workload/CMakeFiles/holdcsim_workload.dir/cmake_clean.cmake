@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holdcsim_workload.dir/arrival.cc.o"
+  "CMakeFiles/holdcsim_workload.dir/arrival.cc.o.d"
+  "CMakeFiles/holdcsim_workload.dir/job.cc.o"
+  "CMakeFiles/holdcsim_workload.dir/job.cc.o.d"
+  "CMakeFiles/holdcsim_workload.dir/job_generator.cc.o"
+  "CMakeFiles/holdcsim_workload.dir/job_generator.cc.o.d"
+  "CMakeFiles/holdcsim_workload.dir/service.cc.o"
+  "CMakeFiles/holdcsim_workload.dir/service.cc.o.d"
+  "CMakeFiles/holdcsim_workload.dir/trace.cc.o"
+  "CMakeFiles/holdcsim_workload.dir/trace.cc.o.d"
+  "libholdcsim_workload.a"
+  "libholdcsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holdcsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

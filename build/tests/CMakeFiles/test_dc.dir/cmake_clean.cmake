@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dc.dir/test_dc.cc.o"
+  "CMakeFiles/test_dc.dir/test_dc.cc.o.d"
+  "test_dc"
+  "test_dc.pdb"
+  "test_dc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

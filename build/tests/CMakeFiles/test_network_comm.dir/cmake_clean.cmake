@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_comm.dir/test_network_comm.cc.o"
+  "CMakeFiles/test_network_comm.dir/test_network_comm.cc.o.d"
+  "test_network_comm"
+  "test_network_comm.pdb"
+  "test_network_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

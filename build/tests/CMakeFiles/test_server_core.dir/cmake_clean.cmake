@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_core.dir/test_server_core.cc.o"
+  "CMakeFiles/test_server_core.dir/test_server_core.cc.o.d"
+  "test_server_core"
+  "test_server_core.pdb"
+  "test_server_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_job.dir/test_workload_job.cc.o"
+  "CMakeFiles/test_workload_job.dir/test_workload_job.cc.o.d"
+  "test_workload_job"
+  "test_workload_job.pdb"
+  "test_workload_job[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_event[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_random[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_config[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_arrival[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_job[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_server_core[1]_include.cmake")
+include("/root/repo/build/tests/test_server[1]_include.cmake")
+include("/root/repo/build/tests/test_network_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_network_switch[1]_include.cmake")
+include("/root/repo/build/tests/test_network_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_dc[1]_include.cmake")
+include("/root/repo/build/tests/test_power_governors[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_config[1]_include.cmake")
