@@ -1,0 +1,14 @@
+#!/bin/sh
+# Configure, build and run the full test suite under ASan + UBSan.
+# Usage: bench/run_sanitized.sh [build-dir]
+# Any additional diagnostics (leaks, UB) fail the run.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DHOLDCSIM_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j
+ASAN_OPTIONS=detect_leaks=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fault-tolerance study: a 100-server fleet under steady load, swept
+ * across component MTTF values (1 h, 10 h, 100 h) against a no-fault
+ * baseline. Servers crash and recover per an exponential lifetime
+ * model (MTTR 2 min); in-flight tasks die with them and the global
+ * scheduler retries each task with exponential backoff.
+ *
+ * Reported per configuration: fleet availability, faults injected,
+ * task retries, jobs abandoned, energy wasted on killed attempts and
+ * the inflation of mean/99th-percentile job latency.
+ *
+ * Deterministic: every random stream (arrivals, service, failures,
+ * retry jitter) derives from the experiment seed, so two runs with
+ * the same seed print identical results.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/fault_tolerance
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "dc/datacenter.hh"
+#include "workload/service.hh"
+
+using namespace holdcsim;
+
+namespace {
+
+struct RunResult {
+    double availability = 1.0;
+    unsigned long long faults = 0;
+    unsigned long long retries = 0;
+    unsigned long long jobsDone = 0;
+    unsigned long long jobsFailed = 0;
+    double wastedJ = 0.0;
+    double wastedFrac = 0.0;
+    double meanLatMs = 0.0;
+    double p99LatMs = 0.0;
+};
+
+RunResult
+runOnce(double mttf_hours)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 100;
+    cfg.nCores = 4;
+    cfg.dispatch = DataCenterConfig::Dispatch::leastLoaded;
+    cfg.seed = 7;
+    if (mttf_hours > 0.0) {
+        cfg.fault.enabled = true;
+        cfg.fault.mttfHours = mttf_hours;
+        cfg.fault.mttrMinutes = 2.0;
+        cfg.fault.maxRetries = 4;
+        cfg.fault.retryBackoffBase = 50 * msec;
+        cfg.fault.retryBackoffMax = 5 * sec;
+    }
+    DataCenter dc(cfg);
+
+    // 500 ms jobs at ~35% fleet utilization for 900 simulated
+    // seconds.
+    auto service = std::make_shared<FixedService>(500 * msec);
+    SingleTaskGenerator jobs(service);
+    double lambda = PoissonArrival::rateForUtilization(
+        0.35, cfg.nServers, cfg.nCores, 0.5);
+    const Tick horizon = 900 * sec;
+    dc.pump(std::make_unique<PoissonArrival>(lambda,
+                                             dc.makeRng("arrivals")),
+            jobs, static_cast<std::size_t>(-1), horizon);
+
+    dc.run();
+    dc.finishStats();
+
+    RunResult r;
+    const auto &lat = dc.scheduler().jobLatency();
+    r.jobsDone = dc.scheduler().jobsCompleted();
+    r.jobsFailed = dc.scheduler().jobsFailed();
+    r.retries = dc.scheduler().taskRetries();
+    r.meanLatMs = lat.mean() * 1e3;
+    r.p99LatMs = lat.p99() * 1e3;
+    ReliabilitySummary rel = fleetReliability(dc.serverPtrs());
+    r.wastedJ = rel.wastedJoules;
+    r.wastedFrac = rel.wastedFraction();
+    if (dc.faults()) {
+        r.availability = dc.faults()->fleetAvailability();
+        r.faults = dc.faults()->faultsInjected();
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    struct Sweep {
+        const char *label;
+        double mttfHours;
+    };
+    const Sweep sweep[] = {
+        {"no faults", 0.0},
+        {"MTTF 100h", 100.0},
+        {"MTTF  10h", 10.0},
+        {"MTTF   1h", 1.0},
+    };
+
+    std::printf("fault tolerance: 100 servers x 4 cores, 35%% load, "
+                "MTTR 2 min, 4 retries\n\n");
+    std::printf("%-10s %12s %7s %8s %8s %7s %10s %8s %9s %9s\n",
+                "config", "availability", "faults", "retries",
+                "done", "failed", "wasted_J", "waste_%",
+                "mean_ms", "p99_ms");
+
+    for (const Sweep &s : sweep) {
+        RunResult r = runOnce(s.mttfHours);
+        std::printf("%-10s %12.6f %7llu %8llu %8llu %7llu %10.1f "
+                    "%8.3f %9.2f %9.2f\n",
+                    s.label, r.availability, r.faults, r.retries,
+                    r.jobsDone, r.jobsFailed, r.wastedJ,
+                    100.0 * r.wastedFrac, r.meanLatMs, r.p99LatMs);
+    }
+    return 0;
+}

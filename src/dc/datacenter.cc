@@ -144,6 +144,39 @@ DataCenter::DataCenter(const DataCenterConfig &config)
     gsc.antiAffinity = _config.taskAntiAffinity;
     _sched = std::make_unique<GlobalScheduler>(
         _sim, _serverPtrs, std::move(policy), gsc, _net.get());
+
+    if (_config.fault.enabled) {
+        RetryPolicy rp;
+        rp.maxAttempts = _config.fault.maxRetries + 1;
+        rp.backoffBase = _config.fault.retryBackoffBase;
+        rp.backoffMax = _config.fault.retryBackoffMax;
+        rp.taskTimeout = _config.fault.taskTimeout;
+        _retryJitter = std::make_unique<Rng>(
+            makeRng("fault.retry.jitter"));
+        _sched->setRetryPolicy(rp, _retryJitter.get());
+
+        std::unique_ptr<FaultModel> model;
+        if (!_config.fault.faultTrace.empty()) {
+            model = TraceFaultModel::fromFile(_config.fault.faultTrace);
+        } else {
+            auto dist = _config.fault.distribution == "weibull"
+                ? StochasticFaultModel::Distribution::weibull
+                : StochasticFaultModel::Distribution::exponential;
+            model = std::make_unique<StochasticFaultModel>(
+                _config.seed,
+                fromSeconds(_config.fault.mttfHours * 3600.0),
+                fromSeconds(_config.fault.mttrMinutes * 60.0),
+                dist, _config.fault.weibullShape);
+        }
+        FaultManagerConfig fmc;
+        fmc.faultServers = _config.fault.faultServers;
+        fmc.faultSwitches = _config.fault.faultSwitches;
+        fmc.faultLinecards = _config.fault.faultLinecards;
+        fmc.faultLinks = _config.fault.faultLinks;
+        _faults = std::make_unique<FaultManager>(
+            _sim, std::move(model), _serverPtrs, _net.get(),
+            _sched.get(), fmc);
+    }
 }
 
 DataCenter::~DataCenter()
@@ -220,6 +253,8 @@ DataCenter::finishStats()
         s->finishStats();
     if (_net)
         _net->finishStats();
+    if (_faults)
+        _faults->finishStats();
 }
 
 void
@@ -249,6 +284,27 @@ DataCenter::dumpStats(std::ostream &os)
     sched_group.add("job_latency_p99_s", lat.p99());
     sched_group.dump(os);
 
+    if (_faults) {
+        ReliabilitySummary rel = fleetReliability(_serverPtrs);
+        StatGroup g("reliability");
+        g.add("fleet_availability", _faults->fleetAvailability());
+        g.add("faults_injected", _faults->faultsInjected());
+        g.add("total_downtime_s", toSeconds(_faults->totalDowntime()));
+        g.add("components_down",
+              static_cast<std::uint64_t>(_faults->currentlyDown()));
+        g.add("task_retries", _sched->taskRetries());
+        g.add("task_timeouts", _sched->taskTimeouts());
+        g.add("transfers_aborted", _sched->transfersAborted());
+        g.add("jobs_failed", _sched->jobsFailed());
+        g.add("server_failures", rel.serverFailures);
+        g.add("tasks_killed", rel.tasksKilled);
+        g.add("wasted_joules", rel.wastedJoules);
+        g.add("wasted_energy_frac", rel.wastedFraction());
+        if (_net)
+            g.add("flows_aborted", _net->flows().flowsAborted());
+        g.dump(os);
+    }
+
     for (auto &srv : _servers) {
         StatGroup g("server" + std::to_string(srv->id()));
         const EnergyBreakdown &e = srv->energy();
@@ -270,6 +326,10 @@ DataCenter::dumpStats(std::ostream &os)
               r.fraction(static_cast<int>(ServerState::pkgC6)));
         g.add("frac_sys_sleep",
               r.fraction(static_cast<int>(ServerState::sysSleep)));
+        if (_faults) {
+            g.add("frac_failed",
+                  r.fraction(static_cast<int>(ServerState::failed)));
+        }
         g.dump(os);
     }
 
@@ -307,6 +367,8 @@ DataCenter::resetStats()
             _net->switchAt(i).resetStats();
     }
     _sched->resetStats();
+    if (_faults)
+        _faults->resetStats();
 }
 
 } // namespace holdcsim

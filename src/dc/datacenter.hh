@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "dc_config.hh"
+#include "fault/fault_manager.hh"
 #include "metrics.hh"
 #include "network/network.hh"
 #include "sched/global_scheduler.hh"
@@ -50,6 +51,8 @@ class DataCenter
     }
     /** Null when the config has no fabric. */
     Network *network() { return _net.get(); }
+    /** Null unless config.fault.enabled. */
+    FaultManager *faults() { return _faults.get(); }
     const DataCenterConfig &config() const { return _config; }
     ///@}
 
@@ -120,7 +123,10 @@ class DataCenter
     std::unique_ptr<Network> _net;
     std::vector<std::unique_ptr<Server>> _servers;
     std::vector<Server *> _serverPtrs;
+    /** Jitter stream handed to the scheduler; must outlive it. */
+    std::unique_ptr<Rng> _retryJitter;
     std::unique_ptr<GlobalScheduler> _sched;
+    std::unique_ptr<FaultManager> _faults;
     std::vector<std::unique_ptr<Pump>> _pumps;
 };
 

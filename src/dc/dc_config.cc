@@ -13,6 +13,27 @@ DataCenterConfig::validate() const
         fatal("servers need at least one core");
     if (dispatch == Dispatch::networkAware && fabric == Fabric::none)
         fatal("network-aware dispatch requires a fabric");
+    if (fault.enabled) {
+        if ((fault.faultSwitches || fault.faultLinecards ||
+             fault.faultLinks) &&
+            fabric == Fabric::none) {
+            fatal("network faults require a fabric");
+        }
+        if (fault.faultTrace.empty() &&
+            (fault.mttfHours <= 0.0 || fault.mttrMinutes <= 0.0)) {
+            fatal("stochastic faults need positive MTTF and MTTR");
+        }
+        if (fault.distribution != "exponential" &&
+            fault.distribution != "weibull") {
+            fatal("unknown fault.distribution '", fault.distribution,
+                  "'");
+        }
+        if (!fault.faultServers && !fault.faultSwitches &&
+            !fault.faultLinecards && !fault.faultLinks) {
+            fatal("fault injection enabled but no component class "
+                  "selected");
+        }
+    }
     serverProfile.validate();
     if (fabric != Fabric::none)
         switchProfile.validate();
@@ -104,6 +125,44 @@ DataCenterConfig::fromConfig(const Config &cfg)
     if (cfg.has("network.switch_sleep_ms")) {
         out.netConfig.switchSleepDelay = static_cast<Tick>(
             cfg.getDouble("network.switch_sleep_ms") *
+            static_cast<double>(msec));
+    }
+
+    out.fault.enabled = cfg.getBool("fault.enabled", out.fault.enabled);
+    out.fault.mttfHours =
+        cfg.getDouble("fault.mttf_hours", out.fault.mttfHours);
+    out.fault.mttrMinutes =
+        cfg.getDouble("fault.mttr_minutes", out.fault.mttrMinutes);
+    out.fault.distribution =
+        cfg.getString("fault.distribution", out.fault.distribution);
+    out.fault.weibullShape =
+        cfg.getDouble("fault.weibull_shape", out.fault.weibullShape);
+    out.fault.faultTrace =
+        cfg.getString("fault.fault_trace", out.fault.faultTrace);
+    out.fault.faultServers =
+        cfg.getBool("fault.fault_servers", out.fault.faultServers);
+    out.fault.faultSwitches =
+        cfg.getBool("fault.fault_switches", out.fault.faultSwitches);
+    out.fault.faultLinecards =
+        cfg.getBool("fault.fault_linecards", out.fault.faultLinecards);
+    out.fault.faultLinks =
+        cfg.getBool("fault.fault_links", out.fault.faultLinks);
+    out.fault.maxRetries = static_cast<unsigned>(cfg.getInt(
+        "fault.max_retries",
+        static_cast<std::int64_t>(out.fault.maxRetries)));
+    if (cfg.has("fault.retry_backoff_base_ms")) {
+        out.fault.retryBackoffBase = static_cast<Tick>(
+            cfg.getDouble("fault.retry_backoff_base_ms") *
+            static_cast<double>(msec));
+    }
+    if (cfg.has("fault.retry_backoff_max_ms")) {
+        out.fault.retryBackoffMax = static_cast<Tick>(
+            cfg.getDouble("fault.retry_backoff_max_ms") *
+            static_cast<double>(msec));
+    }
+    if (cfg.has("fault.task_timeout_ms")) {
+        out.fault.taskTimeout = static_cast<Tick>(
+            cfg.getDouble("fault.task_timeout_ms") *
             static_cast<double>(msec));
     }
 

@@ -10,6 +10,7 @@
 #define HOLDCSIM_DC_DC_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "network/network.hh"
 #include "network/switch_power.hh"
@@ -66,6 +67,35 @@ struct DataCenterConfig {
     NetworkConfig netConfig;
     ///@}
 
+    /** @name Fault injection and retry (strictly opt-in) */
+    ///@{
+    struct FaultSettings {
+        /** Master switch; everything below is inert when false. */
+        bool enabled = false;
+        /** Mean time to failure per component. */
+        double mttfHours = 100.0;
+        /** Mean time to repair per component. */
+        double mttrMinutes = 10.0;
+        /** Time-to-failure distribution: exponential | weibull. */
+        std::string distribution = "exponential";
+        double weibullShape = 1.5;
+        /** Deterministic trace file; overrides the distributions. */
+        std::string faultTrace;
+        /** Which component classes fail. */
+        bool faultServers = true;
+        bool faultSwitches = false;
+        bool faultLinecards = false;
+        bool faultLinks = false;
+        /** Retries after the first attempt (maxAttempts - 1). */
+        unsigned maxRetries = 2;
+        Tick retryBackoffBase = 10 * msec;
+        Tick retryBackoffMax = 10 * sec;
+        /** Per-attempt timeout; 0 disables. */
+        Tick taskTimeout = 0;
+    };
+    FaultSettings fault;
+    ///@}
+
     /** Root seed for every random stream in the experiment. */
     std::uint64_t seed = 1;
 
@@ -85,6 +115,12 @@ struct DataCenterConfig {
      *   [network]    fabric (none|star|fat_tree|flattened_butterfly|
      *                bcube|camcube), param, param2, link_rate_gbps,
      *                link_latency_us, switch_sleep_ms
+     *   [fault]      enabled, mttf_hours, mttr_minutes,
+     *                distribution (exponential|weibull),
+     *                weibull_shape, fault_trace, fault_servers,
+     *                fault_switches, fault_linecards, fault_links,
+     *                max_retries, retry_backoff_base_ms,
+     *                retry_backoff_max_ms, task_timeout_ms
      */
     static DataCenterConfig fromConfig(const Config &cfg);
 };

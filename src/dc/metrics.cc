@@ -43,6 +43,20 @@ fleetResidency(const std::vector<Server *> &servers)
     return fractions;
 }
 
+ReliabilitySummary
+fleetReliability(const std::vector<Server *> &servers)
+{
+    ReliabilitySummary out;
+    for (Server *s : servers) {
+        s->accrue();
+        out.serverFailures += s->failures();
+        out.tasksKilled += s->tasksKilled();
+        out.wastedJoules += s->wastedJoules();
+        out.totalJoules += s->energy().total();
+    }
+    return out;
+}
+
 GaugeSampler::GaugeSampler(Simulator &sim, std::function<double()> fn,
                            Tick period, std::string name)
     : _sim(sim), _fn(std::move(fn)), _period(period),

@@ -34,6 +34,36 @@ FleetEnergy fleetEnergy(const std::vector<Server *> &servers);
 std::vector<double>
 fleetResidency(const std::vector<Server *> &servers);
 
+/**
+ * Fleet-wide reliability books: how often servers crashed, how much
+ * work the crashes destroyed, and what fraction of the energy bill
+ * paid for attempts that never completed (goodput vs waste).
+ */
+struct ReliabilitySummary {
+    /** Crash episodes across the fleet. */
+    std::uint64_t serverFailures = 0;
+    /** In-flight tasks aborted by crashes or cancellation. */
+    std::uint64_t tasksKilled = 0;
+    /** Energy spent on those aborted attempts. */
+    Joules wastedJoules = 0.0;
+    /** Total fleet energy (accrued to the current tick). */
+    Joules totalJoules = 0.0;
+
+    /** Share of the energy bill that bought no finished work. */
+    double
+    wastedFraction() const
+    {
+        return totalJoules > 0.0 ? wastedJoules / totalJoules : 0.0;
+    }
+
+    /** Energy that paid for completed work. */
+    Joules goodputJoules() const { return totalJoules - wastedJoules; }
+};
+
+/** Aggregate reliability counters across @p servers (accrues). */
+ReliabilitySummary
+fleetReliability(const std::vector<Server *> &servers);
+
 /** One sample of a scalar signal. */
 struct Sample {
     Tick when;

@@ -1,0 +1,206 @@
+#include "fault_manager.hh"
+
+#include "network/network.hh"
+#include "sched/global_scheduler.hh"
+#include "server/server.hh"
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+FaultManager::TargetState::TargetState(FaultManager &mgr,
+                                       const FaultTarget &t)
+    : event([&mgr, this] { mgr.onEvent(*this); },
+            "fault." + toString(t))
+{
+    stats.target = t;
+    // Background: a fault schedule reaching past the workload's end
+    // must not keep the simulation running.
+    event.setBackground(true);
+}
+
+FaultManager::FaultManager(Simulator &sim,
+                           std::unique_ptr<FaultModel> model,
+                           std::vector<Server *> servers, Network *net,
+                           GlobalScheduler *sched,
+                           const FaultManagerConfig &config)
+    : _sim(sim), _model(std::move(model)), _servers(std::move(servers)),
+      _net(net), _sched(sched)
+{
+    if (!_model)
+        fatal("fault manager needs a fault model");
+    if ((config.faultSwitches || config.faultLinecards ||
+         config.faultLinks) &&
+        !_net) {
+        fatal("network faults requested but no network attached");
+    }
+
+    std::vector<FaultTarget> targets;
+    if (config.faultServers) {
+        for (std::size_t i = 0; i < _servers.size(); ++i)
+            targets.push_back({FaultKind::server, i, 0});
+    }
+    if (config.faultSwitches) {
+        for (std::size_t i = 0; i < _net->numSwitches(); ++i)
+            targets.push_back({FaultKind::swtch, i, 0});
+    }
+    if (config.faultLinecards) {
+        for (std::size_t i = 0; i < _net->numSwitches(); ++i) {
+            std::size_t cards = _net->switchAt(i).numLineCards();
+            for (unsigned lc = 0; lc < cards; ++lc)
+                targets.push_back({FaultKind::linecard, i, lc});
+        }
+    }
+    if (config.faultLinks) {
+        for (std::size_t l = 0; l < _net->topology().numLinks(); ++l)
+            targets.push_back({FaultKind::link, l, 0});
+    }
+
+    Tick now = _sim.curTick();
+    for (const FaultTarget &t : targets) {
+        auto ts = std::make_unique<TargetState>(*this, t);
+        ts->stats.residency.enter(0, now);
+        _targets.push_back(std::move(ts));
+        armNext(*_targets.back(), now);
+    }
+}
+
+FaultManager::~FaultManager()
+{
+    for (auto &ts : _targets) {
+        if (ts->event.scheduled())
+            _sim.deschedule(ts->event);
+    }
+}
+
+void
+FaultManager::armNext(TargetState &ts, Tick from)
+{
+    auto rec = _model->nextFault(ts.stats.target, from);
+    if (!rec)
+        return; // this component never fails (again)
+    if (rec->upAt <= rec->downAt)
+        fatal("fault model produced an empty episode for ",
+              toString(ts.stats.target));
+    ts.pending = *rec;
+    Tick at = ts.pending.downAt;
+    _sim.schedule(ts.event, at > from ? at : from + 1);
+}
+
+void
+FaultManager::onEvent(TargetState &ts)
+{
+    if (!ts.stats.down) {
+        applyDown(ts);
+        ts.stats.down = true;
+        ++ts.stats.faults;
+        ++_faultsInjected;
+        ++_currentlyDown;
+        ts.stats.residency.enter(1, _sim.curTick());
+        Tick up = ts.pending.upAt;
+        Tick now = _sim.curTick();
+        _sim.schedule(ts.event, up > now ? up : now + 1);
+        return;
+    }
+    applyUp(ts);
+    ts.stats.down = false;
+    --_currentlyDown;
+    Tick now = _sim.curTick();
+    ts.stats.residency.enter(0, now);
+    armNext(ts, now);
+}
+
+void
+FaultManager::applyDown(TargetState &ts)
+{
+    const FaultTarget &t = ts.stats.target;
+    switch (t.kind) {
+      case FaultKind::server: {
+        std::vector<TaskRef> killed = _servers.at(t.index)->fail();
+        if (_sched)
+            _sched->onServerFailed(t.index, killed);
+        break;
+      }
+      case FaultKind::swtch:
+        _net->failSwitch(t.index);
+        break;
+      case FaultKind::linecard:
+        _net->failLinecard(t.index, t.sub);
+        break;
+      case FaultKind::link:
+        _net->failLink(static_cast<LinkId>(t.index));
+        break;
+    }
+}
+
+void
+FaultManager::applyUp(TargetState &ts)
+{
+    const FaultTarget &t = ts.stats.target;
+    switch (t.kind) {
+      case FaultKind::server:
+        _servers.at(t.index)->repair();
+        if (_sched)
+            _sched->onServerRepaired(t.index);
+        break;
+      case FaultKind::swtch:
+        _net->repairSwitch(t.index);
+        break;
+      case FaultKind::linecard:
+        _net->repairLinecard(t.index, t.sub);
+        break;
+      case FaultKind::link:
+        _net->repairLink(static_cast<LinkId>(t.index));
+        break;
+    }
+}
+
+double
+FaultManager::availability(std::size_t i) const
+{
+    const ComponentStats &cs = _targets.at(i)->stats;
+    if (cs.residency.totalTime() == 0)
+        return 1.0;
+    return cs.residency.fraction(0);
+}
+
+double
+FaultManager::fleetAvailability() const
+{
+    if (_targets.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < _targets.size(); ++i)
+        sum += availability(i);
+    return sum / static_cast<double>(_targets.size());
+}
+
+Tick
+FaultManager::totalDowntime() const
+{
+    Tick total = 0;
+    for (const auto &ts : _targets)
+        total += ts->stats.residency.residency(1);
+    return total;
+}
+
+void
+FaultManager::finishStats()
+{
+    Tick now = _sim.curTick();
+    for (auto &ts : _targets)
+        ts->stats.residency.finish(now);
+}
+
+void
+FaultManager::resetStats()
+{
+    Tick now = _sim.curTick();
+    for (auto &ts : _targets) {
+        ts->stats.faults = 0;
+        ts->stats.residency.reset();
+        ts->stats.residency.enter(ts->stats.down ? 1 : 0, now);
+    }
+    _faultsInjected = 0;
+}
+
+} // namespace holdcsim

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fault injection and availability accounting.
+ *
+ * The FaultManager owns a FaultModel and drives its episodes into
+ * the simulated plant: it crashes and repairs servers, switches,
+ * line cards and links at the model's times, routes the damage to
+ * the right subsystem (killed tasks to the global scheduler for
+ * retry, severed flows and stale routes to the network), and keeps
+ * per-component up/down residencies from which availability and
+ * downtime statistics are derived.
+ *
+ * Injection events are background events: a fault schedule extending
+ * past the end of the workload never keeps the simulation alive.
+ */
+
+#ifndef HOLDCSIM_FAULT_FAULT_MANAGER_HH
+#define HOLDCSIM_FAULT_FAULT_MANAGER_HH
+
+#include <memory>
+#include <vector>
+
+#include "fault_model.hh"
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace holdcsim {
+
+class Server;
+class Network;
+class GlobalScheduler;
+
+/** Which component classes the manager injects faults into. */
+struct FaultManagerConfig {
+    bool faultServers = true;
+    bool faultSwitches = false;
+    bool faultLinecards = false;
+    bool faultLinks = false;
+};
+
+/** Drives a FaultModel's episodes into servers and the fabric. */
+class FaultManager
+{
+  public:
+    /** Up/down bookkeeping for one faultable component. */
+    struct ComponentStats {
+        FaultTarget target;
+        /** Crashes injected so far. */
+        std::uint64_t faults = 0;
+        /** Residency over {0 = up, 1 = down}. */
+        StateResidency residency;
+        bool down = false;
+    };
+
+    /**
+     * @param sim     engine
+     * @param model   fault schedule source (owned)
+     * @param servers server fleet (server i must have id i)
+     * @param net     fabric, may be null (server faults only)
+     * @param sched   scheduler notified of kills, may be null
+     * @param config  which component classes to fault
+     *
+     * Enumerates the faultable components per @p config and
+     * schedules each one's first episode immediately.
+     */
+    FaultManager(Simulator &sim, std::unique_ptr<FaultModel> model,
+                 std::vector<Server *> servers, Network *net,
+                 GlobalScheduler *sched,
+                 const FaultManagerConfig &config = {});
+
+    ~FaultManager();
+    FaultManager(const FaultManager &) = delete;
+    FaultManager &operator=(const FaultManager &) = delete;
+
+    /** @name Introspection and statistics */
+    ///@{
+    std::size_t numTargets() const { return _targets.size(); }
+    /** Total crash episodes injected so far. */
+    std::uint64_t faultsInjected() const { return _faultsInjected; }
+    /** Components currently down. */
+    std::size_t currentlyDown() const { return _currentlyDown; }
+
+    /** Per-component books (index < numTargets()). */
+    const ComponentStats &componentStats(std::size_t i) const
+    {
+        return _targets.at(i)->stats;
+    }
+
+    /**
+     * Fraction of measured time component @p i was up. Call
+     * finishStats() first for books closed at the current tick.
+     */
+    double availability(std::size_t i) const;
+
+    /** Mean availability over every managed component. */
+    double fleetAvailability() const;
+
+    /** Total down time summed over every component. */
+    Tick totalDowntime() const;
+
+    /** Close every residency at the current tick. */
+    void finishStats();
+    /** Zero residencies and counters (end of warmup). */
+    void resetStats();
+    ///@}
+
+  private:
+    struct TargetState {
+        ComponentStats stats;
+        /** The episode currently being played (down or pending). */
+        FaultRecord pending;
+        /** Fires at pending.downAt, then at pending.upAt. */
+        EventFunctionWrapper event;
+
+        TargetState(FaultManager &mgr, const FaultTarget &t);
+    };
+
+    /** Ask the model for the episode after @p from and arm it. */
+    void armNext(TargetState &ts, Tick from);
+    /** The armed event fired: crash or repair the component. */
+    void onEvent(TargetState &ts);
+    void applyDown(TargetState &ts);
+    void applyUp(TargetState &ts);
+
+    Simulator &_sim;
+    std::unique_ptr<FaultModel> _model;
+    std::vector<Server *> _servers;
+    Network *_net;
+    GlobalScheduler *_sched;
+
+    std::vector<std::unique_ptr<TargetState>> _targets;
+    std::uint64_t _faultsInjected = 0;
+    std::size_t _currentlyDown = 0;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_FAULT_FAULT_MANAGER_HH

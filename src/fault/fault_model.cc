@@ -1,0 +1,186 @@
+#include "fault_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+std::string
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::server:   return "server";
+      case FaultKind::swtch:    return "switch";
+      case FaultKind::link:     return "link";
+      case FaultKind::linecard: return "linecard";
+    }
+    HOLDCSIM_PANIC("unknown FaultKind");
+}
+
+std::string
+toString(const FaultTarget &target)
+{
+    std::string s = toString(target.kind) + "." +
+                    std::to_string(target.index);
+    if (target.kind == FaultKind::linecard)
+        s += "." + std::to_string(target.sub);
+    return s;
+}
+
+// ----------------------------------------------------------- TraceFaultModel
+
+void
+TraceFaultModel::addFault(const FaultTarget &target, Tick down_at,
+                          Tick up_at)
+{
+    if (up_at <= down_at)
+        fatal("fault on ", toString(target),
+              " repairs before (or as) it breaks");
+    _episodes[target].push_back(FaultRecord{down_at, up_at});
+    _finalized = false;
+}
+
+void
+TraceFaultModel::finalize()
+{
+    for (auto &[target, queue] : _episodes) {
+        std::sort(queue.begin(), queue.end(),
+                  [](const FaultRecord &a, const FaultRecord &b) {
+                      return a.downAt < b.downAt;
+                  });
+        for (std::size_t i = 1; i < queue.size(); ++i) {
+            if (queue[i].downAt < queue[i - 1].upAt)
+                fatal("overlapping fault episodes for ",
+                      toString(target));
+        }
+    }
+    _finalized = true;
+}
+
+std::optional<FaultRecord>
+TraceFaultModel::nextFault(const FaultTarget &target, Tick now)
+{
+    if (!_finalized)
+        finalize();
+    auto it = _episodes.find(target);
+    if (it == _episodes.end())
+        return std::nullopt;
+    auto &queue = it->second;
+    // Skip episodes the caller's clock has already passed (the trace
+    // may start before a warmup-reset consumer begins asking).
+    while (!queue.empty() && queue.front().upAt <= now)
+        queue.pop_front();
+    if (queue.empty())
+        return std::nullopt;
+    FaultRecord rec = queue.front();
+    queue.pop_front();
+    if (rec.downAt < now)
+        rec.downAt = now;
+    return rec;
+}
+
+std::unique_ptr<TraceFaultModel>
+TraceFaultModel::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open fault trace '", path, "'");
+    auto model = std::make_unique<TraceFaultModel>();
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ss(line);
+        std::string kind_word;
+        if (!(ss >> kind_word))
+            continue; // blank line
+        FaultTarget target;
+        if (kind_word == "server") {
+            target.kind = FaultKind::server;
+        } else if (kind_word == "switch") {
+            target.kind = FaultKind::swtch;
+        } else if (kind_word == "link") {
+            target.kind = FaultKind::link;
+        } else if (kind_word == "linecard") {
+            target.kind = FaultKind::linecard;
+        } else {
+            fatal(path, ":", lineno, ": unknown fault kind '",
+                  kind_word, "'");
+        }
+        double down_s = 0.0, up_s = 0.0;
+        bool ok;
+        if (target.kind == FaultKind::linecard) {
+            ok = static_cast<bool>(ss >> target.index >> target.sub >>
+                                   down_s >> up_s);
+        } else {
+            ok = static_cast<bool>(ss >> target.index >> down_s >>
+                                   up_s);
+        }
+        if (!ok)
+            fatal(path, ":", lineno, ": malformed fault line");
+        model->addFault(target, fromSeconds(down_s),
+                        fromSeconds(up_s));
+    }
+    model->finalize();
+    return model;
+}
+
+// ------------------------------------------------------ StochasticFaultModel
+
+StochasticFaultModel::StochasticFaultModel(std::uint64_t seed,
+                                           Tick mttf, Tick mttr,
+                                           Distribution dist,
+                                           double weibull_shape)
+    : _seed(seed), _mttf(mttf), _mttr(mttr), _dist(dist),
+      _weibullShape(weibull_shape)
+{
+    if (mttf == 0 || mttr == 0)
+        fatal("stochastic fault model needs positive MTTF and MTTR");
+    if (dist == Distribution::weibull && weibull_shape <= 0.0)
+        fatal("weibull shape must be positive");
+    // E[Weibull(k, lambda)] = lambda * Gamma(1 + 1/k); invert so the
+    // configured MTTF is the distribution's mean regardless of shape.
+    _weibullScale =
+        dist == Distribution::weibull
+            ? static_cast<double>(mttf) /
+                  std::tgamma(1.0 + 1.0 / weibull_shape)
+            : 0.0;
+}
+
+Rng &
+StochasticFaultModel::rngFor(const FaultTarget &target)
+{
+    auto it = _rngs.find(target);
+    if (it != _rngs.end())
+        return it->second;
+    // One named stream per component: draws stay identical when
+    // other components are added or removed from the fault set.
+    return _rngs.emplace(target, Rng(_seed, "fault." + toString(target)))
+        .first->second;
+}
+
+std::optional<FaultRecord>
+StochasticFaultModel::nextFault(const FaultTarget &target, Tick now)
+{
+    Rng &rng = rngFor(target);
+    double ttf_ticks =
+        _dist == Distribution::weibull
+            ? rng.weibull(_weibullShape, _weibullScale)
+            : rng.exponential(static_cast<double>(_mttf));
+    double ttr_ticks = rng.exponential(static_cast<double>(_mttr));
+    auto ttf = static_cast<Tick>(std::max(1.0, ttf_ticks));
+    auto ttr = static_cast<Tick>(std::max(1.0, ttr_ticks));
+    FaultRecord rec;
+    rec.downAt = now + ttf;
+    rec.upAt = rec.downAt + ttr;
+    return rec;
+}
+
+} // namespace holdcsim

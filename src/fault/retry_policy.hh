@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Task retry policy (fault subsystem).
+ *
+ * When a task attempt dies -- its server crashed, a result transfer
+ * was severed by a link failure, or a task timeout expired -- the
+ * global scheduler consults a RetryPolicy: how many attempts a task
+ * gets, how long to back off before re-dispatching (exponential with
+ * optional jitter), and how long an attempt may run before it is
+ * presumed lost. Header-only so the scheduler can consume it without
+ * linking the fault library.
+ */
+
+#ifndef HOLDCSIM_FAULT_RETRY_POLICY_HH
+#define HOLDCSIM_FAULT_RETRY_POLICY_HH
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace holdcsim {
+
+/** Retry/backoff parameters for failed task attempts. */
+struct RetryPolicy {
+    /** Total tries per task (1 = no retries). */
+    unsigned maxAttempts = 3;
+    /** Backoff before the first retry; doubles every retry after. */
+    Tick backoffBase = 10 * msec;
+    /** Upper bound on any single backoff interval. */
+    Tick backoffMax = 10 * sec;
+    /**
+     * Uniform jitter applied to each backoff as a fraction of the
+     * interval (0.1 = +/-10%), decorrelating retry storms after a
+     * correlated failure. Needs an Rng at backoff() time.
+     */
+    double jitterFrac = 0.1;
+    /**
+     * An attempt running longer than this is presumed lost and
+     * retried (covers dispatch-to-completion). 0 disables timeouts.
+     */
+    Tick taskTimeout = 0;
+
+    /**
+     * Backoff interval after attempt number @p failed_attempt
+     * (1-based) failed. @p jitter may be null for the deterministic
+     * midpoint.
+     */
+    Tick
+    backoff(unsigned failed_attempt, Rng *jitter = nullptr) const
+    {
+        if (failed_attempt == 0)
+            failed_attempt = 1;
+        // Cap the shift so the doubling cannot overflow Tick before
+        // the explicit backoffMax clamp applies.
+        unsigned shift = failed_attempt - 1;
+        Tick interval;
+        if (shift >= 63 || backoffBase > (backoffMax >> shift))
+            interval = backoffMax;
+        else
+            interval = backoffBase << shift;
+        if (interval > backoffMax)
+            interval = backoffMax;
+        if (jitter && jitterFrac > 0.0) {
+            double f = jitter->uniform(1.0 - jitterFrac,
+                                       1.0 + jitterFrac);
+            interval = static_cast<Tick>(
+                static_cast<double>(interval) * f);
+        }
+        return interval > 0 ? interval : 1;
+    }
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_FAULT_RETRY_POLICY_HH

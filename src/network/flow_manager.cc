@@ -174,6 +174,56 @@ FlowManager::reshare()
     }
 }
 
+bool
+FlowManager::abortFlow(FlowId flow)
+{
+    auto it = _flows.find(flow);
+    if (it == _flows.end())
+        return false;
+    Flow &f = it->second;
+    bool was_active = f.active;
+    FlowDoneFn aborted = std::move(f.onAbort);
+    if (f.completion && f.completion->scheduled())
+        _sim.deschedule(*f.completion);
+    if (f.activation && f.activation->scheduled())
+        _sim.deschedule(*f.activation);
+    if (was_active)
+        settleProgress(); // other flows keep their progress to now
+    _flows.erase(it);
+    ++_flowsAborted;
+    if (was_active)
+        reshare(); // the freed bandwidth goes to the survivors
+    if (aborted)
+        aborted();
+    return true;
+}
+
+std::size_t
+FlowManager::abortFlowsOn(LinkId l)
+{
+    std::vector<FlowId> doomed;
+    for (const auto &[id, flow] : _flows) {
+        for (const auto &dl : flow.path) {
+            if (dl.link == l) {
+                doomed.push_back(id);
+                break;
+            }
+        }
+    }
+    for (FlowId id : doomed)
+        abortFlow(id);
+    return doomed.size();
+}
+
+void
+FlowManager::setAbortCallback(FlowId flow, FlowDoneFn on_abort)
+{
+    auto it = _flows.find(flow);
+    if (it == _flows.end())
+        HOLDCSIM_PANIC("abort callback for unknown flow ", flow);
+    it->second.onAbort = std::move(on_abort);
+}
+
 BitsPerSec
 FlowManager::flowRate(FlowId flow) const
 {

@@ -62,8 +62,25 @@ class FlowManager
      */
     double linkUtilization(LinkId l) const;
 
+    /**
+     * Abort flow @p flow: its completion never fires and @p on_abort
+     * (if set at start) is invoked. Returns whether the flow existed.
+     */
+    bool abortFlow(FlowId flow);
+
+    /**
+     * Abort every flow (active or pending) whose route traverses
+     * link @p l -- the link just failed. Returns how many died.
+     */
+    std::size_t abortFlowsOn(LinkId l);
+
+    /** Register the abort callback for flow @p flow. */
+    void setAbortCallback(FlowId flow, FlowDoneFn on_abort);
+
     /** Completed-flow count and transfer-latency statistics. */
     std::uint64_t flowsCompleted() const { return _flowsCompleted; }
+    /** Flows killed by faults/cancellation. */
+    std::uint64_t flowsAborted() const { return _flowsAborted; }
     const Percentile &flowLatency() const { return _flowLatency; }
 
   private:
@@ -88,6 +105,7 @@ class FlowManager
         Tick startedAt = 0;
         bool active = false;
         FlowDoneFn onDone;
+        FlowDoneFn onAbort;
         std::unique_ptr<EventFunctionWrapper> completion;
         std::unique_ptr<EventFunctionWrapper> activation;
     };
@@ -105,6 +123,7 @@ class FlowManager
     FlowId _nextId = 0;
 
     std::uint64_t _flowsCompleted = 0;
+    std::uint64_t _flowsAborted = 0;
     Percentile _flowLatency;
 };
 

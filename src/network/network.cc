@@ -1,47 +1,17 @@
 #include "network.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "sim/logging.hh"
 
 namespace holdcsim {
 
-namespace {
-
-/**
- * A self-deleting one-shot event. Safe because the engine does not
- * touch the event object after process() returns.
- */
-class OneShot : public Event
-{
-  public:
-    OneShot(std::function<void()> fn, std::size_t &pending)
-        : Event("net.oneShot"), _fn(std::move(fn)), _pending(pending)
-    {
-        ++_pending;
-    }
-
-    void
-    process() override
-    {
-        auto fn = std::move(_fn);
-        --_pending;
-        delete this;
-        fn();
-    }
-
-  private:
-    std::function<void()> _fn;
-    std::size_t &_pending;
-};
-
-} // namespace
-
 Network::Network(Simulator &sim, Topology topo,
                  const SwitchPowerProfile &profile,
                  const NetworkConfig &config)
     : _sim(sim), _topo(std::move(topo)), _config(config),
-      _routing(_topo), _flowMgr(sim, _topo)
+      _routing(_topo), _flowMgr(sim, _topo), _oneShots(sim, "net.oneShot")
 {
     _topo.validateConnected();
     _portMap.resize(_topo.numNodes());
@@ -82,8 +52,7 @@ Network::~Network() = default;
 void
 Network::scheduleAfterDelay(Tick delay, std::function<void()> fn)
 {
-    auto *ev = new OneShot(std::move(fn), _oneShotsPending);
-    _sim.scheduleAfter(*ev, delay);
+    _oneShots.schedule(delay, std::move(fn));
 }
 
 unsigned
@@ -100,10 +69,20 @@ Network::portOf(NodeId n, LinkId l) const
 
 FlowId
 Network::startFlow(std::size_t src_server, std::size_t dst_server,
-                   Bytes bytes, std::function<void()> on_done)
+                   Bytes bytes, std::function<void()> on_done,
+                   std::function<void()> on_abort)
 {
     NodeId src = _topo.serverNode(src_server);
     NodeId dst = _topo.serverNode(dst_server);
+    if (!_routing.reachable(src, dst)) {
+        // Partitioned fabric: report the failure asynchronously so
+        // the caller never re-enters itself from startFlow().
+        scheduleAfterDelay(0, [cb = std::move(on_abort)] {
+            if (cb)
+                cb();
+        });
+        return invalidFlow;
+    }
     std::uint64_t key = (_nextPacketId++ << 1) | 1;
     Route route = _routing.route(src, dst, key);
 
@@ -128,15 +107,104 @@ Network::startFlow(std::size_t src_server, std::size_t dst_server,
         uses.push_back(PortUse{sw, in, out});
     }
 
-    auto done = [this, uses = std::move(uses),
-                 cb = std::move(on_done)]() {
-        for (const auto &u : uses)
+    // Port bookkeeping must be released whether the flow completes
+    // or dies with a failed link, so both paths share the cleanup.
+    auto uses_p =
+        std::make_shared<std::vector<PortUse>>(std::move(uses));
+    auto release = [uses_p] {
+        for (const auto &u : *uses_p)
             u.sw->flowEnded(u.in, u.out);
+        uses_p->clear();
+    };
+    auto done = [release, cb = std::move(on_done)]() {
+        release();
         if (cb)
             cb();
     };
-    return _flowMgr.startFlow(std::move(route), bytes, std::move(done),
-                              wake_delay);
+    FlowId id = _flowMgr.startFlow(std::move(route), bytes,
+                                   std::move(done), wake_delay);
+    _flowMgr.setAbortCallback(
+        id, [release, cb = std::move(on_abort)]() {
+            release();
+            if (cb)
+                cb();
+        });
+    return id;
+}
+
+// ------------------------------------------------------------ fault support
+
+std::size_t
+Network::failLink(LinkId l)
+{
+    if (!_routing.linkHealthy(l))
+        return 0;
+    _routing.setLinkHealth(l, false);
+    return _flowMgr.abortFlowsOn(l);
+}
+
+void
+Network::repairLink(LinkId l)
+{
+    _routing.setLinkHealth(l, true);
+}
+
+std::size_t
+Network::failSwitch(std::size_t sw_idx)
+{
+    NodeId node = _topo.switchNode(sw_idx);
+    if (!_routing.nodeHealthy(node))
+        return 0;
+    _routing.setNodeHealth(node, false);
+    _switches.at(sw_idx)->setFailed(true);
+    std::size_t killed = 0;
+    for (LinkId l : _topo.linksAt(node))
+        killed += _flowMgr.abortFlowsOn(l);
+    return killed;
+}
+
+void
+Network::repairSwitch(std::size_t sw_idx)
+{
+    _routing.setNodeHealth(_topo.switchNode(sw_idx), true);
+    _switches.at(sw_idx)->setFailed(false);
+}
+
+std::vector<LinkId>
+Network::linecardLinks(std::size_t sw_idx, unsigned lc_idx) const
+{
+    NodeId node = _topo.switchNode(sw_idx);
+    const auto &links = _topo.linksAt(node);
+    std::vector<LinkId> out;
+    unsigned first = lc_idx * _config.portsPerLinecard;
+    for (unsigned p = first;
+         p < first + _config.portsPerLinecard && p < links.size(); ++p) {
+        out.push_back(links[p]);
+    }
+    return out;
+}
+
+std::size_t
+Network::failLinecard(std::size_t sw_idx, unsigned lc_idx)
+{
+    std::size_t killed = 0;
+    for (LinkId l : linecardLinks(sw_idx, lc_idx))
+        killed += failLink(l);
+    return killed;
+}
+
+void
+Network::repairLinecard(std::size_t sw_idx, unsigned lc_idx)
+{
+    for (LinkId l : linecardLinks(sw_idx, lc_idx))
+        repairLink(l);
+}
+
+bool
+Network::serversReachable(std::size_t src_server, std::size_t dst_server)
+{
+    return _routing.reachable(_topo.serverNode(src_server),
+                              _topo.serverNode(dst_server));
 }
 
 // ------------------------------------------------------------- packet model
@@ -154,10 +222,17 @@ Network::sendPacket(std::size_t src_server, std::size_t dst_server,
     pkt->src = src;
     pkt->dst = dst;
     pkt->bytes = bytes;
-    pkt->route = _routing.route(src, dst, pkt->id);
     pkt->sentAt = _sim.curTick();
     pkt->onDelivered = std::move(on_delivered);
     pkt->onDropped = std::move(on_dropped);
+
+    if (src != dst && !_routing.reachable(src, dst)) {
+        // No healthy path: the packet is lost (asynchronously, so
+        // the caller sees uniform callback timing).
+        scheduleAfterDelay(0, [this, pkt] { dropPacket(pkt); });
+        return;
+    }
+    pkt->route = _routing.route(src, dst, pkt->id);
 
     if (src == dst) {
         // Local delivery.
@@ -203,6 +278,11 @@ Network::forwardFrom(const PacketPtr &pkt, NodeId at, Tick extra)
         HOLDCSIM_PANIC("packet ", pkt->id, " ran past its route");
     LinkId next_link = pkt->route.links[pkt->hop];
     ++pkt->hop;
+    if (!_routing.linkHealthy(next_link)) {
+        // The link died while the packet was in flight.
+        dropPacket(pkt);
+        return;
+    }
     if (_topo.isSwitch(at)) {
         Switch *sw = _switches[_topo.switchIndex(at)].get();
         unsigned out = portOf(at, next_link);
@@ -262,6 +342,11 @@ Network::sleepingSwitchesOnPath(std::size_t src_server,
 {
     NodeId src = _topo.serverNode(src_server);
     NodeId dst = _topo.serverNode(dst_server);
+    if (!_routing.reachable(src, dst)) {
+        // Prohibitive cost: policies weighing wake cost must never
+        // pick a destination they cannot reach.
+        return std::numeric_limits<unsigned>::max();
+    }
     Route route = _routing.route(src, dst, 0);
     unsigned count = 0;
     for (NodeId n : route.nodes) {

@@ -19,6 +19,7 @@
 #include "flow_manager.hh"
 #include "packet.hh"
 #include "routing.hh"
+#include "sim/one_shot.hh"
 #include "sim/simulator.hh"
 #include "switch.hh"
 #include "switch_power.hh"
@@ -63,6 +64,12 @@ class Network
     std::size_t numSwitches() const { return _switches.size(); }
     Switch &switchAt(std::size_t i) { return *_switches.at(i); }
 
+    /**
+     * Returned by startFlow() when no healthy path exists; the
+     * abort callback still fires (asynchronously).
+     */
+    static constexpr FlowId invalidFlow = ~static_cast<FlowId>(0);
+
     /** @name Flow-based communication */
     ///@{
     /**
@@ -71,10 +78,41 @@ class Network
      * switches/line cards/ports on the path wake first; their wake
      * latency delays the transfer start. @p on_done fires when the
      * last byte arrives. Transfers between a server and itself
-     * complete immediately.
+     * complete immediately. @p on_abort (optional) fires instead of
+     * @p on_done if the flow is killed by a fault on its path; when
+     * the fabric is already partitioned it fires on the next tick
+     * and invalidFlow is returned.
      */
     FlowId startFlow(std::size_t src_server, std::size_t dst_server,
-                     Bytes bytes, std::function<void()> on_done);
+                     Bytes bytes, std::function<void()> on_done,
+                     std::function<void()> on_abort = {});
+    ///@}
+
+    /** @name Fault injection (driven by the fault subsystem) */
+    ///@{
+    /**
+     * Take link @p l out of service: in-flight flows crossing it are
+     * aborted, packets reaching it are dropped, and new routes avoid
+     * it. Returns the number of flows killed. Idempotent.
+     */
+    std::size_t failLink(LinkId l);
+    void repairLink(LinkId l);
+
+    /** Crash/repair switch @p sw_idx (switch ordinal). */
+    std::size_t failSwitch(std::size_t sw_idx);
+    void repairSwitch(std::size_t sw_idx);
+
+    /**
+     * Fail/repair one line card of a switch: every link driven by
+     * the card's ports goes down, the rest of the switch keeps
+     * forwarding. Returns the number of flows killed.
+     */
+    std::size_t failLinecard(std::size_t sw_idx, unsigned lc_idx);
+    void repairLinecard(std::size_t sw_idx, unsigned lc_idx);
+
+    /** Whether healthy links connect the two servers right now. */
+    bool serversReachable(std::size_t src_server,
+                          std::size_t dst_server);
     ///@}
 
     /** @name Packet-level communication */
@@ -104,7 +142,8 @@ class Network
     /**
      * Network cost of reaching @p dst_server from @p src_server:
      * the number of currently sleeping switches the shortest path
-     * would have to wake.
+     * would have to wake. Unreachable pairs (fabric partitioned by
+     * faults) report a prohibitively large cost.
      */
     unsigned sleepingSwitchesOnPath(std::size_t src_server,
                                     std::size_t dst_server);
@@ -128,6 +167,9 @@ class Network
   private:
     /** Port ordinal of link @p l on switch node @p n. */
     unsigned portOf(NodeId n, LinkId l) const;
+    /** Links driven by line card @p lc_idx of switch @p sw_idx. */
+    std::vector<LinkId> linecardLinks(std::size_t sw_idx,
+                                      unsigned lc_idx) const;
     /** Continue @p pkt after it crossed the link at hop - 1. */
     void packetArrived(const PacketPtr &pkt, NodeId at);
     /** Queue @p pkt at node @p at for its next hop. */
@@ -154,8 +196,8 @@ class Network
 
     /** Fire-and-forget event helper (self-cleaning one-shots). */
     void scheduleAfterDelay(Tick delay, std::function<void()> fn);
-    /** Count of one-shot events still in flight (leak guard). */
-    std::size_t _oneShotsPending = 0;
+    /** Owns fire-and-forget events; frees stragglers at teardown. */
+    OneShotPool _oneShots;
 };
 
 } // namespace holdcsim

@@ -35,17 +35,24 @@ StaticRouting::tableFor(NodeId src)
     if (it != _tables.end())
         return it->second;
 
+    ++_tableBuilds;
     Table table;
     table.dist.assign(_topo.numNodes(), unreachable);
     table.parentLinks.assign(_topo.numNodes(), {});
     std::queue<NodeId> frontier;
-    table.dist[src] = 0;
-    frontier.push(src);
+    if (nodeHealthy(src)) {
+        table.dist[src] = 0;
+        frontier.push(src);
+    }
     while (!frontier.empty()) {
         NodeId n = frontier.front();
         frontier.pop();
         for (LinkId l : _topo.linksAt(n)) {
+            if (!linkHealthy(l))
+                continue;
             NodeId m = _topo.otherEnd(l, n);
+            if (!nodeHealthy(m))
+                continue;
             if (table.dist[m] == unreachable) {
                 table.dist[m] = table.dist[n] + 1;
                 table.parentLinks[m].push_back(l);
@@ -102,6 +109,56 @@ StaticRouting::hopCount(NodeId src, NodeId dst)
     if (table.dist[dst] == unreachable)
         fatal("no route from node ", src, " to node ", dst);
     return table.dist[dst];
+}
+
+bool
+StaticRouting::reachable(NodeId src, NodeId dst)
+{
+    if (src >= _topo.numNodes() || dst >= _topo.numNodes())
+        fatal("route endpoint out of range");
+    if (src == dst)
+        return nodeHealthy(src);
+    return tableFor(src).dist[dst] != unreachable;
+}
+
+void
+StaticRouting::setLinkHealth(LinkId link, bool up)
+{
+    if (link >= _topo.numLinks())
+        fatal("link ", link, " out of range");
+    if (linkHealthy(link) == up)
+        return; // idempotent: no table churn
+    if (_linkDown.empty())
+        _linkDown.assign(_topo.numLinks(), false);
+    _linkDown[link] = !up;
+    _downCount += up ? -1 : 1;
+    invalidate();
+}
+
+void
+StaticRouting::setNodeHealth(NodeId node, bool up)
+{
+    if (node >= _topo.numNodes())
+        fatal("node ", node, " out of range");
+    if (nodeHealthy(node) == up)
+        return;
+    if (_nodeDown.empty())
+        _nodeDown.assign(_topo.numNodes(), false);
+    _nodeDown[node] = !up;
+    _downCount += up ? -1 : 1;
+    invalidate();
+}
+
+bool
+StaticRouting::linkHealthy(LinkId link) const
+{
+    return _linkDown.empty() || !_linkDown[link];
+}
+
+bool
+StaticRouting::nodeHealthy(NodeId node) const
+{
+    return _nodeDown.empty() || !_nodeDown[node];
 }
 
 } // namespace holdcsim

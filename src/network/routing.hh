@@ -10,6 +10,12 @@
  * the equal-cost candidates so distinct flows spread over the fabric
  * deterministically. invalidate() drops the caches so routes can be
  * recomputed after a (simulated) topology change.
+ *
+ * The router also carries a health mask over links and nodes so the
+ * fault subsystem can take components out of the fabric: BFS simply
+ * skips unhealthy elements. Health setters are idempotent -- tables
+ * are rebuilt only when a component's health actually changes, never
+ * per flow -- and restoring health restores the original paths.
  */
 
 #ifndef HOLDCSIM_NETWORK_ROUTING_HH
@@ -50,8 +56,39 @@ class StaticRouting
     /** Hop count of the shortest path (0 when src == dst). */
     std::size_t hopCount(NodeId src, NodeId dst);
 
+    /**
+     * Whether @p dst can be reached from @p src over healthy
+     * elements. Unlike route(), never fatals on a partition.
+     */
+    bool reachable(NodeId src, NodeId dst);
+
     /** Drop all cached tables (topology changed). */
     void invalidate() { _tables.clear(); }
+
+    /** @name Component health (fault subsystem) */
+    ///@{
+    /**
+     * Mark link @p link up/down. Idempotent: cached tables are only
+     * invalidated when the health actually flips.
+     */
+    void setLinkHealth(LinkId link, bool up);
+
+    /** Mark node @p node (switch) up/down; same idempotence. */
+    void setNodeHealth(NodeId node, bool up);
+
+    bool linkHealthy(LinkId link) const;
+    bool nodeHealthy(NodeId node) const;
+
+    /** Whether any link or node is currently marked down. */
+    bool anyUnhealthy() const { return _downCount > 0; }
+    ///@}
+
+    /**
+     * Number of per-source BFS table builds performed so far. A
+     * regression handle: steady-state routing must not rebuild
+     * tables per flow, only after health/topology changes.
+     */
+    std::uint64_t tableBuilds() const { return _tableBuilds; }
 
     const Topology &topology() const { return _topo; }
 
@@ -71,6 +108,11 @@ class StaticRouting
 
     const Topology &_topo;
     std::unordered_map<NodeId, Table> _tables;
+    /** Per-link / per-node down flags (empty until first fault). */
+    std::vector<bool> _linkDown;
+    std::vector<bool> _nodeDown;
+    std::size_t _downCount = 0;
+    std::uint64_t _tableBuilds = 0;
 };
 
 } // namespace holdcsim

@@ -75,9 +75,22 @@ Switch::trySleep()
     return true;
 }
 
+void
+Switch::setFailed(bool failed)
+{
+    if (failed == _failed)
+        return;
+    accrue();
+    _failed = failed;
+    if (failed && _sleepEvent.scheduled())
+        _sim.deschedule(_sleepEvent);
+}
+
 bool
 Switch::forwardPacket(const PacketPtr &pkt, unsigned out_port)
 {
+    if (_failed)
+        return false; // a dead switch drops everything
     Tick wake_delay = wakeForActivity(out_port);
     ++_packetsForwarded;
     return _ports.at(out_port)->sendPacket(
@@ -104,6 +117,8 @@ Switch::flowEnded(unsigned in_port, unsigned out_port)
 Watts
 Switch::power() const
 {
+    if (_failed)
+        return 0.0;
     if (_asleep)
         return _profile.switchSleep;
     Watts total = _profile.chassisBase;
@@ -167,7 +182,7 @@ Switch::portActivityChanged(unsigned linecard_idx)
 void
 Switch::linecardStateChanged()
 {
-    if (_config.switchSleepDelay == maxTick || _asleep)
+    if (_config.switchSleepDelay == maxTick || _asleep || _failed)
         return;
     // Arm the whole-switch sleep countdown once every line card has
     // gone to sleep (or off).

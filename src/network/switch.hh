@@ -60,6 +60,14 @@ class Switch
     bool asleep() const { return _asleep; }
 
     /**
+     * Crash/repair the whole switch (fault subsystem). A failed
+     * switch draws no power and drops every packet; route and flow
+     * handling around it is the Network facade's job.
+     */
+    void setFailed(bool failed);
+    bool failed() const { return _failed; }
+
+    /**
      * Rouse everything needed to use port @p port_idx: the switch,
      * its line card and the port itself. Returns the total wake
      * latency to account for.
@@ -127,6 +135,7 @@ class Switch
     std::vector<std::unique_ptr<LineCard>> _linecards;
 
     bool _asleep = false;
+    bool _failed = false;
     Tick _forwardingDelay = 1 * usec;
     EventFunctionWrapper _sleepEvent;
 

@@ -14,7 +14,7 @@ GlobalScheduler::GlobalScheduler(Simulator &sim,
                                  Network *net)
     : _sim(sim), _servers(std::move(servers)),
       _policy(std::move(policy)), _config(config), _net(net),
-      _eligible(_servers.size(), true)
+      _eligible(_servers.size(), true), _oneShots(sim, "sched.retry")
 {
     if (_servers.empty())
         fatal("global scheduler needs at least one server");
@@ -38,6 +38,17 @@ GlobalScheduler::setPolicy(std::unique_ptr<DispatchPolicy> policy)
     if (!policy)
         fatal("cannot install a null dispatch policy");
     _policy = std::move(policy);
+}
+
+void
+GlobalScheduler::setRetryPolicy(const RetryPolicy &policy,
+                                Rng *jitter_rng)
+{
+    if (policy.maxAttempts == 0)
+        fatal("retry policy needs at least one attempt");
+    _retry = policy;
+    _retryJitter = jitter_rng;
+    _retryEnabled = true;
 }
 
 void
@@ -74,6 +85,8 @@ GlobalScheduler::resetStats()
 {
     _jobsSubmitted = _jobsCompleted = 0;
     _tasksDispatched = _transfersStarted = 0;
+    _taskRetries = _taskTimeouts = 0;
+    _transfersAborted = _jobsFailedCount = 0;
     _jobLatency.reset();
 }
 
@@ -90,11 +103,13 @@ GlobalScheduler::submitJob(Job job)
 {
     ++_jobsSubmitted;
     JobId id = job.id();
-    RuntimeJob rt{std::move(job), {}, {}, {}, 0};
+    RuntimeJob rt{std::move(job), {}, {}, {}, {}, {}, 0};
     const std::size_t n = rt.job.numTasks();
     rt.pendingParents.resize(n);
     rt.pendingTransfers.assign(n, 0);
     rt.taskServer.assign(n, -1);
+    rt.state.assign(n, TaskState::waiting);
+    rt.attempts.assign(n, 0);
     rt.remaining = n;
     for (TaskId t = 0; t < n; ++t)
         rt.pendingParents[t] =
@@ -124,16 +139,22 @@ GlobalScheduler::candidatesFor(int type, bool need_capacity) const
             return it->second;
         std::vector<std::size_t> out;
         for (std::size_t i = 0; i < _servers.size(); ++i) {
-            if (_eligible[i] && _servers[i]->servesType(type))
+            // Crashed servers drop out of the cached lists too; the
+            // fault hooks invalidate the cache on every transition.
+            if (_eligible[i] && !_servers[i]->failed() &&
+                _servers[i]->servesType(type)) {
                 out.push_back(i);
+            }
         }
         return _candidateCache.emplace(type, std::move(out))
             .first->second;
     }
     std::vector<std::size_t> out;
     for (std::size_t i = 0; i < _servers.size(); ++i) {
-        if (!_eligible[i] || !_servers[i]->servesType(type))
+        if (!_eligible[i] || _servers[i]->failed() ||
+            !_servers[i]->servesType(type)) {
             continue;
+        }
         if (_servers[i]->load() >= _servers[i]->numCores())
             continue;
         out.push_back(i);
@@ -150,6 +171,7 @@ GlobalScheduler::taskReady(RuntimeJob &rt, TaskId t)
         // exists; otherwise park the task centrally.
         auto candidates = candidatesFor(ref.type, true);
         if (candidates.empty()) {
+            rt.state[t] = TaskState::queued;
             _globalQueue.push_back(QueuedTask{rt.job.id(), t});
             return;
         }
@@ -175,13 +197,24 @@ GlobalScheduler::taskReady(RuntimeJob &rt, TaskId t)
     }
     if (candidates.empty()) {
         // Eligibility filtered everything out: fall back to any
-        // type-capable server rather than deadlock.
+        // healthy type-capable server rather than deadlock.
         for (std::size_t i = 0; i < _servers.size(); ++i) {
-            if (_servers[i]->servesType(ref.type))
+            if (!_servers[i]->failed() &&
+                _servers[i]->servesType(ref.type)) {
                 candidates.push_back(i);
+            }
         }
-        if (candidates.empty())
+        if (candidates.empty()) {
+            if (_retryEnabled) {
+                // Every capable server is down. Burn an attempt and
+                // back off; a permanently dead fleet then fails the
+                // job instead of spinning or crashing the sim.
+                ++rt.attempts[t];
+                taskAttemptFailed(rt.job.id(), t);
+                return;
+            }
             fatal("no server can serve task type ", ref.type);
+        }
         warn("no eligible server for task type ", ref.type,
              "; dispatching to an ineligible one");
     }
@@ -195,10 +228,13 @@ GlobalScheduler::assignTask(RuntimeJob &rt, TaskId t,
                             std::size_t server)
 {
     rt.taskServer[t] = static_cast<std::int64_t>(server);
+    ++rt.attempts[t];
     // Ship each parent's result over the fabric; the task launches
-    // when the last transfer lands.
+    // when the last transfer lands. Callbacks carry the attempt
+    // number so leftovers from a superseded attempt are inert.
     if (_net) {
         JobId id = rt.job.id();
+        std::uint32_t epoch = rt.attempts[t];
         unsigned transfers = 0;
         for (TaskId p : rt.job.parents(t)) {
             Bytes bytes = rt.job.edgeBytes(p, t);
@@ -208,6 +244,7 @@ GlobalScheduler::assignTask(RuntimeJob &rt, TaskId t,
             ++transfers;
         }
         if (transfers > 0) {
+            rt.state[t] = TaskState::transferring;
             rt.pendingTransfers[t] = transfers;
             for (TaskId p : rt.job.parents(t)) {
                 Bytes bytes = rt.job.edgeBytes(p, t);
@@ -215,14 +252,38 @@ GlobalScheduler::assignTask(RuntimeJob &rt, TaskId t,
                 if (src == server || bytes == 0)
                     continue;
                 ++_transfersStarted;
-                _net->startFlow(src, server, bytes, [this, id, t] {
-                    auto it = _jobs.find(id);
-                    if (it == _jobs.end())
-                        HOLDCSIM_PANIC("transfer for finished job ", id);
-                    RuntimeJob &rj = it->second;
-                    if (--rj.pendingTransfers[t] == 0)
-                        launchTask(rj, t);
-                });
+                _net->startFlow(
+                    src, server, bytes,
+                    [this, id, t, epoch] {
+                        auto it = _jobs.find(id);
+                        if (it == _jobs.end()) {
+                            if (_failedJobs.count(id))
+                                return; // job abandoned meanwhile
+                            HOLDCSIM_PANIC("transfer for finished job ",
+                                           id);
+                        }
+                        RuntimeJob &rj = it->second;
+                        if (rj.attempts[t] != epoch ||
+                            rj.state[t] != TaskState::transferring) {
+                            return; // attempt superseded
+                        }
+                        if (--rj.pendingTransfers[t] == 0)
+                            launchTask(rj, t);
+                    },
+                    [this, id, t, epoch] {
+                        // A fault severed this transfer: retry the
+                        // whole placement (results must re-ship).
+                        auto it = _jobs.find(id);
+                        if (it == _jobs.end())
+                            return;
+                        RuntimeJob &rj = it->second;
+                        if (rj.attempts[t] != epoch ||
+                            rj.state[t] != TaskState::transferring) {
+                            return;
+                        }
+                        ++_transfersAborted;
+                        taskAttemptFailed(id, t);
+                    });
             }
             return;
         }
@@ -234,17 +295,136 @@ void
 GlobalScheduler::launchTask(RuntimeJob &rt, TaskId t)
 {
     auto server = static_cast<std::size_t>(rt.taskServer[t]);
+    if (_servers[server]->failed()) {
+        // The target crashed while transfers were in flight.
+        taskAttemptFailed(rt.job.id(), t);
+        return;
+    }
+    rt.state[t] = TaskState::running;
     ++_tasksDispatched;
     _servers[server]->submit(makeRef(rt, t));
+    armTaskTimeout(rt, t);
+}
+
+void
+GlobalScheduler::armTaskTimeout(RuntimeJob &rt, TaskId t)
+{
+    if (!_retryEnabled || _retry.taskTimeout == 0)
+        return;
+    JobId id = rt.job.id();
+    std::uint32_t epoch = rt.attempts[t];
+    _oneShots.schedule(_retry.taskTimeout, [this, id, t, epoch] {
+        auto it = _jobs.find(id);
+        if (it == _jobs.end())
+            return;
+        RuntimeJob &rj = it->second;
+        if (rj.attempts[t] != epoch ||
+            rj.state[t] != TaskState::running) {
+            return; // completed or already retried
+        }
+        ++_taskTimeouts;
+        auto srv = static_cast<std::size_t>(rj.taskServer[t]);
+        if (!_servers[srv]->failed())
+            _servers[srv]->cancelTask(id, t);
+        taskAttemptFailed(id, t);
+    });
+}
+
+void
+GlobalScheduler::taskAttemptFailed(JobId job, TaskId t)
+{
+    auto it = _jobs.find(job);
+    if (it == _jobs.end())
+        return; // job finished or already abandoned
+    RuntimeJob &rt = it->second;
+    if (rt.state[t] == TaskState::done)
+        return;
+    if (!_retryEnabled || rt.attempts[t] >= _retry.maxAttempts) {
+        failJob(job);
+        return;
+    }
+    ++_taskRetries;
+    rt.state[t] = TaskState::backoff;
+    rt.pendingTransfers[t] = 0;
+    std::uint32_t epoch = rt.attempts[t];
+    Tick delay = _retry.backoff(rt.attempts[t], _retryJitter);
+    _oneShots.schedule(delay, [this, job, t, epoch] {
+        auto jit = _jobs.find(job);
+        if (jit == _jobs.end())
+            return;
+        RuntimeJob &rj = jit->second;
+        if (rj.attempts[t] != epoch ||
+            rj.state[t] != TaskState::backoff) {
+            return;
+        }
+        taskReady(rj, t);
+    });
+}
+
+void
+GlobalScheduler::failJob(JobId job)
+{
+    auto it = _jobs.find(job);
+    if (it == _jobs.end())
+        return;
+    RuntimeJob &rt = it->second;
+    ++_jobsFailedCount;
+    // Cancel every sibling still holding resources.
+    for (TaskId t = 0; t < rt.job.numTasks(); ++t) {
+        if (rt.state[t] != TaskState::running)
+            continue;
+        auto srv = static_cast<std::size_t>(rt.taskServer[t]);
+        if (!_servers[srv]->failed())
+            _servers[srv]->cancelTask(job, t);
+    }
+    // Purge parked siblings from the global queue.
+    _globalQueue.erase(
+        std::remove_if(_globalQueue.begin(), _globalQueue.end(),
+                       [job](const QueuedTask &q) {
+                           return q.job == job;
+                       }),
+        _globalQueue.end());
+    _failedJobs.insert(job);
+    _jobs.erase(it);
+    if (_jobFailed)
+        _jobFailed(job);
+    notifyLoadChanged();
+}
+
+void
+GlobalScheduler::onServerFailed(std::size_t idx,
+                                const std::vector<TaskRef> &killed)
+{
+    (void)idx;
+    invalidateCandidateCache();
+    for (const TaskRef &ref : killed)
+        taskAttemptFailed(ref.job, ref.task);
+    notifyLoadChanged();
+}
+
+void
+GlobalScheduler::onServerRepaired(std::size_t idx)
+{
+    invalidateCandidateCache();
+    if (_config.useGlobalQueue)
+        drainGlobalQueue(*_servers.at(idx));
+    notifyLoadChanged();
 }
 
 void
 GlobalScheduler::onTaskDone(Server &server, const TaskRef &task)
 {
     auto it = _jobs.find(task.job);
-    if (it == _jobs.end())
+    if (it == _jobs.end()) {
+        if (_failedJobs.count(task.job))
+            return; // straggler of an abandoned job
         HOLDCSIM_PANIC("completion for unknown job ", task.job);
+    }
     RuntimeJob &rt = it->second;
+    if (rt.state[task.task] == TaskState::done)
+        HOLDCSIM_PANIC("job ", task.job, " task ", task.task,
+                       " completed twice");
+    rt.state[task.task] = TaskState::done;
     if (rt.remaining == 0)
         HOLDCSIM_PANIC("job ", task.job, " over-completed");
     --rt.remaining;
@@ -273,6 +453,8 @@ GlobalScheduler::onTaskDone(Server &server, const TaskRef &task)
 void
 GlobalScheduler::drainGlobalQueue(Server &server)
 {
+    if (server.failed())
+        return;
     // The freed server pulls the first queued task it can serve
     // while it still has spare execution units.
     while (server.load() < server.numCores() && !_globalQueue.empty()) {

@@ -23,10 +23,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "dispatch_policy.hh"
+#include "fault/retry_policy.hh"
 #include "server/server.hh"
+#include "sim/one_shot.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 #include "workload/job.hh"
@@ -54,6 +57,8 @@ class GlobalScheduler
   public:
     /** (job id, response time in ticks). */
     using JobDoneFn = std::function<void(JobId, Tick)>;
+    /** A job exhausted its retries and was abandoned. */
+    using JobFailedFn = std::function<void(JobId)>;
     /** Invoked whenever offered load changes (policy hooks). */
     using LoadChangedFn = std::function<void()>;
 
@@ -73,6 +78,10 @@ class GlobalScheduler
     void submitJob(Job job);
 
     void setJobDoneCallback(JobDoneFn fn) { _jobDone = std::move(fn); }
+    void setJobFailedCallback(JobFailedFn fn)
+    {
+        _jobFailed = std::move(fn);
+    }
     void setLoadChangedHook(LoadChangedFn fn)
     {
         _loadChanged = std::move(fn);
@@ -87,6 +96,34 @@ class GlobalScheduler
     void setEligible(std::size_t idx, bool eligible);
     bool eligible(std::size_t idx) const { return _eligible.at(idx); }
     std::size_t numEligible() const;
+    ///@}
+
+    /** @name Fault tolerance (fault subsystem) */
+    ///@{
+    /**
+     * Install the retry policy. @p jitter_rng (optional, not owned,
+     * must outlive the scheduler) decorrelates backoff intervals.
+     */
+    void setRetryPolicy(const RetryPolicy &policy,
+                        Rng *jitter_rng = nullptr);
+    const RetryPolicy &retryPolicy() const { return _retry; }
+
+    /**
+     * Server @p idx crashed; @p killed holds the task attempts that
+     * died with it (running and locally queued). Each is retried
+     * under the retry policy.
+     */
+    void onServerFailed(std::size_t idx,
+                        const std::vector<TaskRef> &killed);
+
+    /** Server @p idx is back; it may pull queued work again. */
+    void onServerRepaired(std::size_t idx);
+
+    /** Whether @p job was abandoned after retry exhaustion. */
+    bool jobHasFailed(JobId job) const
+    {
+        return _failedJobs.count(job) != 0;
+    }
     ///@}
 
     /** @name Introspection */
@@ -108,6 +145,14 @@ class GlobalScheduler
     std::uint64_t jobsCompleted() const { return _jobsCompleted; }
     std::uint64_t tasksDispatched() const { return _tasksDispatched; }
     std::uint64_t transfersStarted() const { return _transfersStarted; }
+    /** Task attempts that died and were re-dispatched. */
+    std::uint64_t taskRetries() const { return _taskRetries; }
+    /** Attempts killed by the per-task timeout. */
+    std::uint64_t taskTimeouts() const { return _taskTimeouts; }
+    /** Result transfers severed by network faults. */
+    std::uint64_t transfersAborted() const { return _transfersAborted; }
+    /** Jobs abandoned after a task ran out of attempts. */
+    std::uint64_t jobsFailed() const { return _jobsFailedCount; }
     /** Job response time distribution, in seconds. */
     const Percentile &jobLatency() const { return _jobLatency; }
     /** Reset measured statistics (end of warmup). */
@@ -115,6 +160,21 @@ class GlobalScheduler
     ///@}
 
   private:
+    /**
+     * Where a task currently stands. Stale asynchronous callbacks
+     * (transfer completions, timeouts, backoff redispatches from a
+     * superseded attempt) check this plus the attempt number before
+     * acting, so a retried task can never be double-launched.
+     */
+    enum class TaskState : std::uint8_t {
+        waiting,      ///< parents unfinished
+        queued,       ///< parked in the global queue
+        transferring, ///< inbound result transfers in flight
+        running,      ///< submitted to a server
+        backoff,      ///< attempt died; redispatch scheduled
+        done,         ///< completed
+    };
+
     struct RuntimeJob {
         Job job;
         /** Unfinished parents per task. */
@@ -123,6 +183,10 @@ class GlobalScheduler
         std::vector<std::uint32_t> pendingTransfers;
         /** Assigned server per task (-1 = unassigned). */
         std::vector<std::int64_t> taskServer;
+        /** Per-task lifecycle state (see TaskState). */
+        std::vector<TaskState> state;
+        /** Attempts started per task (1 = first dispatch). */
+        std::vector<std::uint32_t> attempts;
         std::size_t remaining;
     };
 
@@ -139,6 +203,16 @@ class GlobalScheduler
     /** All transfers arrived: hand the task to its server. */
     void launchTask(RuntimeJob &rt, TaskId t);
     void onTaskDone(Server &server, const TaskRef &task);
+    /**
+     * The current attempt of (@p job, @p t) died. Re-dispatch after
+     * backoff, or abandon the whole job once attempts are exhausted.
+     * Tolerates jobs that are already gone.
+     */
+    void taskAttemptFailed(JobId job, TaskId t);
+    /** Abandon @p job: cancel every live task, purge queues. */
+    void failJob(JobId job);
+    /** Arm the per-task timeout for the current attempt, if any. */
+    void armTaskTimeout(RuntimeJob &rt, TaskId t);
     /** Let a freed-up server pull from the global queue. */
     void drainGlobalQueue(Server &server);
     /** Eligible servers that can serve @p type. */
@@ -161,12 +235,28 @@ class GlobalScheduler
     std::deque<QueuedTask> _globalQueue;
 
     JobDoneFn _jobDone;
+    JobFailedFn _jobFailed;
     LoadChangedFn _loadChanged;
+
+    RetryPolicy _retry;
+    bool _retryEnabled = false;
+    Rng *_retryJitter = nullptr;
+    /** Owns backoff/timeout one-shots; freed with the scheduler. */
+    OneShotPool _oneShots;
+    /**
+     * Tombstones for abandoned jobs so late completions/transfers
+     * are recognized as stale instead of treated as bugs.
+     */
+    std::set<JobId> _failedJobs;
 
     std::uint64_t _jobsSubmitted = 0;
     std::uint64_t _jobsCompleted = 0;
     std::uint64_t _tasksDispatched = 0;
     std::uint64_t _transfersStarted = 0;
+    std::uint64_t _taskRetries = 0;
+    std::uint64_t _taskTimeouts = 0;
+    std::uint64_t _transfersAborted = 0;
+    std::uint64_t _jobsFailedCount = 0;
     Percentile _jobLatency;
 };
 

@@ -98,6 +98,7 @@ Core::startTask(const TaskRef &task, Tick extra_wake, TaskDoneFn done)
     setCState(CoreCState::c0Active);
     _current = task;
     _done = std::move(done);
+    _startedAt = _sim.curTick();
     // The wake latency delays the task but the core is already
     // powered up (C0) while exiting, so C0-active power during the
     // exit window is a close approximation.
@@ -177,6 +178,23 @@ Core::demote()
         return;
     }
     armDemotion();
+}
+
+Core::AbortResult
+Core::abortTask()
+{
+    if (!busy())
+        HOLDCSIM_PANIC("core ", _id, " aborted with no task running");
+    Tick ran = _sim.curTick() - _startedAt;
+    // Energy burned so far at the current operating point is wasted:
+    // the partial execution is discarded and will be redone.
+    AbortResult out{_current, energyOver(power(), ran), ran};
+    if (_completionEvent.scheduled())
+        _sim.deschedule(_completionEvent);
+    _done = nullptr;
+    setCState(CoreCState::c0Idle);
+    armDemotion();
+    return out;
 }
 
 void

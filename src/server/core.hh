@@ -99,6 +99,27 @@ class Core
      */
     void forceDeepSleep();
 
+    /** Outcome of abandoning an in-flight task. */
+    struct AbortResult {
+        /** The task that was killed. */
+        TaskRef task;
+        /** Energy burned on the partial (now discarded) execution. */
+        Joules wasted;
+        /** How long the task had been running. */
+        Tick ran;
+    };
+
+    /**
+     * Abandon the current task without completing it (the server
+     * crashed or the global scheduler cancelled the task). The
+     * completion event is descheduled, no completion callback fires,
+     * and the core falls back to C0-idle. @pre busy()
+     */
+    AbortResult abortTask();
+
+    /** The task currently executing. @pre busy() */
+    const TaskRef &currentTask() const { return _current; }
+
     /** Per-C-state residency (states indexed by CoreCState). */
     const StateResidency &residency() const { return _residency; }
 
@@ -135,6 +156,7 @@ class Core
 
     TaskRef _current{};
     TaskDoneFn _done;
+    Tick _startedAt = 0;
     EventFunctionWrapper _completionEvent;
     EventFunctionWrapper _demotionEvent;
 

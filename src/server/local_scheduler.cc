@@ -77,4 +77,40 @@ LocalScheduler::pendingFor(unsigned core_id) const
                : _perCore.at(core_id).size();
 }
 
+bool
+LocalScheduler::remove(JobId job, TaskId task)
+{
+    auto match = [&](const TaskRef &t) {
+        return t.job == job && t.task == task;
+    };
+    if (_mode == LocalQueueMode::unified) {
+        auto it = std::find_if(_unified.begin(), _unified.end(), match);
+        if (it == _unified.end())
+            return false;
+        _unified.erase(it);
+        return true;
+    }
+    for (auto &q : _perCore) {
+        auto it = std::find_if(q.begin(), q.end(), match);
+        if (it != q.end()) {
+            q.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+LocalScheduler::drainAll(std::vector<TaskRef> &out)
+{
+    for (auto &t : _unified)
+        out.push_back(t);
+    _unified.clear();
+    for (auto &q : _perCore) {
+        for (auto &t : q)
+            out.push_back(t);
+        q.clear();
+    }
+}
+
 } // namespace holdcsim

@@ -63,6 +63,15 @@ class LocalScheduler
     /** Buffered tasks visible to core @p core_id. */
     std::size_t pendingFor(unsigned core_id) const;
 
+    /**
+     * Remove the buffered task identified by (@p job, @p task), if
+     * present. Returns whether a task was removed.
+     */
+    bool remove(JobId job, TaskId task);
+
+    /** Move every buffered task into @p out, leaving queues empty. */
+    void drainAll(std::vector<TaskRef> &out);
+
     LocalQueueMode mode() const { return _mode; }
 
   private:

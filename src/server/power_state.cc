@@ -48,6 +48,7 @@ toString(ServerState s)
       case ServerState::idle:     return "idle";
       case ServerState::pkgC6:    return "pkg-c6";
       case ServerState::sysSleep: return "sys-sleep";
+      case ServerState::failed:   return "failed";
     }
     HOLDCSIM_PANIC("unknown ServerState");
 }

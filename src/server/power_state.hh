@@ -67,6 +67,12 @@ enum class ServerState {
     pkgC6,
     /** System sleep (S3 or S5). */
     sysSleep,
+    /**
+     * Crashed by the fault model: the machine is down and draws no
+     * power until repaired. Appended after the paper's Figure 8
+     * categories so their residency indices stay stable.
+     */
+    failed,
 };
 
 /** Human-readable state names (for logs and stat dumps). */

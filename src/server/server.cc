@@ -67,12 +67,16 @@ Server::servesType(int type) const
 bool
 Server::isIdle() const
 {
-    return _sstate == SState::s0 && !_waking && load() == 0;
+    return !_failed && _sstate == SState::s0 && !_waking && load() == 0;
 }
 
 void
 Server::submit(const TaskRef &task)
 {
+    if (_failed) {
+        fatal("server ", id(), " given a task while failed "
+              "(scheduler must skip crashed servers)");
+    }
     if (!servesType(task.type)) {
         fatal("server ", id(), " does not serve task type ", task.type,
               " (scheduler bug or misconfiguration)");
@@ -93,7 +97,7 @@ Server::sleep(SState target)
 {
     if (target == SState::s0)
         fatal("sleep target must be S3 or S5");
-    if (_sstate != SState::s0 || _waking || load() != 0)
+    if (_failed || _sstate != SState::s0 || _waking || load() != 0)
         return false;
     accrue();
     for (auto &core : _cores)
@@ -107,7 +111,7 @@ Server::sleep(SState target)
 void
 Server::wakeUp()
 {
-    if (_sstate == SState::s0 || _waking)
+    if (_failed || _sstate == SState::s0 || _waking)
         return;
     accrue();
     _waking = true;
@@ -118,6 +122,82 @@ Server::wakeUp()
     _sim.scheduleAfter(_wakeDoneEvent,
                        _profile.s3WakeLatency +
                            _profile.s3EntryLatency);
+}
+
+std::vector<TaskRef>
+Server::fail()
+{
+    if (_failed)
+        HOLDCSIM_PANIC("server ", id(), " failed twice without repair");
+    accrue(); // integrate pre-crash power before the rates drop to 0
+    _failed = true;
+    ++_failures;
+    if (_wakeDoneEvent.scheduled())
+        _sim.deschedule(_wakeDoneEvent);
+    _waking = false;
+    std::vector<TaskRef> killed;
+    for (auto &core : _cores) {
+        if (!core->busy())
+            continue;
+        Core::AbortResult aborted = core->abortTask();
+        _wastedJoules += aborted.wasted;
+        ++_tasksKilled;
+        killed.push_back(aborted.task);
+    }
+    _running = 0;
+    _local.drainAll(killed);
+    // Settle the cores so no demotion events tick while we are down;
+    // power is forced to zero by componentPower() regardless.
+    for (auto &core : _cores)
+        core->forceDeepSleep();
+    updateResidency();
+    return killed;
+}
+
+void
+Server::repair()
+{
+    if (!_failed)
+        HOLDCSIM_PANIC("server ", id(), " repaired while healthy");
+    accrue();
+    _failed = false;
+    _sstate = SState::s0;
+    _waking = false;
+    recomputePkgState();
+    updateResidency();
+    // The machine is back and idle: let the power controller arm its
+    // usual idle management (delay timers etc.).
+    if (_controller)
+        _controller->becameIdle(*this);
+}
+
+bool
+Server::cancelTask(JobId job, TaskId task)
+{
+    if (_local.remove(job, task)) {
+        updateResidency();
+        if (load() == 0 && _controller)
+            _controller->becameIdle(*this);
+        return true;
+    }
+    for (auto &core : _cores) {
+        if (!core->busy() || core->currentTask().job != job ||
+            core->currentTask().task != task) {
+            continue;
+        }
+        Core::AbortResult aborted = core->abortTask();
+        _wastedJoules += aborted.wasted;
+        ++_tasksKilled;
+        if (_running == 0)
+            HOLDCSIM_PANIC("server ", id(), " cancelled an unaccounted task");
+        --_running;
+        updateResidency();
+        dispatch(); // the freed core can pull buffered work
+        if (load() == 0 && _controller)
+            _controller->becameIdle(*this);
+        return true;
+    }
+    return false;
 }
 
 void
@@ -133,6 +213,8 @@ Server::setAllowPkgC6(bool allow)
 ServerState
 Server::observableState() const
 {
+    if (_failed)
+        return ServerState::failed;
     if (_waking)
         return ServerState::wakingUp;
     if (_sstate != SState::s0)
@@ -147,6 +229,8 @@ Server::observableState() const
 Server::ComponentPower
 Server::componentPower() const
 {
+    if (_failed)
+        return {0.0, 0.0, 0.0};
     if (_waking) {
         // Wake-up burns near-idle-active power without doing work:
         // every component is powered but no instructions retire.
@@ -227,6 +311,9 @@ Server::resetStats()
     _tasksCompleted = 0;
     _wakeTransitions = 0;
     _sleepTransitions = 0;
+    _failures = 0;
+    _tasksKilled = 0;
+    _wastedJoules = 0.0;
     Tick now = _sim.curTick();
     _residency.reset();
     _residency.enter(static_cast<int>(observableState()), now);
@@ -237,7 +324,7 @@ Server::resetStats()
 void
 Server::dispatch()
 {
-    if (_sstate != SState::s0 || _waking || _inDispatch)
+    if (_failed || _sstate != SState::s0 || _waking || _inDispatch)
         return;
     _inDispatch = true;
     // Package C6 exit is paid once by the first task that rouses the

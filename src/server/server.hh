@@ -156,6 +156,37 @@ class Server
     void setAllowPkgC6(bool allow);
     ///@}
 
+    /** @name Fault injection (driven by the fault subsystem) */
+    ///@{
+    /**
+     * Crash the machine. Every in-flight task is aborted (its partial
+     * energy counted as wasted) and every buffered task discarded;
+     * the killed tasks are returned so the global scheduler can retry
+     * them elsewhere. Until repair() the server draws no power,
+     * refuses submissions and reports ServerState::failed.
+     * @pre !failed()
+     */
+    std::vector<TaskRef> fail();
+
+    /**
+     * Bring the machine back after a crash. The server reboots into
+     * S0 idle with empty queues; any boot latency is assumed to be
+     * part of the repair interval the fault model chose.
+     * @pre failed()
+     */
+    void repair();
+
+    /** Whether the machine is currently crashed. */
+    bool failed() const { return _failed; }
+
+    /**
+     * Cancel one task, wherever it currently is (buffered or
+     * executing). Used when a job fails and its siblings must not
+     * keep burning cycles. Returns whether the task was found.
+     */
+    bool cancelTask(JobId job, TaskId task);
+    ///@}
+
     /** Observable state per the paper's Figure 8 categories. */
     ServerState observableState() const;
 
@@ -179,6 +210,12 @@ class Server
     std::uint64_t tasksCompleted() const { return _tasksCompleted; }
     std::uint64_t wakeTransitions() const { return _wakeTransitions; }
     std::uint64_t sleepTransitions() const { return _sleepTransitions; }
+    /** Number of crashes injected into this server. */
+    std::uint64_t failures() const { return _failures; }
+    /** Tasks aborted mid-execution by crashes or cancellation. */
+    std::uint64_t tasksKilled() const { return _tasksKilled; }
+    /** Energy burned on executions that were later discarded. */
+    Joules wastedJoules() const { return _wastedJoules; }
     /** Accrue energy and close residency books at the current tick. */
     void finishStats();
     /** Zero energies, residencies and counters (end of warmup). */
@@ -217,6 +254,7 @@ class Server
 
     SState _sstate = SState::s0;
     bool _waking = false;
+    bool _failed = false;
     PkgCState _pkgState = PkgCState::pc0;
     EventFunctionWrapper _wakeDoneEvent;
 
@@ -229,6 +267,9 @@ class Server
     std::uint64_t _tasksCompleted = 0;
     std::uint64_t _wakeTransitions = 0;
     std::uint64_t _sleepTransitions = 0;
+    std::uint64_t _failures = 0;
+    std::uint64_t _tasksKilled = 0;
+    Joules _wastedJoules = 0.0;
 };
 
 } // namespace holdcsim

@@ -1,0 +1,52 @@
+#include "one_shot.hh"
+
+namespace holdcsim {
+
+/**
+ * The event itself: unregisters from its pool and deletes itself
+ * after running. Safe because the engine never touches an event
+ * object after process() returns.
+ */
+class OneShotPool::Shot : public Event
+{
+  public:
+    Shot(OneShotPool &pool, std::function<void()> fn)
+        : Event(pool._name), _pool(pool), _fn(std::move(fn))
+    {}
+
+    void
+    process() override
+    {
+        auto fn = std::move(_fn);
+        _pool._live.erase(this);
+        delete this;
+        fn();
+    }
+
+  private:
+    OneShotPool &_pool;
+    std::function<void()> _fn;
+};
+
+OneShotPool::OneShotPool(Simulator &sim, std::string name)
+    : _sim(sim), _name(std::move(name))
+{}
+
+OneShotPool::~OneShotPool()
+{
+    for (Shot *shot : _live) {
+        if (shot->scheduled())
+            _sim.deschedule(*shot);
+        delete shot;
+    }
+}
+
+void
+OneShotPool::schedule(Tick delay, std::function<void()> fn)
+{
+    auto *shot = new Shot(*this, std::move(fn));
+    _live.insert(shot);
+    _sim.scheduleAfter(*shot, delay);
+}
+
+} // namespace holdcsim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fire-and-forget one-shot events with owner-scoped cleanup.
+ *
+ * Model code frequently wants "run this lambda once after a delay"
+ * without keeping a named Event member alive. A heap-allocated
+ * self-deleting event does that, but leaks (and trips ASan) whenever
+ * its owner is destroyed while shots are still pending. OneShotPool
+ * tracks every in-flight shot so the owner's destructor deschedules
+ * and frees the stragglers -- the pattern the fault-injection paths
+ * rely on when a crashed component cancels large batches of work.
+ */
+
+#ifndef HOLDCSIM_SIM_ONE_SHOT_HH
+#define HOLDCSIM_SIM_ONE_SHOT_HH
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+
+#include "event.hh"
+#include "simulator.hh"
+#include "types.hh"
+
+namespace holdcsim {
+
+/** Owner of self-cleaning one-shot events against one Simulator. */
+class OneShotPool
+{
+  public:
+    /**
+     * @param sim  engine the shots are scheduled against
+     * @param name event-name prefix for diagnostics
+     */
+    explicit OneShotPool(Simulator &sim, std::string name = "oneShot");
+
+    /** Deschedules and frees every still-pending shot. */
+    ~OneShotPool();
+
+    OneShotPool(const OneShotPool &) = delete;
+    OneShotPool &operator=(const OneShotPool &) = delete;
+
+    /** Run @p fn once at curTick() + @p delay. */
+    void schedule(Tick delay, std::function<void()> fn);
+
+    /** Shots scheduled but not yet fired. */
+    std::size_t pending() const { return _live.size(); }
+
+  private:
+    class Shot;
+
+    Simulator &_sim;
+    std::string _name;
+    std::unordered_set<Shot *> _live;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SIM_ONE_SHOT_HH

@@ -146,6 +146,19 @@ Rng::boundedPareto(double alpha, double lo, double hi)
     return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
 }
 
+double
+Rng::weibull(double shape, double scale)
+{
+    if (!(shape > 0.0) || !(scale > 0.0))
+        HOLDCSIM_PANIC("weibull with non-positive parameters");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    // Inverse CDF: scale * (-ln U)^(1/shape).
+    return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
 bool
 Rng::bernoulli(double p)
 {

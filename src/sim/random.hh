@@ -55,6 +55,14 @@ class Rng
      */
     double boundedPareto(double alpha, double lo, double hi);
 
+    /**
+     * Weibull variate with @p shape k and @p scale lambda -- the
+     * classic hardware-lifetime model (k < 1: infant mortality,
+     * k > 1: wear-out). Mean is scale * Gamma(1 + 1/shape).
+     * @pre shape > 0, scale > 0.
+     */
+    double weibull(double shape, double scale);
+
     /** Bernoulli trial with probability @p p of returning true. */
     bool bernoulli(double p);
 

@@ -254,3 +254,80 @@ TEST(Routing, InvalidateRecomputes)
     r.invalidate();
     EXPECT_EQ(r.hopCount(t.serverNode(0), t.serverNode(1)), 2u);
 }
+
+// ------------------------------------------------------- component health
+
+TEST(Routing, LinkDownReroutesAndRepairRestores)
+{
+    auto t = Topology::fatTree(4, gbps, lat);
+    StaticRouting r(t);
+    NodeId src = t.serverNode(0), dst = t.serverNode(12);
+    auto orig = r.route(src, dst, 5);
+    ASSERT_GE(orig.links.size(), 2u);
+
+    // Sever a fabric link in the middle of the path (the access link
+    // would partition the server outright).
+    LinkId mid = orig.links[1];
+    r.setLinkHealth(mid, false);
+    EXPECT_FALSE(r.linkHealthy(mid));
+    EXPECT_TRUE(r.anyUnhealthy());
+
+    auto alt = r.route(src, dst, 5);
+    ASSERT_FALSE(alt.empty());
+    for (LinkId l : alt.links)
+        EXPECT_NE(l, mid);
+
+    // Repair: the original path (same ECMP key) must come back.
+    r.setLinkHealth(mid, true);
+    EXPECT_FALSE(r.anyUnhealthy());
+    auto back = r.route(src, dst, 5);
+    EXPECT_EQ(back.links, orig.links);
+}
+
+TEST(Routing, NodeDownPartitionsReachableNeverFatals)
+{
+    auto t = Topology::star(4, gbps, lat);
+    StaticRouting r(t);
+    NodeId hub = t.switchNode(0);
+    EXPECT_TRUE(r.reachable(t.serverNode(0), t.serverNode(1)));
+
+    r.setNodeHealth(hub, false);
+    EXPECT_FALSE(r.nodeHealthy(hub));
+    EXPECT_FALSE(r.reachable(t.serverNode(0), t.serverNode(1)));
+    // route() still fatals on a partition; reachable() is the safe
+    // probe the network layer uses before committing a flow.
+    EXPECT_THROW(r.route(t.serverNode(0), t.serverNode(1)),
+                 FatalError);
+    EXPECT_TRUE(r.reachable(t.serverNode(0), t.serverNode(0)));
+
+    r.setNodeHealth(hub, true);
+    EXPECT_TRUE(r.reachable(t.serverNode(0), t.serverNode(1)));
+    EXPECT_EQ(r.hopCount(t.serverNode(0), t.serverNode(1)), 2u);
+}
+
+TEST(Routing, HealthFlipsNotPerFlowRebuildTables)
+{
+    auto t = Topology::fatTree(4, gbps, lat);
+    StaticRouting r(t);
+    r.route(t.serverNode(0), t.serverNode(15), 0);
+    std::uint64_t warm = r.tableBuilds();
+    EXPECT_GT(warm, 0u);
+
+    // Steady state: hundreds of routes, zero rebuilds.
+    for (std::uint64_t k = 0; k < 200; ++k)
+        r.route(t.serverNode(0), t.serverNode(15), k);
+    EXPECT_EQ(r.tableBuilds(), warm);
+
+    // A health flip invalidates once; repeating the same value is a
+    // no-op (idempotent setters).
+    LinkId l = t.linksAt(t.serverNode(3)).at(0);
+    r.setLinkHealth(l, false);
+    r.setLinkHealth(l, false);
+    r.route(t.serverNode(0), t.serverNode(15), 1);
+    std::uint64_t after_down = r.tableBuilds();
+    EXPECT_GT(after_down, warm);
+
+    for (std::uint64_t k = 0; k < 200; ++k)
+        r.route(t.serverNode(0), t.serverNode(15), k);
+    EXPECT_EQ(r.tableBuilds(), after_down);
+}

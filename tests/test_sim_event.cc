@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -241,4 +243,53 @@ TEST(Types, SerializationDelay)
     EXPECT_EQ(serializationDelay(0, 1e9), 0u);
     // Tiny payloads still advance time.
     EXPECT_GE(serializationDelay(1, 1e12), 1u);
+}
+
+TEST(EventQueue, DescheduleMidHeapPreservesOrder)
+{
+    // Components destroyed or crashed mid-simulation deschedule
+    // events sitting anywhere in the heap; the remaining schedule
+    // must be untouched.
+    Simulator sim;
+    std::vector<int> log;
+    std::deque<TraceEvent> evs;
+    for (int i = 0; i < 32; ++i) {
+        evs.emplace_back(log, i);
+        sim.schedule(evs.back(), static_cast<Tick>(10 * (i + 1)));
+    }
+    sim.deschedule(evs[10]);
+    sim.deschedule(evs[20]);
+    sim.deschedule(evs[25]);
+    EXPECT_FALSE(evs[10].scheduled());
+    sim.run();
+
+    EXPECT_EQ(log.size(), 29u);
+    for (std::size_t i = 1; i < log.size(); ++i)
+        EXPECT_LT(log[i - 1], log[i]);
+    for (int victim : {10, 20, 25})
+        EXPECT_EQ(std::count(log.begin(), log.end(), victim), 0);
+}
+
+TEST(EventQueue, DescheduledEventReschedulesCleanly)
+{
+    // A crashed component's pending event may be re-armed by the
+    // repair path: the same Event object must go around again.
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent a(log, 1), b(log, 2);
+    sim.schedule(a, 10);
+    sim.schedule(b, 20);
+    sim.deschedule(a);
+    EXPECT_FALSE(a.scheduled());
+
+    sim.schedule(a, 30);
+    EXPECT_TRUE(a.scheduled());
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+    EXPECT_EQ(sim.curTick(), 30u);
+
+    // And once fired it is free to be scheduled yet again.
+    sim.schedule(a, 40);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1, 1}));
 }

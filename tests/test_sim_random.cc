@@ -163,3 +163,37 @@ TEST(Rng, WeightedIndexSkipsZeroWeights)
     for (int i = 0; i < 1000; ++i)
         EXPECT_EQ(rng.weightedIndex(w), 1u);
 }
+
+TEST(Rng, WeibullMeanMatchesShapeAndScale)
+{
+    // E[X] = scale * Gamma(1 + 1/shape).
+    Rng rng(9, "weibull");
+    const double shape = 1.5, scale = 2.0;
+    const int n = 40000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.weibull(shape, scale);
+        ASSERT_GT(x, 0.0);
+        sum += x;
+    }
+    double expected = scale * std::tgamma(1.0 + 1.0 / shape);
+    EXPECT_NEAR(sum / n, expected, 0.05 * expected);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential)
+{
+    // shape = 1 degenerates to exponential with mean = scale.
+    Rng rng(9, "weibull.exp");
+    const int n = 40000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.weibull(1.0, 3.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, WeibullDeterministicPerStream)
+{
+    Rng a(11, "w"), b(11, "w");
+    for (int i = 0; i < 50; ++i)
+        EXPECT_DOUBLE_EQ(a.weibull(1.5, 2.0), b.weibull(1.5, 2.0));
+}
