@@ -1,0 +1,18 @@
+#!/bin/sh
+# Profile the DES kernel on the three-tier case study and leave the
+# summary (events/sec, events by type, peak queue depth) in
+# BENCH_kernel.json at the repo root.
+# Usage: bench/run_kernel_profile.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="BENCH_kernel.json"
+
+if [ ! -d "$BUILD_DIR" ]; then
+    cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" -j --target three_tier
+
+"$BUILD_DIR"/examples/three_tier --profile="$OUT"
+echo "kernel profile written to $OUT"

@@ -6,8 +6,17 @@
  * transition statistics out).
  *
  * Usage:
- *   holdcsim_cli experiment.ini
- *   holdcsim_cli                 (built-in demo configuration)
+ *   holdcsim_cli [options] [experiment.ini]
+ *
+ * With no configuration file a built-in demo configuration runs.
+ * Telemetry options override the [telemetry] section of the file:
+ *
+ *   --trace-out=FILE      write a timeline trace to FILE
+ *   --trace-format=FMT    json (Perfetto, default) | csv
+ *   --sample-out=FILE     write time-series samples to FILE
+ *   --sample-period=DUR   sampling period (e.g. 100ms, 2s, 500us)
+ *   --profile             profile the DES kernel (profile.* stats)
+ *   --help                this text
  *
  * Example configuration:
  *
@@ -34,10 +43,17 @@
  *   job = chain
  *   stages = 2
  *   transfer_kb = 64
+ *   [telemetry]
+ *   trace_out = timeline.json
+ *   sample_out = series.csv
+ *   sample_period_ms = 100
+ *   profile = true
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "dc/datacenter.hh"
 #include "dc/workload_config.hh"
@@ -65,13 +81,111 @@ service_mean_ms = 5
 job = single
 )";
 
+const char *usage = R"(usage: holdcsim_cli [options] [experiment.ini]
+
+Runs a HolDCSim experiment described by an INI file (or a built-in
+demo configuration) and dumps "component.stat value" lines to stdout.
+
+options:
+  --trace-out=FILE      write a timeline trace to FILE; load json
+                        traces at https://ui.perfetto.dev
+  --trace-format=FMT    trace backend: json (default) | csv
+  --trace-categories=C  comma list of server,core,task,flow,network,
+                        fault (default: all)
+  --sample-out=FILE     write long-format time-series CSV to FILE
+  --sample-period=DUR   sampling period: a number with an optional
+                        ns/us/ms/s suffix (default unit ms)
+  --profile             profile the DES kernel; adds profile.* stats
+                        and a hot-events table to the dump
+  --help                show this text
+)";
+
+/** Parse "100ms" / "2s" / "500us" / "250" (ms) into milliseconds. */
+double
+parseDurationMs(const std::string &text)
+{
+    char *end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    std::string unit = end ? std::string(end) : std::string();
+    if (end == text.c_str() || value <= 0.0) {
+        std::fprintf(stderr, "bad duration '%s'\n", text.c_str());
+        std::exit(2);
+    }
+    if (unit.empty() || unit == "ms")
+        return value;
+    if (unit == "ns")
+        return value * 1e-6;
+    if (unit == "us")
+        return value * 1e-3;
+    if (unit == "s")
+        return value * 1e3;
+    std::fprintf(stderr, "bad duration unit '%s'\n", unit.c_str());
+    std::exit(2);
+}
+
+/** If @p arg is "--<name>=V", store V in @p out and return true. */
+bool
+valueFlag(const std::string &arg, const std::string &name,
+          std::string &out)
+{
+    std::string prefix = "--" + name + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    out = arg.substr(prefix.size());
+    if (out.empty()) {
+        std::fprintf(stderr, "%s needs a value\n", prefix.c_str());
+        std::exit(2);
+    }
+    return true;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    Config cfg = argc > 1 ? Config::load(argv[1])
-                          : Config::parseString(demo_config);
+    std::string config_path;
+    std::string value;
+    // Telemetry flags land on the parsed Config as [telemetry] keys,
+    // so the CLI and the INI section stay one mechanism.
+    std::vector<std::pair<std::string, std::string>> overrides;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage, stdout);
+            return 0;
+        } else if (valueFlag(arg, "trace-out", value)) {
+            overrides.emplace_back("telemetry.trace_out", value);
+        } else if (valueFlag(arg, "trace-format", value)) {
+            overrides.emplace_back("telemetry.trace_format", value);
+        } else if (valueFlag(arg, "trace-categories", value)) {
+            overrides.emplace_back("telemetry.trace_categories", value);
+        } else if (valueFlag(arg, "sample-out", value)) {
+            overrides.emplace_back("telemetry.sample_out", value);
+        } else if (valueFlag(arg, "sample-period", value)) {
+            overrides.emplace_back(
+                "telemetry.sample_period_ms",
+                std::to_string(parseDurationMs(value)));
+        } else if (arg == "--profile") {
+            overrides.emplace_back("telemetry.profile", "true");
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n%s",
+                         arg.c_str(), usage);
+            return 2;
+        } else if (config_path.empty()) {
+            config_path = arg;
+        } else {
+            std::fprintf(stderr, "more than one config file given\n");
+            return 2;
+        }
+    }
+
+    Config cfg = config_path.empty()
+                     ? Config::parseString(demo_config)
+                     : Config::load(config_path);
+    for (const auto &[key, val] : overrides)
+        cfg.set(key, val);
 
     DataCenterConfig dc_cfg = DataCenterConfig::fromConfig(cfg);
     dc_cfg.serverProfile = serverProfileFromConfig(cfg);

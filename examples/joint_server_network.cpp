@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "dc/datacenter.hh"
 #include "workload/service.hh"
@@ -27,7 +28,8 @@ struct RunResult {
 };
 
 RunResult
-runOnce(bool network_aware, unsigned n_jobs)
+runOnce(bool network_aware, unsigned n_jobs,
+        const std::string &trace_out = {})
 {
     DataCenterConfig cfg;
     cfg.nCores = 4;
@@ -42,6 +44,10 @@ runOnce(bool network_aware, unsigned n_jobs)
     cfg.taskAntiAffinity = true; // every DAG edge becomes a flow
     cfg.linkRate = 1e10;         // 10 GbE: 100 MB flows in ~80 ms
     cfg.seed = 23;
+    if (!trace_out.empty()) {
+        cfg.telemetry.enabled = true;
+        cfg.telemetry.traceOut = trace_out;
+    }
     DataCenter dc(cfg);
 
     auto service = std::make_shared<ExponentialService>(
@@ -71,11 +77,26 @@ runOnce(bool network_aware, unsigned n_jobs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --trace-out=FILE records the network-aware run as a Perfetto
+    // timeline (server power states, task lifecycles, flows).
+    std::string trace_out;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_out = arg.substr(12);
+        } else {
+            std::fprintf(stderr,
+                         "usage: joint_server_network "
+                         "[--trace-out=FILE]\n");
+            return 2;
+        }
+    }
+
     const unsigned n_jobs = 400;
     RunResult balanced = runOnce(false, n_jobs);
-    RunResult aware = runOnce(true, n_jobs);
+    RunResult aware = runOnce(true, n_jobs, trace_out);
 
     std::printf("policy                 server_W  switch_W  "
                 "p50_s   p90_s\n");

@@ -13,11 +13,16 @@
  * the end-to-end latency breakdown.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "dc/datacenter.hh"
+#include "sim/logging.hh"
+#include "telemetry/profiler.hh"
 #include "workload/service.hh"
 
 using namespace holdcsim;
@@ -31,8 +36,27 @@ constexpr int dbTier = 3;
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --profile[=FILE] attaches a kernel profiler and dumps its JSON
+    // summary to FILE (stdout when omitted); used by
+    // bench/run_kernel_profile.sh.
+    bool profile_on = false;
+    std::string profile_out;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--profile") {
+            profile_on = true;
+        } else if (arg.rfind("--profile=", 0) == 0) {
+            profile_on = true;
+            profile_out = arg.substr(10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: three_tier [--profile[=FILE]]\n");
+            return 2;
+        }
+    }
+
     // 12 servers behind one switch; tiers are assigned by task type
     // (DataCenter builds untyped servers, so build this fleet by
     // hand to show the lower-level API).
@@ -81,7 +105,15 @@ main()
         },
         "inject");
     sim.schedule(inject, arrivals.nextArrival());
+
+    KernelProfiler profiler;
+    if (profile_on)
+        sim.setProbe(&profiler);
+    auto wall_start = std::chrono::steady_clock::now();
     sim.run();
+    double wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
 
     std::printf("simulated time     : %.2f s\n",
                 toSeconds(sim.curTick()));
@@ -114,6 +146,24 @@ main()
                     tier_names[tier],
                     static_cast<unsigned long long>(tasks),
                     100.0 * busy / 16.0);
+    }
+
+    if (profile_on) {
+        if (profile_out.empty()) {
+            profiler.dumpJson(std::cout, wall_s);
+        } else {
+            std::ofstream os(profile_out);
+            if (!os)
+                fatal("cannot open '", profile_out, "' for writing");
+            profiler.dumpJson(os, wall_s);
+        }
+        std::printf("kernel events      : %llu (%.0f events/s host)\n",
+                    static_cast<unsigned long long>(
+                        profiler.eventsObserved()),
+                    wall_s > 0.0 ? static_cast<double>(
+                                       profiler.eventsObserved()) /
+                                       wall_s
+                                 : 0.0);
     }
     return 0;
 }

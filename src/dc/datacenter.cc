@@ -59,6 +59,26 @@ DataCenter::DataCenter(const DataCenterConfig &config)
 {
     _config.validate();
 
+    // Telemetry first so components see the tracer/probe from their
+    // very first state transition. With the section absent (the
+    // default), none of this runs and the engine carries two null
+    // pointers -- the simulation is bit-identical to an untraced one.
+    const auto &tel = _config.telemetry;
+    if (tel.wantsTracing()) {
+        std::unique_ptr<TraceSink> sink;
+        if (tel.traceFormat == "csv")
+            sink = std::make_unique<CsvTraceSink>(tel.traceOut);
+        else
+            sink = std::make_unique<JsonTraceSink>(tel.traceOut);
+        _tracer = std::make_unique<TraceManager>(
+            std::move(sink), parseTraceCategories(tel.traceCategories));
+        _sim.setTracer(_tracer.get());
+    }
+    if (tel.wantsProfiling()) {
+        _profiler = std::make_unique<KernelProfiler>();
+        _sim.setProbe(_profiler.get());
+    }
+
     // Fabric first: topologies dictate the server count.
     if (_config.fabric != DataCenterConfig::Fabric::none) {
         Topology topo;
@@ -177,6 +197,39 @@ DataCenter::DataCenter(const DataCenterConfig &config)
             _sim, std::move(model), _serverPtrs, _net.get(),
             _sched.get(), fmc);
     }
+
+    // Sampler last: its probes read the finished plant. All probes
+    // are read-only, and the sampling event is a background event at
+    // stats priority, so an armed sampler perturbs neither event
+    // ordering nor the model.
+    if (tel.wantsSampling()) {
+        _sampler = std::make_unique<Sampler>(_sim, tel.sampleOut,
+                                             tel.samplePeriod);
+        _sampler->addProbe("server_power_w",
+                           [this] { return serverPower(); });
+        _sampler->addProbe("awake_servers", [this] {
+            return static_cast<double>(awakeServers());
+        });
+        _sampler->addProbe("global_queue_len", [this] {
+            return static_cast<double>(_sched->globalQueueLength());
+        });
+        _sampler->addProbe("active_jobs", [this] {
+            return static_cast<double>(_sched->activeJobs());
+        });
+        if (_net) {
+            _sampler->addProbe("switch_power_w",
+                               [this] { return switchPower(); });
+            _sampler->addProbe("active_flows", [this] {
+                return static_cast<double>(_net->flows().activeFlows());
+            });
+        }
+        if (_faults) {
+            _sampler->addProbe("components_down", [this] {
+                return static_cast<double>(_faults->currentlyDown());
+            });
+        }
+        _sampler->start();
+    }
 }
 
 DataCenter::~DataCenter()
@@ -255,6 +308,10 @@ DataCenter::finishStats()
         _net->finishStats();
     if (_faults)
         _faults->finishStats();
+    if (_sampler)
+        _sampler->stop();
+    if (_tracer)
+        _tracer->flush(_sim.curTick());
 }
 
 void
@@ -267,6 +324,13 @@ DataCenter::dumpStats(std::ostream &os)
     sim_group.add("seconds", toSeconds(now));
     sim_group.add("events", _sim.eventsProcessed());
     sim_group.dump(os);
+
+    if (_profiler) {
+        StatGroup profile_group("profile");
+        _profiler->addStats(profile_group);
+        profile_group.dump(os);
+        _profiler->dumpHotTable(os);
+    }
 
     StatGroup sched_group("scheduler");
     sched_group.add("jobs_submitted", _sched->jobsSubmitted());

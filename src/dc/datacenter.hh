@@ -25,6 +25,9 @@
 #include "server/server.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
+#include "telemetry/profiler.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/trace_manager.hh"
 #include "workload/arrival.hh"
 #include "workload/job_generator.hh"
 
@@ -53,6 +56,12 @@ class DataCenter
     Network *network() { return _net.get(); }
     /** Null unless config.fault.enabled. */
     FaultManager *faults() { return _faults.get(); }
+    /** Null unless telemetry tracing is configured. */
+    TraceManager *tracer() { return _tracer.get(); }
+    /** Null unless telemetry sampling is configured. */
+    Sampler *sampler() { return _sampler.get(); }
+    /** Null unless telemetry profiling is configured. */
+    KernelProfiler *profiler() { return _profiler.get(); }
     const DataCenterConfig &config() const { return _config; }
     ///@}
 
@@ -120,6 +129,14 @@ class DataCenter
 
     DataCenterConfig _config;
     Simulator _sim;
+    /**
+     * Telemetry sits between the engine and the plant: constructed
+     * before (destroyed after) every component that may emit trace
+     * records in its state machinery.
+     */
+    std::unique_ptr<TraceManager> _tracer;
+    std::unique_ptr<KernelProfiler> _profiler;
+    std::unique_ptr<Sampler> _sampler;
     std::unique_ptr<Network> _net;
     std::vector<std::unique_ptr<Server>> _servers;
     std::vector<Server *> _serverPtrs;

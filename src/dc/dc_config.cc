@@ -1,6 +1,7 @@
 #include "dc_config.hh"
 
 #include "sim/logging.hh"
+#include "telemetry/trace_manager.hh"
 
 namespace holdcsim {
 
@@ -33,6 +34,17 @@ DataCenterConfig::validate() const
             fatal("fault injection enabled but no component class "
                   "selected");
         }
+    }
+    if (telemetry.enabled) {
+        if (telemetry.traceFormat != "json" &&
+            telemetry.traceFormat != "csv") {
+            fatal("unknown telemetry.trace_format '",
+                  telemetry.traceFormat, "'");
+        }
+        if (telemetry.samplePeriod == 0)
+            fatal("telemetry.sample_period_ms must be positive");
+        // Fail on bad category lists at config time, not mid-run.
+        parseTraceCategories(telemetry.traceCategories);
     }
     serverProfile.validate();
     if (fabric != Fabric::none)
@@ -165,6 +177,28 @@ DataCenterConfig::fromConfig(const Config &cfg)
             cfg.getDouble("fault.task_timeout_ms") *
             static_cast<double>(msec));
     }
+
+    out.telemetry.traceOut =
+        cfg.getString("telemetry.trace_out", out.telemetry.traceOut);
+    out.telemetry.traceFormat = cfg.getString(
+        "telemetry.trace_format", out.telemetry.traceFormat);
+    out.telemetry.traceCategories = cfg.getString(
+        "telemetry.trace_categories", out.telemetry.traceCategories);
+    out.telemetry.sampleOut =
+        cfg.getString("telemetry.sample_out", out.telemetry.sampleOut);
+    if (cfg.has("telemetry.sample_period_ms")) {
+        out.telemetry.samplePeriod = static_cast<Tick>(
+            cfg.getDouble("telemetry.sample_period_ms") *
+            static_cast<double>(msec));
+    }
+    out.telemetry.profile =
+        cfg.getBool("telemetry.profile", out.telemetry.profile);
+    // Any configured output turns telemetry on unless an explicit
+    // enabled=false vetoes it; no section at all stays fully off.
+    out.telemetry.enabled = cfg.getBool(
+        "telemetry.enabled", !out.telemetry.traceOut.empty() ||
+                                 !out.telemetry.sampleOut.empty() ||
+                                 out.telemetry.profile);
 
     out.validate();
     return out;

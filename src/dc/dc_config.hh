@@ -96,6 +96,38 @@ struct DataCenterConfig {
     FaultSettings fault;
     ///@}
 
+    /** @name Telemetry (strictly opt-in; default fully disabled) */
+    ///@{
+    struct TelemetrySettings {
+        /**
+         * Resolved master switch. fromConfig defaults it to "true
+         * iff any output below is configured"; an explicit
+         * telemetry.enabled=false forces everything off.
+         */
+        bool enabled = false;
+        /** Timeline trace file; empty disables tracing. */
+        std::string traceOut;
+        /** Trace backend: json (Perfetto) | csv. */
+        std::string traceFormat = "json";
+        /** Category filter, e.g. "server,task,flow"; "all". */
+        std::string traceCategories = "all";
+        /** Time-series CSV file; empty disables sampling. */
+        std::string sampleOut;
+        /** Sampling period. */
+        Tick samplePeriod = 100 * msec;
+        /** Kernel profiling (profile.* stats + hot-events table). */
+        bool profile = false;
+
+        bool wantsTracing() const { return enabled && !traceOut.empty(); }
+        bool wantsSampling() const
+        {
+            return enabled && !sampleOut.empty();
+        }
+        bool wantsProfiling() const { return enabled && profile; }
+    };
+    TelemetrySettings telemetry;
+    ///@}
+
     /** Root seed for every random stream in the experiment. */
     std::uint64_t seed = 1;
 
@@ -121,6 +153,9 @@ struct DataCenterConfig {
      *                fault_switches, fault_linecards, fault_links,
      *                max_retries, retry_backoff_base_ms,
      *                retry_backoff_max_ms, task_timeout_ms
+     *   [telemetry]  enabled, trace_out, trace_format (json|csv),
+     *                trace_categories, sample_out, sample_period_ms,
+     *                profile
      */
     static DataCenterConfig fromConfig(const Config &cfg);
 };

@@ -96,6 +96,7 @@ FaultManager::onEvent(TargetState &ts)
         ++_faultsInjected;
         ++_currentlyDown;
         ts.stats.residency.enter(1, _sim.curTick());
+        traceEdge(ts, true);
         Tick up = ts.pending.upAt;
         Tick now = _sim.curTick();
         _sim.schedule(ts.event, up > now ? up : now + 1);
@@ -106,7 +107,20 @@ FaultManager::onEvent(TargetState &ts)
     --_currentlyDown;
     Tick now = _sim.curTick();
     ts.stats.residency.enter(0, now);
+    traceEdge(ts, false);
     armNext(ts, now);
+}
+
+void
+FaultManager::traceEdge(TargetState &ts, bool down)
+{
+    TraceManager *tr = _sim.tracer();
+    if (!tr || !tr->wants(TraceCategory::fault))
+        return;
+    if (ts.traceTrack == noTraceTrack)
+        ts.traceTrack = tr->track("faults", toString(ts.stats.target));
+    tr->transition(ts.traceTrack, TraceCategory::fault,
+                   down ? "down" : "up", _sim.curTick());
 }
 
 void

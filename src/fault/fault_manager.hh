@@ -24,6 +24,7 @@
 #include "sim/event.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
+#include "telemetry/trace_manager.hh"
 
 namespace holdcsim {
 
@@ -112,6 +113,8 @@ class FaultManager
         FaultRecord pending;
         /** Fires at pending.downAt, then at pending.upAt. */
         EventFunctionWrapper event;
+        /** Timeline track, resolved on this target's first fault. */
+        TraceTrackId traceTrack = noTraceTrack;
 
         TargetState(FaultManager &mgr, const FaultTarget &t);
     };
@@ -122,6 +125,8 @@ class FaultManager
     void onEvent(TargetState &ts);
     void applyDown(TargetState &ts);
     void applyUp(TargetState &ts);
+    /** Record @p ts's up/down edge on its fault timeline track. */
+    void traceEdge(TargetState &ts, bool down);
 
     Simulator &_sim;
     std::unique_ptr<FaultModel> _model;

@@ -47,8 +47,23 @@ FlowManager::startFlow(Route route, Bytes bytes, FlowDoneFn on_done,
 
     auto [it, inserted] = _flows.emplace(id, std::move(flow));
     (void)inserted;
+    if (TraceManager *tr = flowTracer()) {
+        tr->asyncBegin(_traceTrack, TraceCategory::flow, "flow", id,
+                       _sim.curTick());
+    }
     _sim.scheduleAfter(*it->second.activation, start_delay);
     return id;
+}
+
+TraceManager *
+FlowManager::flowTracer()
+{
+    TraceManager *tr = _sim.tracer();
+    if (!tr || !tr->wants(TraceCategory::flow))
+        return nullptr;
+    if (_traceTrack == noTraceTrack)
+        _traceTrack = tr->track("network", "flows");
+    return tr;
 }
 
 void
@@ -79,6 +94,10 @@ FlowManager::finish(FlowId id)
     FlowDoneFn done = std::move(it->second.onDone);
     _flowLatency.sample(toSeconds(_sim.curTick() - it->second.startedAt));
     ++_flowsCompleted;
+    if (TraceManager *tr = flowTracer()) {
+        tr->asyncEnd(_traceTrack, TraceCategory::flow, "flow", id,
+                     _sim.curTick());
+    }
     if (was_active)
         settleProgress();
     _flows.erase(it);
@@ -191,6 +210,12 @@ FlowManager::abortFlow(FlowId flow)
         settleProgress(); // other flows keep their progress to now
     _flows.erase(it);
     ++_flowsAborted;
+    if (TraceManager *tr = flowTracer()) {
+        tr->instant(_traceTrack, TraceCategory::flow, "flow.abort",
+                    _sim.curTick());
+        tr->asyncEnd(_traceTrack, TraceCategory::flow, "flow", flow,
+                     _sim.curTick());
+    }
     if (was_active)
         reshare(); // the freed bandwidth goes to the survivors
     if (aborted)

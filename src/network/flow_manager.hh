@@ -22,6 +22,7 @@
 #include "sim/event.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
+#include "telemetry/trace_manager.hh"
 #include "topology.hh"
 
 namespace holdcsim {
@@ -112,6 +113,8 @@ class FlowManager
 
     void activate(FlowId id);
     void finish(FlowId id);
+    /** Tracer (and shared flows track) if flow tracing is on. */
+    TraceManager *flowTracer();
     /** Debit elapsed transfer from every active flow. */
     void settleProgress();
     /** Recompute the max-min allocation and reschedule completions. */
@@ -125,6 +128,8 @@ class FlowManager
     std::uint64_t _flowsCompleted = 0;
     std::uint64_t _flowsAborted = 0;
     Percentile _flowLatency;
+
+    TraceTrackId _traceTrack = noTraceTrack;
 };
 
 } // namespace holdcsim

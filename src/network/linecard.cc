@@ -102,7 +102,32 @@ LineCard::setState(LineCardState next)
     _accrue();
     _state = next;
     _residency.enter(static_cast<int>(next), _sim.curTick());
+    traceState();
     _stateChanged();
+}
+
+void
+LineCard::setTraceLabel(std::string label)
+{
+    _traceLabel = std::move(label);
+    traceState();
+}
+
+void
+LineCard::traceState()
+{
+    TraceManager *tr = _sim.tracer();
+    if (!tr || _traceLabel.empty() ||
+        !tr->wants(TraceCategory::network)) {
+        return;
+    }
+    if (_traceTrack == noTraceTrack)
+        _traceTrack = tr->track("network", _traceLabel);
+    const char *name = _state == LineCardState::active ? "active"
+                       : _state == LineCardState::sleep ? "sleep"
+                                                        : "off";
+    tr->transition(_traceTrack, TraceCategory::network, name,
+                   _sim.curTick());
 }
 
 } // namespace holdcsim

@@ -16,6 +16,7 @@
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 #include "switch_power.hh"
+#include "telemetry/trace_manager.hh"
 
 namespace holdcsim {
 
@@ -73,8 +74,17 @@ class LineCard
     const StateResidency &residency() const { return _residency; }
     void finishStats(Tick now) { _residency.finish(now); }
 
+    /**
+     * Name this card on the timeline ("sw2.lc0"); assigned by the
+     * owning switch (a card does not know its switch). Until set, the
+     * card emits no trace records.
+     */
+    void setTraceLabel(std::string label);
+
   private:
     void setState(LineCardState next);
+    /** Emit the current state to the timeline tracer. */
+    void traceState();
 
     Simulator &_sim;
     unsigned _id;
@@ -86,6 +96,9 @@ class LineCard
     std::vector<Port *> _ports;
     EventFunctionWrapper _sleepEvent;
     StateResidency _residency;
+
+    std::string _traceLabel;
+    TraceTrackId _traceTrack = noTraceTrack;
 };
 
 } // namespace holdcsim

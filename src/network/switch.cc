@@ -25,6 +25,9 @@ Switch::Switch(Simulator &sim, const SwitchConfig &config,
         _linecards.push_back(std::make_unique<LineCard>(
             sim, lc, _profile, [this] { accrue(); },
             [this] { linecardStateChanged(); }));
+        _linecards.back()->setTraceLabel(
+            "sw" + std::to_string(config.id) + ".lc" +
+            std::to_string(lc));
     }
     for (unsigned p = 0; p < n_ports; ++p) {
         unsigned lc = p / config.portsPerLinecard;
@@ -35,6 +38,7 @@ Switch::Switch(Simulator &sim, const SwitchConfig &config,
         _linecards[lc]->addPort(_ports.back().get());
     }
     _residency.enter(0, sim.curTick()); // awake
+    traceState();
     // Ports arm their LPI timers at construction; the resulting
     // quiescence will cascade into line card / switch sleep per the
     // configured thresholds.
@@ -84,6 +88,7 @@ Switch::setFailed(bool failed)
     _failed = failed;
     if (failed && _sleepEvent.scheduled())
         _sim.deschedule(_sleepEvent);
+    traceState();
 }
 
 bool
@@ -204,6 +209,24 @@ Switch::setAsleep(bool asleep)
     if (asleep)
         ++_sleepTransitions;
     _residency.enter(asleep ? 1 : 0, _sim.curTick());
+    traceState();
+}
+
+void
+Switch::traceState()
+{
+    TraceManager *tr = _sim.tracer();
+    if (!tr || !tr->wants(TraceCategory::network))
+        return;
+    if (_traceTrack == noTraceTrack) {
+        _traceTrack =
+            tr->track("network", "sw" + std::to_string(id()));
+    }
+    const char *name = _failed ? "failed"
+                       : _asleep ? "asleep"
+                                 : "awake";
+    tr->transition(_traceTrack, TraceCategory::network, name,
+                   _sim.curTick());
 }
 
 } // namespace holdcsim

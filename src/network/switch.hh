@@ -124,6 +124,8 @@ class Switch
     void portActivityChanged(unsigned linecard_idx);
     void linecardStateChanged();
     void setAsleep(bool asleep);
+    /** Emit the chassis state (awake/asleep/failed) to the tracer. */
+    void traceState();
 
     Simulator &_sim;
     SwitchConfig _config;
@@ -144,6 +146,8 @@ class Switch
     StateResidency _residency;
     std::uint64_t _packetsForwarded = 0;
     std::uint64_t _sleepTransitions = 0;
+
+    TraceTrackId _traceTrack = noTraceTrack;
 };
 
 } // namespace holdcsim

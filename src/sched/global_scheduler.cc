@@ -98,11 +98,33 @@ GlobalScheduler::makeRef(const RuntimeJob &rt, TaskId t) const
                    spec.computeIntensity, spec.type};
 }
 
+TraceManager *
+GlobalScheduler::taskTracer()
+{
+    TraceManager *tr = _sim.tracer();
+    if (!tr || !tr->wants(TraceCategory::task))
+        return nullptr;
+    if (_traceTrack == noTraceTrack)
+        _traceTrack = tr->track("scheduler", "tasks");
+    return tr;
+}
+
+std::string
+GlobalScheduler::taskName(JobId job, TaskId t)
+{
+    return "j" + std::to_string(job) + ".t" + std::to_string(t);
+}
+
 void
 GlobalScheduler::submitJob(Job job)
 {
     ++_jobsSubmitted;
     JobId id = job.id();
+    if (TraceManager *tr = taskTracer()) {
+        tr->instant(_traceTrack, TraceCategory::task,
+                    "j" + std::to_string(id) + ".submit",
+                    _sim.curTick());
+    }
     RuntimeJob rt{std::move(job), {}, {}, {}, {}, {}, 0};
     const std::size_t n = rt.job.numTasks();
     rt.pendingParents.resize(n);
@@ -229,6 +251,12 @@ GlobalScheduler::assignTask(RuntimeJob &rt, TaskId t,
 {
     rt.taskServer[t] = static_cast<std::int64_t>(server);
     ++rt.attempts[t];
+    if (TraceManager *tr = taskTracer()) {
+        tr->instant(_traceTrack, TraceCategory::task,
+                    taskName(rt.job.id(), t) + ".dispatch.sv" +
+                        std::to_string(server),
+                    _sim.curTick());
+    }
     // Ship each parent's result over the fabric; the task launches
     // when the last transfer lands. Callbacks carry the attempt
     // number so leftovers from a superseded attempt are inert.
@@ -302,6 +330,11 @@ GlobalScheduler::launchTask(RuntimeJob &rt, TaskId t)
     }
     rt.state[t] = TaskState::running;
     ++_tasksDispatched;
+    if (TraceManager *tr = taskTracer()) {
+        tr->asyncBegin(_traceTrack, TraceCategory::task,
+                       taskName(rt.job.id(), t),
+                       taskSpanId(rt.job.id(), t), _sim.curTick());
+    }
     _servers[server]->submit(makeRef(rt, t));
     armTaskTimeout(rt, t);
 }
@@ -340,10 +373,20 @@ GlobalScheduler::taskAttemptFailed(JobId job, TaskId t)
     if (rt.state[t] == TaskState::done)
         return;
     if (!_retryEnabled || rt.attempts[t] >= _retry.maxAttempts) {
-        failJob(job);
+        failJob(job); // closes any open task spans
         return;
     }
     ++_taskRetries;
+    if (TraceManager *tr = taskTracer()) {
+        if (rt.state[t] == TaskState::running) {
+            // Close the attempt's span: it died instead of completing.
+            tr->asyncEnd(_traceTrack, TraceCategory::task,
+                         taskName(job, t), taskSpanId(job, t),
+                         _sim.curTick());
+        }
+        tr->instant(_traceTrack, TraceCategory::task,
+                    taskName(job, t) + ".retry", _sim.curTick());
+    }
     rt.state[t] = TaskState::backoff;
     rt.pendingTransfers[t] = 0;
     std::uint32_t epoch = rt.attempts[t];
@@ -373,6 +416,11 @@ GlobalScheduler::failJob(JobId job)
     for (TaskId t = 0; t < rt.job.numTasks(); ++t) {
         if (rt.state[t] != TaskState::running)
             continue;
+        if (TraceManager *tr = taskTracer()) {
+            tr->asyncEnd(_traceTrack, TraceCategory::task,
+                         taskName(job, t), taskSpanId(job, t),
+                         _sim.curTick());
+        }
         auto srv = static_cast<std::size_t>(rt.taskServer[t]);
         if (!_servers[srv]->failed())
             _servers[srv]->cancelTask(job, t);
@@ -386,6 +434,11 @@ GlobalScheduler::failJob(JobId job)
         _globalQueue.end());
     _failedJobs.insert(job);
     _jobs.erase(it);
+    if (TraceManager *tr = taskTracer()) {
+        tr->instant(_traceTrack, TraceCategory::task,
+                    "j" + std::to_string(job) + ".failed",
+                    _sim.curTick());
+    }
     if (_jobFailed)
         _jobFailed(job);
     notifyLoadChanged();
@@ -425,6 +478,11 @@ GlobalScheduler::onTaskDone(Server &server, const TaskRef &task)
         HOLDCSIM_PANIC("job ", task.job, " task ", task.task,
                        " completed twice");
     rt.state[task.task] = TaskState::done;
+    if (TraceManager *tr = taskTracer()) {
+        tr->asyncEnd(_traceTrack, TraceCategory::task,
+                     taskName(task.job, task.task),
+                     taskSpanId(task.job, task.task), _sim.curTick());
+    }
     if (rt.remaining == 0)
         HOLDCSIM_PANIC("job ", task.job, " over-completed");
     --rt.remaining;

@@ -32,6 +32,7 @@
 #include "sim/one_shot.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
+#include "telemetry/trace_manager.hh"
 #include "workload/job.hh"
 
 namespace holdcsim {
@@ -221,6 +222,16 @@ class GlobalScheduler
     void invalidateCandidateCache() { _candidateCache.clear(); }
     TaskRef makeRef(const RuntimeJob &rt, TaskId t) const;
     void notifyLoadChanged();
+    /** Tracer (and shared tasks track) if task tracing is on. */
+    TraceManager *taskTracer();
+    /** "j<job>.t<task>" label used on the task timeline. */
+    static std::string taskName(JobId job, TaskId t);
+    /** Async-span id for (job, task); the name disambiguates. */
+    static std::uint64_t
+    taskSpanId(JobId job, TaskId t)
+    {
+        return (job << 16) + t;
+    }
 
     Simulator &_sim;
     std::vector<Server *> _servers;
@@ -258,6 +269,8 @@ class GlobalScheduler
     std::uint64_t _transfersAborted = 0;
     std::uint64_t _jobsFailedCount = 0;
     Percentile _jobLatency;
+
+    TraceTrackId _traceTrack = noTraceTrack;
 };
 
 } // namespace holdcsim

@@ -56,6 +56,13 @@ Core::setPState(std::size_t idx)
         return;
     _accrue();
     _pstate = idx;
+    if (TraceManager *tr = _sim.tracer();
+        tr && !_traceLabel.empty() && tr->wants(TraceCategory::core)) {
+        if (_traceTrack == noTraceTrack)
+            _traceTrack = tr->track("cores", _traceLabel);
+        tr->instant(_traceTrack, TraceCategory::core,
+                    "P" + std::to_string(idx), _sim.curTick());
+    }
     _stateChanged();
 }
 
@@ -131,7 +138,29 @@ Core::setCState(CoreCState next)
     _accrue();
     _cstate = next;
     _residency.enter(static_cast<int>(next), _sim.curTick());
+    traceCState();
     _stateChanged();
+}
+
+void
+Core::setTraceLabel(std::string label)
+{
+    _traceLabel = std::move(label);
+    // Open the initial state's slice right away so the timeline
+    // starts at construction, not at the first transition.
+    traceCState();
+}
+
+void
+Core::traceCState()
+{
+    TraceManager *tr = _sim.tracer();
+    if (!tr || _traceLabel.empty() || !tr->wants(TraceCategory::core))
+        return;
+    if (_traceTrack == noTraceTrack)
+        _traceTrack = tr->track("cores", _traceLabel);
+    tr->transition(_traceTrack, TraceCategory::core, toString(_cstate),
+                   _sim.curTick());
 }
 
 void

@@ -23,6 +23,7 @@
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 #include "task.hh"
+#include "telemetry/trace_manager.hh"
 
 namespace holdcsim {
 
@@ -137,8 +138,16 @@ class Core
 
     std::uint64_t tasksExecuted() const { return _tasksExecuted; }
 
+    /**
+     * Name this core on the timeline ("server3.core1"); assigned by
+     * the owning server. Until set, the core emits no trace records.
+     */
+    void setTraceLabel(std::string label);
+
   private:
     void setCState(CoreCState next);
+    /** Emit the current C-state to the timeline tracer. */
+    void traceCState();
     /** (Re)arm the idle-governor demotion event. */
     void armDemotion();
     void demote();
@@ -162,6 +171,9 @@ class Core
 
     StateResidency _residency;
     std::uint64_t _tasksExecuted = 0;
+
+    std::string _traceLabel;
+    TraceTrackId _traceTrack = noTraceTrack;
 };
 
 } // namespace holdcsim

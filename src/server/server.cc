@@ -36,9 +36,12 @@ Server::Server(Simulator &sim, const ServerConfig &config,
                 recomputePkgState();
                 updateResidency();
             }));
+        _cores.back()->setTraceLabel("server" + std::to_string(id()) +
+                                     ".core" + std::to_string(i));
     }
     recomputePkgState();
     _residency.enter(static_cast<int>(observableState()), sim.curTick());
+    traceState();
 }
 
 Server::~Server()
@@ -411,8 +414,24 @@ void
 Server::updateResidency()
 {
     auto s = static_cast<int>(observableState());
-    if (s != _residency.currentState())
+    if (s != _residency.currentState()) {
         _residency.enter(s, _sim.curTick());
+        traceState();
+    }
+}
+
+void
+Server::traceState()
+{
+    TraceManager *tr = _sim.tracer();
+    if (!tr || !tr->wants(TraceCategory::server))
+        return;
+    if (_traceTrack == noTraceTrack) {
+        _traceTrack =
+            tr->track("servers", "server" + std::to_string(id()));
+    }
+    tr->transition(_traceTrack, TraceCategory::server,
+                   toString(observableState()), _sim.curTick());
 }
 
 } // namespace holdcsim

@@ -31,6 +31,7 @@
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 #include "task.hh"
+#include "telemetry/trace_manager.hh"
 
 namespace holdcsim {
 
@@ -235,6 +236,8 @@ class Server
     void recomputePkgState();
     /** Update the observable-state residency tracker. */
     void updateResidency();
+    /** Emit the current observable state to the timeline tracer. */
+    void traceState();
     /** Component powers at this instant. */
     struct ComponentPower {
         Watts cpu, dram, platform;
@@ -270,6 +273,9 @@ class Server
     std::uint64_t _failures = 0;
     std::uint64_t _tasksKilled = 0;
     Joules _wastedJoules = 0.0;
+
+    /** Cached timeline track (resolved on first traced transition). */
+    TraceTrackId _traceTrack = noTraceTrack;
 };
 
 } // namespace holdcsim

@@ -24,17 +24,32 @@ Simulator::reschedule(Event &ev, Tick when)
     _queue.reschedule(ev, when);
 }
 
+void
+Simulator::processOne()
+{
+    // Queue depth before the pop counts the popped event itself.
+    std::size_t queued = _queue.size();
+    Tick next = _queue.nextTick();
+    Event &ev = _queue.pop();
+    _curTick = next;
+    ++_eventsProcessed;
+    if (_probe) {
+        // beginEvent() must copy what it needs: one-shot events
+        // delete themselves inside process().
+        _probe->beginEvent(ev, queued);
+        ev.process();
+        _probe->endEvent();
+    } else {
+        ev.process();
+    }
+}
+
 Tick
 Simulator::run()
 {
     _stopRequested = false;
-    while (_queue.foregroundCount() > 0 && !_stopRequested) {
-        Tick next = _queue.nextTick();
-        Event &ev = _queue.pop();
-        _curTick = next;
-        ++_eventsProcessed;
-        ev.process();
-    }
+    while (_queue.foregroundCount() > 0 && !_stopRequested)
+        processOne();
     return _curTick;
 }
 
@@ -43,15 +58,11 @@ Simulator::runUntil(Tick limit)
 {
     _stopRequested = false;
     while (!_queue.empty() && !_stopRequested) {
-        Tick next = _queue.nextTick();
-        if (next > limit) {
+        if (_queue.nextTick() > limit) {
             _curTick = limit;
             return _curTick;
         }
-        Event &ev = _queue.pop();
-        _curTick = next;
-        ++_eventsProcessed;
-        ev.process();
+        processOne();
     }
     if (_curTick < limit)
         _curTick = limit;

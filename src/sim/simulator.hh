@@ -18,6 +18,31 @@
 
 namespace holdcsim {
 
+class TraceManager;
+
+/**
+ * Observer hooked around every event dispatch (opt-in, e.g. the
+ * telemetry KernelProfiler). The kernel never depends on a concrete
+ * implementation; when no probe is installed the run loop pays one
+ * pointer test per event.
+ */
+class KernelProbe
+{
+  public:
+    virtual ~KernelProbe() = default;
+
+    /**
+     * About to process @p ev. @p queued is the number of events that
+     * were in the queue when this one was popped (itself included).
+     * Implementations must not keep a reference to @p ev: one-shot
+     * events may delete themselves inside process().
+     */
+    virtual void beginEvent(const Event &ev, std::size_t queued) = 0;
+
+    /** The event just returned from process(). */
+    virtual void endEvent() = 0;
+};
+
 /** Event-driven simulation engine with a nanosecond clock. */
 class Simulator
 {
@@ -72,11 +97,33 @@ class Simulator
     /** Direct access to the queue (tests and advanced harnesses). */
     EventQueue &eventQueue() { return _queue; }
 
+    /**
+     * Install (or clear, with nullptr) the timeline tracer. The
+     * kernel itself never dereferences it -- the pointer only rides
+     * here so instrumented components can reach the tracer through
+     * the Simulator they already hold. Not owned.
+     */
+    void setTracer(TraceManager *tracer) { _tracer = tracer; }
+
+    /** Installed tracer, or nullptr when tracing is off. */
+    TraceManager *tracer() const { return _tracer; }
+
+    /** Install (or clear) the kernel profiling probe. Not owned. */
+    void setProbe(KernelProbe *probe) { _probe = probe; }
+
+    /** Installed probe, or nullptr when profiling is off. */
+    KernelProbe *probe() const { return _probe; }
+
   private:
+    /** Pop the next event and process it (shared run-loop body). */
+    void processOne();
+
     EventQueue _queue;
     Tick _curTick = 0;
     std::uint64_t _eventsProcessed = 0;
     bool _stopRequested = false;
+    TraceManager *_tracer = nullptr;
+    KernelProbe *_probe = nullptr;
 };
 
 } // namespace holdcsim

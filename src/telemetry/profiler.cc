@@ -1,0 +1,124 @@
+#include "profiler.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace holdcsim {
+
+void
+KernelProfiler::beginEvent(const Event &ev, std::size_t queued)
+{
+    if (queued > _peakDepth)
+        _peakDepth = queued;
+    _currentName = ev.name();
+    _currentStart = Clock::now();
+}
+
+void
+KernelProfiler::endEvent()
+{
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - _currentStart)
+                  .count();
+    TypeStats &ts = _byType[_currentName];
+    ++ts.count;
+    ts.hostNs += static_cast<std::uint64_t>(ns);
+    ++_events;
+}
+
+std::uint64_t
+KernelProfiler::totalHostNs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, ts] : _byType)
+        total += ts.hostNs;
+    return total;
+}
+
+std::vector<std::pair<std::string, KernelProfiler::TypeStats>>
+KernelProfiler::hottest() const
+{
+    std::vector<std::pair<std::string, TypeStats>> rows(
+        _byType.begin(), _byType.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.hostNs != b.second.hostNs)
+                      return a.second.hostNs > b.second.hostNs;
+                  if (a.second.count != b.second.count)
+                      return a.second.count > b.second.count;
+                  return a.first < b.first;
+              });
+    return rows;
+}
+
+void
+KernelProfiler::addStats(StatGroup &group) const
+{
+    group.add("events_observed", _events);
+    group.add("event_types", static_cast<std::uint64_t>(_byType.size()));
+    group.add("peak_queue_depth",
+              static_cast<std::uint64_t>(_peakDepth));
+    group.add("host_seconds", static_cast<double>(totalHostNs()) * 1e-9);
+    for (const auto &[name, ts] : _byType) {
+        group.add("type." + name + ".count", ts.count);
+        group.add("type." + name + ".host_us",
+                  static_cast<double>(ts.hostNs) * 1e-3);
+    }
+}
+
+void
+KernelProfiler::dumpHotTable(std::ostream &os) const
+{
+    os << "# kernel hot events (by host time inside process())\n";
+    os << "# " << std::left << std::setw(40) << "event" << std::right
+       << std::setw(12) << "count" << std::setw(14) << "host_us"
+       << std::setw(10) << "avg_ns" << '\n';
+    for (const auto &[name, ts] : hottest()) {
+        double avg =
+            ts.count ? static_cast<double>(ts.hostNs) / ts.count : 0.0;
+        os << "# " << std::left << std::setw(40) << name << std::right
+           << std::setw(12) << ts.count << std::setw(14) << std::fixed
+           << std::setprecision(1)
+           << static_cast<double>(ts.hostNs) * 1e-3 << std::setw(10)
+           << std::setprecision(0) << avg << '\n';
+    }
+    os.unsetf(std::ios::floatfield);
+    os << std::setprecision(6);
+}
+
+void
+KernelProfiler::dumpJson(std::ostream &os, double wall_seconds) const
+{
+    os << "{\n";
+    os << "  \"events_total\": " << _events << ",\n";
+    os << "  \"peak_queue_depth\": " << _peakDepth << ",\n";
+    os << "  \"host_seconds_in_events\": "
+       << static_cast<double>(totalHostNs()) * 1e-9 << ",\n";
+    if (wall_seconds > 0.0) {
+        os << "  \"wall_seconds\": " << wall_seconds << ",\n";
+        os << "  \"events_per_sec\": "
+           << static_cast<double>(_events) / wall_seconds << ",\n";
+    }
+    os << "  \"events_by_type\": {";
+    bool first = true;
+    for (const auto &[name, ts] : hottest()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    \"" << name << "\": {\"count\": " << ts.count
+           << ", \"host_us\": "
+           << static_cast<double>(ts.hostNs) * 1e-3 << "}";
+    }
+    os << "\n  }\n}\n";
+}
+
+void
+KernelProfiler::reset()
+{
+    _events = 0;
+    _peakDepth = 0;
+    _byType.clear();
+    _currentName.clear();
+}
+
+} // namespace holdcsim

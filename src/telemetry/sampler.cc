@@ -1,0 +1,85 @@
+#include "sampler.hh"
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+namespace {
+
+std::unique_ptr<std::ofstream>
+openFile(const std::string &path)
+{
+    auto file = std::make_unique<std::ofstream>(path);
+    if (!*file)
+        fatal("cannot open sample output file '", path, "'");
+    return file;
+}
+
+} // namespace
+
+Sampler::Sampler(Simulator &sim, std::ostream &os, Tick period)
+    : _sim(sim), _os(os), _period(period),
+      _event([this] { sampleNow(); }, "sampler.tick",
+             Event::statsPriority)
+{
+    if (_period == 0)
+        fatal("sampler period must be positive");
+    _event.setBackground(true);
+}
+
+Sampler::Sampler(Simulator &sim, const std::string &path, Tick period)
+    : _sim(sim), _file(openFile(path)), _os(*_file), _period(period),
+      _event([this] { sampleNow(); }, "sampler.tick",
+             Event::statsPriority)
+{
+    if (_period == 0)
+        fatal("sampler period must be positive");
+    _event.setBackground(true);
+}
+
+Sampler::~Sampler()
+{
+    stop();
+}
+
+void
+Sampler::addProbe(std::string name, ProbeFn fn)
+{
+    if (_started)
+        fatal("cannot add probe '", name, "' to a running sampler");
+    if (!fn)
+        fatal("sampler probe '", name, "' has no function");
+    _probes.emplace_back(std::move(name), std::move(fn));
+}
+
+void
+Sampler::start()
+{
+    if (_started)
+        return;
+    _started = true;
+    _os << "time_s,metric,value\n";
+    sampleNow();
+}
+
+void
+Sampler::stop()
+{
+    if (_event.scheduled())
+        _sim.deschedule(_event);
+    _os.flush();
+}
+
+void
+Sampler::sampleNow()
+{
+    double t = toSeconds(_sim.curTick());
+    for (const auto &[name, fn] : _probes) {
+        _os << t << ',' << name << ',' << fn() << '\n';
+        ++_rows;
+    }
+    ++_samples;
+    _sim.schedule(_event, _sim.curTick() + _period);
+}
+
+} // namespace holdcsim

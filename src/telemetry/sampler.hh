@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Periodic time-series sampling.
+ *
+ * A Sampler snapshots a set of named scalar probes (lambdas over live
+ * model state: fleet power draw, queue depths, active flows, ...)
+ * every fixed period and appends them to a long-format CSV
+ * (time_s,metric,value), the shape the paper's latency/power timeline
+ * figures plot directly. The sampling event is a background event, so
+ * an armed sampler never keeps the simulation alive after the
+ * workload drains.
+ */
+
+#ifndef HOLDCSIM_TELEMETRY_SAMPLER_HH
+#define HOLDCSIM_TELEMETRY_SAMPLER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+
+namespace holdcsim {
+
+/** Periodic multi-probe snapshot writer (long-format CSV). */
+class Sampler
+{
+  public:
+    /** Scalar probe over live model state. */
+    using ProbeFn = std::function<double()>;
+
+    /** Sample to a caller-owned stream every @p period. */
+    Sampler(Simulator &sim, std::ostream &os, Tick period);
+
+    /** Sample to file @p path; throws FatalError if unwritable. */
+    Sampler(Simulator &sim, const std::string &path, Tick period);
+
+    /** Deschedules the pending sample event. */
+    ~Sampler();
+
+    Sampler(const Sampler &) = delete;
+    Sampler &operator=(const Sampler &) = delete;
+
+    /** Register probe @p name. Must be called before start(). */
+    void addProbe(std::string name, ProbeFn fn);
+
+    /**
+     * Write the CSV header, take a baseline sample now, and arm the
+     * periodic event. One row per probe per period; a simulation
+     * ending mid-period contributes no partial row (rollover-safe).
+     */
+    void start();
+
+    /** Disarm; the series so far stays written. */
+    void stop();
+
+    /** Rows written so far (header excluded). */
+    std::uint64_t rowsWritten() const { return _rows; }
+
+    /** Snapshots taken so far (rows / probes). */
+    std::uint64_t samplesTaken() const { return _samples; }
+
+    Tick period() const { return _period; }
+
+  private:
+    void sampleNow();
+
+    Simulator &_sim;
+    std::unique_ptr<std::ofstream> _file;
+    std::ostream &_os;
+    Tick _period;
+    std::vector<std::pair<std::string, ProbeFn>> _probes;
+    EventFunctionWrapper _event;
+    bool _started = false;
+    std::uint64_t _rows = 0;
+    std::uint64_t _samples = 0;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_TELEMETRY_SAMPLER_HH

@@ -1,0 +1,178 @@
+#include "trace_manager.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+const char *
+toString(TraceCategory c)
+{
+    switch (c) {
+      case TraceCategory::server:
+        return "server";
+      case TraceCategory::core:
+        return "core";
+      case TraceCategory::task:
+        return "task";
+      case TraceCategory::flow:
+        return "flow";
+      case TraceCategory::network:
+        return "network";
+      case TraceCategory::fault:
+        return "fault";
+    }
+    HOLDCSIM_PANIC("unknown TraceCategory");
+}
+
+std::uint32_t
+parseTraceCategories(const std::string &spec)
+{
+    if (spec.empty() || spec == "all")
+        return allTraceCategories;
+    std::uint32_t mask = 0;
+    std::istringstream in(spec);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+        if (token.empty())
+            continue;
+        if (token == "server")
+            mask |= static_cast<std::uint32_t>(TraceCategory::server);
+        else if (token == "core")
+            mask |= static_cast<std::uint32_t>(TraceCategory::core);
+        else if (token == "task")
+            mask |= static_cast<std::uint32_t>(TraceCategory::task);
+        else if (token == "flow")
+            mask |= static_cast<std::uint32_t>(TraceCategory::flow);
+        else if (token == "network")
+            mask |= static_cast<std::uint32_t>(TraceCategory::network);
+        else if (token == "fault")
+            mask |= static_cast<std::uint32_t>(TraceCategory::fault);
+        else
+            fatal("unknown trace category '", token, "'");
+    }
+    if (mask == 0)
+        fatal("trace category list '", spec, "' selects nothing");
+    return mask;
+}
+
+TraceManager::TraceManager(std::unique_ptr<TraceSink> sink,
+                           std::uint32_t mask)
+    : _sink(std::move(sink)), _mask(mask)
+{
+    if (!_sink)
+        fatal("trace manager needs a sink");
+}
+
+TraceManager::~TraceManager()
+{
+    flush(_lastTick);
+}
+
+TraceTrackId
+TraceManager::track(const std::string &process,
+                    const std::string &track_name)
+{
+    auto [pit, pnew] = _processes.emplace(
+        process, static_cast<std::uint32_t>(_processes.size() + 1));
+    if (pnew)
+        _sink->processName(pit->second, process);
+
+    auto key = std::make_pair(pit->second, track_name);
+    auto tit = _byName.find(key);
+    if (tit != _byName.end())
+        return tit->second;
+
+    auto id = static_cast<TraceTrackId>(_tracks.size());
+    Track t;
+    t.pid = pit->second;
+    t.tid = static_cast<std::uint32_t>(_byName.size() + 1);
+    _tracks.push_back(std::move(t));
+    _byName.emplace(std::move(key), id);
+    _sink->trackName(_tracks[id].pid, _tracks[id].tid, track_name);
+    return id;
+}
+
+void
+TraceManager::transition(TraceTrackId t, TraceCategory c,
+                         std::string state, Tick now)
+{
+    if (_finished || !wants(c))
+        return;
+    Track &tr = _tracks.at(t);
+    if (tr.hasOpen) {
+        _sink->slice(tr.pid, tr.tid, tr.openState,
+                     toString(tr.openCategory), tr.openSince, now);
+    }
+    tr.openState = std::move(state);
+    tr.openSince = now;
+    tr.openCategory = c;
+    tr.hasOpen = true;
+    if (now > _lastTick)
+        _lastTick = now;
+}
+
+void
+TraceManager::instant(TraceTrackId t, TraceCategory c,
+                      const std::string &name, Tick now)
+{
+    if (_finished || !wants(c))
+        return;
+    const Track &tr = _tracks.at(t);
+    _sink->instant(tr.pid, tr.tid, name, toString(c), now);
+    if (now > _lastTick)
+        _lastTick = now;
+}
+
+void
+TraceManager::asyncBegin(TraceTrackId t, TraceCategory c,
+                         const std::string &name, std::uint64_t id,
+                         Tick now)
+{
+    if (_finished || !wants(c))
+        return;
+    const Track &tr = _tracks.at(t);
+    _sink->asyncBegin(tr.pid, tr.tid, name, toString(c), id, now);
+    if (now > _lastTick)
+        _lastTick = now;
+}
+
+void
+TraceManager::asyncEnd(TraceTrackId t, TraceCategory c,
+                       const std::string &name, std::uint64_t id,
+                       Tick now)
+{
+    if (_finished || !wants(c))
+        return;
+    const Track &tr = _tracks.at(t);
+    _sink->asyncEnd(tr.pid, tr.tid, name, toString(c), id, now);
+    if (now > _lastTick)
+        _lastTick = now;
+}
+
+void
+TraceManager::flush(Tick now)
+{
+    if (_finished)
+        return;
+    if (now < _lastTick)
+        now = _lastTick;
+    for (Track &tr : _tracks) {
+        if (!tr.hasOpen)
+            continue;
+        _sink->slice(tr.pid, tr.tid, tr.openState,
+                     toString(tr.openCategory), tr.openSince, now);
+        tr.hasOpen = false;
+    }
+    _finished = true;
+    _sink->finish();
+}
+
+std::uint64_t
+TraceManager::eventsEmitted() const
+{
+    return _sink->recordsWritten();
+}
+
+} // namespace holdcsim

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Timeline tracing front end.
+ *
+ * The TraceManager is the single object model code talks to when it
+ * wants to record what happened on a timeline: per-component state
+ * machines report transitions (the manager turns consecutive
+ * transitions into closed duration slices), schedulers report
+ * instants, and overlapping operations (flows, task attempts) report
+ * async begin/end pairs keyed by an id.
+ *
+ * Cost discipline: an experiment without tracing carries no
+ * TraceManager at all (Simulator::tracer() is null), so the off path
+ * is one pointer test and no allocation. When a manager is installed,
+ * every emit site first checks wants(category) -- a mask test --
+ * before building any strings.
+ */
+
+#ifndef HOLDCSIM_TELEMETRY_TRACE_MANAGER_HH
+#define HOLDCSIM_TELEMETRY_TRACE_MANAGER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "trace_sink.hh"
+
+namespace holdcsim {
+
+/** Event categories, maskable for selective tracing. */
+enum class TraceCategory : std::uint32_t {
+    /** Server observable power states (Active/Idle/PC6/S3/...). */
+    server = 1u << 0,
+    /** Core C-state machine and task-execution spans. */
+    core = 1u << 1,
+    /** Task dispatch -> start -> finish lifecycle, job markers. */
+    task = 1u << 2,
+    /** Flow start/abort/complete spans. */
+    flow = 1u << 3,
+    /** Switch and line-card sleep (LPI) transitions. */
+    network = 1u << 4,
+    /** Fault crash/repair down-windows. */
+    fault = 1u << 5,
+};
+
+/** Mask with every category enabled. */
+constexpr std::uint32_t allTraceCategories = 0x3f;
+
+/** Stable lowercase name (trace "cat" field, config tokens). */
+const char *toString(TraceCategory c);
+
+/**
+ * Parse a comma-separated category list ("server,task,flow") into a
+ * mask; "all" or the empty string select every category. Throws
+ * FatalError on unknown tokens.
+ */
+std::uint32_t parseTraceCategories(const std::string &spec);
+
+/** Handle to one timeline track (cheap, copyable). */
+using TraceTrackId = std::uint32_t;
+
+/** Track handle meaning "not resolved yet" (lazy caching). */
+constexpr TraceTrackId noTraceTrack = ~static_cast<TraceTrackId>(0);
+
+/** Timeline recording hub; owns the output sink. */
+class TraceManager
+{
+  public:
+    /**
+     * @param sink output backend (owned)
+     * @param mask category filter (see parseTraceCategories)
+     */
+    explicit TraceManager(std::unique_ptr<TraceSink> sink,
+                          std::uint32_t mask = allTraceCategories);
+
+    /** Flushes (closes open spans at the last seen tick). */
+    ~TraceManager();
+
+    TraceManager(const TraceManager &) = delete;
+    TraceManager &operator=(const TraceManager &) = delete;
+
+    /** Whether category @p c is being recorded. Cheap; check first. */
+    bool
+    wants(TraceCategory c) const
+    {
+        return (_mask & static_cast<std::uint32_t>(c)) != 0;
+    }
+
+    /**
+     * Register (or look up) the track named @p track inside the
+     * group @p process -- e.g. ("servers", "server3"). Call once and
+     * cache the handle; lookups are map-based.
+     */
+    TraceTrackId track(const std::string &process,
+                       const std::string &track);
+
+    /**
+     * The tracked state machine entered state @p state at @p now.
+     * Closes the previous state's slice (if any) and opens a new one;
+     * the final open slice is closed by flush().
+     */
+    void transition(TraceTrackId t, TraceCategory c, std::string state,
+                    Tick now);
+
+    /** Zero-duration marker on track @p t. */
+    void instant(TraceTrackId t, TraceCategory c,
+                 const std::string &name, Tick now);
+
+    /** Open an async span (overlapping ops; match by @p id+name). */
+    void asyncBegin(TraceTrackId t, TraceCategory c,
+                    const std::string &name, std::uint64_t id,
+                    Tick now);
+
+    /** Close the async span opened with the same (@p id, name). */
+    void asyncEnd(TraceTrackId t, TraceCategory c,
+                  const std::string &name, std::uint64_t id, Tick now);
+
+    /**
+     * Close every open state slice at @p now and finalize the sink.
+     * Further emits are ignored. Idempotent.
+     */
+    void flush(Tick now);
+
+    /** Records handed to the sink so far. */
+    std::uint64_t eventsEmitted() const;
+
+    TraceSink &sink() { return *_sink; }
+
+  private:
+    struct Track {
+        std::uint32_t pid;
+        std::uint32_t tid;
+        /** Open state slice (transition-driven tracks). */
+        std::string openState;
+        Tick openSince = 0;
+        TraceCategory openCategory{};
+        bool hasOpen = false;
+    };
+
+    std::unique_ptr<TraceSink> _sink;
+    std::uint32_t _mask;
+    bool _finished = false;
+    Tick _lastTick = 0;
+
+    /** process name -> pid. */
+    std::map<std::string, std::uint32_t> _processes;
+    /** (pid, track name) -> track index. */
+    std::map<std::pair<std::uint32_t, std::string>, TraceTrackId>
+        _byName;
+    std::vector<Track> _tracks;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_TELEMETRY_TRACE_MANAGER_HH

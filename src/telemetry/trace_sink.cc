@@ -1,0 +1,244 @@
+#include "trace_sink.hh"
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+namespace {
+
+/** Ticks (ns) to trace-event microseconds, exact to 1 ns. */
+std::string
+micros(Tick t)
+{
+    // Print as us with 3 decimals without float rounding drift.
+    std::string out = std::to_string(t / 1000);
+    out += '.';
+    std::string frac = std::to_string(t % 1000);
+    out.append(3 - frac.size(), '0');
+    out += frac;
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::unique_ptr<std::ofstream>
+openFile(const std::string &path)
+{
+    auto file = std::make_unique<std::ofstream>(path);
+    if (!*file)
+        fatal("cannot open trace output file '", path, "'");
+    return file;
+}
+
+} // namespace
+
+// -------------------------------------------------------------- JsonTraceSink
+
+JsonTraceSink::JsonTraceSink(std::ostream &os) : _os(os)
+{
+    _os << "{\"traceEvents\":[\n";
+}
+
+JsonTraceSink::JsonTraceSink(const std::string &path)
+    : _file(openFile(path)), _os(*_file)
+{
+    _os << "{\"traceEvents\":[\n";
+}
+
+JsonTraceSink::~JsonTraceSink()
+{
+    finish();
+}
+
+void
+JsonTraceSink::open(char phase, std::uint32_t pid, std::uint32_t tid,
+                    const std::string &name, const char *category,
+                    Tick ts)
+{
+    if (_records > 0)
+        _os << ",\n";
+    _os << "{\"ph\":\"" << phase << "\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"name\":\"" << jsonEscape(name)
+        << "\",\"cat\":\"" << category << "\",\"ts\":" << micros(ts);
+    ++_records;
+}
+
+void
+JsonTraceSink::processName(std::uint32_t pid, const std::string &name)
+{
+    if (_records > 0)
+        _os << ",\n";
+    _os << "{\"ph\":\"M\",\"pid\":" << pid
+        << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+        << jsonEscape(name) << "\"}}";
+    ++_records;
+}
+
+void
+JsonTraceSink::trackName(std::uint32_t pid, std::uint32_t tid,
+                         const std::string &name)
+{
+    if (_records > 0)
+        _os << ",\n";
+    _os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << jsonEscape(name) << "\"}}";
+    ++_records;
+}
+
+void
+JsonTraceSink::slice(std::uint32_t pid, std::uint32_t tid,
+                     const std::string &name, const char *category,
+                     Tick begin, Tick end)
+{
+    open('X', pid, tid, name, category, begin);
+    _os << ",\"dur\":" << micros(end - begin) << "}";
+}
+
+void
+JsonTraceSink::instant(std::uint32_t pid, std::uint32_t tid,
+                       const std::string &name, const char *category,
+                       Tick at)
+{
+    open('i', pid, tid, name, category, at);
+    _os << ",\"s\":\"t\"}";
+}
+
+void
+JsonTraceSink::asyncBegin(std::uint32_t pid, std::uint32_t tid,
+                          const std::string &name, const char *category,
+                          std::uint64_t id, Tick at)
+{
+    open('b', pid, tid, name, category, at);
+    _os << ",\"id\":\"" << id << "\"}";
+}
+
+void
+JsonTraceSink::asyncEnd(std::uint32_t pid, std::uint32_t tid,
+                        const std::string &name, const char *category,
+                        std::uint64_t id, Tick at)
+{
+    open('e', pid, tid, name, category, at);
+    _os << ",\"id\":\"" << id << "\"}";
+}
+
+void
+JsonTraceSink::finish()
+{
+    if (_finished)
+        return;
+    _finished = true;
+    _os << "\n]}\n";
+    _os.flush();
+}
+
+// --------------------------------------------------------------- CsvTraceSink
+
+CsvTraceSink::CsvTraceSink(std::ostream &os) : _os(os)
+{
+    _os << "type,pid,tid,name,category,begin_s,end_s,id\n";
+}
+
+CsvTraceSink::CsvTraceSink(const std::string &path)
+    : _file(openFile(path)), _os(*_file)
+{
+    _os << "type,pid,tid,name,category,begin_s,end_s,id\n";
+}
+
+CsvTraceSink::~CsvTraceSink()
+{
+    finish();
+}
+
+void
+CsvTraceSink::row(const char *type, std::uint32_t pid,
+                  std::uint32_t tid, const std::string &name,
+                  const char *category, Tick begin, Tick end,
+                  std::uint64_t id, bool has_id)
+{
+    // Names never contain commas (component ids and state names).
+    _os << type << ',' << pid << ',' << tid << ',' << name << ','
+        << category << ',' << toSeconds(begin) << ','
+        << toSeconds(end) << ',';
+    if (has_id)
+        _os << id;
+    _os << '\n';
+    ++_records;
+}
+
+void
+CsvTraceSink::processName(std::uint32_t pid, const std::string &name)
+{
+    row("process", pid, 0, name, "meta", 0, 0, 0, false);
+}
+
+void
+CsvTraceSink::trackName(std::uint32_t pid, std::uint32_t tid,
+                        const std::string &name)
+{
+    row("track", pid, tid, name, "meta", 0, 0, 0, false);
+}
+
+void
+CsvTraceSink::slice(std::uint32_t pid, std::uint32_t tid,
+                    const std::string &name, const char *category,
+                    Tick begin, Tick end)
+{
+    row("slice", pid, tid, name, category, begin, end, 0, false);
+}
+
+void
+CsvTraceSink::instant(std::uint32_t pid, std::uint32_t tid,
+                      const std::string &name, const char *category,
+                      Tick at)
+{
+    row("instant", pid, tid, name, category, at, at, 0, false);
+}
+
+void
+CsvTraceSink::asyncBegin(std::uint32_t pid, std::uint32_t tid,
+                         const std::string &name, const char *category,
+                         std::uint64_t id, Tick at)
+{
+    row("async_begin", pid, tid, name, category, at, at, id, true);
+}
+
+void
+CsvTraceSink::asyncEnd(std::uint32_t pid, std::uint32_t tid,
+                       const std::string &name, const char *category,
+                       std::uint64_t id, Tick at)
+{
+    row("async_end", pid, tid, name, category, at, at, id, true);
+}
+
+void
+CsvTraceSink::finish()
+{
+    if (_finished)
+        return;
+    _finished = true;
+    _os.flush();
+}
+
+} // namespace holdcsim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Trace output backends for the telemetry subsystem.
+ *
+ * A TraceSink receives fully-resolved timeline records (slices,
+ * instants, async spans, track metadata) from the TraceManager and
+ * serializes them. Two backends ship: JsonTraceSink emits the Chrome
+ * trace-event format (loadable in Perfetto / chrome://tracing) and
+ * CsvTraceSink a compact long-format table for ad-hoc scripting.
+ * Sinks either borrow a caller-owned stream (tests) or own a file.
+ */
+
+#ifndef HOLDCSIM_TELEMETRY_TRACE_SINK_HH
+#define HOLDCSIM_TELEMETRY_TRACE_SINK_HH
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace holdcsim {
+
+/** Serialization backend for timeline trace records. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Name the track group @p pid (Perfetto "process"). */
+    virtual void processName(std::uint32_t pid,
+                             const std::string &name) = 0;
+
+    /** Name track @p tid within group @p pid (Perfetto "thread"). */
+    virtual void trackName(std::uint32_t pid, std::uint32_t tid,
+                           const std::string &name) = 0;
+
+    /** A closed duration span [begin, end] on one track. */
+    virtual void slice(std::uint32_t pid, std::uint32_t tid,
+                       const std::string &name, const char *category,
+                       Tick begin, Tick end) = 0;
+
+    /** A zero-duration marker. */
+    virtual void instant(std::uint32_t pid, std::uint32_t tid,
+                         const std::string &name, const char *category,
+                         Tick at) = 0;
+
+    /**
+     * Async span endpoints: overlapping operations (flows, task
+     * attempts) matched by (category, id, name) rather than stack
+     * nesting.
+     */
+    virtual void asyncBegin(std::uint32_t pid, std::uint32_t tid,
+                            const std::string &name,
+                            const char *category, std::uint64_t id,
+                            Tick at) = 0;
+    virtual void asyncEnd(std::uint32_t pid, std::uint32_t tid,
+                          const std::string &name,
+                          const char *category, std::uint64_t id,
+                          Tick at) = 0;
+
+    /** Finalize the output (close JSON arrays, flush buffers). */
+    virtual void finish() = 0;
+
+    /** Records emitted so far (metadata included). */
+    std::uint64_t recordsWritten() const { return _records; }
+
+  protected:
+    std::uint64_t _records = 0;
+};
+
+/** Chrome trace-event JSON backend (chrome://tracing / Perfetto). */
+class JsonTraceSink : public TraceSink
+{
+  public:
+    /** Write to a caller-owned stream (kept alive by the caller). */
+    explicit JsonTraceSink(std::ostream &os);
+
+    /** Write to @p path; throws FatalError if unwritable. */
+    explicit JsonTraceSink(const std::string &path);
+
+    ~JsonTraceSink() override;
+
+    void processName(std::uint32_t pid,
+                     const std::string &name) override;
+    void trackName(std::uint32_t pid, std::uint32_t tid,
+                   const std::string &name) override;
+    void slice(std::uint32_t pid, std::uint32_t tid,
+               const std::string &name, const char *category,
+               Tick begin, Tick end) override;
+    void instant(std::uint32_t pid, std::uint32_t tid,
+                 const std::string &name, const char *category,
+                 Tick at) override;
+    void asyncBegin(std::uint32_t pid, std::uint32_t tid,
+                    const std::string &name, const char *category,
+                    std::uint64_t id, Tick at) override;
+    void asyncEnd(std::uint32_t pid, std::uint32_t tid,
+                  const std::string &name, const char *category,
+                  std::uint64_t id, Tick at) override;
+    void finish() override;
+
+  private:
+    /** Write the shared prefix of one event object. */
+    void open(char phase, std::uint32_t pid, std::uint32_t tid,
+              const std::string &name, const char *category, Tick ts);
+
+    std::unique_ptr<std::ofstream> _file;
+    std::ostream &_os;
+    bool _finished = false;
+};
+
+/** Compact long-format CSV backend. */
+class CsvTraceSink : public TraceSink
+{
+  public:
+    explicit CsvTraceSink(std::ostream &os);
+    explicit CsvTraceSink(const std::string &path);
+    ~CsvTraceSink() override;
+
+    void processName(std::uint32_t pid,
+                     const std::string &name) override;
+    void trackName(std::uint32_t pid, std::uint32_t tid,
+                   const std::string &name) override;
+    void slice(std::uint32_t pid, std::uint32_t tid,
+               const std::string &name, const char *category,
+               Tick begin, Tick end) override;
+    void instant(std::uint32_t pid, std::uint32_t tid,
+                 const std::string &name, const char *category,
+                 Tick at) override;
+    void asyncBegin(std::uint32_t pid, std::uint32_t tid,
+                    const std::string &name, const char *category,
+                    std::uint64_t id, Tick at) override;
+    void asyncEnd(std::uint32_t pid, std::uint32_t tid,
+                  const std::string &name, const char *category,
+                  std::uint64_t id, Tick at) override;
+    void finish() override;
+
+  private:
+    void row(const char *type, std::uint32_t pid, std::uint32_t tid,
+             const std::string &name, const char *category, Tick begin,
+             Tick end, std::uint64_t id, bool has_id);
+
+    std::unique_ptr<std::ofstream> _file;
+    std::ostream &_os;
+    bool _finished = false;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_TELEMETRY_TRACE_SINK_HH

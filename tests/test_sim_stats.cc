@@ -44,6 +44,56 @@ TEST(Accumulator, ResetClears)
     EXPECT_DOUBLE_EQ(acc.mean(), 1.0);
 }
 
+// Extrema must be seeded from the first sample, not from an implicit
+// zero: a run of all-negative (or all-positive) samples would
+// otherwise report a phantom min/max of 0.
+
+TEST(Accumulator, NegativeFirstSampleSeedsMin)
+{
+    Accumulator acc;
+    acc.sample(-3.0);
+    EXPECT_DOUBLE_EQ(acc.min(), -3.0);
+    EXPECT_DOUBLE_EQ(acc.max(), -3.0);
+    acc.sample(-1.0);
+    EXPECT_DOUBLE_EQ(acc.min(), -3.0);
+    EXPECT_DOUBLE_EQ(acc.max(), -1.0);
+}
+
+TEST(Accumulator, AllNegativeSamplesKeepNegativeMax)
+{
+    Accumulator acc;
+    for (double v : {-5.0, -2.5, -9.0})
+        acc.sample(v);
+    EXPECT_DOUBLE_EQ(acc.min(), -9.0);
+    EXPECT_DOUBLE_EQ(acc.max(), -2.5);
+}
+
+TEST(Accumulator, AllPositiveSamplesKeepPositiveMin)
+{
+    Accumulator acc;
+    for (double v : {4.0, 2.0, 8.0})
+        acc.sample(v);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 8.0);
+}
+
+TEST(Accumulator, EmptyExtremaAreZero)
+{
+    Accumulator acc;
+    EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+}
+
+TEST(Accumulator, ResetReseedsExtrema)
+{
+    Accumulator acc;
+    acc.sample(100.0);
+    acc.reset();
+    acc.sample(-1.0);
+    EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), -1.0);
+}
+
 TEST(Percentile, QuantilesOfKnownSequence)
 {
     Percentile p;
