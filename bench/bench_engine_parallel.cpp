@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Acceptance bench for the parallel experiment engine and the dense
+ * flow-reshare rewrite.
+ *
+ * Part 1 runs the same (tau sweep x 8 replica) farm grid twice --
+ * sequentially (jobs=1) and on the work-stealing pool (jobs=N) --
+ * and REQUIRES every per-replica metric to be bit-identical between
+ * the two runs (exit 1 otherwise; CI runs this). The wall-clock
+ * ratio of the two runs is the engine speedup.
+ *
+ * Part 2 replays the same flow-activation churn through the current
+ * dense-indexed FlowManager::reshare and through a reference
+ * re-implementation of the previous algorithm (per-round std::map
+ * lookups for capacity/users/bottleneck membership), and reports
+ * microseconds per reshare for both.
+ *
+ * Usage: bench_engine_parallel [--json=FILE] [--jobs=N]
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "exp/experiment.hh"
+#include "exp/thread_pool.hh"
+#include "network/flow_manager.hh"
+#include "network/routing.hh"
+#include "network/topology.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace holdcsim;
+
+namespace {
+
+double
+now_s()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+// ------------------------------------------------- part 1: the engine
+
+const Tick taus[] = {250 * msec, 1000 * msec};
+constexpr std::size_t n_replicas = 8;
+
+MetricRow
+farmCell(std::size_t point, std::uint64_t seed)
+{
+    bench::FarmParams p;
+    p.nServers = 50;
+    p.nCores = 4;
+    p.duration = 20 * sec;
+    p.tau = taus[point];
+    p.seed = seed;
+    bench::FarmResult r = bench::runFarm(p);
+    return {
+        {"energy_j", r.energy},
+        {"mean_latency_s", r.meanLatencySec},
+        {"p95_s", r.p95Sec},
+        {"p99_s", r.p99Sec},
+        {"jobs", static_cast<double>(r.jobs)},
+        {"sim_seconds", r.simSeconds},
+    };
+}
+
+/** Bitwise comparison: even sign-of-zero or NaN payloads must agree. */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+bool
+recordsIdentical(const std::vector<ReplicaRecord> &a,
+                 const std::vector<ReplicaRecord> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].point != b[i].point || a[i].replica != b[i].replica ||
+            a[i].seed != b[i].seed ||
+            a[i].metrics.size() != b[i].metrics.size())
+            return false;
+        for (std::size_t m = 0; m < a[i].metrics.size(); ++m) {
+            if (a[i].metrics[m].first != b[i].metrics[m].first ||
+                !sameBits(a[i].metrics[m].second,
+                          b[i].metrics[m].second))
+                return false;
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------- part 2: reshare before/after
+
+/**
+ * The pre-rewrite reshare data layout: capacity, user counts and the
+ * per-round bottleneck set all live in ordered maps keyed by the
+ * directed-link id, so every flow-hop visit pays three tree lookups.
+ * Same water-filling algorithm (and same bottleneck-snapshot fix) as
+ * the production code -- only the containers differ.
+ */
+double
+mapReshare(const Topology &topo,
+           const std::vector<std::vector<std::uint32_t>> &paths,
+           std::size_t n_active)
+{
+    std::map<std::uint32_t, double> cap;
+    std::map<std::uint32_t, unsigned> users;
+    std::vector<std::size_t> unfrozen;
+    for (std::size_t f = 0; f < n_active; ++f) {
+        unfrozen.push_back(f);
+        for (std::uint32_t dl : paths[f]) {
+            auto [it, fresh] = cap.emplace(dl, 0.0);
+            if (fresh)
+                it->second = topo.link(dl / 2).rate;
+            ++users[dl];
+        }
+    }
+
+    double checksum = 0.0;
+    while (!unfrozen.empty()) {
+        double best = -1.0;
+        for (std::size_t f : unfrozen) {
+            for (std::uint32_t dl : paths[f]) {
+                double share = cap[dl] / users[dl];
+                if (best < 0.0 || share < best)
+                    best = share;
+            }
+        }
+        double tol = 1e-9 * std::max(1.0, best);
+        std::set<std::uint32_t> bottleneck;
+        for (std::size_t f : unfrozen) {
+            for (std::uint32_t dl : paths[f]) {
+                if (cap[dl] / users[dl] <= best + tol)
+                    bottleneck.insert(dl);
+            }
+        }
+        std::vector<std::size_t> next;
+        for (std::size_t f : unfrozen) {
+            bool frozen = false;
+            for (std::uint32_t dl : paths[f]) {
+                if (bottleneck.count(dl)) {
+                    frozen = true;
+                    break;
+                }
+            }
+            if (!frozen) {
+                next.push_back(f);
+                continue;
+            }
+            checksum += best;
+            for (std::uint32_t dl : paths[f]) {
+                cap[dl] = std::max(0.0, cap[dl] - best);
+                --users[dl];
+            }
+        }
+        if (next.size() == unfrozen.size())
+            break; // no progress; cannot happen with the snapshot fix
+        unfrozen.swap(next);
+    }
+    return checksum;
+}
+
+struct ReshareTimings {
+    std::size_t flows = 0;
+    double dense_us = 0.0;
+    double map_us = 0.0;
+};
+
+ReshareTimings
+reshareChurn(std::size_t n_flows)
+{
+    auto topo = Topology::fatTree(8, 1e9, 5 * usec);
+    StaticRouting routing(topo);
+
+    // The same route set feeds both implementations.
+    std::vector<Route> routes;
+    for (std::size_t i = 0; i < n_flows; ++i)
+        routes.push_back(routing.route(
+            topo.serverNode(i % 128),
+            topo.serverNode((i * 7 + 3) % 128), i));
+    std::vector<std::vector<std::uint32_t>> paths(n_flows);
+    for (std::size_t i = 0; i < n_flows; ++i) {
+        for (std::size_t h = 0; h < routes[i].links.size(); ++h) {
+            LinkId l = routes[i].links[h];
+            bool forward = topo.link(l).a == routes[i].nodes[h];
+            paths[i].push_back(static_cast<std::uint32_t>(
+                l * 2 + (forward ? 1 : 0)));
+        }
+    }
+
+    ReshareTimings t;
+    t.flows = n_flows;
+
+    // Dense path: every activation event triggers one production
+    // reshare over the flows admitted so far.
+    {
+        Simulator sim;
+        FlowManager mgr(sim, topo);
+        double t0 = now_s();
+        for (std::size_t i = 0; i < n_flows; ++i) {
+            mgr.startFlow(routes[i], 1'000'000'000'000, [] {});
+            sim.runUntil(0);
+        }
+        t.dense_us = (now_s() - t0) * 1e6 / n_flows;
+    }
+
+    // Map-based reference on the identical churn pattern.
+    {
+        double acc = 0.0;
+        double t0 = now_s();
+        for (std::size_t i = 1; i <= n_flows; ++i)
+            acc += mapReshare(topo, paths, i);
+        t.map_us = (now_s() - t0) * 1e6 / n_flows;
+        if (acc < 0.0)
+            std::printf("%f\n", acc); // keep acc observable
+    }
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::string json_path;
+    unsigned jobs = ThreadPool::defaultWorkers();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
+        else if (arg.rfind("--jobs=", 0) == 0)
+            jobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 7, nullptr, 10));
+    }
+    if (jobs == 0)
+        jobs = ThreadPool::defaultWorkers();
+
+    const std::size_t points = std::size(taus);
+    std::printf("== experiment engine: %zu points x %zu replicas ==\n",
+                points, n_replicas);
+
+    auto cell = [](std::size_t point, std::size_t,
+                   std::uint64_t seed) {
+        return farmCell(point, seed);
+    };
+
+    double t0 = now_s();
+    auto seq = ExperimentEngine(1).run(points, n_replicas, 1, cell);
+    double seq_s = now_s() - t0;
+
+    t0 = now_s();
+    auto par = ExperimentEngine(jobs).run(points, n_replicas, 1, cell);
+    double par_s = now_s() - t0;
+
+    bool identical = recordsIdentical(seq, par);
+    double speedup = seq_s / par_s;
+    std::printf("sequential %.2f s, parallel (%u jobs) %.2f s: "
+                "%.2fx speedup, stats %s\n",
+                seq_s, jobs, par_s, speedup,
+                identical ? "bit-identical" : "MISMATCH");
+
+    std::printf("== flow reshare: dense vs map (512-flow churn) ==\n");
+    ReshareTimings rt = reshareChurn(512);
+    std::printf("dense %.1f us/reshare, map %.1f us/reshare: "
+                "%.2fx faster\n",
+                rt.dense_us, rt.map_us, rt.map_us / rt.dense_us);
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        os << "{\n"
+           << "  \"engine\": {\n"
+           << "    \"points\": " << points << ",\n"
+           << "    \"replicas\": " << n_replicas << ",\n"
+           << "    \"jobs\": " << jobs << ",\n"
+           << "    \"sequential_s\": " << seq_s << ",\n"
+           << "    \"parallel_s\": " << par_s << ",\n"
+           << "    \"speedup\": " << speedup << ",\n"
+           << "    \"stats_bit_identical\": "
+           << (identical ? "true" : "false") << "\n"
+           << "  },\n"
+           << "  \"reshare\": {\n"
+           << "    \"flows\": " << rt.flows << ",\n"
+           << "    \"dense_us_per_reshare\": " << rt.dense_us << ",\n"
+           << "    \"map_us_per_reshare\": " << rt.map_us << ",\n"
+           << "    \"speedup\": " << rt.map_us / rt.dense_us << "\n"
+           << "  }\n"
+           << "}\n";
+        std::printf("results written to %s\n", json_path.c_str());
+    }
+
+    if (!identical) {
+        std::fprintf(stderr, "FAIL: parallel replica stats differ "
+                             "from sequential\n");
+        return 1;
+    }
+    return 0;
+}

@@ -12,13 +12,25 @@
  *
  * Expected shape: active-server count drops steeply from 50 in the
  * initial phase, then follows the offered-job curve.
+ *
+ * Runs on the experiment engine:
+ *
+ *   bench_fig4_provisioning [jobs [replicas]]
+ *
+ * Replica 0 keeps the historical seed (4), so its printed time
+ * series is unchanged; extra replicas rerun the study under fresh
+ * seeds and the summary reports cross-replica mean +/- 95% CI.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <vector>
 
 #include "dc/datacenter.hh"
 #include "dc/metrics.hh"
+#include "exp/aggregate.hh"
+#include "exp/experiment.hh"
 #include "sched/provisioning.hh"
 #include "sim/logging.hh"
 #include "workload/service.hh"
@@ -26,17 +38,20 @@
 
 using namespace holdcsim;
 
-int
-main()
-{
-    setQuiet(true);
-    std::printf("== Figure 4: active jobs and active servers over "
-                "time ==\n");
+namespace {
 
+struct SeriesPair {
+    std::vector<Sample> jobs;
+    std::vector<Sample> servers;
+};
+
+MetricRow
+provisionRun(std::uint64_t seed, SeriesPair *series_out)
+{
     DataCenterConfig cfg;
     cfg.nServers = 50;
     cfg.nCores = 4;
-    cfg.seed = 4;
+    cfg.seed = seed;
     DataCenter dc(cfg);
 
     WikipediaTraceParams wp;
@@ -77,19 +92,72 @@ main()
     servers_gauge.stop();
     dc.run();
 
-    std::printf("time_s  active_jobs  active_servers\n");
-    const auto &js = jobs_gauge.series();
-    const auto &ss = servers_gauge.series();
-    for (std::size_t i = 0; i < js.size(); i += 5) {
-        std::printf("%6.0f  %11.0f  %14.0f\n", toSeconds(js[i].when),
-                    js[i].value, ss[i].value);
+    if (series_out) {
+        series_out->jobs = jobs_gauge.series();
+        series_out->servers = servers_gauge.series();
     }
-    std::printf("jobs completed: %llu; park events: %llu; activate "
-                "events: %llu\n",
-                static_cast<unsigned long long>(
-                    dc.scheduler().jobsCompleted()),
-                static_cast<unsigned long long>(prov.parkEvents()),
-                static_cast<unsigned long long>(
-                    prov.activateEvents()));
+    return {
+        {"jobs_completed",
+         static_cast<double>(dc.scheduler().jobsCompleted())},
+        {"park_events", static_cast<double>(prov.parkEvents())},
+        {"activate_events",
+         static_cast<double>(prov.activateEvents())},
+        {"mean_active_jobs", jobs_gauge.mean()},
+        {"mean_active_servers", servers_gauge.mean()},
+    };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    unsigned n_jobs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1;
+    std::size_t replicas =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1;
+    if (replicas == 0)
+        replicas = 1;
+
+    std::printf("== Figure 4: active jobs and active servers over "
+                "time (jobs=%u, replicas=%zu) ==\n",
+                n_jobs, replicas);
+
+    // Only replica 0 writes the series slot; the engine runs each
+    // (point, replica) cell exactly once, so there is no race.
+    SeriesPair series;
+    ExperimentEngine engine(n_jobs);
+    auto records = engine.run(
+        1, replicas, 4,
+        [&series](std::size_t, std::size_t replica,
+                  std::uint64_t seed) {
+            return provisionRun(seed,
+                                replica == 0 ? &series : nullptr);
+        });
+
+    std::printf("time_s  active_jobs  active_servers\n");
+    for (std::size_t i = 0; i < series.jobs.size(); i += 5) {
+        std::printf("%6.0f  %11.0f  %14.0f\n",
+                    toSeconds(series.jobs[i].when),
+                    series.jobs[i].value, series.servers[i].value);
+    }
+
+    ResultTable table;
+    ExperimentEngine::tabulate(records, table);
+    if (replicas == 1) {
+        std::printf("jobs completed: %.0f; park events: %.0f; "
+                    "activate events: %.0f\n",
+                    table.summary(0, "jobs_completed").mean,
+                    table.summary(0, "park_events").mean,
+                    table.summary(0, "activate_events").mean);
+    } else {
+        std::printf("across %zu replicas (mean +/- 95%% CI):\n",
+                    replicas);
+        for (const std::string &metric : table.metrics()) {
+            Summary s = table.summary(0, metric);
+            std::printf("  %-20s %10.1f +/- %.1f\n", metric.c_str(),
+                        s.mean, s.ci95);
+        }
+    }
     return 0;
 }

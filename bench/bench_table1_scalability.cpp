@@ -5,17 +5,29 @@
  * ~1.5K for CloudSim).
  *
  * The bench instantiates server farms from 1K up to 20,480 servers,
- * drives each with one million Poisson jobs under load-balanced
+ * drives each with up to one million Poisson jobs under load-balanced
  * dispatch, and reports wall-clock time, event throughput and job
  * throughput. The 20K+ configuration completing in seconds-to-
  * minutes on a laptop is the claim being checked.
+ *
+ * The farm sizes run as points of the experiment engine:
+ *
+ *   bench_table1_scalability [jobs [replicas]]
+ *
+ * With jobs == 1 (the default) points run sequentially and the
+ * per-point timings are clean; with jobs > 1 the points (and
+ * replicas) share the machine, so per-point throughput readings are
+ * contended but the total wall-clock shows the engine speedup.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "dc/datacenter.hh"
+#include "exp/aggregate.hh"
+#include "exp/experiment.hh"
 #include "sim/logging.hh"
 #include "workload/service.hh"
 
@@ -23,17 +35,28 @@ using namespace holdcsim;
 
 namespace {
 
-void
-scaleRun(unsigned n_servers, std::size_t n_jobs)
+struct Farm {
+    unsigned nServers;
+    std::size_t nJobs;
+};
+
+const Farm farms[] = {
+    {1'024, 500'000},
+    {5'120, 500'000},
+    {20'480, 1'000'000},
+};
+
+MetricRow
+scaleRun(const Farm &farm, std::uint64_t seed)
 {
     auto wall0 = std::chrono::steady_clock::now();
     DataCenterConfig cfg;
-    cfg.nServers = n_servers;
+    cfg.nServers = farm.nServers;
     cfg.nCores = 4;
     cfg.controller = DataCenterConfig::Controller::delayTimer;
     cfg.delayTimerTau = 500 * msec;
     cfg.dispatch = DataCenterConfig::Dispatch::roundRobin;
-    cfg.seed = 1;
+    cfg.seed = seed;
     DataCenter dc(cfg);
     auto wall1 = std::chrono::steady_clock::now();
 
@@ -41,10 +64,10 @@ scaleRun(unsigned n_servers, std::size_t n_jobs)
         5 * msec, dc.makeRng("service"));
     SingleTaskGenerator jobs(svc);
     double lambda = PoissonArrival::rateForUtilization(
-        0.3, n_servers, 4, 0.005);
+        0.3, farm.nServers, 4, 0.005);
     dc.pump(std::make_unique<PoissonArrival>(lambda,
                                              dc.makeRng("arrivals")),
-            jobs, n_jobs);
+            jobs, farm.nJobs);
     dc.run();
     auto wall2 = std::chrono::steady_clock::now();
 
@@ -52,27 +75,66 @@ scaleRun(unsigned n_servers, std::size_t n_jobs)
         std::chrono::duration<double>(wall1 - wall0).count();
     double run_s =
         std::chrono::duration<double>(wall2 - wall1).count();
-    std::printf("%8u  %9zu  %8.2f  %8.2f  %10.0f  %11.0f\n",
-                n_servers, n_jobs, build_s, run_s,
-                dc.sim().eventsProcessed() / run_s, n_jobs / run_s);
-    if (dc.scheduler().jobsCompleted() != n_jobs)
-        std::printf("  WARNING: only %llu jobs completed\n",
-                    static_cast<unsigned long long>(
-                        dc.scheduler().jobsCompleted()));
+    return {
+        {"build_s", build_s},
+        {"run_s", run_s},
+        {"events_per_s", dc.sim().eventsProcessed() / run_s},
+        {"jobs_per_s", static_cast<double>(farm.nJobs) / run_s},
+        {"jobs_completed",
+         static_cast<double>(dc.scheduler().jobsCompleted())},
+    };
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
-    std::printf("== Table I (scalability row): farm size sweep ==\n");
+    unsigned n_jobs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1;
+    std::size_t replicas =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1;
+    if (replicas == 0)
+        replicas = 1;
+
+    std::printf("== Table I (scalability row): farm size sweep "
+                "(jobs=%u, replicas=%zu) ==\n",
+                n_jobs, replicas);
+
+    auto wall0 = std::chrono::steady_clock::now();
+    ExperimentEngine engine(n_jobs);
+    auto records =
+        engine.run(std::size(farms), replicas, 1,
+                   [](std::size_t point, std::size_t,
+                      std::uint64_t seed) {
+                       return scaleRun(farms[point], seed);
+                   });
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall0)
+                      .count();
+
+    ResultTable table;
+    ExperimentEngine::tabulate(records, table);
+
     std::printf("%8s  %9s  %8s  %8s  %10s  %11s\n", "servers", "jobs",
                 "build_s", "run_s", "events/s", "jobs/s");
-    scaleRun(1'024, 500'000);
-    scaleRun(5'120, 500'000);
-    scaleRun(20'480, 1'000'000);
+    double cpu_s = 0.0;
+    for (std::size_t p = 0; p < std::size(farms); ++p) {
+        Summary build = table.summary(p, "build_s");
+        Summary run = table.summary(p, "run_s");
+        std::printf("%8u  %9zu  %8.2f  %8.2f  %10.0f  %11.0f\n",
+                    farms[p].nServers, farms[p].nJobs, build.mean,
+                    run.mean, table.summary(p, "events_per_s").mean,
+                    table.summary(p, "jobs_per_s").mean);
+        cpu_s += static_cast<double>(replicas) *
+                 (build.mean + run.mean);
+        double done = table.summary(p, "jobs_completed").mean;
+        if (done != static_cast<double>(farms[p].nJobs))
+            std::printf("  WARNING: only %.0f jobs completed\n", done);
+    }
+    std::printf("total wall %.2f s for %.2f s of simulation work "
+                "(%.2fx)\n",
+                wall, cpu_s, cpu_s / wall);
     std::printf("PASS criterion: the 20,480-server farm simulates "
                 "without structural limits.\n");
     return 0;

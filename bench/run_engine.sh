@@ -1,0 +1,20 @@
+#!/bin/sh
+# Run the parallel experiment-engine acceptance bench and leave the
+# results (parallel-vs-sequential speedup + bit-identical check, and
+# dense-vs-map reshare timings) in BENCH_engine.json at the repo
+# root. Exits nonzero if any parallel replica stat differs from the
+# sequential run -- CI's perf-smoke step relies on that.
+# Usage: bench/run_engine.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="BENCH_engine.json"
+
+if [ ! -d "$BUILD_DIR" ]; then
+    cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" -j --target bench_engine_parallel
+
+"$BUILD_DIR"/bench/bench_engine_parallel --json="$OUT"
+echo "engine bench results written to $OUT"

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Build with ThreadSanitizer and exercise the experiment engine's
+# thread pool: the test_exp suite (pool scheduling, nested submits,
+# stealing, parallel Simulators) plus the engine acceptance bench.
+# Usage: bench/run_tsan.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DHOLDCSIM_TSAN=ON
+cmake --build "$BUILD_DIR" -j --target test_exp bench_engine_parallel
+
+TSAN_OPTIONS=halt_on_error=1 "$BUILD_DIR"/tests/test_exp
+TSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD_DIR"/bench/bench_engine_parallel

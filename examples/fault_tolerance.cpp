@@ -10,9 +10,16 @@
  * task retries, jobs abandoned, energy wasted on killed attempts and
  * the inflation of mean/99th-percentile job latency.
  *
+ * The four configurations are sweep points of the experiment engine
+ * and run concurrently:
+ *
+ *   fault_tolerance [jobs [replicas]]
+ *
  * Deterministic: every random stream (arrivals, service, failures,
- * retry jitter) derives from the experiment seed, so two runs with
- * the same seed print identical results.
+ * retry jitter) derives from the experiment seed and replica seeds
+ * are a pure function of (seed, replica), so the table is identical
+ * for any worker count. With replicas > 1 each row reports the
+ * cross-replica mean.
  *
  * Build and run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -20,35 +27,38 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "dc/datacenter.hh"
+#include "exp/aggregate.hh"
+#include "exp/experiment.hh"
 #include "workload/service.hh"
 
 using namespace holdcsim;
 
 namespace {
 
-struct RunResult {
-    double availability = 1.0;
-    unsigned long long faults = 0;
-    unsigned long long retries = 0;
-    unsigned long long jobsDone = 0;
-    unsigned long long jobsFailed = 0;
-    double wastedJ = 0.0;
-    double wastedFrac = 0.0;
-    double meanLatMs = 0.0;
-    double p99LatMs = 0.0;
+struct Sweep {
+    const char *label;
+    double mttfHours;
 };
 
-RunResult
-runOnce(double mttf_hours)
+const Sweep sweep[] = {
+    {"no faults", 0.0},
+    {"MTTF 100h", 100.0},
+    {"MTTF  10h", 10.0},
+    {"MTTF   1h", 1.0},
+};
+
+MetricRow
+runOnce(double mttf_hours, std::uint64_t seed)
 {
     DataCenterConfig cfg;
     cfg.nServers = 100;
     cfg.nCores = 4;
     cfg.dispatch = DataCenterConfig::Dispatch::leastLoaded;
-    cfg.seed = 7;
+    cfg.seed = seed;
     if (mttf_hours > 0.0) {
         cfg.fault.enabled = true;
         cfg.fault.mttfHours = mttf_hours;
@@ -73,53 +83,67 @@ runOnce(double mttf_hours)
     dc.run();
     dc.finishStats();
 
-    RunResult r;
     const auto &lat = dc.scheduler().jobLatency();
-    r.jobsDone = dc.scheduler().jobsCompleted();
-    r.jobsFailed = dc.scheduler().jobsFailed();
-    r.retries = dc.scheduler().taskRetries();
-    r.meanLatMs = lat.mean() * 1e3;
-    r.p99LatMs = lat.p99() * 1e3;
     ReliabilitySummary rel = fleetReliability(dc.serverPtrs());
-    r.wastedJ = rel.wastedJoules;
-    r.wastedFrac = rel.wastedFraction();
-    if (dc.faults()) {
-        r.availability = dc.faults()->fleetAvailability();
-        r.faults = dc.faults()->faultsInjected();
-    }
-    return r;
+    MetricRow row{
+        {"availability",
+         dc.faults() ? dc.faults()->fleetAvailability() : 1.0},
+        {"faults",
+         dc.faults()
+             ? static_cast<double>(dc.faults()->faultsInjected())
+             : 0.0},
+        {"retries",
+         static_cast<double>(dc.scheduler().taskRetries())},
+        {"done", static_cast<double>(dc.scheduler().jobsCompleted())},
+        {"failed", static_cast<double>(dc.scheduler().jobsFailed())},
+        {"wasted_j", rel.wastedJoules},
+        {"wasted_frac", rel.wastedFraction()},
+        {"mean_lat_ms", lat.mean() * 1e3},
+        {"p99_lat_ms", lat.p99() * 1e3},
+    };
+    return row;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    struct Sweep {
-        const char *label;
-        double mttfHours;
-    };
-    const Sweep sweep[] = {
-        {"no faults", 0.0},
-        {"MTTF 100h", 100.0},
-        {"MTTF  10h", 10.0},
-        {"MTTF   1h", 1.0},
-    };
+    unsigned n_jobs = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
+                               : ThreadPool::defaultWorkers();
+    std::size_t replicas =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1;
+    if (replicas == 0)
+        replicas = 1;
 
     std::printf("fault tolerance: 100 servers x 4 cores, 35%% load, "
-                "MTTR 2 min, 4 retries\n\n");
+                "MTTR 2 min, 4 retries (jobs=%u, replicas=%zu)\n\n",
+                n_jobs, replicas);
     std::printf("%-10s %12s %7s %8s %8s %7s %10s %8s %9s %9s\n",
                 "config", "availability", "faults", "retries",
                 "done", "failed", "wasted_J", "waste_%",
                 "mean_ms", "p99_ms");
 
-    for (const Sweep &s : sweep) {
-        RunResult r = runOnce(s.mttfHours);
-        std::printf("%-10s %12.6f %7llu %8llu %8llu %7llu %10.1f "
+    ExperimentEngine engine(n_jobs);
+    auto records = engine.run(
+        std::size(sweep), replicas, 7,
+        [](std::size_t point, std::size_t, std::uint64_t seed) {
+            return runOnce(sweep[point].mttfHours, seed);
+        });
+    ResultTable table;
+    ExperimentEngine::tabulate(records, table);
+
+    for (std::size_t p = 0; p < std::size(sweep); ++p) {
+        auto mean = [&table, p](const char *metric) {
+            return table.summary(p, metric).mean;
+        };
+        std::printf("%-10s %12.6f %7.0f %8.0f %8.0f %7.0f %10.1f "
                     "%8.3f %9.2f %9.2f\n",
-                    s.label, r.availability, r.faults, r.retries,
-                    r.jobsDone, r.jobsFailed, r.wastedJ,
-                    100.0 * r.wastedFrac, r.meanLatMs, r.p99LatMs);
+                    sweep[p].label, mean("availability"),
+                    mean("faults"), mean("retries"), mean("done"),
+                    mean("failed"), mean("wasted_j"),
+                    100.0 * mean("wasted_frac"), mean("mean_lat_ms"),
+                    mean("p99_lat_ms"));
     }
     return 0;
 }

@@ -52,11 +52,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "dc/datacenter.hh"
 #include "dc/workload_config.hh"
+#include "exp/aggregate.hh"
+#include "exp/experiment.hh"
+#include "exp/sweep.hh"
 
 using namespace holdcsim;
 
@@ -97,7 +102,22 @@ options:
                         ns/us/ms/s suffix (default unit ms)
   --profile             profile the DES kernel; adds profile.* stats
                         and a hot-events table to the dump
+  --jobs=N              run experiment cells on N worker threads
+                        (0 = one per hardware thread; default 1)
+  --replicas=R          run R replications per sweep point, each
+                        with a deterministic per-replica seed
+  --sweep=KEY=A,B,C     sweep config KEY over the listed values;
+                        repeatable, crossed with [sweep] sections
+  --csv=FILE            write raw long-format results to FILE
+                        (point,label,replica,metric,value)
   --help                show this text
+
+Any of --replicas, --sweep, --csv or a [sweep] config section (or
+--jobs != 1) switches to experiment mode: the (sweep point x replica)
+grid runs on the experiment engine and per-point summaries (mean,
+stddev, 95% CI across replicas) are printed instead of the raw stat
+dump. Replica r of every point uses replicaSeed(datacenter.seed, r),
+so results are independent of --jobs.
 )";
 
 /** Parse "100ms" / "2s" / "500us" / "250" (ms) into milliseconds. */
@@ -139,6 +159,105 @@ valueFlag(const std::string &arg, const std::string &name,
     return true;
 }
 
+/**
+ * Like valueFlag, but also accepts the two-token "--name V" form,
+ * consuming argv[i + 1] when it does.
+ */
+bool
+valueFlag2(int argc, char **argv, int &i, const std::string &name,
+           std::string &out)
+{
+    std::string arg = argv[i];
+    if (valueFlag(arg, name, out))
+        return true;
+    if (arg != "--" + name)
+        return false;
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "--%s needs a value\n", name.c_str());
+        std::exit(2);
+    }
+    out = argv[++i];
+    return true;
+}
+
+unsigned
+parseUnsigned(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+        std::fprintf(stderr, "bad %s '%s'\n", what, text.c_str());
+        std::exit(2);
+    }
+    return static_cast<unsigned>(v);
+}
+
+/** Run one experiment cell: sweep point @p point under @p seed. */
+MetricRow
+runCell(const Config &base, const SweepSpec &spec, std::size_t point,
+        std::uint64_t seed)
+{
+    Config cfg = base;
+    spec.apply(cfg, point);
+
+    DataCenterConfig dc_cfg = DataCenterConfig::fromConfig(cfg);
+    // Not via cfg.set: replica seeds use the full uint64 range,
+    // which the signed config-int parser would reject.
+    dc_cfg.seed = seed;
+    dc_cfg.serverProfile = serverProfileFromConfig(cfg);
+    dc_cfg.switchProfile = switchProfileFromConfig(cfg);
+    DataCenter dc(dc_cfg);
+
+    ConfiguredWorkload wl = makeWorkload(cfg, dc.config(),
+                                         dc_cfg.seed);
+    JobGenerator &jobs = *wl.jobs;
+    dc.pump(std::move(wl.arrivals), jobs, wl.maxJobs, wl.until);
+    if (wl.until != maxTick)
+        dc.runUntil(wl.until);
+    dc.run();
+    dc.finishStats();
+
+    MetricRow row;
+    row.emplace_back("sim_seconds", toSeconds(dc.sim().curTick()));
+    row.emplace_back("events",
+                     static_cast<double>(dc.sim().eventsProcessed()));
+    row.emplace_back(
+        "jobs_completed",
+        static_cast<double>(dc.scheduler().jobsCompleted()));
+    const Percentile &lat = dc.scheduler().jobLatency();
+    row.emplace_back("job_latency_mean_s", lat.mean());
+    row.emplace_back("job_latency_p95_s", lat.p95());
+    row.emplace_back("job_latency_p99_s", lat.p99());
+    FleetEnergy fe = dc.energy();
+    row.emplace_back("server_energy_j", fe.total.total());
+    row.emplace_back("switch_energy_j", dc.switchEnergy());
+    if (dc.faults())
+        row.emplace_back("fleet_availability",
+                         dc.faults()->fleetAvailability());
+    return row;
+}
+
+/** Print per-point replica summaries as an aligned table. */
+void
+printSummaries(const ResultTable &table, const SweepSpec &spec)
+{
+    for (std::size_t p = 0; p < table.numPoints(); ++p) {
+        std::string label = spec.point(p).label();
+        std::printf("point %zu%s%s\n", p, label.empty() ? "" : ": ",
+                    label.c_str());
+        for (const std::string &metric : table.metrics()) {
+            Summary s = table.summary(p, metric);
+            if (s.n == 0)
+                continue;
+            std::printf("  %-22s %14.6g", metric.c_str(), s.mean);
+            if (s.n > 1)
+                std::printf("  +/- %-12.4g (n=%llu)", s.ci95,
+                            static_cast<unsigned long long>(s.n));
+            std::printf("\n");
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -149,12 +268,33 @@ main(int argc, char **argv)
     // Telemetry flags land on the parsed Config as [telemetry] keys,
     // so the CLI and the INI section stay one mechanism.
     std::vector<std::pair<std::string, std::string>> overrides;
+    unsigned n_jobs = 1;
+    std::size_t n_replicas = 1;
+    bool engine_mode = false;
+    std::vector<std::string> sweep_flags;
+    std::string csv_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::fputs(usage, stdout);
             return 0;
+        } else if (valueFlag2(argc, argv, i, "jobs", value)) {
+            n_jobs = parseUnsigned(value, "--jobs");
+            engine_mode |= n_jobs != 1;
+        } else if (valueFlag2(argc, argv, i, "replicas", value)) {
+            n_replicas = parseUnsigned(value, "--replicas");
+            if (n_replicas == 0) {
+                std::fprintf(stderr, "--replicas must be >= 1\n");
+                return 2;
+            }
+            engine_mode = true;
+        } else if (valueFlag2(argc, argv, i, "sweep", value)) {
+            sweep_flags.push_back(value);
+            engine_mode = true;
+        } else if (valueFlag2(argc, argv, i, "csv", value)) {
+            csv_path = value;
+            engine_mode = true;
         } else if (valueFlag(arg, "trace-out", value)) {
             overrides.emplace_back("telemetry.trace_out", value);
         } else if (valueFlag(arg, "trace-format", value)) {
@@ -186,6 +326,49 @@ main(int argc, char **argv)
                      : Config::load(config_path);
     for (const auto &[key, val] : overrides)
         cfg.set(key, val);
+
+    SweepSpec spec = SweepSpec::fromConfig(cfg);
+    for (const std::string &flag : sweep_flags)
+        spec.addFlag(flag);
+    engine_mode |= spec.numKeys() > 0;
+
+    if (engine_mode) {
+        // Replicas of one grid cannot share telemetry output files;
+        // force telemetry off rather than corrupt them.
+        DataCenterConfig probe = DataCenterConfig::fromConfig(cfg);
+        if (probe.telemetry.enabled) {
+            std::fprintf(stderr, "warning: telemetry is disabled in "
+                                 "experiment mode\n");
+            cfg.set("telemetry.enabled", "false");
+        }
+
+        std::uint64_t base_seed = static_cast<std::uint64_t>(
+            cfg.getInt("datacenter.seed", 1));
+        ExperimentEngine engine(n_jobs);
+        auto records = engine.run(
+            spec.numPoints(), n_replicas, base_seed,
+            [&cfg, &spec](std::size_t point, std::size_t,
+                          std::uint64_t seed) {
+                return runCell(cfg, spec, point, seed);
+            });
+
+        ResultTable table;
+        for (std::size_t p = 0; p < spec.numPoints(); ++p)
+            table.setPointLabel(p, spec.point(p).label());
+        ExperimentEngine::tabulate(records, table);
+
+        if (!csv_path.empty()) {
+            std::ofstream csv(csv_path);
+            if (!csv) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             csv_path.c_str());
+                return 1;
+            }
+            table.writeCsv(csv);
+        }
+        printSummaries(table, spec);
+        return 0;
+    }
 
     DataCenterConfig dc_cfg = DataCenterConfig::fromConfig(cfg);
     dc_cfg.serverProfile = serverProfileFromConfig(cfg);

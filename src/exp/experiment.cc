@@ -1,0 +1,60 @@
+#include "experiment.hh"
+
+namespace holdcsim {
+
+std::uint64_t
+replicaSeed(std::uint64_t base, std::uint64_t replica)
+{
+    if (replica == 0)
+        return base;
+    // One splitmix64 round over base ^ (replica * golden-gamma):
+    // the same mixing the Rng seeder uses for stream separation.
+    std::uint64_t z = base ^ (replica * 0x9e3779b97f4a7c15ULL);
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::vector<ReplicaRecord>
+ExperimentEngine::run(std::size_t points, std::size_t replicas,
+                      std::uint64_t base_seed, const RunFn &fn) const
+{
+    std::vector<ReplicaRecord> records(points * replicas);
+    for (std::size_t p = 0; p < points; ++p) {
+        for (std::size_t r = 0; r < replicas; ++r) {
+            ReplicaRecord &rec = records[p * replicas + r];
+            rec.point = p;
+            rec.replica = r;
+            rec.seed = replicaSeed(base_seed, r);
+        }
+    }
+
+    auto cell = [&fn, &records](std::size_t i) {
+        ReplicaRecord &rec = records[i];
+        rec.metrics = fn(rec.point, rec.replica, rec.seed);
+    };
+
+    if (_jobs == 1) {
+        // Run inline: no pool, no threads -- the reference ordering
+        // parallel runs are checked against.
+        for (std::size_t i = 0; i < records.size(); ++i)
+            cell(i);
+    } else {
+        ThreadPool pool(_jobs);
+        ThreadPool::parallelFor(pool, records.size(), cell);
+    }
+    return records;
+}
+
+void
+ExperimentEngine::tabulate(const std::vector<ReplicaRecord> &records,
+                           ResultTable &table)
+{
+    for (const ReplicaRecord &rec : records) {
+        for (const auto &[name, value] : rec.metrics)
+            table.add(rec.point, rec.replica, name, value);
+    }
+}
+
+} // namespace holdcsim

@@ -1,0 +1,159 @@
+#include "thread_pool.hh"
+
+#include <chrono>
+#include <utility>
+
+namespace holdcsim {
+
+namespace {
+
+/** Which pool (if any) the current thread is a worker of. */
+thread_local ThreadPool *tls_pool = nullptr;
+thread_local std::size_t tls_worker = 0;
+
+} // namespace
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned n_workers)
+{
+    if (n_workers == 0)
+        n_workers = defaultWorkers();
+    for (unsigned i = 0; i < n_workers; ++i)
+        _workers.push_back(std::make_unique<Worker>());
+    for (unsigned i = 0; i < n_workers; ++i)
+        _threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _shutdown = true;
+    }
+    _workCv.notify_all();
+    for (std::thread &t : _threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    std::size_t target;
+    if (tls_pool == this) {
+        // Nested submit: stay on the submitting worker's deque so
+        // recursive work keeps its cache locality.
+        target = tls_worker;
+    } else {
+        std::lock_guard<std::mutex> lock(_mutex);
+        target = _nextWorker;
+        _nextWorker = (_nextWorker + 1) % _workers.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(
+            _workers[target]->mutex);
+        _workers[target]->tasks.push_back(std::move(task));
+    }
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_unfinished;
+    }
+    _workCv.notify_one();
+}
+
+ThreadPool::Task
+ThreadPool::steal(std::size_t thief)
+{
+    const std::size_t n = _workers.size();
+    for (std::size_t k = 1; k <= n; ++k) {
+        std::size_t victim = (thief + k) % n;
+        Worker &w = *_workers[victim];
+        std::lock_guard<std::mutex> lock(w.mutex);
+        if (!w.tasks.empty()) {
+            Task task = std::move(w.tasks.front());
+            w.tasks.pop_front();
+            return task;
+        }
+    }
+    return {};
+}
+
+ThreadPool::Task
+ThreadPool::grab(std::size_t self)
+{
+    Worker &own = *_workers[self];
+    {
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            Task task = std::move(own.tasks.back());
+            own.tasks.pop_back();
+            return task;
+        }
+    }
+    return steal(self);
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    tls_pool = this;
+    tls_worker = self;
+    for (;;) {
+        Task task = grab(self);
+        if (!task) {
+            std::unique_lock<std::mutex> lock(_mutex);
+            if (_shutdown)
+                return;
+            // Re-check under the lock via a short timed wait: a task
+            // may have been submitted between grab() and here.
+            _workCv.wait_for(lock, std::chrono::milliseconds(1));
+            continue;
+        }
+        task();
+        std::size_t left;
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            left = --_unfinished;
+        }
+        if (left == 0)
+            _idleCv.notify_all();
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    // Lend a hand: run queued tasks on this thread instead of
+    // sleeping while workers are saturated.
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (_unfinished == 0)
+                return;
+        }
+        Task task = steal(_workers.size());
+        if (!task)
+            break;
+        task();
+        std::size_t left;
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            left = --_unfinished;
+        }
+        if (left == 0) {
+            _idleCv.notify_all();
+            return;
+        }
+    }
+    // Only in-flight tasks remain; sleep until the pool drains.
+    std::unique_lock<std::mutex> lock(_mutex);
+    _idleCv.wait(lock, [this] { return _unfinished == 0; });
+}
+
+} // namespace holdcsim

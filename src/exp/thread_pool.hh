@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Work-stealing thread pool for running independent simulations in
+ * parallel.
+ *
+ * Each worker owns a deque of tasks: it pushes and pops at the back
+ * (LIFO, cache-warm) and thieves steal from the front (FIFO, the
+ * oldest and typically largest work items). Tasks submitted from
+ * outside the pool are distributed round-robin; tasks submitted from
+ * inside a worker (nested parallelism) land on that worker's own
+ * deque. Shared-nothing by design: the pool moves closures, never
+ * simulation state, so determinism is entirely the closures'
+ * responsibility.
+ */
+
+#ifndef HOLDCSIM_EXP_THREAD_POOL_HH
+#define HOLDCSIM_EXP_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace holdcsim {
+
+/** Fixed-size work-stealing task pool. */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * Start @p n_workers threads (0 = one per hardware thread).
+     * A pool of one worker still runs tasks on that worker thread,
+     * preserving identical behavior at every width.
+     */
+    explicit ThreadPool(unsigned n_workers = 0);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task; returns immediately. */
+    void submit(Task task);
+
+    /**
+     * Block until every submitted task (including tasks submitted by
+     * running tasks) has finished. The calling thread lends a hand:
+     * it steals and runs queued tasks instead of spinning.
+     */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned workers() const { return static_cast<unsigned>(_workers.size()); }
+
+    /** Worker count used for n_workers = 0. */
+    static unsigned defaultWorkers();
+
+    /**
+     * Run fn(i) for every i in [0, n) on @p pool and wait for all of
+     * them. Iterations may run in any order and concurrently; fn
+     * must only touch per-index state.
+     */
+    template <typename Fn>
+    static void
+    parallelFor(ThreadPool &pool, std::size_t n, Fn &&fn)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            pool.submit([&fn, i] { fn(i); });
+        pool.wait();
+    }
+
+  private:
+    struct Worker {
+        std::deque<Task> tasks;
+        std::mutex mutex;
+    };
+
+    void workerLoop(std::size_t self);
+
+    /** Pop from @p self's back, else steal; empty task when idle. */
+    Task grab(std::size_t self);
+
+    /** Steal the oldest task from any other worker's front. */
+    Task steal(std::size_t thief);
+
+    std::vector<std::unique_ptr<Worker>> _workers;
+    std::vector<std::thread> _threads;
+
+    std::mutex _mutex;                 // guards the fields below
+    std::condition_variable _workCv;   // workers: work may be ready
+    std::condition_variable _idleCv;   // waiters: pool may be idle
+    std::size_t _unfinished = 0;       // submitted, not yet finished
+    std::size_t _nextWorker = 0;       // round-robin submit cursor
+    bool _shutdown = false;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_EXP_THREAD_POOL_HH

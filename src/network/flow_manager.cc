@@ -38,6 +38,7 @@ FlowManager::startFlow(Route route, Bytes bytes, FlowDoneFn on_done,
         LinkId l = route.links[i];
         bool forward = _topo.link(l).a == route.nodes[i];
         flow.path.push_back(DirectedLink{l, forward});
+        flow.pathIdx.push_back(l * 2 + (forward ? 1 : 0));
     }
 
     flow.completion = std::make_unique<EventFunctionWrapper>(
@@ -127,56 +128,90 @@ FlowManager::reshare()
 {
     // Progressive filling: repeatedly saturate the most contended
     // directed link and freeze its flows at the bottleneck share.
-    std::map<DirectedLink, double> capacity;
-    std::map<DirectedLink, unsigned> users;
-    std::vector<Flow *> unfrozen;
+    // All per-link state lives in dense vectors indexed by
+    // (link * 2 + forward); only the entries actually crossed by an
+    // active flow (collected in _touched) are initialized and
+    // scanned, so one call costs O(path hops * rounds), allocation
+    // free after warm-up.
+    const std::size_t n_dl = 2 * _topo.numLinks();
+    if (_capLeft.size() != n_dl) {
+        _capLeft.resize(n_dl);
+        _usersLeft.resize(n_dl);
+        _inUse.assign(n_dl, 0);
+        _isBottleneck.assign(n_dl, 0);
+    }
+    _touched.clear();
+    _unfrozen.clear();
     for (auto &[id, flow] : _flows) {
         if (!flow.active)
             continue;
-        unfrozen.push_back(&flow);
-        for (const auto &dl : flow.path) {
-            capacity.emplace(dl, _topo.link(dl.link).rate);
-            ++users[dl];
+        _unfrozen.push_back(&flow);
+        for (std::uint32_t dl : flow.pathIdx) {
+            if (!_inUse[dl]) {
+                _inUse[dl] = 1;
+                _touched.push_back(dl);
+                _capLeft[dl] = _topo.link(dl / 2).rate;
+                _usersLeft[dl] = 0;
+            }
+            ++_usersLeft[dl];
         }
     }
 
-    while (!unfrozen.empty()) {
+    while (!_unfrozen.empty()) {
         // Find the directed link with the smallest per-flow share.
         double best_share = std::numeric_limits<double>::infinity();
-        for (const auto &[dl, n] : users) {
-            if (n == 0)
+        for (std::uint32_t dl : _touched) {
+            if (_usersLeft[dl] == 0)
                 continue;
-            double share = capacity[dl] / n;
+            double share = _capLeft[dl] / _usersLeft[dl];
             best_share = std::min(best_share, share);
         }
         if (!std::isfinite(best_share))
             HOLDCSIM_PANIC("flow reshare found no bottleneck");
 
+        // Snapshot the bottleneck link set for this round *before*
+        // freezing anything: freezing a flow debits the links it
+        // crosses, and comparing later flows against those mutated
+        // shares mis-classifies links that were epsilon-tied at the
+        // round's start (flows frozen above or below their true
+        // max-min rate).
+        double tolerance =
+            1e-9 * std::max(1.0, best_share);
+        for (std::uint32_t dl : _touched) {
+            _isBottleneck[dl] =
+                _usersLeft[dl] > 0 &&
+                _capLeft[dl] / _usersLeft[dl] <=
+                    best_share + tolerance;
+        }
+
         // Freeze every flow crossing a bottleneck link at that share.
-        std::vector<Flow *> still;
-        for (Flow *flow : unfrozen) {
+        std::size_t kept = 0;
+        for (Flow *flow : _unfrozen) {
             bool frozen = false;
-            for (const auto &dl : flow->path) {
-                if (users[dl] > 0 &&
-                    capacity[dl] / users[dl] <= best_share + 1e-9) {
+            for (std::uint32_t dl : flow->pathIdx) {
+                if (_isBottleneck[dl]) {
                     frozen = true;
                     break;
                 }
             }
             if (frozen) {
                 flow->rate = best_share;
-                for (const auto &dl : flow->path) {
-                    capacity[dl] -= best_share;
-                    --users[dl];
+                for (std::uint32_t dl : flow->pathIdx) {
+                    _capLeft[dl] =
+                        std::max(0.0, _capLeft[dl] - best_share);
+                    --_usersLeft[dl];
                 }
             } else {
-                still.push_back(flow);
+                _unfrozen[kept++] = flow;
             }
         }
-        if (still.size() == unfrozen.size())
+        if (kept == _unfrozen.size())
             HOLDCSIM_PANIC("flow reshare made no progress");
-        unfrozen.swap(still);
+        _unfrozen.resize(kept);
     }
+
+    for (std::uint32_t dl : _touched)
+        _inUse[dl] = 0;
 
     // Reschedule completion events at the new rates.
     Tick now = _sim.curTick();

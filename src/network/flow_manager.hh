@@ -100,6 +100,8 @@ class FlowManager
     struct Flow {
         FlowId id;
         std::vector<DirectedLink> path;
+        /** path as dense directed-link indices (link * 2 + forward). */
+        std::vector<std::uint32_t> pathIdx;
         double remainingBits;
         BitsPerSec rate = 0.0;
         Tick lastUpdate = 0;
@@ -124,6 +126,22 @@ class FlowManager
     const Topology &_topo;
     std::map<FlowId, Flow> _flows;
     FlowId _nextId = 0;
+
+    /**
+     * reshare() scratch state, indexed by dense directed-link index
+     * and reused across calls so the hot path never allocates after
+     * the first reshare. Only entries listed in _touched are live;
+     * _inUse marks them so each call touches O(active path hops)
+     * entries, not O(topology links).
+     */
+    ///@{
+    std::vector<double> _capLeft;      // remaining capacity
+    std::vector<unsigned> _usersLeft;  // unfrozen flows crossing
+    std::vector<std::uint8_t> _inUse;  // member of _touched this call
+    std::vector<std::uint8_t> _isBottleneck; // snapshot, per round
+    std::vector<std::uint32_t> _touched;     // live indices this call
+    std::vector<Flow *> _unfrozen;           // round worklist
+    ///@}
 
     std::uint64_t _flowsCompleted = 0;
     std::uint64_t _flowsAborted = 0;

@@ -88,12 +88,15 @@ Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
     std::uint64_t span = hi - lo + 1;
     if (span == 0)  // full 64-bit range
         return next();
-    // Rejection sampling to avoid modulo bias.
-    std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+    // Rejection sampling to avoid modulo bias: reject the low
+    // 2^64 mod span values so exactly floor(2^64 / span) * span
+    // values survive. min is 0 when span divides 2^64 (power-of-two
+    // spans), in which case every draw is accepted.
+    std::uint64_t min = -span % span;
     std::uint64_t v;
     do {
         v = next();
-    } while (v >= limit);
+    } while (v < min);
     return lo + v % span;
 }
 
@@ -183,7 +186,14 @@ Rng::weightedIndex(const std::vector<double> &weights)
         if (target < acc)
             return i;
     }
-    return weights.size() - 1;
+    // Floating-point accumulation can leave target >= acc after the
+    // loop; never land on a zero-weight trailing index then.
+    std::size_t i = weights.size();
+    while (i-- > 0) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    return 0; // unreachable: some weight is positive
 }
 
 } // namespace holdcsim

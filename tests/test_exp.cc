@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: thread-pool scheduling,
+ * deterministic replica seeding (parallel == sequential), sweep
+ * expansion and cross-replica aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/aggregate.hh"
+#include "exp/experiment.hh"
+#include "exp/sweep.hh"
+#include "exp/thread_pool.hh"
+#include "sim/config.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+using namespace holdcsim;
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&] { ++hits; });
+    pool.wait();
+    EXPECT_EQ(hits.load(), 1000);
+}
+
+TEST(ThreadPool, WaitWithNothingSubmittedReturns)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    pool.wait();
+    SUCCEED();
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes)
+{
+    ThreadPool pool(1);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ++hits; });
+    pool.wait();
+    EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPool, NestedSubmitsComplete)
+{
+    ThreadPool pool(4);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&] {
+            for (int j = 0; j < 8; ++j)
+                pool.submit([&] { ++hits; });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(hits.load(), 16 * 8);
+}
+
+TEST(ThreadPool, WorkIsActuallyStolen)
+{
+    // One long task pins one worker; the rest must be picked up by
+    // the other workers even though round-robin parked some of them
+    // on the pinned worker's deque.
+    ThreadPool pool(4);
+    std::atomic<int> hits{0};
+    std::atomic<bool> release{false};
+    pool.submit([&] {
+        while (!release)
+            std::this_thread::yield();
+    });
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&] { ++hits; });
+    while (hits.load() < 64)
+        std::this_thread::yield();
+    release = true;
+    pool.wait();
+    EXPECT_EQ(hits.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndicesOnce)
+{
+    ThreadPool pool(3);
+    std::vector<int> seen(500, 0);
+    ThreadPool::parallelFor(pool, seen.size(),
+                            [&](std::size_t i) { ++seen[i]; });
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+}
+
+TEST(ThreadPool, ManySimulatorsInParallel)
+{
+    // The whole point of the pool: independent Simulators are
+    // shared-nothing and race-free when run concurrently.
+    ThreadPool pool(0);
+    std::vector<std::uint64_t> events(32, 0);
+    ThreadPool::parallelFor(pool, events.size(), [&](std::size_t i) {
+        Simulator sim;
+        std::uint64_t count = 0;
+        EventFunctionWrapper tick(
+            [&] {
+                if (++count < 5000)
+                    sim.scheduleAfter(tick, 1);
+            },
+            "tick");
+        sim.schedule(tick, 0);
+        sim.run();
+        events[i] = sim.eventsProcessed();
+    });
+    for (std::uint64_t e : events)
+        EXPECT_EQ(e, 5000u);
+}
+
+// --------------------------------------------------------- replica seeding
+
+TEST(ReplicaSeed, ZeroKeepsBaseSeed)
+{
+    EXPECT_EQ(replicaSeed(42, 0), 42u);
+    EXPECT_EQ(replicaSeed(7, 0), 7u);
+}
+
+TEST(ReplicaSeed, DistinctAcrossReplicasAndSeeds)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t base : {1ULL, 42ULL, 0xdeadbeefULL}) {
+        for (std::uint64_t r = 0; r < 64; ++r)
+            seen.insert(replicaSeed(base, r));
+    }
+    EXPECT_EQ(seen.size(), 3u * 64u);
+}
+
+TEST(ReplicaSeed, StreamsAreUncorrelated)
+{
+    Rng a(replicaSeed(9, 1), "x"), b(replicaSeed(9, 2), "x");
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LE(same, 1);
+}
+
+// -------------------------------------------------------------- the engine
+
+namespace {
+
+/** A small stochastic "simulation": deterministic given its seed. */
+MetricRow
+fakeRun(std::size_t point, std::size_t, std::uint64_t seed)
+{
+    Rng rng(seed, "fake");
+    double acc = 0.0;
+    for (int i = 0; i < 1000; ++i)
+        acc += rng.exponential(1.0 + static_cast<double>(point));
+    return {{"acc", acc}, {"draws", 1000.0}};
+}
+
+} // namespace
+
+TEST(ExperimentEngine, ParallelIdenticalToSequential)
+{
+    ExperimentEngine seq(1), par(8);
+    auto a = seq.run(3, 8, 1234, fakeRun);
+    auto b = par.run(3, 8, 1234, fakeRun);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].point, b[i].point);
+        EXPECT_EQ(a[i].replica, b[i].replica);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        ASSERT_EQ(a[i].metrics.size(), b[i].metrics.size());
+        for (std::size_t m = 0; m < a[i].metrics.size(); ++m) {
+            EXPECT_EQ(a[i].metrics[m].first, b[i].metrics[m].first);
+            // Bit-identical, not approximately equal.
+            EXPECT_EQ(a[i].metrics[m].second, b[i].metrics[m].second);
+        }
+    }
+}
+
+TEST(ExperimentEngine, RecordsArriveInGridOrder)
+{
+    ExperimentEngine eng(4);
+    auto records = eng.run(2, 3, 1, fakeRun);
+    ASSERT_EQ(records.size(), 6u);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].point, i / 3);
+        EXPECT_EQ(records[i].replica, i % 3);
+    }
+}
+
+TEST(ExperimentEngine, SameReplicaSameSeedAcrossPoints)
+{
+    ExperimentEngine eng(2);
+    auto records = eng.run(2, 2, 99, fakeRun);
+    EXPECT_EQ(records[0].seed, records[2].seed);
+    EXPECT_EQ(records[1].seed, records[3].seed);
+    EXPECT_NE(records[0].seed, records[1].seed);
+}
+
+// -------------------------------------------------------------------- sweep
+
+TEST(SweepSpec, EmptySweepIsOnePoint)
+{
+    SweepSpec spec;
+    EXPECT_EQ(spec.numPoints(), 1u);
+    EXPECT_TRUE(spec.point(0).assignments.empty());
+    EXPECT_EQ(spec.point(0).label(), "");
+}
+
+TEST(SweepSpec, CrossProductExpansion)
+{
+    SweepSpec spec;
+    spec.add("a", {"1", "2", "3"});
+    spec.add("b", {"x", "y"});
+    ASSERT_EQ(spec.numPoints(), 6u);
+    // Last key varies fastest (odometer order).
+    EXPECT_EQ(spec.point(0).label(), "a=1 b=x");
+    EXPECT_EQ(spec.point(1).label(), "a=1 b=y");
+    EXPECT_EQ(spec.point(2).label(), "a=2 b=x");
+    EXPECT_EQ(spec.point(5).label(), "a=3 b=y");
+}
+
+TEST(SweepSpec, AddFlagParsesKeyAndValues)
+{
+    SweepSpec spec;
+    spec.addFlag("server.tau_ms=250, 500,1000");
+    ASSERT_EQ(spec.numPoints(), 3u);
+    EXPECT_EQ(spec.point(1).label(), "server.tau_ms=500");
+}
+
+TEST(SweepSpec, FromConfigPicksUpSweepSection)
+{
+    Config cfg = Config::parseString(
+        "[sweep]\n"
+        "datacenter.servers = 10, 20\n"
+        "server.tau_ms = 100, 200\n");
+    SweepSpec spec = SweepSpec::fromConfig(cfg);
+    EXPECT_EQ(spec.numKeys(), 2u);
+    EXPECT_EQ(spec.numPoints(), 4u);
+}
+
+TEST(SweepSpec, ApplyOverridesConfig)
+{
+    Config cfg = Config::parseString(
+        "[datacenter]\nservers = 5\n[sweep]\ndatacenter.servers = 10, 20\n");
+    SweepSpec spec = SweepSpec::fromConfig(cfg);
+    Config point1 = cfg;
+    spec.apply(point1, 1);
+    EXPECT_EQ(point1.getInt("datacenter.servers"), 20);
+    EXPECT_EQ(cfg.getInt("datacenter.servers"), 5);
+}
+
+// -------------------------------------------------------------- aggregation
+
+TEST(Aggregate, SummaryMeanStddevCi)
+{
+    Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_EQ(s.n, 8u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_NEAR(s.stddev, 2.138, 0.001);
+    // t(7, 0.975) = 2.365; ci = t * s / sqrt(n)
+    EXPECT_NEAR(s.ci95, 2.365 * s.stddev / std::sqrt(8.0), 1e-9);
+}
+
+TEST(Aggregate, SummaryDegenerateCases)
+{
+    EXPECT_EQ(summarize({}).n, 0u);
+    Summary one = summarize({3.5});
+    EXPECT_EQ(one.n, 1u);
+    EXPECT_DOUBLE_EQ(one.mean, 3.5);
+    EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(one.ci95, 0.0);
+}
+
+TEST(Aggregate, ResultTableRoundTrip)
+{
+    ResultTable t;
+    t.setPointLabel(0, "tau=250");
+    t.add(0, 0, "latency", 1.5);
+    t.add(0, 1, "latency", 2.5);
+    t.add(0, 0, "energy", 10.0);
+    EXPECT_EQ(t.numPoints(), 1u);
+    auto vals = t.values(0, "latency");
+    ASSERT_EQ(vals.size(), 2u);
+    EXPECT_DOUBLE_EQ(vals[0], 1.5);
+    EXPECT_DOUBLE_EQ(vals[1], 2.5);
+    Summary s = t.summary(0, "latency");
+    EXPECT_DOUBLE_EQ(s.mean, 2.0);
+    ASSERT_EQ(t.metrics().size(), 2u);
+    EXPECT_EQ(t.metrics()[0], "latency");
+}
+
+TEST(Aggregate, CsvIsStableAndRoundTrippable)
+{
+    ResultTable t;
+    t.setPointLabel(0, "p");
+    t.add(0, 0, "x", 1.0 / 3.0);
+    std::ostringstream a, b;
+    t.writeCsv(a);
+    t.writeCsv(b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("point,label,replica,metric,value\n"),
+              std::string::npos);
+    // Full-precision value: parsing it back yields the exact double.
+    std::string line = a.str().substr(a.str().find('\n') + 1);
+    std::string value = line.substr(line.rfind(',') + 1);
+    EXPECT_EQ(std::stod(value), 1.0 / 3.0);
+}
+
+TEST(Aggregate, EngineTabulateFillsTable)
+{
+    ExperimentEngine eng(4);
+    auto records = eng.run(2, 4, 7, fakeRun);
+    ResultTable table;
+    ExperimentEngine::tabulate(records, table);
+    EXPECT_EQ(table.numPoints(), 2u);
+    EXPECT_EQ(table.values(0, "acc").size(), 4u);
+    EXPECT_EQ(table.summary(1, "draws").mean, 1000.0);
+}

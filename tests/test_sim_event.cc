@@ -6,12 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/event.hh"
 #include "sim/event_queue.hh"
+#include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "sim/types.hh"
 
@@ -292,4 +295,93 @@ TEST(EventQueue, DescheduledEventReschedulesCleanly)
     sim.schedule(a, 40);
     sim.run();
     EXPECT_EQ(log, (std::vector<int>{2, 1, 1}));
+}
+
+TEST(EventQueue, ChurnPropertyPreservesCountsAndFifo)
+{
+    // Property test: arbitrary schedule/deschedule/reschedule churn
+    // over a mix of background and foreground events must keep
+    // size()/foregroundCount() consistent with a shadow model, and
+    // draining must fire events in exact (tick, priority, schedule
+    // sequence) order -- FIFO among equal (tick, priority) pairs.
+    struct ModelEntry {
+        Tick when;
+        int priority;
+        std::uint64_t sequence;
+        std::size_t index;
+    };
+    constexpr std::size_t n_events = 48;
+    constexpr int n_ops = 3000;
+    const int priorities[] = {Event::powerPriority,
+                              Event::defaultPriority,
+                              Event::statsPriority};
+
+    for (std::uint64_t trial = 0; trial < 4; ++trial) {
+        Rng rng(1000 + trial, "churn");
+        EventQueue queue;
+        std::vector<std::unique_ptr<EventFunctionWrapper>> events;
+        std::vector<bool> isBackground;
+        for (std::size_t i = 0; i < n_events; ++i) {
+            int prio = priorities[i % 3];
+            events.push_back(std::make_unique<EventFunctionWrapper>(
+                [] {}, "churn." + std::to_string(i), prio));
+            bool bg = i % 4 == 0;
+            events.back()->setBackground(bg);
+            isBackground.push_back(bg);
+        }
+
+        std::vector<ModelEntry> model; // scheduled events only
+        std::uint64_t next_sequence = 0;
+        auto modelFind = [&](std::size_t i) {
+            for (std::size_t m = 0; m < model.size(); ++m) {
+                if (model[m].index == i)
+                    return m;
+            }
+            return model.size();
+        };
+
+        for (int op = 0; op < n_ops; ++op) {
+            std::size_t i = rng.uniformInt(0, n_events - 1);
+            // Few distinct ticks, so collisions are the common case.
+            Tick when = rng.uniformInt(0, 40);
+            Event &ev = *events[i];
+            if (!ev.scheduled()) {
+                queue.schedule(ev, when);
+                model.push_back(
+                    {when, ev.priority(), next_sequence++, i});
+            } else if (rng.bernoulli(0.5)) {
+                queue.deschedule(ev);
+                model.erase(model.begin() + modelFind(i));
+            } else {
+                queue.reschedule(ev, when);
+                model.erase(model.begin() + modelFind(i));
+                model.push_back(
+                    {when, ev.priority(), next_sequence++, i});
+            }
+
+            ASSERT_EQ(queue.size(), model.size());
+            std::size_t foreground = 0;
+            for (const ModelEntry &m : model)
+                foreground += !isBackground[m.index];
+            ASSERT_EQ(queue.foregroundCount(), foreground);
+        }
+
+        // Drain: the queue must agree with the model's total order.
+        std::stable_sort(model.begin(), model.end(),
+                         [](const ModelEntry &a, const ModelEntry &b) {
+                             if (a.when != b.when)
+                                 return a.when < b.when;
+                             if (a.priority != b.priority)
+                                 return a.priority < b.priority;
+                             return a.sequence < b.sequence;
+                         });
+        for (const ModelEntry &m : model) {
+            ASSERT_FALSE(queue.empty());
+            EXPECT_EQ(queue.nextTick(), m.when);
+            Event &ev = queue.pop();
+            EXPECT_EQ(&ev, events[m.index].get());
+        }
+        EXPECT_TRUE(queue.empty());
+        EXPECT_EQ(queue.foregroundCount(), 0u);
+    }
 }

@@ -164,6 +164,58 @@ TEST(Rng, WeightedIndexSkipsZeroWeights)
         EXPECT_EQ(rng.weightedIndex(w), 1u);
 }
 
+TEST(Rng, WeightedIndexNeverReturnsZeroWeightTail)
+{
+    // Accumulation error can leave target >= acc at the end of the
+    // scan; the fallback must land on the last positive weight, not
+    // on the impossible zero-weight tail.
+    std::vector<double> w{0.1, 0.7, 0.2, 0.0, 0.0};
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+        Rng rng(seed, "tail");
+        for (int i = 0; i < 10000; ++i)
+            EXPECT_LE(rng.weightedIndex(w), 2u);
+    }
+    // Tiny leading weight, zero tail: same guarantee under heavy
+    // cancellation.
+    std::vector<double> v{1e-300, 1.0, 0.0};
+    Rng rng(3, "tail2");
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LE(rng.weightedIndex(v), 1u);
+}
+
+TEST(Rng, UniformIntAcceptsEveryDrawAtPowerOfTwoSpans)
+{
+    // When span divides 2^64 the raw stream needs no rejection at
+    // all: uniformInt must consume exactly one draw and reduce it
+    // modulo span. The old bound rejected the top `span` values.
+    const std::uint64_t spans[] = {1ULL << 1, 1ULL << 16, 1ULL << 32,
+                                   1ULL << 63};
+    for (std::uint64_t span : spans) {
+        Rng a(77, "pow2"), b(77, "pow2");
+        for (int i = 0; i < 1000; ++i) {
+            std::uint64_t got = a.uniformInt(0, span - 1);
+            EXPECT_EQ(got, b.next() % span);
+        }
+    }
+}
+
+TEST(Rng, UniformIntFullRangePassesThrough)
+{
+    Rng a(5, "full"), b(5, "full");
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, ~std::uint64_t{0}), b.next());
+}
+
+TEST(Rng, UniformIntStaysInBoundsOddSpan)
+{
+    Rng rng(6, "odd");
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t v = rng.uniformInt(10, 16); // span 7
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 16u);
+    }
+}
+
 TEST(Rng, WeibullMeanMatchesShapeAndScale)
 {
     // E[X] = scale * Gamma(1 + 1/shape).
