@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Event-kernel microbenchmark and backend-equivalence checker.
+ *
+ * Three workloads, each run against both EventQueue backends
+ * (two-level calendar vs. plain binary heap):
+ *
+ *  - hold:  the classic hold model -- a fixed population of events,
+ *    each pop immediately reschedules at a random future tick. Pure
+ *    pop+schedule throughput at a steady queue size.
+ *  - churn: hold plus deschedule/reschedule traffic (the pattern the
+ *    delay-timer controllers, LPI ports and retry paths generate).
+ *    This is the headline number gating the calendar queue: it must
+ *    be at least ~2x the heap backend on pops+schedules per second.
+ *  - replay: a hand-built three-tier fleet (web -> app -> db across a
+ *    star fabric, as in examples/three_tier.cpp) run end to end on
+ *    each backend. The per-request statistics must be bit-identical;
+ *    events-per-host-second is reported per backend.
+ *
+ * Every workload records the exact pop order (or final statistics)
+ * and the binary exits nonzero on any divergence between backends, so
+ * `bench_event_kernel --quick` doubles as the CI determinism smoke
+ * test. `--json=FILE` writes the numbers run_kernel_profile.sh folds
+ * into BENCH_kernel.json.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dc/datacenter.hh"
+#include "sim/event.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "workload/service.hh"
+
+using namespace holdcsim;
+
+namespace {
+
+double
+now_seconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct NullEvent : Event {
+    explicit NullEvent(std::size_t index)
+        : Event("bench.null"), idx(index)
+    {}
+    void process() override {}
+    std::size_t idx;
+};
+
+/** Draw the next inter-event gap: mostly near-future ticks that land
+ *  in calendar buckets, with a 1-in-128 heavy tail far enough out to
+ *  spill into the overflow heap. The near-future span scales with the
+ *  population (as in a real fleet, where more servers mean more --
+ *  not denser -- timer traffic): each event re-fires about every
+ *  4*size ticks, keeping tick density at ~0.25 events/tick for every
+ *  population size. The heap backend's O(log n) cost is unaffected by
+ *  gap magnitude, so the scaling favors neither backend.
+ */
+Tick
+nextGap(Rng &rng, std::size_t size)
+{
+    if (rng.uniformInt(0, 127) == 0)
+        return 1 * sec + rng.uniformInt(0, msec);
+    return rng.uniformInt(1, 4 * size);
+}
+
+struct KernelRun {
+    double seconds = 0.0;
+    std::uint64_t ops = 0; // pops + schedules (+ deschedules)
+    std::vector<std::size_t> popOrder;
+    double opsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(ops) / seconds
+                             : 0.0;
+    }
+};
+
+/** Classic hold model: population of @p size events; each pop
+ *  reschedules the popped event at a random future tick. */
+KernelRun
+runHold(EventQueue::Backend backend, std::size_t size,
+        std::uint64_t n_ops, bool record_order)
+{
+    Rng rng(42, "hold");
+    EventQueue q(backend);
+    std::deque<NullEvent> events;
+    Tick now = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+        events.emplace_back(i);
+        q.schedule(events.back(), now + nextGap(rng, size));
+    }
+    KernelRun run;
+    if (record_order) {
+        run.popOrder.reserve(n_ops);
+    } else {
+        // Untimed warm-up: let the calendar's width calibration and
+        // ring resizing reach steady state (two calibration windows
+        // plus one full population cycle) before the clock starts.
+        for (std::uint64_t op = 0; op < 2 * 8192 + size; ++op) {
+            Event &popped = q.pop();
+            now = popped.when();
+            q.schedule(popped, now + nextGap(rng, size));
+        }
+    }
+    double start = now_seconds();
+    for (std::uint64_t op = 0; op < n_ops; ++op) {
+        Event &popped = q.pop();
+        now = popped.when();
+        if (record_order)
+            run.popOrder.push_back(
+                static_cast<NullEvent &>(popped).idx);
+        q.schedule(popped, now + nextGap(rng, size));
+    }
+    run.seconds = now_seconds() - start;
+    run.ops = 2 * n_ops; // one pop + one schedule per iteration
+    for (NullEvent &ev : events)
+        if (ev.scheduled())
+            q.deschedule(ev);
+    return run;
+}
+
+/** Hold plus deschedule/reschedule churn (timer-cancel pattern). */
+KernelRun
+runChurn(EventQueue::Backend backend, std::size_t size,
+         std::uint64_t n_ops, bool record_order)
+{
+    Rng rng(43, "churn");
+    EventQueue q(backend);
+    std::deque<NullEvent> events;
+    Tick now = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+        events.emplace_back(i);
+        q.schedule(events.back(), now + nextGap(rng, size));
+    }
+    KernelRun run;
+    if (record_order) {
+        run.popOrder.reserve(n_ops);
+    } else {
+        for (std::uint64_t op = 0; op < 2 * 8192 + size; ++op) {
+            Event &popped = q.pop();
+            now = popped.when();
+            q.schedule(popped, now + nextGap(rng, size));
+        }
+    }
+    std::uint64_t extra_ops = 0;
+    double start = now_seconds();
+    for (std::uint64_t op = 0; op < n_ops; ++op) {
+        Event &popped = q.pop();
+        now = popped.when();
+        if (record_order)
+            run.popOrder.push_back(
+                static_cast<NullEvent &>(popped).idx);
+        q.schedule(popped, now + nextGap(rng, size));
+        // Every 16th iteration a random timer is cancelled and
+        // re-armed, every 32nd it is moved (reschedule) -- the
+        // delay-timer / LPI cancel rate observed in the farm runs is
+        // a few percent of the pop rate.
+        if (op % 16 == 0) {
+            NullEvent &victim = events[rng.uniformInt(0, size - 1)];
+            if (victim.scheduled()) {
+                q.deschedule(victim);
+                q.schedule(victim, now + nextGap(rng, size));
+                extra_ops += 2;
+            }
+        } else if (op % 32 == 1) {
+            NullEvent &victim = events[rng.uniformInt(0, size - 1)];
+            if (victim.scheduled()) {
+                q.reschedule(victim, now + nextGap(rng, size));
+                extra_ops += 1;
+            }
+        }
+    }
+    run.seconds = now_seconds() - start;
+    run.ops = 2 * n_ops + extra_ops;
+    for (NullEvent &ev : events)
+        if (ev.scheduled())
+            q.deschedule(ev);
+    return run;
+}
+
+constexpr int webTier = 1;
+constexpr int appTier = 2;
+constexpr int dbTier = 3;
+
+struct ReplayStats {
+    std::uint64_t jobs = 0;
+    std::uint64_t transfers = 0;
+    std::uint64_t eventsProcessed = 0;
+    Tick endTick = 0;
+    double latMean = 0.0, latP50 = 0.0, latP95 = 0.0, latP99 = 0.0;
+    double wallSeconds = 0.0;
+
+    bool identicalTo(const ReplayStats &o) const
+    {
+        // Exact equality on purpose: the backends must be
+        // observationally indistinguishable, down to the last bit of
+        // every derived statistic.
+        return jobs == o.jobs && transfers == o.transfers &&
+               eventsProcessed == o.eventsProcessed &&
+               endTick == o.endTick && latMean == o.latMean &&
+               latP50 == o.latP50 && latP95 == o.latP95 &&
+               latP99 == o.latP99;
+    }
+    double eventsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(eventsProcessed) / wallSeconds
+                   : 0.0;
+    }
+};
+
+/** The three_tier example fleet, shrunk into a harness: 12 typed
+ *  servers behind a star switch serving web->app->db request chains. */
+ReplayStats
+runReplay(EventQueue::Backend backend, std::size_t n_requests)
+{
+    Simulator sim(backend);
+    ServerPowerProfile profile;
+    Topology topo = Topology::star(12, 1e9, 5 * usec);
+    Network net(sim, std::move(topo),
+                SwitchPowerProfile::cisco2960_24());
+
+    std::vector<std::unique_ptr<Server>> owned;
+    std::vector<Server *> servers;
+    for (unsigned i = 0; i < 12; ++i) {
+        ServerConfig cfg;
+        cfg.id = i;
+        cfg.nCores = 4;
+        cfg.taskTypes = {i < 4 ? webTier : i < 8 ? appTier : dbTier};
+        auto server = std::make_unique<Server>(sim, cfg, profile);
+        servers.push_back(server.get());
+        owned.push_back(std::move(server));
+    }
+    GlobalScheduler sched(sim, servers,
+                          std::make_unique<LeastLoadedPolicy>(), {},
+                          &net);
+
+    auto web = std::make_shared<ExponentialService>(1 * msec,
+                                                    Rng(17, "web"));
+    auto app = std::make_shared<ExponentialService>(4 * msec,
+                                                    Rng(17, "app"));
+    auto db = std::make_shared<ExponentialService>(8 * msec,
+                                                   Rng(17, "db"));
+    ChainJobGenerator requests({web, app, db},
+                               {webTier, appTier, dbTier}, 64 * 1024);
+    PoissonArrival arrivals(600.0, Rng(17, "arrivals"));
+    std::size_t injected = 0;
+    EventFunctionWrapper inject(
+        [&] {
+            sched.submitJob(requests.makeJob(sim.curTick()));
+            if (++injected < n_requests)
+                sim.schedule(inject, arrivals.nextArrival());
+        },
+        "inject");
+    sim.schedule(inject, arrivals.nextArrival());
+
+    double start = now_seconds();
+    sim.run();
+    ReplayStats s;
+    s.wallSeconds = now_seconds() - start;
+    s.jobs = sched.jobsCompleted();
+    s.transfers = sched.transfersStarted();
+    s.eventsProcessed = sim.eventsProcessed();
+    s.endTick = sim.curTick();
+    const auto &lat = sched.jobLatency();
+    s.latMean = lat.mean();
+    s.latP50 = lat.p50();
+    s.latP95 = lat.p95();
+    s.latP99 = lat.p99();
+    return s;
+}
+
+bool
+sameOrder(const char *what, const KernelRun &cal, const KernelRun &heap)
+{
+    if (cal.popOrder == heap.popOrder)
+        return true;
+    std::size_t i = 0;
+    while (i < cal.popOrder.size() && i < heap.popOrder.size() &&
+           cal.popOrder[i] == heap.popOrder[i])
+        ++i;
+    std::fprintf(stderr,
+                 "FAIL: %s pop order diverges at pop %zu "
+                 "(calendar=%zu heap=%zu)\n",
+                 what, i,
+                 i < cal.popOrder.size() ? cal.popOrder[i] : SIZE_MAX,
+                 i < heap.popOrder.size() ? heap.popOrder[i]
+                                          : SIZE_MAX);
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string json_out;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_out = arg.substr(7);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_event_kernel [--quick] "
+                         "[--json=FILE]\n");
+            return 2;
+        }
+    }
+
+    const std::size_t hold_small = 1024;
+    const std::size_t hold_large = quick ? 8192 : 65536;
+    // Headline churn population: the in-flight event count of a
+    // ~50-server farm (timers + tasks + flows), where the calendar's
+    // working set still fits the cache hierarchy comfortably.
+    const std::size_t churn_size = quick ? 2048 : 8192;
+    const std::uint64_t n_ops = quick ? 200'000 : 4'000'000;
+    const std::size_t n_requests = quick ? 2'000 : 20'000;
+
+    bool ok = true;
+
+    // ---- equivalence passes (always recorded, always checked) ----
+    {
+        KernelRun cal = runHold(EventQueue::Backend::calendar,
+                                hold_small, n_ops / 4, true);
+        KernelRun heap = runHold(EventQueue::Backend::binaryHeap,
+                                 hold_small, n_ops / 4, true);
+        ok &= sameOrder("hold", cal, heap);
+        KernelRun ccal = runChurn(EventQueue::Backend::calendar,
+                                  hold_small, n_ops / 4, true);
+        KernelRun cheap = runChurn(EventQueue::Backend::binaryHeap,
+                                   hold_small, n_ops / 4, true);
+        ok &= sameOrder("churn", ccal, cheap);
+    }
+
+    // ---- timed passes (order recording off: no push_back in loop) --
+    KernelRun holdS_cal = runHold(EventQueue::Backend::calendar,
+                                  hold_small, n_ops, false);
+    KernelRun holdS_heap = runHold(EventQueue::Backend::binaryHeap,
+                                   hold_small, n_ops, false);
+    KernelRun holdL_cal = runHold(EventQueue::Backend::calendar,
+                                  hold_large, n_ops, false);
+    KernelRun holdL_heap = runHold(EventQueue::Backend::binaryHeap,
+                                   hold_large, n_ops, false);
+    KernelRun churn_cal = runChurn(EventQueue::Backend::calendar,
+                                   churn_size, n_ops, false);
+    KernelRun churn_heap = runChurn(EventQueue::Backend::binaryHeap,
+                                    churn_size, n_ops, false);
+
+    // ---- end-to-end replay: stats must be bit-identical ----------
+    ReplayStats replay_cal =
+        runReplay(EventQueue::Backend::calendar, n_requests);
+    ReplayStats replay_heap =
+        runReplay(EventQueue::Backend::binaryHeap, n_requests);
+    if (!replay_cal.identicalTo(replay_heap)) {
+        std::fprintf(stderr,
+                     "FAIL: three-tier replay stats differ between "
+                     "backends (jobs %llu/%llu, events %llu/%llu, "
+                     "end tick %llu/%llu)\n",
+                     (unsigned long long)replay_cal.jobs,
+                     (unsigned long long)replay_heap.jobs,
+                     (unsigned long long)replay_cal.eventsProcessed,
+                     (unsigned long long)replay_heap.eventsProcessed,
+                     (unsigned long long)replay_cal.endTick,
+                     (unsigned long long)replay_heap.endTick);
+        ok = false;
+    }
+
+    double hold_small_speedup =
+        holdS_heap.opsPerSec() > 0.0
+            ? holdS_cal.opsPerSec() / holdS_heap.opsPerSec()
+            : 0.0;
+    double hold_large_speedup =
+        holdL_heap.opsPerSec() > 0.0
+            ? holdL_cal.opsPerSec() / holdL_heap.opsPerSec()
+            : 0.0;
+    double churn_speedup =
+        churn_heap.opsPerSec() > 0.0
+            ? churn_cal.opsPerSec() / churn_heap.opsPerSec()
+            : 0.0;
+
+    std::printf("workload            calendar ops/s      heap ops/s  "
+                "speedup\n");
+    std::printf("hold  n=%-6zu  %15.0f %15.0f    %.2fx\n", hold_small,
+                holdS_cal.opsPerSec(), holdS_heap.opsPerSec(),
+                hold_small_speedup);
+    std::printf("hold  n=%-6zu  %15.0f %15.0f    %.2fx\n", hold_large,
+                holdL_cal.opsPerSec(), holdL_heap.opsPerSec(),
+                hold_large_speedup);
+    std::printf("churn n=%-6zu  %15.0f %15.0f    %.2fx\n", churn_size,
+                churn_cal.opsPerSec(), churn_heap.opsPerSec(),
+                churn_speedup);
+    std::printf("replay (three-tier, %zu requests): calendar %.0f "
+                "events/s, heap %.0f events/s\n",
+                n_requests, replay_cal.eventsPerSec(),
+                replay_heap.eventsPerSec());
+    std::printf("backend equivalence: %s\n", ok ? "OK" : "FAILED");
+
+    if (!json_out.empty()) {
+        std::ofstream os(json_out);
+        if (!os)
+            fatal("cannot open '", json_out, "' for writing");
+        os << "{\n";
+        os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+        os << "  \"ops\": " << n_ops << ",\n";
+        os << "  \"hold_small\": {\"n\": " << hold_small
+           << ", \"calendar_ops_per_sec\": " << holdS_cal.opsPerSec()
+           << ", \"heap_ops_per_sec\": " << holdS_heap.opsPerSec()
+           << ", \"speedup\": " << hold_small_speedup << "},\n";
+        os << "  \"hold_large\": {\"n\": " << hold_large
+           << ", \"calendar_ops_per_sec\": " << holdL_cal.opsPerSec()
+           << ", \"heap_ops_per_sec\": " << holdL_heap.opsPerSec()
+           << ", \"speedup\": " << hold_large_speedup << "},\n";
+        os << "  \"churn\": {\"n\": " << churn_size
+           << ", \"calendar_ops_per_sec\": " << churn_cal.opsPerSec()
+           << ", \"heap_ops_per_sec\": " << churn_heap.opsPerSec()
+           << ", \"speedup\": " << churn_speedup << "},\n";
+        os << "  \"replay\": {\"requests\": " << n_requests
+           << ", \"calendar_events_per_sec\": "
+           << replay_cal.eventsPerSec()
+           << ", \"heap_events_per_sec\": "
+           << replay_heap.eventsPerSec()
+           << ", \"stats_identical\": "
+           << (replay_cal.identicalTo(replay_heap) ? "true" : "false")
+           << "},\n";
+        os << "  \"backends_equivalent\": " << (ok ? "true" : "false")
+           << "\n";
+        os << "}\n";
+    }
+    return ok ? 0 : 1;
+}

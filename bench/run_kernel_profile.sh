@@ -1,7 +1,14 @@
 #!/bin/sh
-# Profile the DES kernel on the three-tier case study and leave the
-# summary (events/sec, events by type, peak queue depth) in
-# BENCH_kernel.json at the repo root.
+# Profile the DES kernel on the three-tier case study with both event
+# queue backends (binary heap = before, calendar = after) and run the
+# event-kernel microbenchmark; leave everything in BENCH_kernel.json
+# at the repo root:
+#   <profile fields>            kernel profile of the calendar run
+#   events_per_host_sec_before  three-tier replay rate, binary heap
+#   events_per_host_sec_after   three-tier replay rate, calendar
+#   microbench                  hold/churn/replay numbers (with
+#                               calendar-vs-heap speedups) from
+#                               bench_event_kernel
 # Usage: bench/run_kernel_profile.sh [build-dir]
 set -eu
 
@@ -12,7 +19,31 @@ OUT="BENCH_kernel.json"
 if [ ! -d "$BUILD_DIR" ]; then
     cmake -B "$BUILD_DIR" -S .
 fi
-cmake --build "$BUILD_DIR" -j --target three_tier
+cmake --build "$BUILD_DIR" -j --target three_tier bench_event_kernel
 
-"$BUILD_DIR"/examples/three_tier --profile="$OUT"
+"$BUILD_DIR"/examples/three_tier --profile=profile_heap.json.tmp \
+    --queue=heap
+"$BUILD_DIR"/examples/three_tier --profile=profile_cal.json.tmp \
+    --queue=calendar
+# The microbench exits nonzero if the two backends ever pop in a
+# different order or the replay stats differ by a single bit.
+"$BUILD_DIR"/bench/bench_event_kernel --json=kernel_micro.json.tmp
+
+python3 - "$OUT" <<'PYEOF'
+import json, sys
+heap = json.load(open('profile_heap.json.tmp'))
+cal = json.load(open('profile_cal.json.tmp'))
+micro = json.load(open('kernel_micro.json.tmp'))
+out = dict(cal)
+out['events_per_host_sec_before'] = heap['events_per_sec']
+out['events_per_host_sec_after'] = cal['events_per_sec']
+out['microbench'] = micro
+with open(sys.argv[1], 'w') as f:
+    json.dump(out, f, indent=2)
+    f.write('\n')
+print('three-tier events/s host: heap %.0f -> calendar %.0f' %
+      (heap['events_per_sec'], cal['events_per_sec']))
+print('churn microbench speedup: %.2fx' % micro['churn']['speedup'])
+PYEOF
+rm -f profile_heap.json.tmp profile_cal.json.tmp kernel_micro.json.tmp
 echo "kernel profile written to $OUT"

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Build with ThreadSanitizer and exercise the experiment engine's
 # thread pool: the test_exp suite (pool scheduling, nested submits,
-# stealing, parallel Simulators) plus the engine acceptance bench.
+# stealing, parallel Simulators) plus the engine acceptance bench and
+# the event-kernel backend-equivalence smoke (calendar vs heap pop
+# order must match under TSan too).
 # Usage: bench/run_tsan.sh [build-dir]
 set -eu
 
@@ -9,8 +11,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DHOLDCSIM_TSAN=ON
-cmake --build "$BUILD_DIR" -j --target test_exp bench_engine_parallel
+cmake --build "$BUILD_DIR" -j \
+    --target test_exp bench_engine_parallel bench_event_kernel
 
 TSAN_OPTIONS=halt_on_error=1 "$BUILD_DIR"/tests/test_exp
 TSAN_OPTIONS=halt_on_error=1 \
     "$BUILD_DIR"/bench/bench_engine_parallel
+TSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD_DIR"/bench/bench_event_kernel --quick

@@ -40,9 +40,12 @@ main(int argc, char **argv)
 {
     // --profile[=FILE] attaches a kernel profiler and dumps its JSON
     // summary to FILE (stdout when omitted); used by
-    // bench/run_kernel_profile.sh.
+    // bench/run_kernel_profile.sh. --queue=heap|calendar selects the
+    // event-queue backend so the script can record before/after
+    // events-per-host-second.
     bool profile_on = false;
     std::string profile_out;
+    auto backend = EventQueue::Backend::calendar;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--profile") {
@@ -50,9 +53,14 @@ main(int argc, char **argv)
         } else if (arg.rfind("--profile=", 0) == 0) {
             profile_on = true;
             profile_out = arg.substr(10);
+        } else if (arg == "--queue=heap") {
+            backend = EventQueue::Backend::binaryHeap;
+        } else if (arg == "--queue=calendar") {
+            backend = EventQueue::Backend::calendar;
         } else {
             std::fprintf(stderr,
-                         "usage: three_tier [--profile[=FILE]]\n");
+                         "usage: three_tier [--profile[=FILE]] "
+                         "[--queue=heap|calendar]\n");
             return 2;
         }
     }
@@ -60,7 +68,7 @@ main(int argc, char **argv)
     // 12 servers behind one switch; tiers are assigned by task type
     // (DataCenter builds untyped servers, so build this fleet by
     // hand to show the lower-level API).
-    Simulator sim;
+    Simulator sim(backend);
     ServerPowerProfile profile;
     Topology topo = Topology::star(12, 1e9, 5 * usec);
     Network net(sim, std::move(topo),
@@ -150,12 +158,12 @@ main(int argc, char **argv)
 
     if (profile_on) {
         if (profile_out.empty()) {
-            profiler.dumpJson(std::cout, wall_s);
+            profiler.dumpJson(std::cout, wall_s, &sim.eventQueue());
         } else {
             std::ofstream os(profile_out);
             if (!os)
                 fatal("cannot open '", profile_out, "' for writing");
-            profiler.dumpJson(os, wall_s);
+            profiler.dumpJson(os, wall_s, &sim.eventQueue());
         }
         std::printf("kernel events      : %llu (%.0f events/s host)\n",
                     static_cast<unsigned long long>(

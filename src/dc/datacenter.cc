@@ -328,6 +328,7 @@ DataCenter::dumpStats(std::ostream &os)
     if (_profiler) {
         StatGroup profile_group("profile");
         _profiler->addStats(profile_group);
+        KernelProfiler::addQueueStats(profile_group, _sim.eventQueue());
         profile_group.dump(os);
         _profiler->dumpHotTable(os);
     }

@@ -98,11 +98,12 @@ AdaptivePoolPolicy::check()
                _sched.numEligible() > 1 && !cooldownActive()) {
         demoteOne();
     }
-    if (_checkEvent.scheduled())
-        _sched.simulator().deschedule(_checkEvent);
     if (_running) {
-        _sched.simulator().scheduleAfter(_checkEvent,
-                                         _config.checkInterval);
+        _sched.simulator().reschedule(_checkEvent,
+                                      _sched.simulator().curTick() +
+                                          _config.checkInterval);
+    } else if (_checkEvent.scheduled()) {
+        _sched.simulator().deschedule(_checkEvent);
     }
 }
 

@@ -54,10 +54,10 @@ DelayTimerController::setTau(Tick tau)
     _tau = tau;
     if (!_server || !_timer)
         return;
-    if (_timer->scheduled())
+    if (_server->isIdle() && _tau != maxTick)
+        becameIdle(*_server); // reschedule moves any live timer
+    else if (_timer->scheduled())
         _server->simulator().deschedule(*_timer);
-    if (_server->isIdle())
-        becameIdle(*_server);
 }
 
 // -------------------------------------------------------- DeepSleepController

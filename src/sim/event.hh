@@ -64,7 +64,11 @@ class Event
     /** Whether the event currently sits in an event queue. */
     bool scheduled() const { return _scheduled; }
 
-    /** Tick this event is scheduled for; only valid when scheduled(). */
+    /**
+     * Tick this event is scheduled for. Valid while scheduled(); after
+     * the queue pops the event the field keeps the tick it fired at
+     * (the run loop reads it to advance the clock).
+     */
     Tick when() const { return _when; }
 
     /**
@@ -78,13 +82,19 @@ class Event
   private:
     friend class EventQueue;
 
+    /** _qBucket value meaning "in the overflow heap, not a bucket". */
+    static constexpr std::uint32_t inHeap = 0xffffffffu;
+
     std::string _name;
     int _priority;
     bool _background = false;
     bool _scheduled = false;
     Tick _when = 0;
-    /** Current slot in the owning queue's heap (indexed heap). */
-    std::size_t _heapIndex = 0;
+    /** Calendar bucket (physical ring index) holding this event, or
+     *  Event::inHeap when it sits in the overflow heap. */
+    std::uint32_t _qBucket = inHeap;
+    /** Slot inside that bucket's vector, or heap index. */
+    std::size_t _qSlot = 0;
 };
 
 /**

@@ -1,10 +1,24 @@
 #include "event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "logging.hh"
 
 namespace holdcsim {
+
+namespace {
+
+/** Smallest calendar ring (power of two). */
+constexpr std::size_t numBuckets = 256;
+/** Largest calendar ring: past this, spill to the overflow heap. */
+constexpr std::size_t maxBuckets = std::size_t{1} << 18;
+/** Widest bucket the calibrator may pick (2^36 ticks ~ 69 s). */
+constexpr unsigned maxBucketShift = 36;
+/** Inter-pop gaps sampled between bucket-width recalibrations. */
+constexpr std::uint64_t calibrateGaps = 8192;
+
+} // namespace
 
 Event::~Event()
 {
@@ -25,9 +39,20 @@ Event::setBackground(bool background)
     _background = background;
 }
 
+EventQueue::EventQueue(Backend backend) : _backend(backend)
+{
+    if (_backend == Backend::calendar) {
+        _buckets.resize(numBuckets);
+        _bucketMask = numBuckets - 1;
+    }
+}
+
 EventQueue::~EventQueue()
 {
     // Mark survivors unscheduled so their destructors don't panic.
+    for (auto &bucket : _buckets)
+        for (auto &entry : bucket)
+            entry.event->_scheduled = false;
     for (auto &entry : _heap)
         entry.event->_scheduled = false;
 }
@@ -43,27 +68,27 @@ EventQueue::earlier(const Entry &a, const Entry &b)
 }
 
 void
-EventQueue::place(std::size_t idx)
+EventQueue::heapPlace(std::size_t idx)
 {
-    _heap[idx].event->_heapIndex = idx;
+    _heap[idx].event->_qSlot = idx;
 }
 
 void
-EventQueue::siftUp(std::size_t idx)
+EventQueue::heapSiftUp(std::size_t idx)
 {
     while (idx > 0) {
         std::size_t parent = (idx - 1) / 2;
         if (!earlier(_heap[idx], _heap[parent]))
             break;
         std::swap(_heap[idx], _heap[parent]);
-        place(idx);
-        place(parent);
+        heapPlace(idx);
+        heapPlace(parent);
         idx = parent;
     }
 }
 
 void
-EventQueue::siftDown(std::size_t idx)
+EventQueue::heapSiftDown(std::size_t idx)
 {
     const std::size_t n = _heap.size();
     for (;;) {
@@ -77,9 +102,82 @@ EventQueue::siftDown(std::size_t idx)
         if (smallest == idx)
             return;
         std::swap(_heap[idx], _heap[smallest]);
-        place(idx);
-        place(smallest);
+        heapPlace(idx);
+        heapPlace(smallest);
         idx = smallest;
+    }
+}
+
+void
+EventQueue::heapInsert(const Entry &e)
+{
+    e.event->_qBucket = Event::inHeap;
+    _heap.push_back(e);
+    heapPlace(_heap.size() - 1);
+    heapSiftUp(_heap.size() - 1);
+}
+
+void
+EventQueue::heapRemoveAt(std::size_t idx)
+{
+    std::size_t last = _heap.size() - 1;
+    if (idx != last) {
+        std::swap(_heap[idx], _heap[last]);
+        heapPlace(idx);
+    }
+    _heap.pop_back();
+    if (idx != _heap.size()) {
+        // Restore the heap property for the moved entry.
+        heapSiftUp(idx);
+        heapSiftDown(idx);
+    }
+}
+
+void
+EventQueue::bucketInsert(std::size_t bucket, const Entry &e)
+{
+    auto &vec = _buckets[bucket];
+    e.event->_qBucket = static_cast<std::uint32_t>(bucket);
+    e.event->_qSlot = vec.size();
+    vec.push_back(e);
+    ++_bucketCount;
+}
+
+void
+EventQueue::bucketRemoveAt(std::size_t bucket, std::size_t slot)
+{
+    auto &vec = _buckets[bucket];
+    std::size_t last = vec.size() - 1;
+    if (slot != last) {
+        vec[slot] = vec[last];
+        vec[slot].event->_qSlot = slot;
+    }
+    vec.pop_back();
+    --_bucketCount;
+}
+
+void
+EventQueue::insertEntry(const Entry &e)
+{
+    if (_backend == Backend::binaryHeap) {
+        heapInsert(e);
+        return;
+    }
+    if (e.when < _windowStart) {
+        // Raw-queue users may schedule behind the window start; the
+        // head bucket is always scanned first, so ordering holds.
+        bucketInsert(_head, e);
+        ++_counters.clampedSchedules;
+        return;
+    }
+    Tick d = (e.when - _windowStart) >> _bucketShift;
+    if (d < _buckets.size()) {
+        bucketInsert((_head + static_cast<std::size_t>(d)) & _bucketMask,
+                     e);
+        ++_counters.bucketSchedules;
+    } else {
+        heapInsert(e);
+        ++_counters.heapSchedules;
     }
 }
 
@@ -90,27 +188,21 @@ EventQueue::schedule(Event &ev, Tick when)
         HOLDCSIM_PANIC("event '", ev.name(), "' scheduled twice");
     ev._scheduled = true;
     ev._when = when;
-    _heap.push_back(Entry{when, ev.priority(), _nextSequence++, &ev});
-    place(_heap.size() - 1);
-    siftUp(_heap.size() - 1);
+    insertEntry(Entry{when, ev.priority(), _nextSequence++, &ev});
     if (ev.background())
         ++_liveBackground;
-}
-
-void
-EventQueue::removeAt(std::size_t idx)
-{
-    std::size_t last = _heap.size() - 1;
-    if (idx != last) {
-        std::swap(_heap[idx], _heap[last]);
-        place(idx);
-    }
-    _heap.pop_back();
-    if (idx != _heap.size()) {
-        // Restore the heap property for the moved entry.
-        siftUp(idx);
-        siftDown(idx);
-    }
+    ++_counters.schedules;
+    if (size() > _counters.peakSize)
+        _counters.peakSize = size();
+    // Dynamic calendar: keep ~0.5..8 live entries per bucket by
+    // doubling the ring when the population outgrows it. Total size
+    // (not just bucket occupancy) drives the trigger, because a
+    // too-small window parks the population in the overflow heap --
+    // exactly the state a bigger ring fixes. Driven purely by event
+    // counts, so every run resizes identically.
+    if (_backend == Backend::calendar &&
+        _buckets.size() < maxBuckets && size() > 2 * _buckets.size())
+        rehash(_bucketShift, _buckets.size() * 2);
 }
 
 void
@@ -119,41 +211,192 @@ EventQueue::deschedule(Event &ev)
     if (!ev._scheduled)
         HOLDCSIM_PANIC("deschedule of unscheduled event '", ev.name(),
                        "'");
-    std::size_t idx = ev._heapIndex;
-    if (idx >= _heap.size() || _heap[idx].event != &ev)
-        HOLDCSIM_PANIC("event '", ev.name(), "' has a corrupt heap slot");
+    if (ev._qBucket == Event::inHeap) {
+        std::size_t idx = ev._qSlot;
+        if (idx >= _heap.size() || _heap[idx].event != &ev)
+            HOLDCSIM_PANIC("event '", ev.name(),
+                           "' has a corrupt heap slot");
+        ev._scheduled = false;
+        if (ev.background())
+            --_liveBackground;
+        heapRemoveAt(idx);
+        return;
+    }
+    std::size_t bucket = ev._qBucket;
+    std::size_t slot = ev._qSlot;
+    if (bucket >= _buckets.size() || slot >= _buckets[bucket].size() ||
+        _buckets[bucket][slot].event != &ev)
+        HOLDCSIM_PANIC("event '", ev.name(),
+                       "' has a corrupt bucket slot");
     ev._scheduled = false;
     if (ev.background())
         --_liveBackground;
-    removeAt(idx);
+    bucketRemoveAt(bucket, slot);
 }
 
 void
 EventQueue::reschedule(Event &ev, Tick when)
 {
-    if (ev._scheduled)
+    if (ev._scheduled) {
+        // Same-tick early-out: keep the event's FIFO position and
+        // skip the remove/insert entirely.
+        if (ev._when == when)
+            return;
         deschedule(ev);
+    }
     schedule(ev, when);
+}
+
+bool
+EventQueue::findMin(MinRef &out) const
+{
+    if (_bucketCount == 0) {
+        if (_heap.empty())
+            return false;
+        out = MinRef{true, 0, 0};
+        return true;
+    }
+    // Advance the head over drained buckets; the head only ever moves
+    // forward, so the sweep is O(1) amortized per pop.
+    while (_buckets[_head].empty()) {
+        _head = (_head + 1) & _bucketMask;
+        _windowStart += bucketWidth();
+    }
+    const auto &vec = _buckets[_head];
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < vec.size(); ++i) {
+        if (earlier(vec[i], vec[best]))
+            best = i;
+    }
+    // The overflow heap can hold an earlier event than the head
+    // bucket (the window may have slid past a spilled tick), so the
+    // two candidates are always compared on the full ordering key.
+    if (!_heap.empty() && earlier(_heap.front(), vec[best]))
+        out = MinRef{true, 0, 0};
+    else
+        out = MinRef{false, _head, best};
+    return true;
+}
+
+void
+EventQueue::rebaseOntoHeap()
+{
+    // Jump the window to the heap's earliest tick and pull every
+    // now-in-window entry into the calendar (lazy migration).
+    _windowStart = (_heap.front().when >> _bucketShift) << _bucketShift;
+    while (!_heap.empty() &&
+           ((_heap.front().when - _windowStart) >> _bucketShift) <
+               _buckets.size()) {
+        Entry e = _heap.front();
+        heapRemoveAt(0);
+        std::size_t d = static_cast<std::size_t>(
+            (e.when - _windowStart) >> _bucketShift);
+        bucketInsert((_head + d) & _bucketMask, e);
+        ++_counters.migratedEntries;
+    }
+    ++_counters.rebases;
+}
+
+void
+EventQueue::observePopGap(Tick popped)
+{
+    if (_poppedOnce && popped >= _lastPopTick) {
+        _gapSum += static_cast<double>(popped - _lastPopTick);
+        ++_gapCount;
+    }
+    _lastPopTick = popped;
+    _poppedOnce = true;
+    if (_gapCount < calibrateGaps)
+        return;
+    // Aim for ~2 mean inter-pop gaps per bucket: head-bucket scans
+    // stay short while the 256-bucket window still covers hundreds
+    // of upcoming pops. Only driven by simulated ticks, so every run
+    // recalibrates identically.
+    double target = 2.0 * _gapSum / static_cast<double>(_gapCount);
+    _gapSum = 0.0;
+    _gapCount = 0;
+    // Smallest power-of-two width >= target. Rounding up matters:
+    // with ~size live entries and ~size buckets, width >= 2 mean gaps
+    // keeps the window at >= 2x the active event span, so steady-state
+    // inserts land in buckets instead of spilling to the heap.
+    unsigned shift = 0;
+    while (shift < maxBucketShift &&
+           static_cast<double>(Tick{1} << shift) < target)
+        ++shift;
+    unsigned drift = shift > _bucketShift ? shift - _bucketShift
+                                          : _bucketShift - shift;
+    if (drift >= 2)
+        rehash(shift, _buckets.size());
+}
+
+void
+EventQueue::rehash(unsigned new_shift, std::size_t new_bucket_count)
+{
+    std::vector<Entry> entries;
+    entries.reserve(size());
+    for (auto &bucket : _buckets) {
+        entries.insert(entries.end(), bucket.begin(), bucket.end());
+        bucket.clear();
+    }
+    // Pull the overflow heap in too: under the new geometry (wider
+    // window or wider buckets) much of it typically fits the ring.
+    entries.insert(entries.end(), _heap.begin(), _heap.end());
+    _heap.clear();
+    _bucketCount = 0;
+    _buckets.resize(new_bucket_count);
+    _bucketMask = new_bucket_count - 1;
+    _bucketShift = new_shift;
+    _head = 0;
+    // Anchor the window below everything live so nothing is clamped.
+    Tick min_when = _lastPopTick;
+    for (const Entry &e : entries)
+        min_when = std::min(min_when, e.when);
+    _windowStart = (min_when >> new_shift) << new_shift;
+    for (const Entry &e : entries)
+        insertEntry(e);
+    ++_counters.recalibrations;
 }
 
 Tick
 EventQueue::nextTick() const
 {
-    if (_heap.empty())
+    MinRef m;
+    if (!findMin(m))
         HOLDCSIM_PANIC("nextTick() on empty event queue");
-    return _heap.front().when;
+    return m.inHeap ? _heap.front().when
+                    : _buckets[m.bucket][m.slot].when;
 }
 
 Event &
 EventQueue::pop()
 {
-    if (_heap.empty())
+    if (_backend == Backend::calendar && _bucketCount == 0 &&
+        !_heap.empty())
+        rebaseOntoHeap();
+    MinRef m;
+    if (!findMin(m))
         HOLDCSIM_PANIC("pop() on empty event queue");
-    Event &ev = *_heap.front().event;
+    Entry e = m.inHeap ? _heap.front() : _buckets[m.bucket][m.slot];
+    if (m.inHeap) {
+        heapRemoveAt(0);
+        ++_counters.heapPops;
+    } else {
+        bucketRemoveAt(m.bucket, m.slot);
+        ++_counters.bucketPops;
+    }
+    Event &ev = *e.event;
     ev._scheduled = false;
     if (ev.background())
         --_liveBackground;
-    removeAt(0);
+    ++_counters.pops;
+    if (_backend == Backend::calendar) {
+        // Halve the ring when the population has collapsed well below
+        // it (hysteresis: grow at >2x, shrink at <1/8x -- never both).
+        if (_buckets.size() > numBuckets &&
+            size() < _buckets.size() / 8)
+            rehash(_bucketShift, _buckets.size() / 2);
+        observePopGap(e.when);
+    }
     return ev;
 }
 

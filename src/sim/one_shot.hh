@@ -1,14 +1,17 @@
 /**
  * @file
- * Fire-and-forget one-shot events with owner-scoped cleanup.
+ * Fire-and-forget one-shot events with owner-scoped cleanup and a
+ * free-list allocator.
  *
  * Model code frequently wants "run this lambda once after a delay"
  * without keeping a named Event member alive. A heap-allocated
  * self-deleting event does that, but leaks (and trips ASan) whenever
- * its owner is destroyed while shots are still pending. OneShotPool
- * tracks every in-flight shot so the owner's destructor deschedules
- * and frees the stragglers -- the pattern the fault-injection paths
- * rely on when a crashed component cancels large batches of work.
+ * its owner is destroyed while shots are still pending, and hits the
+ * global allocator once per shot -- measurable on the port/core/
+ * scheduler fire-and-forget paths. OneShotPool tracks every in-flight
+ * shot so the owner's destructor deschedules and frees the
+ * stragglers, and recycles fired shots through a free list so steady
+ * state allocates nothing.
  */
 
 #ifndef HOLDCSIM_SIM_ONE_SHOT_HH
@@ -16,7 +19,7 @@
 
 #include <functional>
 #include <string>
-#include <unordered_set>
+#include <vector>
 
 #include "event.hh"
 #include "simulator.hh"
@@ -24,7 +27,8 @@
 
 namespace holdcsim {
 
-/** Owner of self-cleaning one-shot events against one Simulator. */
+/** Owner of self-cleaning, pooled one-shot events against one
+ *  Simulator. */
 class OneShotPool
 {
   public:
@@ -46,12 +50,22 @@ class OneShotPool
     /** Shots scheduled but not yet fired. */
     std::size_t pending() const { return _live.size(); }
 
+    /** Fired shots waiting on the free list for reuse (telemetry). */
+    std::size_t freeCount() const { return _free.size(); }
+
   private:
     class Shot;
+    friend class Shot;
+
+    /** Move a fired shot from the live set onto the free list. */
+    void recycle(Shot *shot);
 
     Simulator &_sim;
     std::string _name;
-    std::unordered_set<Shot *> _live;
+    /** In-flight shots; each shot knows its index (swap-remove). */
+    std::vector<Shot *> _live;
+    /** Recycled shots ready to be re-armed. */
+    std::vector<Shot *> _free;
 };
 
 } // namespace holdcsim

@@ -24,19 +24,20 @@ Simulator::reschedule(Event &ev, Tick when)
     _queue.reschedule(ev, when);
 }
 
+template <bool WithProbe>
 void
 Simulator::processOne()
 {
-    // Queue depth before the pop counts the popped event itself.
-    std::size_t queued = _queue.size();
-    Tick next = _queue.nextTick();
     Event &ev = _queue.pop();
-    _curTick = next;
+    // pop() preserves when(); reading it off the popped event saves a
+    // separate nextTick() peek per event.
+    _curTick = ev.when();
     ++_eventsProcessed;
-    if (_probe) {
+    if constexpr (WithProbe) {
+        // Queue depth at the pop counts the popped event itself.
         // beginEvent() must copy what it needs: one-shot events
         // delete themselves inside process().
-        _probe->beginEvent(ev, queued);
+        _probe->beginEvent(ev, _queue.size() + 1);
         ev.process();
         _probe->endEvent();
     } else {
@@ -44,12 +45,38 @@ Simulator::processOne()
     }
 }
 
+template <bool WithProbe>
+Tick
+Simulator::runLoop()
+{
+    while (_queue.foregroundCount() > 0 && !_stopRequested)
+        processOne<WithProbe>();
+    return _curTick;
+}
+
 Tick
 Simulator::run()
 {
     _stopRequested = false;
-    while (_queue.foregroundCount() > 0 && !_stopRequested)
-        processOne();
+    return _probe ? runLoop<true>() : runLoop<false>();
+}
+
+template <bool WithProbe>
+Tick
+Simulator::runUntilLoop(Tick limit)
+{
+    while (!_queue.empty() && !_stopRequested) {
+        if (_queue.nextTick() > limit) {
+            _curTick = limit;
+            return _curTick;
+        }
+        processOne<WithProbe>();
+    }
+    // Queue drained (or stop() was called): advance the clock to the
+    // limit only on a full drain -- a stopped run stays at the tick
+    // of the last event it actually processed.
+    if (!_stopRequested && _curTick < limit)
+        _curTick = limit;
     return _curTick;
 }
 
@@ -57,16 +84,7 @@ Tick
 Simulator::runUntil(Tick limit)
 {
     _stopRequested = false;
-    while (!_queue.empty() && !_stopRequested) {
-        if (_queue.nextTick() > limit) {
-            _curTick = limit;
-            return _curTick;
-        }
-        processOne();
-    }
-    if (_curTick < limit)
-        _curTick = limit;
-    return _curTick;
+    return _probe ? runUntilLoop<true>(limit) : runUntilLoop<false>(limit);
 }
 
 } // namespace holdcsim

@@ -23,8 +23,9 @@ class TraceManager;
 /**
  * Observer hooked around every event dispatch (opt-in, e.g. the
  * telemetry KernelProfiler). The kernel never depends on a concrete
- * implementation; when no probe is installed the run loop pays one
- * pointer test per event.
+ * implementation, and the run loop is compiled twice -- with and
+ * without probe calls -- so an uninstalled probe costs nothing per
+ * event: run()/runUntil() pick the variant once at entry.
  */
 class KernelProbe
 {
@@ -47,7 +48,10 @@ class KernelProbe
 class Simulator
 {
   public:
-    Simulator() = default;
+    explicit Simulator(
+        EventQueue::Backend backend = EventQueue::Backend::calendar)
+        : _queue(backend)
+    {}
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
@@ -69,7 +73,11 @@ class Simulator
     /** Remove a scheduled event. */
     void deschedule(Event &ev) { _queue.deschedule(ev); }
 
-    /** Move a scheduled (or unscheduled) event to @p when. */
+    /**
+     * Move a scheduled (or unscheduled) event to @p when. A no-op
+     * when the event is already scheduled for exactly @p when (the
+     * event keeps its FIFO position).
+     */
     void reschedule(Event &ev, Tick when);
 
     /** Whether any events remain. */
@@ -85,9 +93,12 @@ class Simulator
     Tick run();
 
     /**
-     * Run until simulated time would exceed @p limit; events at
-     * exactly @p limit still execute. The clock is left at
-     * min(limit, last event tick).
+     * Run until simulated time would exceed @p limit. Events at
+     * exactly @p limit still execute -- including events they
+     * schedule for that same tick, in (priority, FIFO) order -- so
+     * the limit is inclusive. The clock is left at @p limit, unless
+     * stop() cut the run short, in which case it stays at the last
+     * processed event's tick.
      */
     Tick runUntil(Tick limit);
 
@@ -96,6 +107,7 @@ class Simulator
 
     /** Direct access to the queue (tests and advanced harnesses). */
     EventQueue &eventQueue() { return _queue; }
+    const EventQueue &eventQueue() const { return _queue; }
 
     /**
      * Install (or clear, with nullptr) the timeline tracer. The
@@ -108,7 +120,12 @@ class Simulator
     /** Installed tracer, or nullptr when tracing is off. */
     TraceManager *tracer() const { return _tracer; }
 
-    /** Install (or clear) the kernel profiling probe. Not owned. */
+    /**
+     * Install (or clear) the kernel profiling probe. Not owned.
+     * Observed at the next run()/runUntil() entry: installing or
+     * clearing a probe from inside a running event takes effect only
+     * once the current run loop returns.
+     */
     void setProbe(KernelProbe *probe) { _probe = probe; }
 
     /** Installed probe, or nullptr when profiling is off. */
@@ -116,7 +133,9 @@ class Simulator
 
   private:
     /** Pop the next event and process it (shared run-loop body). */
-    void processOne();
+    template <bool WithProbe> void processOne();
+    template <bool WithProbe> Tick runLoop();
+    template <bool WithProbe> Tick runUntilLoop(Tick limit);
 
     EventQueue _queue;
     Tick _curTick = 0;

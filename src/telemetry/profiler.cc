@@ -67,6 +67,26 @@ KernelProfiler::addStats(StatGroup &group) const
 }
 
 void
+KernelProfiler::addQueueStats(StatGroup &group, const EventQueue &queue)
+{
+    const EventQueue::Counters &c = queue.counters();
+    group.add("queue.schedules", c.schedules);
+    group.add("queue.bucket_schedules", c.bucketSchedules);
+    group.add("queue.heap_spills", c.heapSchedules);
+    group.add("queue.clamped_schedules", c.clampedSchedules);
+    group.add("queue.pops", c.pops);
+    group.add("queue.bucket_pops", c.bucketPops);
+    group.add("queue.heap_pops", c.heapPops);
+    group.add("queue.rebases", c.rebases);
+    group.add("queue.migrated_entries", c.migratedEntries);
+    group.add("queue.recalibrations", c.recalibrations);
+    group.add("queue.peak_occupancy",
+              static_cast<std::uint64_t>(c.peakSize));
+    group.add("queue.bucket_width_ticks",
+              static_cast<std::uint64_t>(queue.bucketWidth()));
+}
+
+void
 KernelProfiler::dumpHotTable(std::ostream &os) const
 {
     os << "# kernel hot events (by host time inside process())\n";
@@ -87,11 +107,33 @@ KernelProfiler::dumpHotTable(std::ostream &os) const
 }
 
 void
-KernelProfiler::dumpJson(std::ostream &os, double wall_seconds) const
+KernelProfiler::dumpJson(std::ostream &os, double wall_seconds,
+                         const EventQueue *queue) const
 {
     os << "{\n";
     os << "  \"events_total\": " << _events << ",\n";
     os << "  \"peak_queue_depth\": " << _peakDepth << ",\n";
+    if (queue) {
+        const EventQueue::Counters &c = queue->counters();
+        os << "  \"event_queue\": {\n";
+        os << "    \"backend\": \""
+           << (queue->backend() == EventQueue::Backend::calendar
+                   ? "calendar"
+                   : "binary_heap")
+           << "\",\n";
+        os << "    \"schedules\": " << c.schedules << ",\n";
+        os << "    \"bucket_schedules\": " << c.bucketSchedules << ",\n";
+        os << "    \"heap_spills\": " << c.heapSchedules << ",\n";
+        os << "    \"pops\": " << c.pops << ",\n";
+        os << "    \"bucket_pops\": " << c.bucketPops << ",\n";
+        os << "    \"heap_pops\": " << c.heapPops << ",\n";
+        os << "    \"rebases\": " << c.rebases << ",\n";
+        os << "    \"migrated_entries\": " << c.migratedEntries << ",\n";
+        os << "    \"recalibrations\": " << c.recalibrations << ",\n";
+        os << "    \"peak_occupancy\": " << c.peakSize << ",\n";
+        os << "    \"bucket_width_ticks\": " << queue->bucketWidth()
+           << "\n  },\n";
+    }
     os << "  \"host_seconds_in_events\": "
        << static_cast<double>(totalHostNs()) * 1e-9 << ",\n";
     if (wall_seconds > 0.0) {

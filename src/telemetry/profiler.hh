@@ -63,15 +63,25 @@ class KernelProfiler : public KernelProbe
     /** Register profile.* scalars on @p group (name "profile"). */
     void addStats(StatGroup &group) const;
 
+    /**
+     * Register queue.* occupancy / bucket-spill counters of the
+     * two-level event queue on @p group (pairs with addStats on the
+     * same "profile" group).
+     */
+    static void addQueueStats(StatGroup &group, const EventQueue &queue);
+
     /** Human-readable hot-events table, each line "# "-prefixed. */
     void dumpHotTable(std::ostream &os) const;
 
     /**
      * Machine-readable summary (BENCH_kernel.json shape). @p
      * wall_seconds is the harness-measured wall time of the run; pass
-     * 0 if unknown (events_per_sec is then omitted).
+     * 0 if unknown (events_per_sec is then omitted). When @p queue is
+     * non-null its occupancy / spill counters are emitted as an
+     * "event_queue" object.
      */
-    void dumpJson(std::ostream &os, double wall_seconds) const;
+    void dumpJson(std::ostream &os, double wall_seconds,
+                  const EventQueue *queue = nullptr) const;
 
     void reset();
 

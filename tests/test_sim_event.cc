@@ -14,6 +14,7 @@
 
 #include "sim/event.hh"
 #include "sim/event_queue.hh"
+#include "sim/one_shot.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "sim/types.hh"
@@ -304,6 +305,8 @@ TEST(EventQueue, ChurnPropertyPreservesCountsAndFifo)
     // size()/foregroundCount() consistent with a shadow model, and
     // draining must fire events in exact (tick, priority, schedule
     // sequence) order -- FIFO among equal (tick, priority) pairs.
+    // The same trace runs in lockstep through the calendar and the
+    // binary-heap backends, which must pop in identical order.
     struct ModelEntry {
         Tick when;
         int priority;
@@ -318,15 +321,20 @@ TEST(EventQueue, ChurnPropertyPreservesCountsAndFifo)
 
     for (std::uint64_t trial = 0; trial < 4; ++trial) {
         Rng rng(1000 + trial, "churn");
-        EventQueue queue;
-        std::vector<std::unique_ptr<EventFunctionWrapper>> events;
+        EventQueue cal(EventQueue::Backend::calendar);
+        EventQueue heap(EventQueue::Backend::binaryHeap);
+        std::vector<std::unique_ptr<EventFunctionWrapper>> calEvents;
+        std::vector<std::unique_ptr<EventFunctionWrapper>> heapEvents;
         std::vector<bool> isBackground;
         for (std::size_t i = 0; i < n_events; ++i) {
             int prio = priorities[i % 3];
-            events.push_back(std::make_unique<EventFunctionWrapper>(
-                [] {}, "churn." + std::to_string(i), prio));
             bool bg = i % 4 == 0;
-            events.back()->setBackground(bg);
+            for (auto *events : {&calEvents, &heapEvents}) {
+                events->push_back(
+                    std::make_unique<EventFunctionWrapper>(
+                        [] {}, "churn." + std::to_string(i), prio));
+                events->back()->setBackground(bg);
+            }
             isBackground.push_back(bg);
         }
 
@@ -344,29 +352,41 @@ TEST(EventQueue, ChurnPropertyPreservesCountsAndFifo)
             std::size_t i = rng.uniformInt(0, n_events - 1);
             // Few distinct ticks, so collisions are the common case.
             Tick when = rng.uniformInt(0, 40);
-            Event &ev = *events[i];
-            if (!ev.scheduled()) {
-                queue.schedule(ev, when);
+            ASSERT_EQ(calEvents[i]->scheduled(),
+                      heapEvents[i]->scheduled());
+            if (!calEvents[i]->scheduled()) {
+                cal.schedule(*calEvents[i], when);
+                heap.schedule(*heapEvents[i], when);
                 model.push_back(
-                    {when, ev.priority(), next_sequence++, i});
+                    {when, calEvents[i]->priority(), next_sequence++,
+                     i});
             } else if (rng.bernoulli(0.5)) {
-                queue.deschedule(ev);
+                cal.deschedule(*calEvents[i]);
+                heap.deschedule(*heapEvents[i]);
                 model.erase(model.begin() + modelFind(i));
             } else {
-                queue.reschedule(ev, when);
-                model.erase(model.begin() + modelFind(i));
-                model.push_back(
-                    {when, ev.priority(), next_sequence++, i});
+                cal.reschedule(*calEvents[i], when);
+                heap.reschedule(*heapEvents[i], when);
+                std::size_t m = modelFind(i);
+                // Mirror the same-tick early-out: the event keeps its
+                // FIFO position when the tick is unchanged.
+                if (model[m].when != when) {
+                    model.erase(model.begin() + m);
+                    model.push_back({when, calEvents[i]->priority(),
+                                     next_sequence++, i});
+                }
             }
 
-            ASSERT_EQ(queue.size(), model.size());
+            ASSERT_EQ(cal.size(), model.size());
+            ASSERT_EQ(heap.size(), model.size());
             std::size_t foreground = 0;
             for (const ModelEntry &m : model)
                 foreground += !isBackground[m.index];
-            ASSERT_EQ(queue.foregroundCount(), foreground);
+            ASSERT_EQ(cal.foregroundCount(), foreground);
+            ASSERT_EQ(heap.foregroundCount(), foreground);
         }
 
-        // Drain: the queue must agree with the model's total order.
+        // Drain: both backends must agree with the model's total order.
         std::stable_sort(model.begin(), model.end(),
                          [](const ModelEntry &a, const ModelEntry &b) {
                              if (a.when != b.when)
@@ -376,12 +396,254 @@ TEST(EventQueue, ChurnPropertyPreservesCountsAndFifo)
                              return a.sequence < b.sequence;
                          });
         for (const ModelEntry &m : model) {
-            ASSERT_FALSE(queue.empty());
-            EXPECT_EQ(queue.nextTick(), m.when);
-            Event &ev = queue.pop();
-            EXPECT_EQ(&ev, events[m.index].get());
+            ASSERT_FALSE(cal.empty());
+            ASSERT_FALSE(heap.empty());
+            EXPECT_EQ(cal.nextTick(), m.when);
+            EXPECT_EQ(heap.nextTick(), m.when);
+            Event &cev = cal.pop();
+            Event &hev = heap.pop();
+            EXPECT_EQ(&cev, calEvents[m.index].get());
+            EXPECT_EQ(&hev, heapEvents[m.index].get());
         }
-        EXPECT_TRUE(queue.empty());
-        EXPECT_EQ(queue.foregroundCount(), 0u);
+        EXPECT_TRUE(cal.empty());
+        EXPECT_TRUE(heap.empty());
+        EXPECT_EQ(cal.foregroundCount(), 0u);
+        EXPECT_EQ(heap.foregroundCount(), 0u);
     }
+}
+
+TEST(EventQueue, AdversarialAllSameTick)
+{
+    // Every event collides on one (tick, priority) pair: the calendar
+    // degenerates to one bucket and must still drain in exact FIFO
+    // order, matching the heap backend.
+    constexpr std::size_t n = 512;
+    EventQueue cal(EventQueue::Backend::calendar);
+    EventQueue heap(EventQueue::Backend::binaryHeap);
+    std::vector<std::unique_ptr<EventFunctionWrapper>> calEvents;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> heapEvents;
+    for (std::size_t i = 0; i < n; ++i) {
+        calEvents.push_back(
+            std::make_unique<EventFunctionWrapper>([] {}, "same"));
+        heapEvents.push_back(
+            std::make_unique<EventFunctionWrapper>([] {}, "same"));
+        cal.schedule(*calEvents.back(), 7);
+        heap.schedule(*heapEvents.back(), 7);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(&cal.pop(), calEvents[i].get());
+        EXPECT_EQ(&heap.pop(), heapEvents[i].get());
+    }
+    EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventQueue, SparseFarFutureSpillsAndMigrates)
+{
+    // Events spaced out to hours force the calendar to spill into
+    // the overflow heap and to migrate entries back as the window
+    // rebases; ordering must survive both.
+    EventQueue cal(EventQueue::Backend::calendar);
+    EventQueue heap(EventQueue::Backend::binaryHeap);
+    std::vector<std::unique_ptr<EventFunctionWrapper>> calEvents;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> heapEvents;
+    std::vector<Tick> whens;
+    Tick t = 0;
+    Tick gap = 1;
+    for (int i = 0; i < 64; ++i) {
+        whens.push_back(t);
+        t += gap;
+        gap *= 2; // 1 ns doubling up to ~2.5 hours
+        if (gap > 2 * 3600 * sec)
+            gap = 1;
+    }
+    // Schedule in a scrambled order so heap spills interleave with
+    // near-future bucket inserts.
+    for (std::size_t i = 0; i < whens.size(); ++i) {
+        std::size_t j = (i * 37) % whens.size();
+        calEvents.push_back(
+            std::make_unique<EventFunctionWrapper>([] {}, "sparse"));
+        heapEvents.push_back(
+            std::make_unique<EventFunctionWrapper>([] {}, "sparse"));
+        cal.schedule(*calEvents.back(), whens[j]);
+        heap.schedule(*heapEvents.back(), whens[j]);
+    }
+    EXPECT_GT(cal.counters().heapSchedules, 0u);
+    Tick prev = 0;
+    for (std::size_t i = 0; i < whens.size(); ++i) {
+        Event &cev = cal.pop();
+        Event &hev = heap.pop();
+        EXPECT_GE(cev.when(), prev);
+        EXPECT_EQ(cev.when(), hev.when());
+        // Same scramble index => same event identity across backends.
+        auto cit = std::find_if(calEvents.begin(), calEvents.end(),
+                                [&](const auto &e) {
+                                    return e.get() == &cev;
+                                });
+        auto hit = std::find_if(heapEvents.begin(), heapEvents.end(),
+                                [&](const auto &e) {
+                                    return e.get() == &hev;
+                                });
+        EXPECT_EQ(cit - calEvents.begin(), hit - heapEvents.begin());
+        prev = cev.when();
+    }
+    EXPECT_TRUE(cal.empty());
+    EXPECT_GT(cal.counters().rebases, 0u);
+    EXPECT_GT(cal.counters().migratedEntries, 0u);
+}
+
+TEST(EventQueue, BucketWidthRecalibrates)
+{
+    // A steady millisecond-spaced hold pattern is 1000x wider than
+    // the initial 1024-tick buckets; after a calibration window the
+    // queue must rehash to a wider bucket and keep popping in order.
+    EventQueue q;
+    Tick initial_width = q.bucketWidth();
+    EventFunctionWrapper ev([] {}, "hold");
+    Tick t = 0;
+    for (int i = 0; i < 10000; ++i) {
+        q.schedule(ev, t);
+        Event &popped = q.pop();
+        EXPECT_EQ(&popped, &ev);
+        EXPECT_EQ(popped.when(), t);
+        t += msec;
+    }
+    EXPECT_GT(q.counters().recalibrations, 0u);
+    EXPECT_GT(q.bucketWidth(), initial_width);
+}
+
+TEST(EventQueue, RescheduleSameTickKeepsFifoPosition)
+{
+    // reschedule() to the identical tick is a no-op: the event must
+    // not lose its FIFO slot to a later-scheduled peer.
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent a(log, 1), b(log, 2);
+    sim.schedule(a, 10);
+    sim.schedule(b, 10);
+    sim.reschedule(a, 10); // early-out; a stays ahead of b
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+
+    // Moving to a different tick still re-orders as a fresh insert.
+    log.clear();
+    sim.schedule(a, 20);
+    sim.schedule(b, 20);
+    sim.reschedule(a, 21);
+    sim.reschedule(a, 20); // distinct tick hop => behind b now
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(Simulator, RunUntilDrainsSameTickChainsAtLimit)
+{
+    // runUntil(limit) is inclusive: events AT the limit run, and
+    // same-tick children they spawn at the limit run too before
+    // control returns. An event one tick past the limit stays queued.
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent grandchild(log, 3);
+    TraceEvent beyond(log, 9);
+    EventFunctionWrapper child(
+        [&] {
+            log.push_back(2);
+            sim.scheduleAfter(grandchild, 0);
+        },
+        "child");
+    EventFunctionWrapper at_limit(
+        [&] {
+            log.push_back(1);
+            sim.scheduleAfter(child, 0);
+        },
+        "atLimit");
+    sim.schedule(at_limit, 50);
+    sim.schedule(beyond, 51);
+    Tick t = sim.runUntil(50);
+    EXPECT_EQ(t, 50u);
+    EXPECT_EQ(sim.curTick(), 50u);
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(beyond.scheduled());
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 9}));
+}
+
+TEST(Simulator, StopDuringRunUntilKeepsClockAtStopTick)
+{
+    // stop() inside runUntil() must leave the clock at the tick that
+    // requested the stop -- not jump it forward to the limit -- so a
+    // caller can resume from where the simulation actually paused.
+    Simulator sim;
+    std::vector<int> log;
+    EventFunctionWrapper stopper([&] { sim.stop(); }, "stopper");
+    TraceEvent late(log, 9);
+    sim.schedule(stopper, 5);
+    sim.schedule(late, 7);
+    Tick t = sim.runUntil(100);
+    EXPECT_EQ(t, 5u);
+    EXPECT_EQ(sim.curTick(), 5u);
+    EXPECT_TRUE(log.empty());
+    EXPECT_TRUE(sim.hasPendingEvents());
+    sim.runUntil(100);
+    EXPECT_EQ(log, (std::vector<int>{9}));
+    EXPECT_EQ(sim.curTick(), 100u);
+}
+
+TEST(OneShotPool, FiresOnceAndRecycles)
+{
+    Simulator sim;
+    OneShotPool pool(sim, "test");
+    std::vector<int> log;
+    pool.schedule(10, [&] { log.push_back(1); });
+    pool.schedule(20, [&] { log.push_back(2); });
+    pool.schedule(20, [&] { log.push_back(3); });
+    EXPECT_EQ(pool.pending(), 3u);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(pool.pending(), 0u);
+    EXPECT_EQ(pool.freeCount(), 3u);
+
+    // Steady state reuses the free list instead of allocating.
+    pool.schedule(5, [&] { log.push_back(4); });
+    EXPECT_EQ(pool.pending(), 1u);
+    EXPECT_EQ(pool.freeCount(), 2u);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(pool.freeCount(), 3u);
+}
+
+TEST(OneShotPool, OwnerDestructionCancelsPendingShots)
+{
+    Simulator sim;
+    std::vector<int> log;
+    TraceEvent survivor(log, 1);
+    {
+        OneShotPool pool(sim, "doomed");
+        pool.schedule(10, [&] { log.push_back(99); });
+        pool.schedule(30, [&] { log.push_back(98); });
+        EXPECT_EQ(pool.pending(), 2u);
+    } // owner dies with shots in flight
+    sim.schedule(survivor, 20);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(sim.curTick(), 20u);
+}
+
+TEST(OneShotPool, ShotMayRearmFromItsOwnCallback)
+{
+    // A shot's callback scheduling another shot is the common
+    // self-perpetuating pattern (retry loops); the recycled slot must
+    // be safely reusable from inside the firing callback.
+    Simulator sim;
+    OneShotPool pool(sim, "rearm");
+    int fired = 0;
+    std::function<void()> tick = [&] {
+        ++fired;
+        if (fired < 5)
+            pool.schedule(10, tick);
+    };
+    pool.schedule(10, tick);
+    sim.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(pool.pending(), 0u);
+    // The chain reused one recycled slot instead of allocating five.
+    EXPECT_EQ(pool.freeCount(), 1u);
 }
