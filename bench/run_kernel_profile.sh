@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/bin/bash
 # Profile the DES kernel on the three-tier case study with both event
 # queue backends (binary heap = before, calendar = after) and run the
 # event-kernel microbenchmark; leave everything in BENCH_kernel.json
@@ -10,7 +10,7 @@
 #                               calendar-vs-heap speedups) from
 #                               bench_event_kernel
 # Usage: bench/run_kernel_profile.sh [build-dir]
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"

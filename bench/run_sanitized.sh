@@ -1,8 +1,8 @@
-#!/bin/sh
+#!/bin/bash
 # Configure, build and run the full test suite under ASan + UBSan.
 # Usage: bench/run_sanitized.sh [build-dir]
 # Any additional diagnostics (leaks, UB) fail the run.
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"

@@ -1,11 +1,11 @@
-#!/bin/sh
+#!/bin/bash
 # Build with ThreadSanitizer and exercise the experiment engine's
 # thread pool: the test_exp suite (pool scheduling, nested submits,
 # stealing, parallel Simulators) plus the engine acceptance bench and
 # the event-kernel backend-equivalence smoke (calendar vs heap pop
 # order must match under TSan too).
 # Usage: bench/run_tsan.sh [build-dir]
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"

@@ -60,6 +60,7 @@
 #include "dc/datacenter.hh"
 #include "dc/workload_config.hh"
 #include "exp/aggregate.hh"
+#include "exp/campaign.hh"
 #include "exp/experiment.hh"
 #include "exp/sweep.hh"
 
@@ -96,7 +97,7 @@ options:
                         traces at https://ui.perfetto.dev
   --trace-format=FMT    trace backend: json (default) | csv
   --trace-categories=C  comma list of server,core,task,flow,network,
-                        fault (default: all)
+                        fault,audit (default: all)
   --sample-out=FILE     write long-format time-series CSV to FILE
   --sample-period=DUR   sampling period: a number with an optional
                         ns/us/ms/s suffix (default unit ms)
@@ -110,6 +111,15 @@ options:
                         repeatable, crossed with [sweep] sections
   --csv=FILE            write raw long-format results to FILE
                         (point,label,replica,metric,value)
+  --journal=FILE        append completed cells to FILE as JSONL
+                        (crash-tolerant campaign checkpoint)
+  --resume              replay the journal and skip cells it already
+                        holds; requires --journal
+  --watchdog-sec=S      cancel a replica attempt after S wall-clock
+                        seconds (retried, then quarantined; 0 = off)
+  --max-events=N        cancel a replica attempt after N simulated
+                        events (0 = unlimited)
+  --max-attempts=N      tries per cell before quarantine (default 3)
   --help                show this text
 
 Any of --replicas, --sweep, --csv or a [sweep] config section (or
@@ -118,6 +128,14 @@ grid runs on the experiment engine and per-point summaries (mean,
 stddev, 95% CI across replicas) are printed instead of the raw stat
 dump. Replica r of every point uses replicaSeed(datacenter.seed, r),
 so results are independent of --jobs.
+
+Experiment mode is crash tolerant: with --journal every finished cell
+is checkpointed, SIGINT/SIGTERM stop the campaign with the journal
+flushed, and a rerun with --resume re-executes only the missing cells
+-- the aggregate CSV is byte-identical to an uninterrupted run. Cells
+that keep failing (crash, watchdog, event budget) are quarantined
+after --max-attempts tries and the campaign completes without them.
+The [campaign] config section supplies defaults for these flags.
 )";
 
 /** Parse "100ms" / "2s" / "500us" / "250" (ms) into milliseconds. */
@@ -195,7 +213,7 @@ parseUnsigned(const std::string &text, const char *what)
 /** Run one experiment cell: sweep point @p point under @p seed. */
 MetricRow
 runCell(const Config &base, const SweepSpec &spec, std::size_t point,
-        std::uint64_t seed)
+        std::uint64_t seed, const ReplicaLimits &limits)
 {
     Config cfg = base;
     spec.apply(cfg, point);
@@ -207,6 +225,10 @@ runCell(const Config &base, const SweepSpec &spec, std::size_t point,
     dc_cfg.serverProfile = serverProfileFromConfig(cfg);
     dc_cfg.switchProfile = switchProfileFromConfig(cfg);
     DataCenter dc(dc_cfg);
+    // Watchdog / signal cancellation and the event budget reach the
+    // replica through the engine's cooperative limits.
+    dc.sim().setInterruptFlag(limits.cancel);
+    dc.sim().setEventBudget(limits.maxEvents);
 
     ConfiguredWorkload wl = makeWorkload(cfg, dc.config(),
                                          dc_cfg.seed);
@@ -273,6 +295,13 @@ main(int argc, char **argv)
     bool engine_mode = false;
     std::vector<std::string> sweep_flags;
     std::string csv_path;
+    std::string journal_path;
+    bool resume = false;
+    bool have_watchdog = false, have_max_events = false;
+    bool have_max_attempts = false;
+    double watchdog_sec = 0.0;
+    std::uint64_t max_events = 0;
+    unsigned max_attempts = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -295,6 +324,38 @@ main(int argc, char **argv)
         } else if (valueFlag2(argc, argv, i, "csv", value)) {
             csv_path = value;
             engine_mode = true;
+        } else if (valueFlag2(argc, argv, i, "journal", value)) {
+            journal_path = value;
+            engine_mode = true;
+        } else if (arg == "--resume") {
+            resume = true;
+            engine_mode = true;
+        } else if (valueFlag2(argc, argv, i, "watchdog-sec", value)) {
+            char *end = nullptr;
+            watchdog_sec = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' ||
+                watchdog_sec < 0.0) {
+                std::fprintf(stderr, "bad --watchdog-sec '%s'\n",
+                             value.c_str());
+                return 2;
+            }
+            have_watchdog = true;
+        } else if (valueFlag2(argc, argv, i, "max-events", value)) {
+            char *end = nullptr;
+            max_events = std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0') {
+                std::fprintf(stderr, "bad --max-events '%s'\n",
+                             value.c_str());
+                return 2;
+            }
+            have_max_events = true;
+        } else if (valueFlag2(argc, argv, i, "max-attempts", value)) {
+            max_attempts = parseUnsigned(value, "--max-attempts");
+            if (max_attempts == 0) {
+                std::fprintf(stderr, "--max-attempts must be >= 1\n");
+                return 2;
+            }
+            have_max_attempts = true;
         } else if (valueFlag(arg, "trace-out", value)) {
             overrides.emplace_back("telemetry.trace_out", value);
         } else if (valueFlag(arg, "trace-format", value)) {
@@ -326,11 +387,22 @@ main(int argc, char **argv)
                      : Config::load(config_path);
     for (const auto &[key, val] : overrides)
         cfg.set(key, val);
+    warnUnknownConfigKeys(cfg);
 
     SweepSpec spec = SweepSpec::fromConfig(cfg);
     for (const std::string &flag : sweep_flags)
         spec.addFlag(flag);
     engine_mode |= spec.numKeys() > 0;
+
+    if (resume && journal_path.empty()) {
+        DataCenterConfig probe = DataCenterConfig::fromConfig(cfg);
+        if (probe.campaign.journal.empty()) {
+            std::fprintf(stderr,
+                         "--resume needs --journal=FILE (or a "
+                         "[campaign] journal key)\n");
+            return 2;
+        }
+    }
 
     if (engine_mode) {
         // Replicas of one grid cannot share telemetry output files;
@@ -342,20 +414,48 @@ main(int argc, char **argv)
             cfg.set("telemetry.enabled", "false");
         }
 
-        std::uint64_t base_seed = static_cast<std::uint64_t>(
+        CampaignOptions opts;
+        opts.jobs = n_jobs;
+        opts.replicas = n_replicas;
+        opts.baseSeed = static_cast<std::uint64_t>(
             cfg.getInt("datacenter.seed", 1));
-        ExperimentEngine engine(n_jobs);
-        auto records = engine.run(
-            spec.numPoints(), n_replicas, base_seed,
+        opts.journalPath = journal_path.empty()
+                               ? probe.campaign.journal
+                               : journal_path;
+        opts.resume = resume;
+        opts.watchdogSec = have_watchdog ? watchdog_sec
+                                         : probe.campaign.watchdogSec;
+        opts.maxEvents = have_max_events ? max_events
+                                         : probe.campaign.maxEvents;
+        opts.retry.maxAttempts = have_max_attempts
+                                     ? max_attempts
+                                     : probe.campaign.maxAttempts;
+        opts.retry.backoffBase = probe.campaign.retryBackoffBase;
+        opts.retry.backoffMax = probe.campaign.retryBackoffMax;
+
+        // The journal key covers the config *text* (every key=value
+        // incl. CLI sweeps), so a journal from a different campaign
+        // is never replayed into this one.
+        std::string canonical;
+        for (const std::string &key : cfg.keys())
+            canonical += key + "=" + cfg.getString(key, "") + "\n";
+        for (const std::string &flag : sweep_flags)
+            canonical += "sweep-flag=" + flag + "\n";
+
+        CampaignRunner::installSignalHandlers();
+        CampaignRunner runner(opts);
+        CampaignResult res = runner.run(
+            spec.numPoints(), canonical,
             [&cfg, &spec](std::size_t point, std::size_t,
-                          std::uint64_t seed) {
-                return runCell(cfg, spec, point, seed);
+                          std::uint64_t seed,
+                          const ReplicaLimits &limits) {
+                return runCell(cfg, spec, point, seed, limits);
             });
 
         ResultTable table;
         for (std::size_t p = 0; p < spec.numPoints(); ++p)
             table.setPointLabel(p, spec.point(p).label());
-        ExperimentEngine::tabulate(records, table);
+        ExperimentEngine::tabulate(res.records, table);
 
         if (!csv_path.empty()) {
             std::ofstream csv(csv_path);
@@ -367,6 +467,29 @@ main(int argc, char **argv)
             table.writeCsv(csv);
         }
         printSummaries(table, spec);
+
+        std::printf("reliability.campaign.executed %zu\n",
+                    res.executed);
+        std::printf("reliability.campaign.skipped %zu\n", res.skipped);
+        std::printf("reliability.campaign.retries %llu\n",
+                    static_cast<unsigned long long>(res.retries));
+        std::printf("reliability.campaign.watchdog_cancels %llu\n",
+                    static_cast<unsigned long long>(
+                        res.watchdogCancels));
+        std::printf("reliability.campaign.quarantined %zu\n",
+                    res.quarantined.size());
+        std::printf("reliability.campaign.interrupted %d\n",
+                    res.interrupted ? 1 : 0);
+        for (const QuarantineRecord &q : res.quarantined) {
+            std::fprintf(stderr,
+                         "quarantined point %zu replica %zu: %s\n",
+                         q.point, q.replica, q.error.c_str());
+        }
+        if (res.interrupted) {
+            std::fprintf(stderr, "campaign interrupted; rerun with "
+                                 "--resume to continue\n");
+            return 130;
+        }
         return 0;
     }
 
@@ -380,9 +503,15 @@ main(int argc, char **argv)
     JobGenerator &jobs = *wl.jobs;
     dc.pump(std::move(wl.arrivals), jobs, wl.maxJobs, wl.until);
 
-    if (wl.until != maxTick)
-        dc.runUntil(wl.until);
-    dc.run();
+    try {
+        if (wl.until != maxTick)
+            dc.runUntil(wl.until);
+        dc.run();
+    } catch (const SimAbortError &e) {
+        // The structured abort dump already went to stderr.
+        std::fprintf(stderr, "simulation aborted: %s\n", e.what());
+        return 1;
+    }
 
     dc.dumpStats(std::cout);
     return 0;

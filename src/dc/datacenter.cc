@@ -1,5 +1,6 @@
 #include "datacenter.hh"
 
+#include <cmath>
 #include <ostream>
 
 #include "sched/dispatch_policy.hh"
@@ -58,6 +59,10 @@ DataCenter::DataCenter(const DataCenterConfig &config)
     : _config(config)
 {
     _config.validate();
+
+    // Record the experiment seed with the engine so a post-mortem
+    // abort dump names the exact replica that died.
+    _sim.setExperimentSeed(_config.seed);
 
     // Telemetry first so components see the tracer/probe from their
     // very first state transition. With the section absent (the
@@ -198,6 +203,62 @@ DataCenter::DataCenter(const DataCenterConfig &config)
             _sched.get(), fmc);
     }
 
+    // Invariant auditor: re-derives conservation properties from live
+    // state every audit period. The "event_queue" structural check is
+    // built in; the model-level checks close over the finished plant.
+    if (_config.audit.enabled) {
+        _auditor = std::make_unique<InvariantAuditor>(
+            _sim, _config.audit.period);
+        _auditor->setFatal(_config.audit.fatal);
+
+        _auditor->addCheck("task_conservation", [this] {
+            GlobalScheduler::TaskCensus c = _sched->taskCensus();
+            if (c.created != c.finished + c.aborted + c.live) {
+                return detail::format(
+                    "tasks created (", c.created, ") != finished (",
+                    c.finished, ") + aborted (", c.aborted,
+                    ") + live (", c.live, ")");
+            }
+            return std::string();
+        });
+
+        _auditor->addCheck("energy_accounting", [this] {
+            FleetEnergy fe = fleetEnergy(_serverPtrs);
+            double components = fe.total.total();
+            double servers = 0.0;
+            for (const EnergyBreakdown &e : fe.perServer) {
+                if (!std::isfinite(e.total()) || e.total() < 0.0) {
+                    return detail::format(
+                        "non-finite or negative server energy ",
+                        e.total(), " J");
+                }
+                servers += e.total();
+            }
+            double tol = _config.audit.energyTolerance *
+                         std::max({std::abs(components),
+                                   std::abs(servers), 1.0});
+            if (std::abs(components - servers) > tol) {
+                return detail::format(
+                    "component energy sum ", components,
+                    " J != per-server total ", servers,
+                    " J (tolerance ", tol, " J)");
+            }
+            return std::string();
+        });
+
+        if (_tracer && _tracer->wants(TraceCategory::audit)) {
+            TraceTrackId track = _tracer->track("audit", "invariants");
+            _auditor->setViolationHook(
+                [this, track](const std::string &name,
+                              const std::string &msg) {
+                    _tracer->instant(track, TraceCategory::audit,
+                                     name + ": " + msg,
+                                     _sim.curTick());
+                });
+        }
+        _auditor->start();
+    }
+
     // Sampler last: its probes read the finished plant. All probes
     // are read-only, and the sampling event is a background event at
     // stats priority, so an armed sampler perturbs neither event
@@ -331,6 +392,14 @@ DataCenter::dumpStats(std::ostream &os)
         KernelProfiler::addQueueStats(profile_group, _sim.eventQueue());
         profile_group.dump(os);
         _profiler->dumpHotTable(os);
+    }
+
+    if (_auditor) {
+        StatGroup g("audit");
+        g.add("audits_passed", _auditor->auditsPassed());
+        g.add("checks_run", _auditor->checksRun());
+        g.add("violations", _auditor->violations());
+        g.dump(os);
     }
 
     StatGroup sched_group("scheduler");

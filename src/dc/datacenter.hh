@@ -23,6 +23,7 @@
 #include "sched/global_scheduler.hh"
 #include "server/power_controller.hh"
 #include "server/server.hh"
+#include "sim/auditor.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "telemetry/profiler.hh"
@@ -62,6 +63,8 @@ class DataCenter
     Sampler *sampler() { return _sampler.get(); }
     /** Null unless telemetry profiling is configured. */
     KernelProfiler *profiler() { return _profiler.get(); }
+    /** Null unless config.audit.enabled. */
+    InvariantAuditor *auditor() { return _auditor.get(); }
     const DataCenterConfig &config() const { return _config; }
     ///@}
 
@@ -144,6 +147,7 @@ class DataCenter
     std::unique_ptr<Rng> _retryJitter;
     std::unique_ptr<GlobalScheduler> _sched;
     std::unique_ptr<FaultManager> _faults;
+    std::unique_ptr<InvariantAuditor> _auditor;
     std::vector<std::unique_ptr<Pump>> _pumps;
 };
 

@@ -46,6 +46,16 @@ DataCenterConfig::validate() const
         // Fail on bad category lists at config time, not mid-run.
         parseTraceCategories(telemetry.traceCategories);
     }
+    if (audit.enabled) {
+        if (audit.period == 0)
+            fatal("audit.period_ms must be positive");
+        if (audit.energyTolerance < 0.0)
+            fatal("audit.energy_tolerance must be non-negative");
+    }
+    if (campaign.maxAttempts == 0)
+        fatal("campaign.max_attempts must be at least 1");
+    if (campaign.watchdogSec < 0.0)
+        fatal("campaign.watchdog_sec must be non-negative");
     serverProfile.validate();
     if (fabric != Fabric::none)
         switchProfile.validate();
@@ -200,8 +210,114 @@ DataCenterConfig::fromConfig(const Config &cfg)
                                  !out.telemetry.sampleOut.empty() ||
                                  out.telemetry.profile);
 
+    out.audit.enabled = cfg.getBool("audit.enabled", out.audit.enabled);
+    if (cfg.has("audit.period_ms")) {
+        out.audit.period = static_cast<Tick>(
+            cfg.getDouble("audit.period_ms") *
+            static_cast<double>(msec));
+    }
+    out.audit.fatal = cfg.getBool("audit.fatal", out.audit.fatal);
+    out.audit.energyTolerance = cfg.getDouble(
+        "audit.energy_tolerance", out.audit.energyTolerance);
+
+    out.campaign.journal =
+        cfg.getString("campaign.journal", out.campaign.journal);
+    out.campaign.watchdogSec = cfg.getDouble(
+        "campaign.watchdog_sec", out.campaign.watchdogSec);
+    out.campaign.maxEvents = static_cast<std::uint64_t>(cfg.getInt(
+        "campaign.max_events",
+        static_cast<std::int64_t>(out.campaign.maxEvents)));
+    out.campaign.maxAttempts = static_cast<unsigned>(cfg.getInt(
+        "campaign.max_attempts",
+        static_cast<std::int64_t>(out.campaign.maxAttempts)));
+    if (cfg.has("campaign.retry_backoff_base_ms")) {
+        out.campaign.retryBackoffBase = static_cast<Tick>(
+            cfg.getDouble("campaign.retry_backoff_base_ms") *
+            static_cast<double>(msec));
+    }
+    if (cfg.has("campaign.retry_backoff_max_ms")) {
+        out.campaign.retryBackoffMax = static_cast<Tick>(
+            cfg.getDouble("campaign.retry_backoff_max_ms") *
+            static_cast<double>(msec));
+    }
+
     out.validate();
     return out;
+}
+
+namespace {
+
+/** Every key any HolDCSim config parser reads, by section. */
+const char *const knownConfigKeys[] = {
+    // clang-format off
+    "datacenter.servers", "datacenter.cores", "datacenter.seed",
+    "server.queue_mode", "server.core_pick", "server.allow_pkg_c6",
+    "server.controller", "server.tau_ms",
+    "scheduler.policy", "scheduler.global_queue",
+    "scheduler.anti_affinity",
+    "network.fabric", "network.param", "network.param2",
+    "network.link_rate_gbps", "network.link_latency_us",
+    "network.switch_sleep_ms",
+    "fault.enabled", "fault.mttf_hours", "fault.mttr_minutes",
+    "fault.distribution", "fault.weibull_shape", "fault.fault_trace",
+    "fault.fault_servers", "fault.fault_switches",
+    "fault.fault_linecards", "fault.fault_links", "fault.max_retries",
+    "fault.retry_backoff_base_ms", "fault.retry_backoff_max_ms",
+    "fault.task_timeout_ms",
+    "telemetry.enabled", "telemetry.trace_out",
+    "telemetry.trace_format", "telemetry.trace_categories",
+    "telemetry.sample_out", "telemetry.sample_period_ms",
+    "telemetry.profile",
+    "audit.enabled", "audit.period_ms", "audit.fatal",
+    "audit.energy_tolerance",
+    "campaign.journal", "campaign.watchdog_sec",
+    "campaign.max_events", "campaign.max_attempts",
+    "campaign.retry_backoff_base_ms", "campaign.retry_backoff_max_ms",
+    "workload.arrival", "workload.rate", "workload.utilization",
+    "workload.duration_s", "workload.max_jobs", "workload.service",
+    "workload.service_mean_ms", "workload.service_max_ms",
+    "workload.job", "workload.stages", "workload.transfer_kb",
+    "workload.burst_ratio", "workload.burst_fraction",
+    "workload.trace_file",
+    "server_power.core_active_w", "server_power.core_c0_idle_w",
+    "server_power.core_c1_w", "server_power.core_c3_w",
+    "server_power.core_c6_w", "server_power.pkg_pc0_w",
+    "server_power.pkg_pc2_w", "server_power.pkg_pc6_w",
+    "server_power.dram_active_w", "server_power.dram_idle_w",
+    "server_power.dram_self_refresh_w", "server_power.platform_s0_w",
+    "server_power.platform_s3_w", "server_power.platform_s5_w",
+    "server_power.s3_wake_ms", "server_power.s3_entry_ms",
+    "switch_power.chassis_base_w", "switch_power.switch_sleep_w",
+    "switch_power.linecard_active_w", "switch_power.linecard_sleep_w",
+    "switch_power.port_active_w", "switch_power.port_lpi_w",
+    "switch_power.switch_wake_ms", "switch_power.linecard_wake_ms",
+    // clang-format on
+};
+
+} // namespace
+
+void
+warnUnknownConfigKeys(const Config &cfg)
+{
+    for (const std::string &key : cfg.keys()) {
+        // Sweep keys name other config keys; SweepSpec validates
+        // them when the sweep is applied.
+        if (key.rfind("sweep.", 0) == 0)
+            continue;
+        bool known = false;
+        for (const char *k : knownConfigKeys) {
+            if (key == k) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            std::string where = cfg.origin(key);
+            warn("unknown config key '", key, "'",
+                 where.empty() ? "" : " (" + where + ")",
+                 " ignored");
+        }
+    }
 }
 
 } // namespace holdcsim

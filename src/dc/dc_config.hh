@@ -128,6 +128,43 @@ struct DataCenterConfig {
     TelemetrySettings telemetry;
     ///@}
 
+    /** @name Runtime invariant auditing (strictly opt-in) */
+    ///@{
+    struct AuditSettings {
+        /** Master switch for the periodic invariant auditor. */
+        bool enabled = false;
+        /** Simulated time between audits. */
+        Tick period = 100 * msec;
+        /**
+         * Violations abort the replica (structured abort dump +
+         * SimAbortError, so campaigns quarantine it). When false the
+         * auditor only warns and counts.
+         */
+        bool fatal = true;
+        /** Relative tolerance of the energy-accounting check. */
+        double energyTolerance = 1e-6;
+    };
+    AuditSettings audit;
+    ///@}
+
+    /** @name Campaign crash tolerance (CLI defaults; flags override) */
+    ///@{
+    struct CampaignSettings {
+        /** Journal file for completed cells ("" = no journal). */
+        std::string journal;
+        /** Wall-clock watchdog per replica attempt (0 = off). */
+        double watchdogSec = 0.0;
+        /** Simulated-event budget per replica attempt (0 = off). */
+        std::uint64_t maxEvents = 0;
+        /** Attempts per cell before quarantine. */
+        unsigned maxAttempts = 3;
+        /** Host-side backoff between attempts. */
+        Tick retryBackoffBase = 200 * msec;
+        Tick retryBackoffMax = 5 * sec;
+    };
+    CampaignSettings campaign;
+    ///@}
+
     /** Root seed for every random stream in the experiment. */
     std::uint64_t seed = 1;
 
@@ -156,9 +193,21 @@ struct DataCenterConfig {
      *   [telemetry]  enabled, trace_out, trace_format (json|csv),
      *                trace_categories, sample_out, sample_period_ms,
      *                profile
+     *   [audit]      enabled, period_ms, fatal, energy_tolerance
+     *   [campaign]   journal, watchdog_sec, max_events, max_attempts,
+     *                retry_backoff_base_ms, retry_backoff_max_ms
      */
     static DataCenterConfig fromConfig(const Config &cfg);
 };
+
+/**
+ * Warn (with the offending key's file:line) about every key of
+ * @p cfg no HolDCSim parser recognizes -- the typo'd key that would
+ * otherwise silently fall back to a default. "[sweep]" keys are
+ * exempt: they name other config keys and are validated when the
+ * sweep is applied. Call once on the base config, not per replica.
+ */
+void warnUnknownConfigKeys(const Config &cfg);
 
 } // namespace holdcsim
 

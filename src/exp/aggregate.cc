@@ -29,9 +29,10 @@ tQuantile975(std::uint64_t df)
     return 1.96;
 }
 
-/** Shortest round-trippable representation of @p v. */
+} // namespace
+
 std::string
-formatValue(double v)
+formatMetricValue(double v)
 {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
@@ -46,8 +47,6 @@ formatValue(double v)
     }
     return buf;
 }
-
-} // namespace
 
 Summary
 summarize(const std::vector<double> &values)
@@ -132,7 +131,7 @@ ResultTable::writeCsv(std::ostream &os) const
     for (const Row &r : _rows) {
         os << r.point << ',' << pointLabel(r.point) << ','
            << r.replica << ',' << r.metric << ','
-           << formatValue(r.value) << '\n';
+           << formatMetricValue(r.value) << '\n';
     }
 }
 
@@ -147,9 +146,9 @@ ResultTable::writeSummaryCsv(std::ostream &os) const
             if (s.n == 0)
                 continue;
             os << p << ',' << pointLabel(p) << ',' << m << ','
-               << s.n << ',' << formatValue(s.mean) << ','
-               << formatValue(s.stddev) << ','
-               << formatValue(s.ci95) << '\n';
+               << s.n << ',' << formatMetricValue(s.mean) << ','
+               << formatMetricValue(s.stddev) << ','
+               << formatMetricValue(s.ci95) << '\n';
         }
     }
 }

@@ -33,6 +33,14 @@ struct Summary {
 /** Summarize @p values (mean, sample stddev, 95% CI half-width). */
 Summary summarize(const std::vector<double> &values);
 
+/**
+ * Shortest decimal representation of @p v that parses back to
+ * exactly @p v. Used for every value the result CSVs and the
+ * campaign journal emit, so re-serializing a parsed-back value is
+ * byte-identical (the resume-equivalence guarantee rests on it).
+ */
+std::string formatMetricValue(double v);
+
 /** Long-format result store for (sweep point, replica) runs. */
 class ResultTable
 {

@@ -1,5 +1,7 @@
 #include "experiment.hh"
 
+#include <exception>
+
 namespace holdcsim {
 
 std::uint64_t
@@ -32,7 +34,17 @@ ExperimentEngine::run(std::size_t points, std::size_t replicas,
 
     auto cell = [&fn, &records](std::size_t i) {
         ReplicaRecord &rec = records[i];
-        rec.metrics = fn(rec.point, rec.replica, rec.seed);
+        // A throwing run fails only its own cell: the error is
+        // captured into the record and every other cell still runs.
+        try {
+            rec.metrics = fn(rec.point, rec.replica, rec.seed);
+        } catch (const std::exception &e) {
+            rec.failed = true;
+            rec.error = e.what();
+        } catch (...) {
+            rec.failed = true;
+            rec.error = "unknown exception";
+        }
     };
 
     if (_jobs == 1) {
@@ -52,6 +64,8 @@ ExperimentEngine::tabulate(const std::vector<ReplicaRecord> &records,
                            ResultTable &table)
 {
     for (const ReplicaRecord &rec : records) {
+        if (rec.failed)
+            continue;
         for (const auto &[name, value] : rec.metrics)
             table.add(rec.point, rec.replica, name, value);
     }

@@ -47,6 +47,10 @@ struct ReplicaRecord {
     std::size_t replica = 0;
     std::uint64_t seed = 0;
     MetricRow metrics;
+    /** The run threw instead of returning metrics. */
+    bool failed = false;
+    /** what() of the escaped exception (failed runs only). */
+    std::string error;
 };
 
 /** Runs point x replica grids of independent simulations. */

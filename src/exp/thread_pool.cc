@@ -100,6 +100,36 @@ ThreadPool::grab(std::size_t self)
 }
 
 void
+ThreadPool::runTask(Task &task)
+{
+    // A throwing task must fail only itself: letting the exception
+    // unwind a worker thread would std::terminate the process, and
+    // skipping the _unfinished decrement would deadlock wait().
+    try {
+        task();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_failed;
+        if (!_firstError)
+            _firstError = std::current_exception();
+    }
+}
+
+std::size_t
+ThreadPool::failedTasks() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _failed;
+}
+
+std::exception_ptr
+ThreadPool::firstException() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _firstError;
+}
+
+void
 ThreadPool::workerLoop(std::size_t self)
 {
     tls_pool = this;
@@ -115,7 +145,7 @@ ThreadPool::workerLoop(std::size_t self)
             _workCv.wait_for(lock, std::chrono::milliseconds(1));
             continue;
         }
-        task();
+        runTask(task);
         std::size_t left;
         {
             std::lock_guard<std::mutex> lock(_mutex);
@@ -140,7 +170,7 @@ ThreadPool::wait()
         Task task = steal(_workers.size());
         if (!task)
             break;
-        task();
+        runTask(task);
         std::size_t left;
         {
             std::lock_guard<std::mutex> lock(_mutex);

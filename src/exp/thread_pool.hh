@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -53,8 +54,25 @@ class ThreadPool
      * Block until every submitted task (including tasks submitted by
      * running tasks) has finished. The calling thread lends a hand:
      * it steals and runs queued tasks instead of spinning.
+     *
+     * A task that throws counts as finished -- wait() never
+     * deadlocks on it and the process never std::terminate()s; the
+     * exception is swallowed after being counted (and the first one
+     * kept). Callers that care capture failures inside their task
+     * closures; failedTasks()/firstException() are the safety net
+     * for closures that let one slip.
      */
     void wait();
+
+    /** Tasks whose closure exited by exception. */
+    std::size_t failedTasks() const;
+
+    /**
+     * The first exception that escaped a task closure (nullptr when
+     * none has). Stays set until the pool is destroyed; rethrow it
+     * with std::rethrow_exception to surface the failure.
+     */
+    std::exception_ptr firstException() const;
 
     /** Number of worker threads. */
     unsigned workers() const { return static_cast<unsigned>(_workers.size()); }
@@ -84,6 +102,9 @@ class ThreadPool
 
     void workerLoop(std::size_t self);
 
+    /** Run @p task, absorbing any exception into the failure slot. */
+    void runTask(Task &task);
+
     /** Pop from @p self's back, else steal; empty task when idle. */
     Task grab(std::size_t self);
 
@@ -93,12 +114,14 @@ class ThreadPool
     std::vector<std::unique_ptr<Worker>> _workers;
     std::vector<std::thread> _threads;
 
-    std::mutex _mutex;                 // guards the fields below
+    mutable std::mutex _mutex;         // guards the fields below
     std::condition_variable _workCv;   // workers: work may be ready
     std::condition_variable _idleCv;   // waiters: pool may be idle
     std::size_t _unfinished = 0;       // submitted, not yet finished
     std::size_t _nextWorker = 0;       // round-robin submit cursor
     bool _shutdown = false;
+    std::size_t _failed = 0;           // tasks that threw
+    std::exception_ptr _firstError;    // earliest escaped exception
 };
 
 } // namespace holdcsim

@@ -80,6 +80,18 @@ GlobalScheduler::loadPerEligibleServer() const
     return static_cast<double>(total) / static_cast<double>(eligible);
 }
 
+GlobalScheduler::TaskCensus
+GlobalScheduler::taskCensus() const
+{
+    TaskCensus c;
+    c.created = _tasksCreated;
+    c.finished = _tasksFinished;
+    c.aborted = _tasksAborted;
+    for (const auto &[id, rt] : _jobs)
+        c.live += rt.remaining;
+    return c;
+}
+
 void
 GlobalScheduler::resetStats()
 {
@@ -133,6 +145,7 @@ GlobalScheduler::submitJob(Job job)
     rt.state.assign(n, TaskState::waiting);
     rt.attempts.assign(n, 0);
     rt.remaining = n;
+    _tasksCreated += n;
     for (TaskId t = 0; t < n; ++t)
         rt.pendingParents[t] =
             static_cast<std::uint32_t>(rt.job.parents(t).size());
@@ -412,6 +425,8 @@ GlobalScheduler::failJob(JobId job)
         return;
     RuntimeJob &rt = it->second;
     ++_jobsFailedCount;
+    // Every not-yet-done task of the job is abandoned with it.
+    _tasksAborted += rt.remaining;
     // Cancel every sibling still holding resources.
     for (TaskId t = 0; t < rt.job.numTasks(); ++t) {
         if (rt.state[t] != TaskState::running)
@@ -486,6 +501,7 @@ GlobalScheduler::onTaskDone(Server &server, const TaskRef &task)
     if (rt.remaining == 0)
         HOLDCSIM_PANIC("job ", task.job, " over-completed");
     --rt.remaining;
+    ++_tasksFinished;
 
     // Wake children whose last parent just finished.
     for (TaskId child : rt.job.children(task.task)) {

@@ -160,6 +160,32 @@ class GlobalScheduler
     void resetStats();
     ///@}
 
+    /** @name Invariant auditing (task conservation) */
+    ///@{
+    /**
+     * Task-conservation census. Counters run from construction and
+     * are never reset (resetStats() leaves them alone), so the
+     * conservation identity created == finished + aborted + live
+     * holds at every instant of the run.
+     */
+    struct TaskCensus {
+        std::uint64_t created = 0;
+        std::uint64_t finished = 0;
+        /** Tasks abandoned when their job failed retry exhaustion. */
+        std::uint64_t aborted = 0;
+        /** Waiting, queued, transferring, running or in backoff. */
+        std::uint64_t live = 0;
+    };
+    TaskCensus taskCensus() const;
+
+    /**
+     * Test hook: fabricate a created-but-untracked task, deliberately
+     * breaking conservation so auditor negative tests can prove the
+     * audit fires.
+     */
+    void debugInjectTaskLeak() { ++_tasksCreated; }
+    ///@}
+
   private:
     /**
      * Where a task currently stands. Stale asynchronous callbacks
@@ -269,6 +295,11 @@ class GlobalScheduler
     std::uint64_t _transfersAborted = 0;
     std::uint64_t _jobsFailedCount = 0;
     Percentile _jobLatency;
+
+    // Conservation counters (see TaskCensus): never reset.
+    std::uint64_t _tasksCreated = 0;
+    std::uint64_t _tasksFinished = 0;
+    std::uint64_t _tasksAborted = 0;
 
     TraceTrackId _traceTrack = noTraceTrack;
 };

@@ -1,0 +1,79 @@
+#include "auditor.hh"
+
+#include <iostream>
+
+#include "logging.hh"
+
+namespace holdcsim {
+
+InvariantAuditor::InvariantAuditor(Simulator &sim, Tick period)
+    : _sim(sim), _period(period),
+      _event([this] { auditNow(); }, "invariant_audit",
+             Event::statsPriority)
+{
+    if (_period == 0)
+        fatal("invariant auditor needs a nonzero period");
+    // Audits must never keep a drained simulation alive.
+    _event.setBackground(true);
+    addCheck("event_queue",
+             [this] { return _sim.eventQueue().auditConsistency(); });
+}
+
+InvariantAuditor::~InvariantAuditor()
+{
+    stop();
+}
+
+void
+InvariantAuditor::addCheck(std::string name, CheckFn fn)
+{
+    if (!fn)
+        fatal("invariant check '", name, "' has no function");
+    _checks.emplace_back(std::move(name), std::move(fn));
+}
+
+void
+InvariantAuditor::start()
+{
+    _started = true;
+    auditNow();
+}
+
+void
+InvariantAuditor::stop()
+{
+    _started = false;
+    if (_event.scheduled())
+        _sim.deschedule(_event);
+}
+
+std::string
+InvariantAuditor::auditNow()
+{
+    for (const auto &[name, fn] : _checks) {
+        ++_checksRun;
+        std::string violation = fn();
+        if (violation.empty())
+            continue;
+        ++_violations;
+        if (_hook)
+            _hook(name, violation);
+        std::string what = detail::format("invariant '", name,
+                                          "' violated: ", violation);
+        if (_fatal) {
+            _sim.abortDump(std::cerr, what);
+            throw SimAbortError(what);
+        }
+        warn(what);
+        // Keep auditing: a non-fatal auditor is a monitor.
+        if (_started && !_event.scheduled())
+            _sim.scheduleAfter(_event, _period);
+        return what;
+    }
+    ++_auditsPassed;
+    if (_started && !_event.scheduled())
+        _sim.scheduleAfter(_event, _period);
+    return {};
+}
+
+} // namespace holdcsim

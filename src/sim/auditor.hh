@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Runtime invariant auditing.
+ *
+ * An InvariantAuditor periodically re-derives properties the model
+ * must conserve -- task counts, energy accounting, event-queue
+ * structure -- from live state and compares them against the tracked
+ * totals. Silent state corruption (a leaked task, a divergent energy
+ * counter, a dangling queue back-pointer) is caught within one audit
+ * period instead of surfacing as a nonsense result hours later in a
+ * campaign.
+ *
+ * Checks are plain lambdas returning an empty string when the
+ * invariant holds, so any layer can register one without the kernel
+ * depending on it; the violation hook lets the telemetry layer drop
+ * an instant event on the trace the same way. On a violation the
+ * auditor writes the simulator's structured abort dump and throws
+ * SimAbortError, so campaign harnesses quarantine the replica instead
+ * of losing the process.
+ */
+
+#ifndef HOLDCSIM_SIM_AUDITOR_HH
+#define HOLDCSIM_SIM_AUDITOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "event.hh"
+#include "simulator.hh"
+#include "types.hh"
+
+namespace holdcsim {
+
+/** Periodic conservation/consistency checker. */
+class InvariantAuditor
+{
+  public:
+    /** One invariant: returns "" when it holds, else a description. */
+    using CheckFn = std::function<std::string()>;
+
+    /** Observer of violations: (check name, violation message). */
+    using ViolationHook =
+        std::function<void(const std::string &, const std::string &)>;
+
+    /**
+     * Audit every @p period ticks of @p sim. The event-queue
+     * structural audit is registered as the built-in "event_queue"
+     * check; model-level checks are added with addCheck().
+     */
+    InvariantAuditor(Simulator &sim, Tick period);
+
+    /** Deschedules the pending audit event. */
+    ~InvariantAuditor();
+
+    InvariantAuditor(const InvariantAuditor &) = delete;
+    InvariantAuditor &operator=(const InvariantAuditor &) = delete;
+
+    /** Register invariant @p name. */
+    void addCheck(std::string name, CheckFn fn);
+
+    /**
+     * Observe violations (e.g. emit a telemetry instant). Called
+     * before the abort dump, so the trace records the violation even
+     * when the run is then torn down.
+     */
+    void setViolationHook(ViolationHook hook)
+    {
+        _hook = std::move(hook);
+    }
+
+    /**
+     * Whether a violation aborts the run (abortDump + SimAbortError,
+     * the default) or is only counted and reported via the hook.
+     */
+    void setFatal(bool fatal) { _fatal = fatal; }
+
+    /** Audit once now, then every period (background event). */
+    void start();
+
+    /** Disarm the periodic audit. */
+    void stop();
+
+    /**
+     * Run every check once. @return "" when all hold, else the first
+     * violation as "check: message" (after invoking the hook and,
+     * when fatal, writing the abort dump and throwing SimAbortError).
+     */
+    std::string auditNow();
+
+    /** Completed audit passes (all checks held). */
+    std::uint64_t auditsPassed() const { return _auditsPassed; }
+
+    /** Individual check evaluations. */
+    std::uint64_t checksRun() const { return _checksRun; }
+
+    /** Violations observed (at most 1 per run when fatal). */
+    std::uint64_t violations() const { return _violations; }
+
+    Tick period() const { return _period; }
+
+  private:
+    Simulator &_sim;
+    Tick _period;
+    std::vector<std::pair<std::string, CheckFn>> _checks;
+    ViolationHook _hook;
+    bool _fatal = true;
+    bool _started = false;
+    EventFunctionWrapper _event;
+
+    std::uint64_t _auditsPassed = 0;
+    std::uint64_t _checksRun = 0;
+    std::uint64_t _violations = 0;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SIM_AUDITOR_HH

@@ -32,7 +32,7 @@ lower(std::string s)
 } // namespace
 
 Config
-Config::parse(std::istream &in)
+Config::parse(std::istream &in, const std::string &origin)
 {
     Config cfg;
     std::string line;
@@ -49,20 +49,21 @@ Config::parse(std::istream &in)
             continue;
         if (line.front() == '[') {
             if (line.back() != ']')
-                fatal("config line ", lineno, ": unterminated section");
+                fatal(origin, ":", lineno, ": unterminated section");
             section = strip(line.substr(1, line.size() - 2));
             continue;
         }
         auto eq = line.find('=');
         if (eq == std::string::npos)
-            fatal("config line ", lineno, ": expected key = value");
+            fatal(origin, ":", lineno, ": expected key = value, got '",
+                  line, "'");
         std::string key = strip(line.substr(0, eq));
         std::string value = strip(line.substr(eq + 1));
         if (key.empty())
-            fatal("config line ", lineno, ": empty key");
+            fatal(origin, ":", lineno, ": empty key");
         if (!section.empty())
             key = section + "." + key;
-        cfg._values[key] = value;
+        cfg._values[key] = Entry{value, origin, lineno};
     }
     return cfg;
 }
@@ -71,7 +72,7 @@ Config
 Config::parseString(const std::string &text)
 {
     std::istringstream in(text);
-    return parse(in);
+    return parse(in, "<string>");
 }
 
 Config
@@ -80,7 +81,7 @@ Config::load(const std::string &path)
     std::ifstream in(path);
     if (!in)
         fatal("cannot open config file '", path, "'");
-    return parse(in);
+    return parse(in, path);
 }
 
 bool
@@ -92,7 +93,23 @@ Config::has(const std::string &key) const
 void
 Config::set(const std::string &key, const std::string &value)
 {
-    _values[key] = value;
+    _values[key] = Entry{value, "", 0};
+}
+
+std::string
+Config::origin(const std::string &key) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end() || it->second.file.empty())
+        return "";
+    return it->second.file + ":" + std::to_string(it->second.line);
+}
+
+std::string
+Config::locate(const std::string &key) const
+{
+    std::string o = origin(key);
+    return o.empty() ? "" : " (" + o + ")";
 }
 
 std::string
@@ -101,7 +118,7 @@ Config::getString(const std::string &key) const
     auto it = _values.find(key);
     if (it == _values.end())
         fatal("missing config key '", key, "'");
-    return it->second;
+    return it->second.value;
 }
 
 std::string
@@ -109,7 +126,7 @@ Config::getString(const std::string &key,
                   const std::string &fallback) const
 {
     auto it = _values.find(key);
-    return it == _values.end() ? fallback : it->second;
+    return it == _values.end() ? fallback : it->second.value;
 }
 
 std::int64_t
@@ -120,12 +137,14 @@ Config::getInt(const std::string &key) const
         std::size_t pos = 0;
         std::int64_t result = std::stoll(v, &pos);
         if (pos != v.size())
-            fatal("config key '", key, "': trailing junk in '", v, "'");
+            fatal("config key '", key, "'", locate(key),
+                  ": trailing junk in '", v, "'");
         return result;
     } catch (const FatalError &) {
         throw;
     } catch (const std::exception &) {
-        fatal("config key '", key, "': '", v, "' is not an integer");
+        fatal("config key '", key, "'", locate(key), ": '", v,
+              "' is not an integer");
     }
 }
 
@@ -143,12 +162,14 @@ Config::getDouble(const std::string &key) const
         std::size_t pos = 0;
         double result = std::stod(v, &pos);
         if (pos != v.size())
-            fatal("config key '", key, "': trailing junk in '", v, "'");
+            fatal("config key '", key, "'", locate(key),
+                  ": trailing junk in '", v, "'");
         return result;
     } catch (const FatalError &) {
         throw;
     } catch (const std::exception &) {
-        fatal("config key '", key, "': '", v, "' is not a number");
+        fatal("config key '", key, "'", locate(key), ": '", v,
+              "' is not a number");
     }
 }
 
@@ -166,7 +187,8 @@ Config::getBool(const std::string &key) const
         return true;
     if (v == "false" || v == "no" || v == "off" || v == "0")
         return false;
-    fatal("config key '", key, "': '", v, "' is not a boolean");
+    fatal("config key '", key, "'", locate(key), ": '", v,
+          "' is not a boolean");
 }
 
 bool

@@ -30,8 +30,12 @@ class Config
   public:
     Config() = default;
 
-    /** Parse from a stream. Throws FatalError on malformed input. */
-    static Config parse(std::istream &in);
+    /**
+     * Parse from a stream. Throws FatalError on malformed input.
+     * @p origin names the source in diagnostics ("file:line").
+     */
+    static Config parse(std::istream &in,
+                        const std::string &origin = "<config>");
 
     /** Parse from a string (convenience for tests). */
     static Config parseString(const std::string &text);
@@ -66,8 +70,25 @@ class Config
     /** All keys, sorted (stable iteration for dumps and tests). */
     std::vector<std::string> keys() const;
 
+    /**
+     * Source location of @p key as "file:line", or "" when the key
+     * is missing or was set() programmatically. Diagnostics (unknown
+     * keys, malformed values) cite it so users can fix the exact
+     * config line.
+     */
+    std::string origin(const std::string &key) const;
+
   private:
-    std::map<std::string, std::string> _values;
+    struct Entry {
+        std::string value;
+        std::string file; ///< parse origin ("" = programmatic set())
+        int line = 0;
+    };
+
+    /** " (file:line)" suffix for diagnostics, "" when unknown. */
+    std::string locate(const std::string &key) const;
+
+    std::map<std::string, Entry> _values;
 };
 
 } // namespace holdcsim

@@ -357,6 +357,111 @@ EventQueue::rehash(unsigned new_shift, std::size_t new_bucket_count)
     ++_counters.recalibrations;
 }
 
+std::string
+EventQueue::auditConsistency() const
+{
+    std::size_t counted = 0;
+    std::size_t background = 0;
+    for (std::size_t b = 0; b < _buckets.size(); ++b) {
+        const auto &vec = _buckets[b];
+        // Ring distance of this bucket from the window head; its
+        // entries must fall inside the bucket's tick span (clamped
+        // behind-the-window entries are legal only in the head
+        // bucket, i.e. at distance 0).
+        std::size_t d = (b - _head) & _bucketMask;
+        for (std::size_t s = 0; s < vec.size(); ++s) {
+            const Entry &e = vec[s];
+            if (!e.event)
+                return detail::format("bucket ", b, " slot ", s,
+                                      ": null event pointer");
+            const Event &ev = *e.event;
+            if (!ev._scheduled)
+                return detail::format("bucket entry '", ev.name(),
+                                      "' not marked scheduled");
+            if (ev._when != e.when || ev._priority != e.priority)
+                return detail::format(
+                    "bucket entry '", ev.name(),
+                    "' disagrees with its event (entry when=", e.when,
+                    " prio=", e.priority, ", event when=", ev._when,
+                    " prio=", ev._priority, ")");
+            if (ev._qBucket != b || ev._qSlot != s)
+                return detail::format(
+                    "event '", ev.name(), "' back-pointer (",
+                    ev._qBucket, ",", ev._qSlot,
+                    ") does not match its location (", b, ",", s, ")");
+            if (e.sequence >= _nextSequence)
+                return detail::format("event '", ev.name(),
+                                      "' has sequence ", e.sequence,
+                                      " >= next sequence ",
+                                      _nextSequence);
+            if (e.when < _windowStart) {
+                if (d != 0)
+                    return detail::format(
+                        "behind-window event '", ev.name(), "' (tick ",
+                        e.when, " < window start ", _windowStart,
+                        ") outside the head bucket (distance ", d,
+                        ")");
+            } else if (((e.when - _windowStart) >> _bucketShift) != d) {
+                return detail::format(
+                    "event '", ev.name(), "' at tick ", e.when,
+                    " filed at ring distance ", d,
+                    " but belongs at distance ",
+                    (e.when - _windowStart) >> _bucketShift,
+                    " (window start ", _windowStart, ", width ",
+                    bucketWidth(), ")");
+            }
+            if (ev.background())
+                ++background;
+            ++counted;
+        }
+    }
+    if (counted != _bucketCount)
+        return detail::format("bucket occupancy ", counted,
+                              " != accounted count ", _bucketCount);
+    if (_backend == Backend::binaryHeap && counted != 0)
+        return detail::format("binary-heap backend holds ", counted,
+                              " calendar entries");
+
+    for (std::size_t i = 0; i < _heap.size(); ++i) {
+        const Entry &e = _heap[i];
+        if (!e.event)
+            return detail::format("heap slot ", i,
+                                  ": null event pointer");
+        const Event &ev = *e.event;
+        if (!ev._scheduled)
+            return detail::format("heap entry '", ev.name(),
+                                  "' not marked scheduled");
+        if (ev._when != e.when || ev._priority != e.priority)
+            return detail::format(
+                "heap entry '", ev.name(),
+                "' disagrees with its event (entry when=", e.when,
+                " prio=", e.priority, ", event when=", ev._when,
+                " prio=", ev._priority, ")");
+        if (ev._qBucket != Event::inHeap || ev._qSlot != i)
+            return detail::format("event '", ev.name(),
+                                  "' back-pointer (", ev._qBucket, ",",
+                                  ev._qSlot,
+                                  ") does not match heap slot ", i);
+        if (e.sequence >= _nextSequence)
+            return detail::format("event '", ev.name(),
+                                  "' has sequence ", e.sequence,
+                                  " >= next sequence ", _nextSequence);
+        if (i > 0 && earlier(e, _heap[(i - 1) / 2]))
+            return detail::format(
+                "heap property violated at slot ", i, " ('", ev.name(),
+                "' tick ", e.when, " earlier than parent '",
+                _heap[(i - 1) / 2].event->name(), "' tick ",
+                _heap[(i - 1) / 2].when, ")");
+        if (ev.background())
+            ++background;
+    }
+
+    if (background != _liveBackground)
+        return detail::format("live background events ", background,
+                              " != accounted count ", _liveBackground);
+    return {};
+}
+
 Tick
 EventQueue::nextTick() const
 {

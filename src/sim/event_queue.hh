@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "event.hh"
@@ -125,6 +126,19 @@ class EventQueue
 
     /** Occupancy / spill counters since construction. */
     const Counters &counters() const { return _counters; }
+
+    /**
+     * Exhaustively check the queue's structural invariants: size
+     * accounting, entry back-pointers (every scheduled event's
+     * (bucket, slot) location must point back at its entry), heap
+     * ordering, bucket/window placement and background-event
+     * accounting. O(n); meant for the runtime invariant auditor and
+     * debug builds, not the hot path.
+     *
+     * @return empty string when consistent, else a description of
+     *         the first violation found.
+     */
+    std::string auditConsistency() const;
 
   private:
     struct Entry {

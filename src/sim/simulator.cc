@@ -1,15 +1,82 @@
 #include "simulator.hh"
 
+#include <iostream>
+#include <ostream>
+
 #include "logging.hh"
 
 namespace holdcsim {
 
 void
+Simulator::abortDump(std::ostream &os, const std::string &reason) const
+{
+    os << "==== simulator abort dump ====\n";
+    os << "reason: " << reason << '\n';
+    os << "tick: " << _curTick << " (" << toSeconds(_curTick)
+       << " s)\n";
+    os << "events_processed: " << _eventsProcessed << '\n';
+    os << "experiment_seed: " << _seed << '\n';
+    if (_eventBudget)
+        os << "event_budget: " << _eventBudget << '\n';
+
+    os << "queue.backend: "
+       << (_queue.backend() == EventQueue::Backend::calendar
+               ? "calendar"
+               : "binary_heap")
+       << '\n';
+    os << "queue.size: " << _queue.size() << '\n';
+    os << "queue.foreground: " << _queue.foregroundCount() << '\n';
+    if (!_queue.empty())
+        os << "queue.next_tick: " << _queue.nextTick() << '\n';
+    os << "queue.bucket_width: " << _queue.bucketWidth() << '\n';
+    const EventQueue::Counters &c = _queue.counters();
+    os << "queue.schedules: " << c.schedules << '\n';
+    os << "queue.pops: " << c.pops << '\n';
+    os << "queue.rebases: " << c.rebases << '\n';
+    os << "queue.recalibrations: " << c.recalibrations << '\n';
+    os << "queue.peak_size: " << c.peakSize << '\n';
+
+    if (_probe) {
+        os << "recent events (newest last):\n";
+        _probe->dumpRecent(os);
+    }
+    os << "==== end abort dump ====\n";
+    os.flush();
+}
+
+void
+Simulator::abortSim(const std::string &reason) const
+{
+    abortDump(std::cerr, reason);
+    throw SimAbortError(reason);
+}
+
+void
+Simulator::checkLimits() const
+{
+    if (_eventBudget != 0 && _eventsProcessed >= _eventBudget) {
+        throw SimInterrupted(detail::format(
+            "simulated-event budget exceeded (", _eventBudget,
+            " events) at tick ", _curTick));
+    }
+    // The atomic is polled only every 1024 events: cancellation
+    // latency stays in the microseconds while the fast path pays one
+    // predictable branch.
+    if (_interrupt && (_eventsProcessed & 0x3ffu) == 0 &&
+        _interrupt->load(std::memory_order_relaxed)) {
+        throw SimInterrupted(detail::format(
+            "simulation interrupted at tick ", _curTick, " after ",
+            _eventsProcessed, " events"));
+    }
+}
+
+void
 Simulator::schedule(Event &ev, Tick when)
 {
     if (when < _curTick) {
-        HOLDCSIM_PANIC("event '", ev.name(), "' scheduled in the past (",
-                       when, " < ", _curTick, ")");
+        abortSim(detail::format("event '", ev.name(),
+                                "' scheduled in the past (", when,
+                                " < ", _curTick, ")"));
     }
     _queue.schedule(ev, when);
 }
@@ -18,8 +85,9 @@ void
 Simulator::reschedule(Event &ev, Tick when)
 {
     if (when < _curTick) {
-        HOLDCSIM_PANIC("event '", ev.name(), "' rescheduled in the past (",
-                       when, " < ", _curTick, ")");
+        abortSim(detail::format("event '", ev.name(),
+                                "' rescheduled in the past (", when,
+                                " < ", _curTick, ")"));
     }
     _queue.reschedule(ev, when);
 }
@@ -38,7 +106,15 @@ Simulator::processOne()
         // beginEvent() must copy what it needs: one-shot events
         // delete themselves inside process().
         _probe->beginEvent(ev, _queue.size() + 1);
-        ev.process();
+        try {
+            ev.process();
+        } catch (...) {
+            // Keep begin/end pairing even when the event throws
+            // (invariant violations, watchdog cancellations), so the
+            // probe's state stays valid for the abort dump.
+            _probe->endEvent();
+            throw;
+        }
         _probe->endEvent();
     } else {
         ev.process();
@@ -49,8 +125,11 @@ template <bool WithProbe>
 Tick
 Simulator::runLoop()
 {
-    while (_queue.foregroundCount() > 0 && !_stopRequested)
+    while (_queue.foregroundCount() > 0 && !_stopRequested) {
+        if (_limits)
+            checkLimits();
         processOne<WithProbe>();
+    }
     return _curTick;
 }
 
@@ -66,6 +145,8 @@ Tick
 Simulator::runUntilLoop(Tick limit)
 {
     while (!_queue.empty() && !_stopRequested) {
+        if (_limits)
+            checkLimits();
         if (_queue.nextTick() > limit) {
             _curTick = limit;
             return _curTick;

@@ -11,7 +11,11 @@
 #ifndef HOLDCSIM_SIM_SIMULATOR_HH
 #define HOLDCSIM_SIM_SIMULATOR_HH
 
+#include <atomic>
 #include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
 
 #include "event_queue.hh"
 #include "types.hh"
@@ -19,6 +23,34 @@
 namespace holdcsim {
 
 class TraceManager;
+
+/**
+ * A run was cancelled from outside the model: the cooperative
+ * interrupt flag was raised (watchdog, SIGINT/SIGTERM) or the
+ * simulated-event budget ran out. The simulator itself is left in a
+ * consistent state; the run can be inspected, dumped or abandoned.
+ */
+class SimInterrupted : public std::runtime_error
+{
+  public:
+    explicit SimInterrupted(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * The simulator detected an internal inconsistency (an event
+ * scheduled into the past, a violated runtime invariant). Thrown
+ * after Simulator::abortDump() has written its post-mortem, so
+ * harnesses can quarantine the run instead of losing the process.
+ */
+class SimAbortError : public std::runtime_error
+{
+  public:
+    explicit SimAbortError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
 
 /**
  * Observer hooked around every event dispatch (opt-in, e.g. the
@@ -42,6 +74,13 @@ class KernelProbe
 
     /** The event just returned from process(). */
     virtual void endEvent() = 0;
+
+    /**
+     * Write whatever recent-event history the probe keeps (the
+     * telemetry KernelProfiler keeps a last-N ring) into an abort
+     * dump. Default: nothing.
+     */
+    virtual void dumpRecent(std::ostream &os) const { (void)os; }
 };
 
 /** Event-driven simulation engine with a nanosecond clock. */
@@ -131,11 +170,68 @@ class Simulator
     /** Installed probe, or nullptr when profiling is off. */
     KernelProbe *probe() const { return _probe; }
 
+    /** @name Watchdog limits (campaign crash tolerance)
+     * Both are cooperative cancellation points checked inside the run
+     * loops; when one trips, the loop throws SimInterrupted with the
+     * queue and clock untouched, so the run can be retried or its
+     * partial statistics flushed.
+     */
+    ///@{
+    /**
+     * Install (or clear, with nullptr) an external interrupt flag
+     * (not owned; typically set by a watchdog thread or a signal
+     * handler). Polled every 1024 processed events.
+     */
+    void
+    setInterruptFlag(const std::atomic<bool> *flag)
+    {
+        _interrupt = flag;
+        _limits = _interrupt != nullptr || _eventBudget != 0;
+    }
+
+    /**
+     * Cap the total number of processed events (0 = unlimited). A
+     * run crossing the cap throws SimInterrupted -- the
+     * simulated-event half of the replica watchdog, catching sims
+     * that livelock without advancing wall-clock-observable state.
+     */
+    void
+    setEventBudget(std::uint64_t max_events)
+    {
+        _eventBudget = max_events;
+        _limits = _interrupt != nullptr || _eventBudget != 0;
+    }
+
+    std::uint64_t eventBudget() const { return _eventBudget; }
+    ///@}
+
+    /**
+     * Record the experiment root seed for post-mortems. Purely
+     * informational: abortDump() prints it so a crashing replica can
+     * be reproduced stand-alone.
+     */
+    void setExperimentSeed(std::uint64_t seed) { _seed = seed; }
+
+    /**
+     * Structured post-mortem: reason, clock, event counters, queue
+     * summary (backend, occupancy, spill counters), the probe's
+     * recent-event ring (when one is installed) and the experiment
+     * seed. Written on internal aborts before SimAbortError is
+     * thrown; harnesses may also call it directly.
+     */
+    void abortDump(std::ostream &os, const std::string &reason) const;
+
   private:
     /** Pop the next event and process it (shared run-loop body). */
     template <bool WithProbe> void processOne();
     template <bool WithProbe> Tick runLoop();
     template <bool WithProbe> Tick runUntilLoop(Tick limit);
+
+    /** Throw SimInterrupted when a watchdog limit has tripped. */
+    void checkLimits() const;
+
+    /** abortDump + throw SimAbortError (internal inconsistency). */
+    [[noreturn]] void abortSim(const std::string &reason) const;
 
     EventQueue _queue;
     Tick _curTick = 0;
@@ -143,6 +239,11 @@ class Simulator
     bool _stopRequested = false;
     TraceManager *_tracer = nullptr;
     KernelProbe *_probe = nullptr;
+    /** Fast guard for the per-event limit checks. */
+    bool _limits = false;
+    const std::atomic<bool> *_interrupt = nullptr;
+    std::uint64_t _eventBudget = 0;
+    std::uint64_t _seed = 0;
 };
 
 } // namespace holdcsim

@@ -11,7 +11,28 @@ KernelProfiler::beginEvent(const Event &ev, std::size_t queued)
     if (queued > _peakDepth)
         _peakDepth = queued;
     _currentName = ev.name();
+    if (_recent.size() < recentCapacity) {
+        _recent.push_back(RecentEvent{ev.when(), queued, _currentName});
+    } else {
+        RecentEvent &slot = _recent[_recentNext];
+        slot.tick = ev.when();
+        slot.queued = queued;
+        slot.name = _currentName;
+        _recentNext = (_recentNext + 1) % recentCapacity;
+    }
     _currentStart = Clock::now();
+}
+
+void
+KernelProfiler::dumpRecent(std::ostream &os) const
+{
+    // _recentNext is the oldest slot once the ring has wrapped.
+    std::size_t start = _recent.size() < recentCapacity ? 0 : _recentNext;
+    for (std::size_t i = 0; i < _recent.size(); ++i) {
+        const RecentEvent &r = _recent[(start + i) % _recent.size()];
+        os << "  tick " << r.tick << "  depth " << r.queued << "  "
+           << r.name << '\n';
+    }
 }
 
 void
@@ -161,6 +182,8 @@ KernelProfiler::reset()
     _peakDepth = 0;
     _byType.clear();
     _currentName.clear();
+    _recent.clear();
+    _recentNext = 0;
 }
 
 } // namespace holdcsim

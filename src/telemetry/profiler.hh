@@ -41,6 +41,9 @@ class KernelProfiler : public KernelProbe
     void beginEvent(const Event &ev, std::size_t queued) override;
     void endEvent() override;
 
+    /** Newest-last dump of the recent-event ring (abort post-mortem). */
+    void dumpRecent(std::ostream &os) const override;
+
     /** Events observed; equals Simulator::eventsProcessed() gained
      *  while installed. */
     std::uint64_t eventsObserved() const { return _events; }
@@ -95,6 +98,16 @@ class KernelProfiler : public KernelProbe
     /** In-flight dispatch (name copied: one-shots self-delete). */
     std::string _currentName;
     Clock::time_point _currentStart;
+
+    /** Recent-event ring for Simulator::abortDump() post-mortems. */
+    struct RecentEvent {
+        Tick tick = 0;
+        std::size_t queued = 0;
+        std::string name;
+    };
+    static constexpr std::size_t recentCapacity = 32;
+    std::vector<RecentEvent> _recent;
+    std::size_t _recentNext = 0;
 };
 
 } // namespace holdcsim

@@ -22,6 +22,8 @@ toString(TraceCategory c)
         return "network";
       case TraceCategory::fault:
         return "fault";
+      case TraceCategory::audit:
+        return "audit";
     }
     HOLDCSIM_PANIC("unknown TraceCategory");
 }
@@ -49,6 +51,8 @@ parseTraceCategories(const std::string &spec)
             mask |= static_cast<std::uint32_t>(TraceCategory::network);
         else if (token == "fault")
             mask |= static_cast<std::uint32_t>(TraceCategory::fault);
+        else if (token == "audit")
+            mask |= static_cast<std::uint32_t>(TraceCategory::audit);
         else
             fatal("unknown trace category '", token, "'");
     }

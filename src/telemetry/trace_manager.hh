@@ -44,10 +44,12 @@ enum class TraceCategory : std::uint32_t {
     network = 1u << 4,
     /** Fault crash/repair down-windows. */
     fault = 1u << 5,
+    /** Invariant-audit violations and watchdog cancellations. */
+    audit = 1u << 6,
 };
 
 /** Mask with every category enabled. */
-constexpr std::uint32_t allTraceCategories = 0x3f;
+constexpr std::uint32_t allTraceCategories = 0x7f;
 
 /** Stable lowercase name (trace "cat" field, config tokens). */
 const char *toString(TraceCategory c);

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include "dc/datacenter.hh"
 #include "dc/validation.hh"
@@ -252,6 +254,91 @@ TEST(DataCenter, NetworkAwareConfigBuilds)
     dc.run();
     EXPECT_EQ(dc.scheduler().jobsCompleted(), 2u);
     EXPECT_GT(dc.switchEnergy(), 0.0);
+}
+
+// -------------------------------------------------------- invariant auditor
+
+TEST(Auditor, CleanRunPassesEveryAudit)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 4;
+    cfg.audit.enabled = true;
+    cfg.audit.period = 50 * msec;
+    DataCenter dc(cfg);
+    ASSERT_NE(dc.auditor(), nullptr);
+    SingleTaskGenerator gen(fixedSvc(5 * msec));
+    dc.pumpTrace({0, 100 * msec, 200 * msec}, gen);
+    dc.run();
+    dc.runUntil(1 * sec);
+    EXPECT_GT(dc.auditor()->auditsPassed(), 0u);
+    EXPECT_EQ(dc.auditor()->violations(), 0u);
+    // Built-in event_queue + task_conservation + energy_accounting.
+    EXPECT_GE(dc.auditor()->checksRun(),
+              3 * dc.auditor()->auditsPassed());
+}
+
+TEST(Auditor, CatchesSeededTaskConservationBug)
+{
+    // Negative test: deliberately break task conservation and assert
+    // the next audit aborts the replica with a structured error.
+    DataCenterConfig cfg;
+    cfg.nServers = 2;
+    cfg.audit.enabled = true;
+    cfg.audit.period = 20 * msec;
+    DataCenter dc(cfg);
+    SingleTaskGenerator gen(fixedSvc(5 * msec));
+    dc.pumpTrace({0, 50 * msec, 100 * msec, 200 * msec}, gen);
+    dc.scheduler().debugInjectTaskLeak();
+    try {
+        dc.run();
+        dc.runUntil(1 * sec);
+        FAIL() << "audit should have aborted the run";
+    } catch (const SimAbortError &e) {
+        EXPECT_NE(std::string(e.what()).find("task_conservation"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(dc.auditor()->violations(), 1u);
+}
+
+TEST(Auditor, NonFatalModeCountsAndContinues)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 2;
+    cfg.audit.enabled = true;
+    cfg.audit.period = 20 * msec;
+    cfg.audit.fatal = false;
+    DataCenter dc(cfg);
+    SingleTaskGenerator gen(fixedSvc(5 * msec));
+    dc.pumpTrace({0, 100 * msec}, gen);
+    dc.scheduler().debugInjectTaskLeak();
+    EXPECT_NO_THROW({
+        dc.run();
+        dc.runUntil(500 * msec);
+    });
+    EXPECT_GT(dc.auditor()->violations(), 1u);
+}
+
+TEST(Auditor, DisabledByDefault)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 2;
+    DataCenter dc(cfg);
+    EXPECT_EQ(dc.auditor(), nullptr);
+}
+
+TEST(Auditor, AuditStatsAppearInDump)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 2;
+    cfg.audit.enabled = true;
+    DataCenter dc(cfg);
+    SingleTaskGenerator gen(fixedSvc(5 * msec));
+    dc.pumpTrace({0}, gen);
+    dc.run();
+    std::ostringstream os;
+    dc.dumpStats(os);
+    EXPECT_NE(os.str().find("audit.audits_passed"), std::string::npos);
+    EXPECT_NE(os.str().find("audit.violations 0"), std::string::npos);
 }
 
 // ------------------------------------------------------------ gauge sampler

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -88,6 +89,59 @@ TEST(ThreadPool, WorkIsActuallyStolen)
     release = true;
     pool.wait();
     EXPECT_EQ(hits.load(), 64);
+}
+
+TEST(ThreadPool, WorkerExceptionDoesNotTerminateOrDeadlock)
+{
+    // Regression: an exception escaping a worker task used to unwind
+    // through the worker loop (std::terminate) or leave _unfinished
+    // forever nonzero (wait() deadlock). It must cost exactly the
+    // throwing task and nothing else.
+    ThreadPool pool(4);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 200; ++i) {
+        if (i % 10 == 3)
+            pool.submit([] { throw std::runtime_error("boom"); });
+        else
+            pool.submit([&] { ++hits; });
+    }
+    pool.wait();
+    EXPECT_EQ(hits.load(), 180);
+    EXPECT_EQ(pool.failedTasks(), 20u);
+    ASSERT_TRUE(pool.firstException());
+    try {
+        std::rethrow_exception(pool.firstException());
+        FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+}
+
+TEST(ThreadPool, ExceptionInWaitHelpedTaskIsAbsorbed)
+{
+    // wait() helps drain the queue on the caller thread; a throwing
+    // task picked up there must not escape into the caller either.
+    ThreadPool pool(1);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&, i] {
+            if (i == 25)
+                throw std::runtime_error("mid-queue");
+            ++hits;
+        });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(hits.load(), 49);
+    EXPECT_EQ(pool.failedTasks(), 1u);
+}
+
+TEST(ThreadPool, NonThrowingRunHasNoFailures)
+{
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i)
+        pool.submit([] {});
+    pool.wait();
+    EXPECT_EQ(pool.failedTasks(), 0u);
+    EXPECT_FALSE(pool.firstException());
 }
 
 TEST(ThreadPool, ParallelForCoversAllIndicesOnce)
@@ -195,6 +249,38 @@ TEST(ExperimentEngine, RecordsArriveInGridOrder)
         EXPECT_EQ(records[i].point, i / 3);
         EXPECT_EQ(records[i].replica, i % 3);
     }
+}
+
+TEST(ExperimentEngine, ThrowingReplicaFailsOnlyThatRecord)
+{
+    ExperimentEngine eng(4);
+    auto records = eng.run(
+        2, 3, 5,
+        [](std::size_t point, std::size_t replica, std::uint64_t seed) {
+            if (point == 1 && replica == 1)
+                throw std::runtime_error("replica died");
+            return fakeRun(point, replica, seed);
+        });
+    ASSERT_EQ(records.size(), 6u);
+    int failed = 0;
+    for (const ReplicaRecord &r : records) {
+        if (r.failed) {
+            ++failed;
+            EXPECT_EQ(r.point, 1u);
+            EXPECT_EQ(r.replica, 1u);
+            EXPECT_EQ(r.error, "replica died");
+            EXPECT_TRUE(r.metrics.empty());
+        } else {
+            EXPECT_FALSE(r.metrics.empty());
+        }
+    }
+    EXPECT_EQ(failed, 1);
+
+    // Failed replicas contribute no samples to the aggregate.
+    ResultTable table;
+    ExperimentEngine::tabulate(records, table);
+    EXPECT_EQ(table.values(1, "acc").size(), 2u);
+    EXPECT_EQ(table.values(0, "acc").size(), 3u);
 }
 
 TEST(ExperimentEngine, SameReplicaSameSeedAcrossPoints)

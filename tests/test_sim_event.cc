@@ -647,3 +647,51 @@ TEST(OneShotPool, ShotMayRearmFromItsOwnCallback)
     // The chain reused one recycled slot instead of allocating five.
     EXPECT_EQ(pool.freeCount(), 1u);
 }
+
+// ------------------------------------------------------- queue consistency
+
+TEST(EventQueueAudit, ConsistentThroughoutMixedWorkload)
+{
+    // The structural audit must hold at every point of a workload
+    // that exercises both calendar buckets and the overflow heap
+    // (far-future events), plus deschedules and reschedules.
+    Simulator sim;
+    Rng rng(7, "audit");
+    std::deque<std::unique_ptr<EventFunctionWrapper>> events;
+    for (int i = 0; i < 200; ++i) {
+        events.push_back(std::make_unique<EventFunctionWrapper>(
+            [] {}, "audit_ev"));
+        Tick when = static_cast<Tick>(rng.next() %
+                                      (i % 3 == 0 ? 1000000000ULL
+                                                  : 1000ULL));
+        sim.schedule(*events.back(), sim.curTick() + when);
+        if (i % 7 == 0 && events.size() > 3) {
+            auto &victim = *events[events.size() / 2];
+            if (victim.scheduled())
+                sim.deschedule(victim);
+        }
+        if (i % 20 == 0)
+            EXPECT_EQ(sim.eventQueue().auditConsistency(), "");
+    }
+    EXPECT_EQ(sim.eventQueue().auditConsistency(), "");
+    sim.run();
+    EXPECT_EQ(sim.eventQueue().auditConsistency(), "");
+}
+
+TEST(EventQueueAudit, BothBackendsPassWhenPopulated)
+{
+    for (auto backend : {EventQueue::Backend::calendar,
+                         EventQueue::Backend::binaryHeap}) {
+        Simulator sim(backend);
+        std::vector<std::unique_ptr<EventFunctionWrapper>> events;
+        for (int i = 0; i < 50; ++i) {
+            events.push_back(std::make_unique<EventFunctionWrapper>(
+                [] {}, "ev"));
+            sim.schedule(*events.back(),
+                         static_cast<Tick>(i) * 37 % 500);
+        }
+        EXPECT_EQ(sim.eventQueue().auditConsistency(), "");
+        sim.run();
+        EXPECT_EQ(sim.eventQueue().auditConsistency(), "");
+    }
+}
