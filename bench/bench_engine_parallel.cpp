@@ -15,7 +15,20 @@
  * lookups for capacity/users/bottleneck membership), and reports
  * microseconds per reshare for both.
  *
+ * Part 3 is the network-model-tier scaling point: a standing
+ * population of rack-local flows (10k / 100k / 1M concurrent) is
+ * bulk-loaded on a fat tree, then a churn of abort+start updates is
+ * replayed under the exact global solver and under the fluid
+ * partial-invalidation solver, reporting microseconds per update for
+ * each. Rack-local traffic keeps the fluid model's dirty component
+ * at one rack while the exact model re-solves (and reschedules) the
+ * whole population, so the gap is the lazy-invalidation win.
+ *
  * Usage: bench_engine_parallel [--json=FILE] [--jobs=N]
+ *                              [--churn-max=FLOWS] [--churn-only]
+ *
+ * --churn-only skips parts 1 and 2 (and JSON output) for quick
+ * iteration on the model-tier comparison.
  */
 
 #include <chrono>
@@ -24,6 +37,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -32,6 +46,7 @@
 #include "exp/experiment.hh"
 #include "exp/thread_pool.hh"
 #include "network/flow_manager.hh"
+#include "network/fluid/net_model.hh"
 #include "network/routing.hh"
 #include "network/topology.hh"
 #include "sim/logging.hh"
@@ -230,6 +245,117 @@ reshareChurn(std::size_t n_flows)
     return t;
 }
 
+// --------------------------- part 3: flow-churn scaling (model tiers)
+
+struct ChurnPoint {
+    std::size_t flows = 0;
+    std::size_t racks = 0;
+    std::size_t ops = 0;
+    double exact_us = 0.0;
+    double fluid_us = 0.0;
+    std::uint64_t fluid_mean_dirty = 0;
+};
+
+/**
+ * Rack-local routes on an Al-Fares fat tree of parameter @p k:
+ * flow j connects two servers under the same edge switch, cycling
+ * through all racks and intra-rack partners. The fluid model's
+ * connected component for any one update is therefore a single
+ * rack's flow set.
+ */
+std::vector<Route>
+rackLocalRoutes(const Topology &topo, StaticRouting &routing,
+                unsigned k, std::size_t n_flows)
+{
+    const std::size_t per_rack = k / 2;
+    const std::size_t n_srv = topo.numServers();
+    std::vector<Route> routes;
+    routes.reserve(n_flows);
+    for (std::size_t j = 0; j < n_flows; ++j) {
+        std::size_t src = j % n_srv;
+        std::size_t rack_base = src - src % per_rack;
+        std::size_t offset =
+            1 + (j / n_srv) % (per_rack - 1); // never 0: dst != src
+        std::size_t dst =
+            rack_base + (src - rack_base + offset) % per_rack;
+        routes.push_back(routing.route(topo.serverNode(src),
+                                       topo.serverNode(dst), j));
+    }
+    return routes;
+}
+
+/**
+ * Bulk-load the standing population, then replay @p ops abort+start
+ * updates and return microseconds per update. @p dirty_out receives
+ * the backend's mean dirty-set size per resolve during the churn.
+ */
+double
+churnRun(NetModelKind kind, const Topology &topo,
+         const std::vector<Route> &routes, std::size_t ops,
+         std::uint64_t *dirty_out = nullptr)
+{
+    Simulator sim;
+    NetModelConfig cfg;
+    cfg.kind = kind;
+    auto model = makeNetModel(sim, topo, cfg);
+
+    constexpr Bytes huge = 1'000'000'000'000'000; // completions far out
+    std::vector<FlowId> ids(routes.size());
+    double t_load = now_s();
+    model->beginBulkLoad();
+    for (std::size_t i = 0; i < routes.size(); ++i)
+        ids[i] = model->startFlow(routes[i], huge, [] {});
+    sim.runUntil(0);
+    model->endBulkLoad();
+    std::printf("    %s: %zu flows bulk-loaded in %.1f s\n",
+                toString(kind), routes.size(), now_s() - t_load);
+    std::fflush(stdout);
+
+    NetSolverStats before = model->solverStats();
+    double t0 = now_s();
+    for (std::size_t op = 0; op < ops; ++op) {
+        std::size_t i = op % ids.size();
+        model->abortFlow(ids[i]);
+        ids[i] = model->startFlow(routes[i], huge, [] {});
+        sim.runUntil(sim.curTick());
+    }
+    double us = (now_s() - t0) * 1e6 / ops;
+    std::printf("    %s: %zu updates in %.1f s\n", toString(kind),
+                ops, (now_s() - t0));
+    std::fflush(stdout);
+    if (dirty_out) {
+        const NetSolverStats &after = model->solverStats();
+        std::uint64_t resolves = after.resolves - before.resolves;
+        *dirty_out = resolves == 0
+                         ? 0
+                         : (after.resolvedFlows -
+                            before.resolvedFlows) /
+                               resolves;
+    }
+    return us;
+}
+
+ChurnPoint
+churnPoint(std::size_t n_flows)
+{
+    // 1M concurrent flows get the bigger fabric (1024 servers, 128
+    // racks); the smaller points use fatTree(8) (128 servers, 32
+    // racks).
+    const unsigned k = n_flows >= 1'000'000 ? 16 : 8;
+    auto topo = Topology::fatTree(k, 1e9, 5 * usec);
+    StaticRouting routing(topo);
+    auto routes = rackLocalRoutes(topo, routing, k, n_flows);
+
+    ChurnPoint p;
+    p.flows = n_flows;
+    p.racks = topo.numServers() / (k / 2);
+    p.ops = n_flows >= 1'000'000 ? 4 : n_flows >= 100'000 ? 16 : 64;
+    p.fluid_us = churnRun(NetModelKind::fluid, topo, routes, p.ops,
+                          &p.fluid_mean_dirty);
+    p.exact_us = churnRun(NetModelKind::exact, topo, routes, p.ops);
+    return p;
+}
+
 } // namespace
 
 int
@@ -238,6 +364,8 @@ main(int argc, char **argv)
     setQuiet(true);
     std::string json_path;
     unsigned jobs = ThreadPool::defaultWorkers();
+    std::size_t churn_max = 1'000'000;
+    bool churn_only = false; // debug: skip parts 1+2, no JSON
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--json=", 0) == 0)
@@ -245,41 +373,72 @@ main(int argc, char **argv)
         else if (arg.rfind("--jobs=", 0) == 0)
             jobs = static_cast<unsigned>(
                 std::strtoul(arg.c_str() + 7, nullptr, 10));
+        else if (arg.rfind("--churn-max=", 0) == 0)
+            churn_max = static_cast<std::size_t>(
+                std::strtoul(arg.c_str() + 12, nullptr, 10));
+        else if (arg == "--churn-only")
+            churn_only = true;
     }
     if (jobs == 0)
         jobs = ThreadPool::defaultWorkers();
 
     const std::size_t points = std::size(taus);
-    std::printf("== experiment engine: %zu points x %zu replicas ==\n",
-                points, n_replicas);
+    bool identical = true;
+    double seq_s = 0.0, par_s = 0.0, speedup = 0.0;
+    ReshareTimings rt;
+    if (!churn_only) {
+        std::printf(
+            "== experiment engine: %zu points x %zu replicas ==\n",
+            points, n_replicas);
 
-    auto cell = [](std::size_t point, std::size_t,
-                   std::uint64_t seed) {
-        return farmCell(point, seed);
-    };
+        auto cell = [](std::size_t point, std::size_t,
+                       std::uint64_t seed) {
+            return farmCell(point, seed);
+        };
 
-    double t0 = now_s();
-    auto seq = ExperimentEngine(1).run(points, n_replicas, 1, cell);
-    double seq_s = now_s() - t0;
+        double t0 = now_s();
+        auto seq =
+            ExperimentEngine(1).run(points, n_replicas, 1, cell);
+        seq_s = now_s() - t0;
 
-    t0 = now_s();
-    auto par = ExperimentEngine(jobs).run(points, n_replicas, 1, cell);
-    double par_s = now_s() - t0;
+        t0 = now_s();
+        auto par =
+            ExperimentEngine(jobs).run(points, n_replicas, 1, cell);
+        par_s = now_s() - t0;
 
-    bool identical = recordsIdentical(seq, par);
-    double speedup = seq_s / par_s;
-    std::printf("sequential %.2f s, parallel (%u jobs) %.2f s: "
-                "%.2fx speedup, stats %s\n",
-                seq_s, jobs, par_s, speedup,
-                identical ? "bit-identical" : "MISMATCH");
+        identical = recordsIdentical(seq, par);
+        speedup = seq_s / par_s;
+        std::printf("sequential %.2f s, parallel (%u jobs) %.2f s: "
+                    "%.2fx speedup, stats %s\n",
+                    seq_s, jobs, par_s, speedup,
+                    identical ? "bit-identical" : "MISMATCH");
 
-    std::printf("== flow reshare: dense vs map (512-flow churn) ==\n");
-    ReshareTimings rt = reshareChurn(512);
-    std::printf("dense %.1f us/reshare, map %.1f us/reshare: "
-                "%.2fx faster\n",
-                rt.dense_us, rt.map_us, rt.map_us / rt.dense_us);
+        std::printf(
+            "== flow reshare: dense vs map (512-flow churn) ==\n");
+        rt = reshareChurn(512);
+        std::printf("dense %.1f us/reshare, map %.1f us/reshare: "
+                    "%.2fx faster\n",
+                    rt.dense_us, rt.map_us, rt.map_us / rt.dense_us);
+    }
 
-    if (!json_path.empty()) {
+    std::printf("== flow churn: exact vs fluid model tier ==\n");
+    std::vector<ChurnPoint> churn;
+    for (std::size_t n : {std::size_t{10'000}, std::size_t{100'000},
+                          std::size_t{1'000'000}}) {
+        if (n > churn_max)
+            continue;
+        churn.push_back(churnPoint(n));
+        const ChurnPoint &p = churn.back();
+        std::printf("%8zu flows (%zu racks): exact %.1f us/update, "
+                    "fluid %.1f us/update (%.1fx, mean dirty set "
+                    "%llu flows)\n",
+                    p.flows, p.racks, p.exact_us, p.fluid_us,
+                    p.exact_us / p.fluid_us,
+                    static_cast<unsigned long long>(
+                        p.fluid_mean_dirty));
+    }
+
+    if (!json_path.empty() && !churn_only) {
         std::ofstream os(json_path);
         os << "{\n"
            << "  \"engine\": {\n"
@@ -297,7 +456,26 @@ main(int argc, char **argv)
            << "    \"dense_us_per_reshare\": " << rt.dense_us << ",\n"
            << "    \"map_us_per_reshare\": " << rt.map_us << ",\n"
            << "    \"speedup\": " << rt.map_us / rt.dense_us << "\n"
-           << "  }\n"
+           << "  },\n"
+           << "  \"flow_churn\": [\n";
+        for (std::size_t i = 0; i < churn.size(); ++i) {
+            const ChurnPoint &p = churn[i];
+            os << "    {\n"
+               << "      \"concurrent_flows\": " << p.flows << ",\n"
+               << "      \"racks\": " << p.racks << ",\n"
+               << "      \"updates\": " << p.ops << ",\n"
+               << "      \"exact_us_per_update\": " << p.exact_us
+               << ",\n"
+               << "      \"fluid_us_per_update\": " << p.fluid_us
+               << ",\n"
+               << "      \"fluid_mean_dirty_flows\": "
+               << p.fluid_mean_dirty << ",\n"
+               << "      \"speedup\": " << p.exact_us / p.fluid_us
+               << "\n"
+               << "    }" << (i + 1 < churn.size() ? "," : "")
+               << "\n";
+        }
+        os << "  ]\n"
            << "}\n";
         std::printf("results written to %s\n", json_path.c_str());
     }

@@ -1,9 +1,14 @@
 #!/bin/bash
 # Run the parallel experiment-engine acceptance bench and leave the
-# results (parallel-vs-sequential speedup + bit-identical check, and
-# dense-vs-map reshare timings) in BENCH_engine.json at the repo
-# root. Exits nonzero if any parallel replica stat differs from the
+# results (parallel-vs-sequential speedup + bit-identical check,
+# dense-vs-map reshare timings, and the exact-vs-fluid network-model
+# flow-churn scaling points) in BENCH_engine.json at the repo root.
+# Exits nonzero if any parallel replica stat differs from the
 # sequential run -- CI's perf-smoke step relies on that.
+#
+# BENCH_CHURN_MAX caps the largest flow-churn population (default
+# 1000000); sanitizer CI runs set it low to keep the job fast while
+# still exercising the churn path.
 #
 # Also exercises campaign crash tolerance end to end: a journaled
 # sweep is run to completion, the journal is truncated to simulate a
@@ -21,7 +26,8 @@ if [ ! -d "$BUILD_DIR" ]; then
 fi
 cmake --build "$BUILD_DIR" -j --target bench_engine_parallel holdcsim_cli
 
-"$BUILD_DIR"/bench/bench_engine_parallel --json="$OUT"
+"$BUILD_DIR"/bench/bench_engine_parallel --json="$OUT" \
+    --churn-max="${BENCH_CHURN_MAX:-1000000}"
 echo "engine bench results written to $OUT"
 
 # ---- campaign resume acceptance --------------------------------------

@@ -101,6 +101,13 @@ options:
   --sample-out=FILE     write long-format time-series CSV to FILE
   --sample-period=DUR   sampling period: a number with an optional
                         ns/us/ms/s suffix (default unit ms)
+  --net-model=M         flow-level network model tier: exact
+                        (default; global max-min re-solve), fluid
+                        (partial invalidation, scales to millions of
+                        flows) or hybrid (exact solver + fast path)
+  --fast-path-kb=K      transfers of at most K KiB complete
+                        analytically without entering the solver
+                        (fluid/hybrid tiers; default 0 = off)
   --profile             profile the DES kernel; adds profile.* stats
                         and a hot-events table to the dump
   --jobs=N              run experiment cells on N worker threads
@@ -368,6 +375,10 @@ main(int argc, char **argv)
             overrides.emplace_back(
                 "telemetry.sample_period_ms",
                 std::to_string(parseDurationMs(value)));
+        } else if (valueFlag(arg, "net-model", value)) {
+            overrides.emplace_back("network.model", value);
+        } else if (valueFlag(arg, "fast-path-kb", value)) {
+            overrides.emplace_back("network.fast_path_kb", value);
         } else if (arg == "--profile") {
             overrides.emplace_back("telemetry.profile", "true");
         } else if (!arg.empty() && arg[0] == '-') {

@@ -477,6 +477,16 @@ DataCenter::dumpStats(std::ostream &os)
         n.add("packet_latency_mean_s", _net->packetLatency().mean());
         n.add("sleeping_switches",
               static_cast<std::uint64_t>(_net->sleepingSwitches()));
+        // Solver cost counters of the configured model tier
+        // (exact/fluid/hybrid): how often the bandwidth-share
+        // solver ran, how much of the fabric each run touched, and
+        // how many transfers the analytic fast path absorbed.
+        const NetSolverStats &ss = _net->flows().solverStats();
+        n.add("solver_resolves", ss.resolves);
+        n.add("solver_dirty_flows_mean", ss.meanDirtyFlows());
+        n.add("solver_dirty_flows_max", ss.maxDirtyFlows);
+        n.add("solver_dirty_links", ss.dirtyLinks);
+        n.add("fast_path_hits", ss.fastPathHits);
         n.dump(os);
         for (std::size_t i = 0; i < _net->numSwitches(); ++i) {
             Switch &sw = _net->switchAt(i);

@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
 #include <limits>
 
 #include "sim/logging.hh"
 
 namespace holdcsim {
 
-FlowManager::FlowManager(Simulator &sim, const Topology &topo)
-    : _sim(sim), _topo(topo)
+FlowManager::FlowManager(Simulator &sim, const Topology &topo,
+                         Bytes fast_path_bytes)
+    : _sim(sim), _topo(topo), _fastPathBytes(fast_path_bytes)
 {}
 
 FlowManager::~FlowManager()
@@ -43,6 +45,26 @@ FlowManager::startFlow(Route route, Bytes bytes, FlowDoneFn on_done,
 
     flow.completion = std::make_unique<EventFunctionWrapper>(
         [this, id] { finish(id); }, "flow.completion");
+
+    // Constant-latency fast path: a short transfer never contends
+    // for bandwidth -- it completes analytically after the path
+    // latency plus serialization at the bottleneck link rate.
+    bool fast = _fastPathBytes > 0 && bytes <= _fastPathBytes &&
+                !route.links.empty();
+    if (fast) {
+        flow.fastPath = true;
+        ++_solverStats.fastPathHits;
+        Tick eta = start_delay + fastPathDuration(_topo, route, bytes);
+        auto [it, inserted] = _flows.emplace(id, std::move(flow));
+        (void)inserted;
+        if (TraceManager *tr = flowTracer()) {
+            tr->asyncBegin(_traceTrack, TraceCategory::flow, "flow",
+                           id, _sim.curTick());
+        }
+        _sim.scheduleAfter(*it->second.completion, eta);
+        return id;
+    }
+
     flow.activation = std::make_unique<EventFunctionWrapper>(
         [this, id] { activate(id); }, "flow.activation");
 
@@ -79,9 +101,23 @@ FlowManager::activate(FlowId id)
         finish(id);
         return;
     }
+    if (_bulk) {
+        // Warm-start: join silently; endBulkLoad() solves once.
+        flow.active = true;
+        flow.lastUpdate = _sim.curTick();
+        return;
+    }
     settleProgress();
     flow.active = true;
     flow.lastUpdate = _sim.curTick();
+    reshare();
+}
+
+void
+FlowManager::endBulkLoad()
+{
+    _bulk = false;
+    settleProgress();
     reshare();
 }
 
@@ -124,6 +160,36 @@ FlowManager::settleProgress()
 }
 
 void
+FlowManager::abortReshare(const std::string &what)
+{
+    // The solver wedged: an internal inconsistency, not a user
+    // error. Name the flows and links still in play so the
+    // post-mortem pinpoints the offending state, then hand the
+    // run to the campaign quarantine machinery.
+    std::ostringstream detail;
+    detail << what << "; " << _unfrozen.size()
+           << " unfrozen flow(s):";
+    std::size_t shown = 0;
+    for (Flow *flow : _unfrozen) {
+        if (++shown > 4) {
+            detail << " ...";
+            break;
+        }
+        detail << " flow " << flow->id << " links[";
+        for (std::size_t i = 0; i < flow->pathIdx.size(); ++i) {
+            std::uint32_t dl = flow->pathIdx[i];
+            detail << (i ? " " : "") << dl / 2
+                   << (dl & 1 ? "f" : "r") << ":cap="
+                   << _capLeft[dl] << "/users=" << _usersLeft[dl];
+        }
+        detail << "]";
+    }
+    std::string reason = detail.str();
+    _sim.abortDump(std::cerr, reason);
+    throw SimAbortError(reason);
+}
+
+void
 FlowManager::reshare()
 {
     // Progressive filling: repeatedly saturate the most contended
@@ -156,6 +222,12 @@ FlowManager::reshare()
             ++_usersLeft[dl];
         }
     }
+    ++_solverStats.resolves;
+    _solverStats.resolvedFlows += _unfrozen.size();
+    _solverStats.dirtyLinks += _touched.size();
+    _solverStats.maxDirtyFlows = std::max(
+        _solverStats.maxDirtyFlows,
+        static_cast<std::uint64_t>(_unfrozen.size()));
 
     while (!_unfrozen.empty()) {
         // Find the directed link with the smallest per-flow share.
@@ -167,7 +239,7 @@ FlowManager::reshare()
             best_share = std::min(best_share, share);
         }
         if (!std::isfinite(best_share))
-            HOLDCSIM_PANIC("flow reshare found no bottleneck");
+            abortReshare("flow reshare found no bottleneck");
 
         // Snapshot the bottleneck link set for this round *before*
         // freezing anything: freezing a flow debits the links it
@@ -205,8 +277,12 @@ FlowManager::reshare()
                 _unfrozen[kept++] = flow;
             }
         }
-        if (kept == _unfrozen.size())
-            HOLDCSIM_PANIC("flow reshare made no progress");
+        if (kept == _unfrozen.size()) {
+            _unfrozen.resize(kept);
+            abortReshare(detail::format(
+                "flow reshare made no progress at share ",
+                best_share));
+        }
         _unfrozen.resize(kept);
     }
 

@@ -8,6 +8,11 @@
  * max-min fair allocation (progressive filling) whenever a flow
  * starts or finishes and reschedules each affected flow's completion
  * event accordingly.
+ *
+ * FlowManager is the *exact* backend of the NetModel tier: every
+ * change re-solves the global fair-share problem. With a nonzero
+ * fast-path threshold it doubles as the *hybrid* tier (exact solver
+ * for long flows, analytic completion for short ones).
  */
 
 #ifndef HOLDCSIM_NETWORK_FLOW_MANAGER_HH
@@ -18,6 +23,7 @@
 #include <map>
 #include <memory>
 
+#include "fluid/net_model.hh"
 #include "routing.hh"
 #include "sim/event.hh"
 #include "sim/simulator.hh"
@@ -27,62 +33,79 @@
 
 namespace holdcsim {
 
-/** Identifier of an in-flight flow. */
-using FlowId = std::uint64_t;
-
-/** Max-min fair flow scheduler over a topology. */
-class FlowManager
+/** Max-min fair flow scheduler over a topology (exact global solve). */
+class FlowManager : public NetModel
 {
   public:
-    using FlowDoneFn = std::function<void()>;
+    using FlowDoneFn = NetModel::FlowDoneFn;
 
-    FlowManager(Simulator &sim, const Topology &topo);
-    ~FlowManager();
+    /**
+     * @param fast_path_bytes transfers of at most this size complete
+     *        analytically without entering the solver (0 = off; a
+     *        nonzero value makes this the "hybrid" tier).
+     */
+    FlowManager(Simulator &sim, const Topology &topo,
+                Bytes fast_path_bytes = 0);
+    ~FlowManager() override;
     FlowManager(const FlowManager &) = delete;
     FlowManager &operator=(const FlowManager &) = delete;
 
-    /**
-     * Start a flow of @p bytes along @p route. The flow joins the
-     * bandwidth competition after @p start_delay (switch wake time)
-     * and @p on_done fires when the last byte is delivered.
-     * A zero-hop route (local communication) completes after
-     * start_delay alone.
-     */
     FlowId startFlow(Route route, Bytes bytes, FlowDoneFn on_done,
-                     Tick start_delay = 0);
+                     Tick start_delay = 0) override;
 
     /** Number of flows currently transferring or pending start. */
-    std::size_t activeFlows() const { return _flows.size(); }
+    std::size_t activeFlows() const override { return _flows.size(); }
 
     /** Current fair-share rate of @p flow (0 if pending/unknown). */
-    BitsPerSec flowRate(FlowId flow) const;
+    BitsPerSec flowRate(FlowId flow) const override;
 
     /**
      * Current utilization of link @p l in [0, 1]: the busier
      * direction's allocated share over capacity.
      */
-    double linkUtilization(LinkId l) const;
+    double linkUtilization(LinkId l) const override;
+
+    bool abortFlow(FlowId flow) override;
+    std::size_t abortFlowsOn(LinkId l) override;
+    void setAbortCallback(FlowId flow, FlowDoneFn on_abort) override;
 
     /**
-     * Abort flow @p flow: its completion never fires and @p on_abort
-     * (if set at start) is invoked. Returns whether the flow existed.
+     * No-op: the exact model re-solves everything on every change,
+     * so there is no incremental state to invalidate.
      */
-    bool abortFlow(FlowId flow);
+    void linkHealthChanged(LinkId l, bool healthy) override
+    {
+        (void)l;
+        (void)healthy;
+    }
 
-    /**
-     * Abort every flow (active or pending) whose route traverses
-     * link @p l -- the link just failed. Returns how many died.
-     */
-    std::size_t abortFlowsOn(LinkId l);
-
-    /** Register the abort callback for flow @p flow. */
-    void setAbortCallback(FlowId flow, FlowDoneFn on_abort);
+    void beginBulkLoad() override { _bulk = true; }
+    void endBulkLoad() override;
 
     /** Completed-flow count and transfer-latency statistics. */
-    std::uint64_t flowsCompleted() const { return _flowsCompleted; }
+    std::uint64_t flowsCompleted() const override
+    {
+        return _flowsCompleted;
+    }
     /** Flows killed by faults/cancellation. */
-    std::uint64_t flowsAborted() const { return _flowsAborted; }
-    const Percentile &flowLatency() const { return _flowLatency; }
+    std::uint64_t flowsAborted() const override
+    {
+        return _flowsAborted;
+    }
+    const Percentile &flowLatency() const override
+    {
+        return _flowLatency;
+    }
+
+    const NetSolverStats &solverStats() const override
+    {
+        return _solverStats;
+    }
+
+    const char *modelName() const override
+    {
+        return _fastPathBytes > 0 ? "hybrid" : "exact";
+    }
 
   private:
     /** A directed use of a link. */
@@ -107,6 +130,8 @@ class FlowManager
         Tick lastUpdate = 0;
         Tick startedAt = 0;
         bool active = false;
+        /** Completes analytically; never enters the solver. */
+        bool fastPath = false;
         FlowDoneFn onDone;
         FlowDoneFn onAbort;
         std::unique_ptr<EventFunctionWrapper> completion;
@@ -121,11 +146,16 @@ class FlowManager
     void settleProgress();
     /** Recompute the max-min allocation and reschedule completions. */
     void reshare();
+    /** Structured post-mortem + SimAbortError (solver got stuck). */
+    [[noreturn]] void abortReshare(const std::string &what);
 
     Simulator &_sim;
     const Topology &_topo;
     std::map<FlowId, Flow> _flows;
     FlowId _nextId = 0;
+    Bytes _fastPathBytes = 0;
+    /** Inside a beginBulkLoad()/endBulkLoad() window. */
+    bool _bulk = false;
 
     /**
      * reshare() scratch state, indexed by dense directed-link index
@@ -146,6 +176,7 @@ class FlowManager
     std::uint64_t _flowsCompleted = 0;
     std::uint64_t _flowsAborted = 0;
     Percentile _flowLatency;
+    NetSolverStats _solverStats;
 
     TraceTrackId _traceTrack = noTraceTrack;
 };

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The fluid network-model tier: max-min fair bandwidth sharing with
+ * lazy partial invalidation, after SimGrid's surf layer.
+ *
+ * The exact model (FlowManager) re-solves the *global* fair-share
+ * problem on every flow arrival/departure, which caps concurrent
+ * flow counts: one update costs O(total active flows). The fluid
+ * model exploits the structure of the max-min solution instead --
+ * the allocation decomposes over connected components of the
+ * "shares a link" relation, so a change to one flow can only move
+ * the rates of flows reachable from it through shared links.
+ *
+ * On every add/remove the model therefore:
+ *
+ *  1. seeds a dirty set with the changed flow's directed links,
+ *  2. expands it to a fixed point over per-link membership lists
+ *     (dirty link -> its flows are dirty; dirty flow -> its links
+ *     are dirty), using epoch marks so nothing is ever cleared,
+ *  3. settles transferred bits for the dirty flows only (clean
+ *     flows keep progressing linearly at their unchanged rates),
+ *  4. runs progressive filling restricted to the dirty component,
+ *  5. reschedules completion events for the dirty flows only.
+ *
+ * Rates outside the component are untouched and remain exact: the
+ * restricted solve computes the same allocation as a global one.
+ * The cost of an update is O(component size), not O(population), so
+ * a million concurrent flows with localized traffic (rack-local
+ * transfers, per-pod services) cost roughly what one rack's worth
+ * of flows costs under the exact model.
+ *
+ * Short transfers below the fast-path threshold never enter the
+ * solver at all: they complete after path latency + serialization
+ * at the bottleneck rate (constant-latency model, SimGrid's
+ * network_constant).
+ */
+
+#ifndef HOLDCSIM_NETWORK_FLUID_FLUID_FLOW_MODEL_HH
+#define HOLDCSIM_NETWORK_FLUID_FLUID_FLOW_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net_model.hh"
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "telemetry/trace_manager.hh"
+
+namespace holdcsim {
+
+/** Partially-invalidated max-min fair flow model. */
+class FluidFlowModel : public NetModel
+{
+  public:
+    FluidFlowModel(Simulator &sim, const Topology &topo,
+                   Bytes fast_path_bytes = 0);
+    ~FluidFlowModel() override;
+    FluidFlowModel(const FluidFlowModel &) = delete;
+    FluidFlowModel &operator=(const FluidFlowModel &) = delete;
+
+    FlowId startFlow(Route route, Bytes bytes, FlowDoneFn on_done,
+                     Tick start_delay = 0) override;
+    bool abortFlow(FlowId flow) override;
+    std::size_t abortFlowsOn(LinkId l) override;
+    void setAbortCallback(FlowId flow, FlowDoneFn on_abort) override;
+    void linkHealthChanged(LinkId l, bool healthy) override;
+
+    std::size_t activeFlows() const override { return _flows.size(); }
+    BitsPerSec flowRate(FlowId flow) const override;
+    double linkUtilization(LinkId l) const override;
+
+    void beginBulkLoad() override { _bulk = true; }
+    void endBulkLoad() override;
+
+    std::uint64_t flowsCompleted() const override
+    {
+        return _flowsCompleted;
+    }
+    std::uint64_t flowsAborted() const override
+    {
+        return _flowsAborted;
+    }
+    const Percentile &flowLatency() const override
+    {
+        return _flowLatency;
+    }
+    const NetSolverStats &solverStats() const override
+    {
+        return _solverStats;
+    }
+    const char *modelName() const override { return "fluid"; }
+
+  private:
+    struct Flow {
+        FlowId id;
+        /** Dense directed-link indices (link * 2 + forward). */
+        std::vector<std::uint32_t> pathIdx;
+        /** This flow's slot in _linkFlows[pathIdx[i]] while active. */
+        std::vector<std::uint32_t> linkPos;
+        double remainingBits = 0.0;
+        BitsPerSec rate = 0.0;
+        Tick lastUpdate = 0;
+        Tick startedAt = 0;
+        bool active = false;
+        bool fastPath = false;
+        /** Dirty-set BFS visit mark (epoch counter, never cleared). */
+        std::uint64_t visitEpoch = 0;
+        FlowDoneFn onDone;
+        FlowDoneFn onAbort;
+        std::unique_ptr<EventFunctionWrapper> completion;
+        std::unique_ptr<EventFunctionWrapper> activation;
+    };
+
+    void activate(FlowId id);
+    void finish(FlowId id);
+    TraceManager *flowTracer();
+
+    /** Insert @p flow into the membership list of every path link. */
+    void enroll(Flow &flow);
+    /** Swap-remove @p flow from its membership lists. */
+    void unenroll(Flow &flow);
+
+    /**
+     * Re-solve the connected component(s) reachable from the seeds
+     * in _seedLinks: expand to a fixed point, settle, water-fill,
+     * reschedule. Clears _seedLinks.
+     */
+    void resolveDirty();
+    /** Mark @p dl dirty for the next resolveDirty() (idempotent). */
+    void seedLink(std::uint32_t dl);
+    [[noreturn]] void abortSolve(const std::string &what);
+
+    Simulator &_sim;
+    const Topology &_topo;
+    std::unordered_map<FlowId, Flow> _flows;
+    FlowId _nextId = 0;
+    Bytes _fastPathBytes = 0;
+    bool _bulk = false;
+
+    /** Active flows crossing each directed link (swap-removal). */
+    std::vector<std::vector<Flow *>> _linkFlows;
+
+    /** @name resolveDirty() scratch (epoch-marked, never cleared) */
+    ///@{
+    std::uint64_t _epoch = 0;
+    std::vector<std::uint64_t> _linkEpoch; // per directed link
+    std::vector<std::uint32_t> _seedLinks; // BFS seeds, deduped
+    std::vector<std::uint32_t> _dirtyLinks;
+    std::vector<Flow *> _dirtyFlows;
+    std::vector<double> _capLeft;
+    std::vector<unsigned> _usersLeft;
+    std::vector<std::uint8_t> _isBottleneck;
+    std::vector<Flow *> _unfrozen;
+    ///@}
+
+    std::uint64_t _flowsCompleted = 0;
+    std::uint64_t _flowsAborted = 0;
+    Percentile _flowLatency;
+    NetSolverStats _solverStats;
+
+    TraceTrackId _traceTrack = noTraceTrack;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_NETWORK_FLUID_FLUID_FLOW_MODEL_HH

@@ -1,0 +1,74 @@
+#include "net_model.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "fluid_flow_model.hh"
+#include "network/flow_manager.hh"
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+const char *
+toString(NetModelKind kind)
+{
+    switch (kind) {
+      case NetModelKind::exact:
+        return "exact";
+      case NetModelKind::fluid:
+        return "fluid";
+      case NetModelKind::hybrid:
+        return "hybrid";
+    }
+    return "?";
+}
+
+NetModelKind
+parseNetModelKind(const std::string &s)
+{
+    if (s == "exact")
+        return NetModelKind::exact;
+    if (s == "fluid")
+        return NetModelKind::fluid;
+    if (s == "hybrid")
+        return NetModelKind::hybrid;
+    fatal("unknown network model '", s,
+          "' (expected exact, fluid or hybrid)");
+}
+
+Tick
+fastPathDuration(const Topology &topo, const Route &route, Bytes bytes)
+{
+    Tick latency = 0;
+    BitsPerSec bottleneck = std::numeric_limits<BitsPerSec>::infinity();
+    for (LinkId l : route.links) {
+        const LinkInfo &li = topo.link(l);
+        latency += li.latency;
+        bottleneck = std::min(bottleneck, li.rate);
+    }
+    if (route.links.empty() || bytes == 0)
+        return latency;
+    return latency + serializationDelay(bytes, bottleneck);
+}
+
+std::unique_ptr<NetModel>
+makeNetModel(Simulator &sim, const Topology &topo,
+             const NetModelConfig &cfg)
+{
+    switch (cfg.kind) {
+      case NetModelKind::exact:
+        // The exact tier never takes the analytic shortcut: with
+        // the threshold forced to 0, "exact" means exact even when
+        // a config sets fast_path_bytes for the other tiers.
+        return std::make_unique<FlowManager>(sim, topo, 0);
+      case NetModelKind::hybrid:
+        return std::make_unique<FlowManager>(sim, topo,
+                                             cfg.fastPathBytes);
+      case NetModelKind::fluid:
+        return std::make_unique<FluidFlowModel>(sim, topo,
+                                                cfg.fastPathBytes);
+    }
+    HOLDCSIM_PANIC("unhandled network model kind");
+}
+
+} // namespace holdcsim

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The network-model tier interface.
+ *
+ * HolDCSim offers three selectable flow-level network models that
+ * trade accuracy for cost (`[network] model = exact|fluid|hybrid`):
+ *
+ *  - exact:  the original global max-min water-filling solver -- on
+ *            every flow arrival/departure the whole fabric is
+ *            re-solved (FlowManager).
+ *  - fluid:  SimGrid-surf-style analytic fluid model with lazy
+ *            partial invalidation -- a change re-solves only the
+ *            connected component of links the changed flow touches
+ *            (FluidFlowModel), so cost scales with traffic locality
+ *            instead of total flow population.
+ *  - hybrid: the exact solver plus the constant-latency fast path
+ *            for short transfers. With the fast-path threshold at 0
+ *            it is byte-identical to `exact`.
+ *
+ * Both fluid and hybrid support the fast path: transfers of at most
+ * `fast_path_bytes` complete analytically (path latency plus
+ * serialization at the bottleneck link rate) without ever entering
+ * the bandwidth-sharing solver.
+ *
+ * NetModel is the interface the rest of the simulator (scheduler
+ * transfers, fault injection, telemetry, policies) programs against;
+ * the backends are interchangeable per config.
+ */
+
+#ifndef HOLDCSIM_NETWORK_FLUID_NET_MODEL_HH
+#define HOLDCSIM_NETWORK_FLUID_NET_MODEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "network/routing.hh"
+#include "network/topology.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace holdcsim {
+
+class Simulator;
+
+/** Identifier of an in-flight flow. */
+using FlowId = std::uint64_t;
+
+/** Selectable flow-level network model (accuracy/cost tiers). */
+enum class NetModelKind { exact, fluid, hybrid };
+
+/** Canonical config-file spelling of @p kind. */
+const char *toString(NetModelKind kind);
+
+/** Parse "exact" | "fluid" | "hybrid"; throws FatalError otherwise. */
+NetModelKind parseNetModelKind(const std::string &s);
+
+/** Flow-model selection and tuning. */
+struct NetModelConfig {
+    NetModelKind kind = NetModelKind::exact;
+    /**
+     * Transfers of at most this many bytes bypass the solver and
+     * complete analytically (fluid/hybrid models only; the exact
+     * model ignores it). 0 disables the fast path.
+     */
+    Bytes fastPathBytes = 0;
+};
+
+/**
+ * Solver cost counters, kept by every backend and surfaced as
+ * `network.solver_*` stats so model tiers can be compared on the
+ * same run.
+ */
+struct NetSolverStats {
+    /** Bandwidth-share solver invocations. */
+    std::uint64_t resolves = 0;
+    /** Flows whose rate was recomputed, summed over all resolves. */
+    std::uint64_t resolvedFlows = 0;
+    /** Directed links visited by the solver, summed. */
+    std::uint64_t dirtyLinks = 0;
+    /** Largest single resolve, in flows (dirty-set high-water). */
+    std::uint64_t maxDirtyFlows = 0;
+    /** Transfers completed analytically, never entering the solver. */
+    std::uint64_t fastPathHits = 0;
+
+    /** Mean dirty-set size per resolve (the invalidation win). */
+    double
+    meanDirtyFlows() const
+    {
+        return resolves == 0
+                   ? 0.0
+                   : static_cast<double>(resolvedFlows) /
+                         static_cast<double>(resolves);
+    }
+};
+
+/**
+ * A flow-level network model: flows join, share bandwidth according
+ * to the backend's solver, and complete (or abort on faults).
+ */
+class NetModel
+{
+  public:
+    using FlowDoneFn = std::function<void()>;
+
+    virtual ~NetModel() = default;
+
+    /**
+     * Start a flow of @p bytes along @p route. The flow joins the
+     * bandwidth competition after @p start_delay (switch wake time)
+     * and @p on_done fires when the last byte is delivered.
+     * A zero-hop route (local communication) completes after
+     * start_delay alone.
+     */
+    virtual FlowId startFlow(Route route, Bytes bytes,
+                             FlowDoneFn on_done,
+                             Tick start_delay = 0) = 0;
+
+    /**
+     * Abort flow @p flow: its completion never fires and @p on_abort
+     * (if set at start) is invoked. Returns whether the flow existed.
+     */
+    virtual bool abortFlow(FlowId flow) = 0;
+
+    /**
+     * Abort every flow (active or pending) whose route traverses
+     * link @p l -- the link just failed. Returns how many died.
+     */
+    virtual std::size_t abortFlowsOn(LinkId l) = 0;
+
+    /** Register the abort callback for flow @p flow. */
+    virtual void setAbortCallback(FlowId flow, FlowDoneFn on_abort) = 0;
+
+    /**
+     * Link @p l just changed health (fault injected or repaired).
+     * Backends with incremental state re-solve the component of
+     * flows touching the link; the exact model, which re-solves
+     * globally on every change anyway, treats this as a no-op.
+     * Flows crossing a failed link must be aborted separately (and
+     * first) via abortFlowsOn().
+     */
+    virtual void linkHealthChanged(LinkId l, bool healthy) = 0;
+
+    /** Number of flows currently transferring or pending start. */
+    virtual std::size_t activeFlows() const = 0;
+
+    /** Current fair-share rate of @p flow (0 if pending/unknown). */
+    virtual BitsPerSec flowRate(FlowId flow) const = 0;
+
+    /**
+     * Current utilization of link @p l in [0, 1]: the busier
+     * direction's allocated share over capacity.
+     */
+    virtual double linkUtilization(LinkId l) const = 0;
+
+    /**
+     * @name Bulk load (warm-start)
+     * Between beginBulkLoad() and endBulkLoad(), flow activations
+     * skip the per-change re-solve; endBulkLoad() settles and
+     * re-solves once. Intended for installing a large standing flow
+     * population at a single simulated instant (benchmarks, campaign
+     * warm starts): when no simulated time elapses inside the bulk
+     * window the resulting rates are identical to per-flow
+     * activation, at O(population) instead of O(population^2) cost.
+     */
+    ///@{
+    virtual void beginBulkLoad() = 0;
+    virtual void endBulkLoad() = 0;
+    ///@}
+
+    /** Completed-flow count and transfer-latency statistics. */
+    virtual std::uint64_t flowsCompleted() const = 0;
+    /** Flows killed by faults/cancellation. */
+    virtual std::uint64_t flowsAborted() const = 0;
+    virtual const Percentile &flowLatency() const = 0;
+
+    /** Solver cost counters (resolves, dirty sets, fast-path hits). */
+    virtual const NetSolverStats &solverStats() const = 0;
+
+    /** The model tier this backend implements ("exact"/"fluid"/...). */
+    virtual const char *modelName() const = 0;
+};
+
+/** Instantiate the backend selected by @p cfg. */
+std::unique_ptr<NetModel> makeNetModel(Simulator &sim,
+                                       const Topology &topo,
+                                       const NetModelConfig &cfg);
+
+/**
+ * Analytic completion time of a fast-path transfer along @p route:
+ * the sum of per-hop propagation latencies plus serialization of
+ * @p bytes at the slowest link on the path. Shared by every backend
+ * so the tiers agree on fast-path semantics.
+ */
+Tick fastPathDuration(const Topology &topo, const Route &route,
+                      Bytes bytes);
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_NETWORK_FLUID_NET_MODEL_HH

@@ -11,7 +11,9 @@ Network::Network(Simulator &sim, Topology topo,
                  const SwitchPowerProfile &profile,
                  const NetworkConfig &config)
     : _sim(sim), _topo(std::move(topo)), _config(config),
-      _routing(_topo), _flowMgr(sim, _topo), _oneShots(sim, "net.oneShot")
+      _routing(_topo),
+      _flowMgr(makeNetModel(sim, _topo, config.netModel)),
+      _oneShots(sim, "net.oneShot")
 {
     _topo.validateConnected();
     _portMap.resize(_topo.numNodes());
@@ -121,9 +123,9 @@ Network::startFlow(std::size_t src_server, std::size_t dst_server,
         if (cb)
             cb();
     };
-    FlowId id = _flowMgr.startFlow(std::move(route), bytes,
-                                   std::move(done), wake_delay);
-    _flowMgr.setAbortCallback(
+    FlowId id = _flowMgr->startFlow(std::move(route), bytes,
+                                    std::move(done), wake_delay);
+    _flowMgr->setAbortCallback(
         id, [release, cb = std::move(on_abort)]() {
             release();
             if (cb)
@@ -140,13 +142,18 @@ Network::failLink(LinkId l)
     if (!_routing.linkHealthy(l))
         return 0;
     _routing.setLinkHealth(l, false);
-    return _flowMgr.abortFlowsOn(l);
+    std::size_t killed = _flowMgr->abortFlowsOn(l);
+    // Fault-driven capacity changes invalidate the surrounding
+    // component in incremental backends (no-op for the exact tier).
+    _flowMgr->linkHealthChanged(l, false);
+    return killed;
 }
 
 void
 Network::repairLink(LinkId l)
 {
     _routing.setLinkHealth(l, true);
+    _flowMgr->linkHealthChanged(l, true);
 }
 
 std::size_t
@@ -158,8 +165,10 @@ Network::failSwitch(std::size_t sw_idx)
     _routing.setNodeHealth(node, false);
     _switches.at(sw_idx)->setFailed(true);
     std::size_t killed = 0;
-    for (LinkId l : _topo.linksAt(node))
-        killed += _flowMgr.abortFlowsOn(l);
+    for (LinkId l : _topo.linksAt(node)) {
+        killed += _flowMgr->abortFlowsOn(l);
+        _flowMgr->linkHealthChanged(l, false);
+    }
     return killed;
 }
 
@@ -168,6 +177,8 @@ Network::repairSwitch(std::size_t sw_idx)
 {
     _routing.setNodeHealth(_topo.switchNode(sw_idx), true);
     _switches.at(sw_idx)->setFailed(false);
+    for (LinkId l : _topo.linksAt(_topo.switchNode(sw_idx)))
+        _flowMgr->linkHealthChanged(l, true);
 }
 
 std::vector<LinkId>

@@ -67,6 +67,10 @@ class EventQueue
         std::uint64_t rebases = 0;
         /** Heap entries migrated into buckets during rebases. */
         std::uint64_t migratedEntries = 0;
+        /** Times an oversized head bucket was spilled to the heap. */
+        std::uint64_t headSpills = 0;
+        /** Bucket entries moved to the heap by head spills. */
+        std::uint64_t spilledEntries = 0;
         /** Bucket-geometry changes: width recalibrations and ring
          *  grow/shrink resizes (each rehashes every live entry). */
         std::uint64_t recalibrations = 0;
@@ -180,6 +184,10 @@ class EventQueue
      *  every now-in-window heap entry into buckets. @pre heap
      *  nonempty, buckets empty. */
     void rebaseOntoHeap();
+    /** Move the head bucket into the overflow heap when it has grown
+     *  past the scan threshold, so draining a same-tick burst costs
+     *  O(log n) per pop instead of an O(n) bucket scan per pop. */
+    void spillOversizedHead();
     /** Feed the pop-gap sampler; rehash when the observed event
      *  density has drifted far from the current bucket width. */
     void observePopGap(Tick popped);

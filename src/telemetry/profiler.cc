@@ -100,6 +100,8 @@ KernelProfiler::addQueueStats(StatGroup &group, const EventQueue &queue)
     group.add("queue.heap_pops", c.heapPops);
     group.add("queue.rebases", c.rebases);
     group.add("queue.migrated_entries", c.migratedEntries);
+    group.add("queue.head_spills", c.headSpills);
+    group.add("queue.spilled_entries", c.spilledEntries);
     group.add("queue.recalibrations", c.recalibrations);
     group.add("queue.peak_occupancy",
               static_cast<std::uint64_t>(c.peakSize));
@@ -150,6 +152,8 @@ KernelProfiler::dumpJson(std::ostream &os, double wall_seconds,
         os << "    \"heap_pops\": " << c.heapPops << ",\n";
         os << "    \"rebases\": " << c.rebases << ",\n";
         os << "    \"migrated_entries\": " << c.migratedEntries << ",\n";
+        os << "    \"head_spills\": " << c.headSpills << ",\n";
+        os << "    \"spilled_entries\": " << c.spilledEntries << ",\n";
         os << "    \"recalibrations\": " << c.recalibrations << ",\n";
         os << "    \"peak_occupancy\": " << c.peakSize << ",\n";
         os << "    \"bucket_width_ticks\": " << queue->bucketWidth()

@@ -54,6 +54,8 @@ fabric = fat_tree
 param = 4
 link_rate_gbps = 10
 link_latency_us = 2
+model = fluid
+fast_path_kb = 64
 )");
     auto cfg = DataCenterConfig::fromConfig(ini);
     EXPECT_EQ(cfg.nServers, 20u);
@@ -68,6 +70,8 @@ link_latency_us = 2
     EXPECT_EQ(cfg.fabric, DataCenterConfig::Fabric::fatTree);
     EXPECT_DOUBLE_EQ(cfg.linkRate, 1e10);
     EXPECT_EQ(cfg.linkLatency, 2 * usec);
+    EXPECT_EQ(cfg.netConfig.netModel.kind, NetModelKind::fluid);
+    EXPECT_DOUBLE_EQ(cfg.netConfig.netModel.fastPathBytes, 64 * 1024);
 }
 
 TEST(DcConfig, RejectsBadValues)
@@ -80,6 +84,12 @@ TEST(DcConfig, RejectsBadValues)
                  FatalError);
     EXPECT_THROW(DataCenterConfig::fromConfig(Config::parseString(
                      "[network]\nfabric = bogus\n")),
+                 FatalError);
+    EXPECT_THROW(DataCenterConfig::fromConfig(Config::parseString(
+                     "[network]\nmodel = packet\n")),
+                 FatalError);
+    EXPECT_THROW(DataCenterConfig::fromConfig(Config::parseString(
+                     "[network]\nfast_path_kb = -3\n")),
                  FatalError);
     // network_aware without fabric is inconsistent.
     EXPECT_THROW(DataCenterConfig::fromConfig(Config::parseString(

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "dc/dc_config.hh"
+#include "network/flow_manager.hh"
 #include "network/network.hh"
 #include "sched/global_scheduler.hh"
 #include "sim/logging.hh"

@@ -8,12 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "dc/datacenter.hh"
+#include "network/fluid/net_model.hh"
 #include "network/network.hh"
+#include "network/routing.hh"
 #include "sim/logging.hh"
 #include "workload/service.hh"
 #include "workload/trace.hh"
@@ -387,4 +391,196 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<TraceParam> &info) {
         return std::get<0>(info.param) + "_r" +
                std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: max-min fair-share invariants hold for EVERY network
+// model backend (exact global solver and fluid partial-invalidation
+// solver) on every topology -- symmetry, monotonicity and capacity
+// conservation are properties of the allocation, not of the solver
+// that computed it.
+// ---------------------------------------------------------------------------
+
+using FairShareParam = std::tuple<NetModelKind, std::string>;
+
+class FairShareProperty
+    : public ::testing::TestWithParam<FairShareParam>
+{
+  protected:
+    static constexpr Bytes hugeBytes = 1'000'000'000'000;
+
+    Topology
+    build() const
+    {
+        const std::string &kind = std::get<1>(GetParam());
+        if (kind == "star")
+            return Topology::star(10, 1e9, 5 * usec);
+        if (kind == "fat_tree")
+            return Topology::fatTree(4, 1e9, 5 * usec);
+        return Topology::bcube(3, 1, 1e9, 5 * usec);
+    }
+
+    std::unique_ptr<NetModel>
+    backend(Simulator &sim, const Topology &topo) const
+    {
+        NetModelConfig cfg;
+        cfg.kind = std::get<0>(GetParam());
+        return makeNetModel(sim, topo, cfg);
+    }
+
+    /** Dense directed-link index of each hop of @p r. */
+    static std::vector<std::size_t>
+    directedPath(const Topology &topo, const Route &r)
+    {
+        std::vector<std::size_t> path;
+        for (std::size_t i = 0; i < r.links.size(); ++i) {
+            bool forward = topo.link(r.links[i]).a == r.nodes[i];
+            path.push_back(r.links[i] * 2 + (forward ? 1 : 0));
+        }
+        return path;
+    }
+};
+
+/** Flows over the very same path must receive the very same rate. */
+TEST_P(FairShareProperty, IdenticalRoutesGetIdenticalRates)
+{
+    Topology topo = build();
+    StaticRouting routing(topo);
+    Route r = routing.route(topo.serverNode(0), topo.serverNode(1));
+    // A cross flow makes the shares non-trivial.
+    Route cross =
+        routing.route(topo.serverNode(2), topo.serverNode(1));
+
+    Simulator sim;
+    auto model = backend(sim, topo);
+    FlowId a = model->startFlow(r, hugeBytes, [] {});
+    FlowId b = model->startFlow(r, hugeBytes, [] {});
+    FlowId c = model->startFlow(r, hugeBytes, [] {});
+    model->startFlow(cross, hugeBytes, [] {});
+    sim.runUntil(0);
+
+    double ra = model->flowRate(a);
+    ASSERT_GT(ra, 0.0);
+    EXPECT_NEAR(model->flowRate(b), ra, 1e-9 * ra);
+    EXPECT_NEAR(model->flowRate(c), ra, 1e-9 * ra);
+}
+
+/**
+ * Monotonicity. Max-min fairness is NOT per-flow monotone (a new
+ * flow can move a competitor's bottleneck and thereby *raise* a
+ * third flow's share), but the minimum allocated rate is: the first
+ * water-filling round's share is min over links of capacity/users,
+ * and adding a flow only ever increases user counts. So as flows
+ * arrive, the slowest flow never speeds up.
+ */
+TEST_P(FairShareProperty, MinimumRateNeverRisesAsFlowsArrive)
+{
+    Topology topo = build();
+    StaticRouting routing(topo);
+    const std::size_t n = topo.numServers();
+
+    Simulator sim;
+    auto model = backend(sim, topo);
+    std::vector<FlowId> ids;
+    double prev_min = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+        Route r = routing.route(topo.serverNode(i % n),
+                                topo.serverNode((i * 5 + 1) % n), i);
+        if (r.empty())
+            continue;
+        ids.push_back(model->startFlow(r, hugeBytes, [] {}));
+        sim.runUntil(sim.curTick());
+        double min_rate = std::numeric_limits<double>::infinity();
+        for (FlowId id : ids)
+            min_rate = std::min(min_rate, model->flowRate(id));
+        SCOPED_TRACE("after adding flow " + std::to_string(i));
+        EXPECT_LE(min_rate, prev_min * (1.0 + 1e-6));
+        prev_min = min_rate;
+    }
+}
+
+/**
+ * The allocation is a pure function of the active flow set: adding
+ * a flow and then aborting it restores every survivor's rate.
+ */
+TEST_P(FairShareProperty, AbortRestoresPreviousAllocation)
+{
+    Topology topo = build();
+    StaticRouting routing(topo);
+    const std::size_t n = topo.numServers();
+
+    Simulator sim;
+    auto model = backend(sim, topo);
+    std::vector<FlowId> ids;
+    for (std::size_t i = 0; i < n; ++i) {
+        Route r = routing.route(topo.serverNode(i),
+                                topo.serverNode((i * 3 + 1) % n), i);
+        if (!r.empty())
+            ids.push_back(model->startFlow(r, hugeBytes, [] {}));
+    }
+    sim.runUntil(0);
+    std::vector<double> before;
+    for (FlowId id : ids)
+        before.push_back(model->flowRate(id));
+
+    Route extra =
+        routing.route(topo.serverNode(0), topo.serverNode(n / 2), 99);
+    FlowId intruder = model->startFlow(extra, hugeBytes, [] {});
+    sim.runUntil(sim.curTick());
+    ASSERT_TRUE(model->abortFlow(intruder));
+
+    for (std::size_t f = 0; f < ids.size(); ++f) {
+        SCOPED_TRACE("flow " + std::to_string(f));
+        EXPECT_NEAR(model->flowRate(ids[f]), before[f],
+                    1e-9 * before[f]);
+    }
+}
+
+/** No directed link is ever allocated beyond its capacity. */
+TEST_P(FairShareProperty, CapacityIsConserved)
+{
+    Topology topo = build();
+    StaticRouting routing(topo);
+    const std::size_t n = topo.numServers();
+
+    Simulator sim;
+    auto model = backend(sim, topo);
+    std::vector<FlowId> ids;
+    std::vector<std::vector<std::size_t>> paths;
+    for (std::size_t i = 0; i < 3 * n; ++i) {
+        Route r = routing.route(topo.serverNode(i % n),
+                                topo.serverNode((i * 7 + 3) % n), i);
+        if (r.empty())
+            continue;
+        paths.push_back(directedPath(topo, r));
+        ids.push_back(model->startFlow(r, hugeBytes, [] {}));
+    }
+    sim.runUntil(0);
+
+    std::vector<double> load(2 * topo.numLinks(), 0.0);
+    for (std::size_t f = 0; f < ids.size(); ++f) {
+        double rate = model->flowRate(ids[f]);
+        EXPECT_GT(rate, 0.0) << "flow " << f << " starved";
+        for (std::size_t dl : paths[f])
+            load[dl] += rate;
+    }
+    for (LinkId l = 0; l < topo.numLinks(); ++l) {
+        double cap = topo.link(l).rate;
+        EXPECT_LE(load[2 * l], cap * (1.0 + 1e-6)) << "link " << l;
+        EXPECT_LE(load[2 * l + 1], cap * (1.0 + 1e-6))
+            << "link " << l;
+        // linkUtilization agrees with the per-flow accounting.
+        double busier = std::max(load[2 * l], load[2 * l + 1]);
+        EXPECT_NEAR(model->linkUtilization(l), busier / cap, 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndTopologies, FairShareProperty,
+    ::testing::Combine(::testing::Values(NetModelKind::exact,
+                                         NetModelKind::fluid),
+                       ::testing::Values("star", "fat_tree", "bcube")),
+    [](const ::testing::TestParamInfo<FairShareParam> &info) {
+        return std::string(toString(std::get<0>(info.param))) + "_" +
+               std::get<1>(info.param);
     });

@@ -433,8 +433,51 @@ TEST(EventQueue, AdversarialAllSameTick)
     for (std::size_t i = 0; i < n; ++i) {
         EXPECT_EQ(&cal.pop(), calEvents[i].get());
         EXPECT_EQ(&heap.pop(), heapEvents[i].get());
+        if (i == 0) {
+            // The first pop must have spilled the oversized bucket to
+            // the overflow heap: the burst then drains at O(log n)
+            // per pop instead of an O(n) bucket scan per pop.
+            EXPECT_GT(cal.counters().headSpills, 0u);
+            EXPECT_GE(cal.counters().spilledEntries, n - 1);
+            EXPECT_EQ(cal.auditConsistency(), "");
+        }
     }
     EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventQueue, SameTickBurstWithInterleavedInserts)
+{
+    // Drain a spilled same-tick burst while new events keep arriving
+    // at the same tick (the bulk-load + event-handler pattern): the
+    // fresh inserts land in the head bucket, the spilled ones sit in
+    // the overflow heap, and FIFO order must hold across the two
+    // containers.
+    constexpr std::size_t n = 300;
+    EventQueue cal(EventQueue::Backend::calendar);
+    EventQueue heap(EventQueue::Backend::binaryHeap);
+    std::vector<std::unique_ptr<EventFunctionWrapper>> calEvents;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> heapEvents;
+    auto add = [&](Tick when) {
+        calEvents.push_back(
+            std::make_unique<EventFunctionWrapper>([] {}, "burst"));
+        heapEvents.push_back(
+            std::make_unique<EventFunctionWrapper>([] {}, "burst"));
+        cal.schedule(*calEvents.back(), when);
+        heap.schedule(*heapEvents.back(), when);
+    };
+    for (std::size_t i = 0; i < n; ++i)
+        add(11);
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+        if (i < n)
+            add(11); // arrives after the spill; sequence keeps order
+        std::size_t ci = calEvents.size() - cal.size();
+        EXPECT_EQ(&cal.pop(), calEvents[ci].get());
+        EXPECT_EQ(&heap.pop(), heapEvents[ci].get());
+    }
+    EXPECT_TRUE(cal.empty());
+    EXPECT_TRUE(heap.empty());
+    EXPECT_GT(cal.counters().headSpills, 0u);
+    EXPECT_EQ(cal.auditConsistency(), "");
 }
 
 TEST(EventQueue, SparseFarFutureSpillsAndMigrates)
