@@ -97,7 +97,7 @@ options:
                         traces at https://ui.perfetto.dev
   --trace-format=FMT    trace backend: json (default) | csv
   --trace-categories=C  comma list of server,core,task,flow,network,
-                        fault,audit (default: all)
+                        fault,audit,orch (default: all)
   --sample-out=FILE     write long-format time-series CSV to FILE
   --sample-period=DUR   sampling period: a number with an optional
                         ns/us/ms/s suffix (default unit ms)
@@ -108,6 +108,14 @@ options:
   --fast-path-kb=K      transfers of at most K KiB complete
                         analytically without entering the solver
                         (fluid/hybrid tiers; default 0 = off)
+  --orch                run the container orchestration layer (as if
+                        the config had an [orch] section): generated
+                        jobs route through containers of a default
+                        deployment; adds orch.* stats
+  --placement=P         container placement policy: bin_pack
+                        (default) | spread | affinity; implies --orch
+  --autoscale           enable the orchestrator's threshold
+                        autoscaler; implies --orch
   --profile             profile the DES kernel; adds profile.* stats
                         and a hot-events table to the dump
   --jobs=N              run experiment cells on N worker threads
@@ -379,6 +387,12 @@ main(int argc, char **argv)
             overrides.emplace_back("network.model", value);
         } else if (valueFlag(arg, "fast-path-kb", value)) {
             overrides.emplace_back("network.fast_path_kb", value);
+        } else if (arg == "--orch") {
+            overrides.emplace_back("orch.enabled", "true");
+        } else if (valueFlag(arg, "placement", value)) {
+            overrides.emplace_back("orch.placement", value);
+        } else if (arg == "--autoscale") {
+            overrides.emplace_back("orch.autoscale", "true");
         } else if (arg == "--profile") {
             overrides.emplace_back("telemetry.profile", "true");
         } else if (!arg.empty() && arg[0] == '-') {

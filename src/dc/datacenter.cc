@@ -43,7 +43,12 @@ struct DataCenter::Pump {
     onArrival()
     {
         --remaining;
-        dc._sched->submitJob(gen.makeJob(dc._sim.curTick()));
+        Job job = gen.makeJob(dc._sim.curTick());
+        // With orchestration on, generated jobs route through the
+        // default deployment unless the generator tagged them itself.
+        if (dc._orch && dc._config.orch.tagJobs && job.orchGroup() < 0)
+            job.setOrchGroup(0);
+        dc._sched->submitJob(std::move(job));
         scheduleNext();
     }
 
@@ -203,6 +208,52 @@ DataCenter::DataCenter(const DataCenterConfig &config)
             _sched.get(), fmc);
     }
 
+    // Orchestration layer: installs its task router into the
+    // scheduler and (when faults run) a server up/down hook into the
+    // fault manager. Absent the [orch] section nothing here runs and
+    // the scheduler path is untouched.
+    if (_config.orch.enabled) {
+        const auto &oc = _config.orch;
+        OrchConfig ocfg;
+        ocfg.placement = oc.placement;
+        ocfg.reconcilePeriod = oc.reconcilePeriod;
+        ocfg.overcommit = oc.overcommit;
+        ocfg.serverMemBytes = oc.serverMemBytes;
+        ocfg.interference = oc.interference;
+        ocfg.remoteMemPenaltyPerUs = oc.remoteMemPenaltyPerUs;
+        ocfg.autoscale = oc.autoscale;
+        ocfg.autoscaleHigh = oc.autoscaleHigh;
+        ocfg.autoscaleLow = oc.autoscaleLow;
+        ocfg.rebalance = oc.rebalance;
+        ocfg.migrationDirtyFrac = oc.migrationDirtyFrac;
+        ocfg.migrationStopCopyBytes = oc.migrationStopCopyBytes;
+        ocfg.migrationMaxRounds = oc.migrationMaxRounds;
+        _orch = std::make_unique<Orchestrator>(_sim, *_sched,
+                                               _net.get(), ocfg);
+
+        DeploymentSpec ds;
+        ds.name = "default";
+        ds.container.cores = oc.containerCores;
+        ds.container.memBytes = oc.containerMemBytes;
+        ds.container.remoteMemFrac = oc.remoteMemFrac;
+        ds.replicas = oc.replicas;
+        ds.minReplicas = oc.minReplicas;
+        ds.maxReplicas = oc.maxReplicas;
+        ds.antiAffinity = oc.antiAffinity;
+        ds.group = 0;
+        _orch->createDeployment(std::move(ds));
+
+        if (_faults) {
+            _faults->setServerEventHook(
+                [this](std::size_t idx, bool down) {
+                    if (down)
+                        _orch->onServerDown(idx);
+                    else
+                        _orch->onServerUp(idx);
+                });
+        }
+    }
+
     // Invariant auditor: re-derives conservation properties from live
     // state every audit period. The "event_queue" structural check is
     // built in; the model-level checks close over the finished plant.
@@ -282,6 +333,39 @@ DataCenter::DataCenter(const DataCenterConfig &config)
                                [this] { return switchPower(); });
             _sampler->addProbe("active_flows", [this] {
                 return static_cast<double>(_net->flows().activeFlows());
+            });
+            // Solver cost over time: watch the bandwidth-share
+            // solver's workload evolve with the traffic mix.
+            _sampler->addProbe("solver_resolves", [this] {
+                return static_cast<double>(
+                    _net->flows().solverStats().resolves);
+            });
+            _sampler->addProbe("solver_resolved_flows", [this] {
+                return static_cast<double>(
+                    _net->flows().solverStats().resolvedFlows);
+            });
+            _sampler->addProbe("solver_dirty_links", [this] {
+                return static_cast<double>(
+                    _net->flows().solverStats().dirtyLinks);
+            });
+            _sampler->addProbe("solver_fast_path_hits", [this] {
+                return static_cast<double>(
+                    _net->flows().solverStats().fastPathHits);
+            });
+        }
+        if (_orch) {
+            _sampler->addProbe("containers_running", [this] {
+                return static_cast<double>(
+                    _orch->containersRunning());
+            });
+            _sampler->addProbe("orch_migrations_active", [this] {
+                const Orchestrator::Stats &s = _orch->stats();
+                return static_cast<double>(s.migrationsStarted -
+                                           s.migrationsCompleted -
+                                           s.migrationsAborted);
+            });
+            _sampler->addProbe("orch_tasks_deferred", [this] {
+                return static_cast<double>(_sched->deferredTasks());
             });
         }
         if (_faults) {
@@ -418,6 +502,12 @@ DataCenter::dumpStats(std::ostream &os)
     sched_group.add("job_latency_p99_s", lat.p99());
     sched_group.dump(os);
 
+    if (_orch) {
+        StatGroup g("orch");
+        _orch->addStats(g);
+        g.dump(os);
+    }
+
     if (_faults) {
         ReliabilitySummary rel = fleetReliability(_serverPtrs);
         StatGroup g("reliability");
@@ -511,6 +601,8 @@ DataCenter::resetStats()
             _net->switchAt(i).resetStats();
     }
     _sched->resetStats();
+    if (_orch)
+        _orch->resetStats();
     if (_faults)
         _faults->resetStats();
 }

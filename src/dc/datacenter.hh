@@ -20,6 +20,7 @@
 #include "fault/fault_manager.hh"
 #include "metrics.hh"
 #include "network/network.hh"
+#include "orch/orchestrator.hh"
 #include "sched/global_scheduler.hh"
 #include "server/power_controller.hh"
 #include "server/server.hh"
@@ -57,6 +58,8 @@ class DataCenter
     Network *network() { return _net.get(); }
     /** Null unless config.fault.enabled. */
     FaultManager *faults() { return _faults.get(); }
+    /** Null unless config.orch.enabled. */
+    Orchestrator *orchestrator() { return _orch.get(); }
     /** Null unless telemetry tracing is configured. */
     TraceManager *tracer() { return _tracer.get(); }
     /** Null unless telemetry sampling is configured. */
@@ -147,6 +150,9 @@ class DataCenter
     std::unique_ptr<Rng> _retryJitter;
     std::unique_ptr<GlobalScheduler> _sched;
     std::unique_ptr<FaultManager> _faults;
+    /** Declared after the scheduler and fault manager: its dtor
+     *  uninstalls the hooks it placed into both. */
+    std::unique_ptr<Orchestrator> _orch;
     std::unique_ptr<InvariantAuditor> _auditor;
     std::vector<std::unique_ptr<Pump>> _pumps;
 };

@@ -1,5 +1,8 @@
 #include "dc_config.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/logging.hh"
 #include "telemetry/trace_manager.hh"
 
@@ -45,6 +48,43 @@ DataCenterConfig::validate() const
             fatal("telemetry.sample_period_ms must be positive");
         // Fail on bad category lists at config time, not mid-run.
         parseTraceCategories(telemetry.traceCategories);
+    }
+    if (orch.enabled) {
+        if (orch.placement != "bin_pack" && orch.placement != "spread" &&
+            orch.placement != "affinity") {
+            fatal("unknown orch.placement '", orch.placement, "'");
+        }
+        if (orch.reconcilePeriod == 0)
+            fatal("orch.reconcile_ms must be positive");
+        if (orch.overcommit < 1.0)
+            fatal("orch.overcommit must be >= 1");
+        if (orch.interference < 0.0)
+            fatal("orch.interference must be non-negative");
+        if (orch.remoteMemPenaltyPerUs < 0.0)
+            fatal("orch.remote_mem_penalty_per_us must be "
+                  "non-negative");
+        if (orch.autoscaleLow >= orch.autoscaleHigh)
+            fatal("orch.autoscale_low must be below "
+                  "orch.autoscale_high");
+        if (orch.migrationDirtyFrac < 0.0 ||
+            orch.migrationDirtyFrac >= 1.0) {
+            fatal("orch.migration_dirty_frac must be in [0, 1)");
+        }
+        if (orch.migrationMaxRounds == 0)
+            fatal("orch.migration_max_rounds must be positive");
+        if (orch.replicas == 0 || orch.minReplicas == 0 ||
+            orch.minReplicas > orch.maxReplicas) {
+            fatal("orch needs 1 <= min_replicas <= max_replicas and "
+                  "a positive replica count");
+        }
+        if (orch.containerCores <= 0.0)
+            fatal("orch.container_cores must be positive");
+        if (orch.remoteMemFrac < 0.0 || orch.remoteMemFrac > 1.0)
+            fatal("orch.remote_mem_frac must be in [0, 1]");
+        if (orch.remoteMemPenaltyPerUs > 0.0 &&
+            orch.remoteMemFrac > 0.0 && fabric == Fabric::none) {
+            fatal("remote-memory penalties require a fabric");
+        }
     }
     if (audit.enabled) {
         if (audit.period == 0)
@@ -197,6 +237,73 @@ DataCenterConfig::fromConfig(const Config &cfg)
             static_cast<double>(msec));
     }
 
+    out.orch.placement =
+        cfg.getString("orch.placement", out.orch.placement);
+    if (cfg.has("orch.reconcile_ms")) {
+        out.orch.reconcilePeriod = static_cast<Tick>(
+            cfg.getDouble("orch.reconcile_ms") *
+            static_cast<double>(msec));
+    }
+    out.orch.overcommit =
+        cfg.getDouble("orch.overcommit", out.orch.overcommit);
+    out.orch.interference =
+        cfg.getDouble("orch.interference", out.orch.interference);
+    out.orch.remoteMemPenaltyPerUs =
+        cfg.getDouble("orch.remote_mem_penalty_per_us",
+                      out.orch.remoteMemPenaltyPerUs);
+    if (cfg.has("orch.server_mem_mb")) {
+        out.orch.serverMemBytes = static_cast<Bytes>(
+            cfg.getDouble("orch.server_mem_mb") * 1024.0 * 1024.0);
+    }
+    out.orch.autoscale =
+        cfg.getBool("orch.autoscale", out.orch.autoscale);
+    out.orch.autoscaleHigh =
+        cfg.getDouble("orch.autoscale_high", out.orch.autoscaleHigh);
+    out.orch.autoscaleLow =
+        cfg.getDouble("orch.autoscale_low", out.orch.autoscaleLow);
+    out.orch.rebalance =
+        cfg.getBool("orch.rebalance", out.orch.rebalance);
+    out.orch.migrationDirtyFrac = cfg.getDouble(
+        "orch.migration_dirty_frac", out.orch.migrationDirtyFrac);
+    if (cfg.has("orch.migration_stop_copy_mb")) {
+        out.orch.migrationStopCopyBytes = static_cast<Bytes>(
+            cfg.getDouble("orch.migration_stop_copy_mb") * 1024.0 *
+            1024.0);
+    }
+    out.orch.migrationMaxRounds = static_cast<unsigned>(cfg.getInt(
+        "orch.migration_max_rounds",
+        static_cast<std::int64_t>(out.orch.migrationMaxRounds)));
+    out.orch.tagJobs = cfg.getBool("orch.tag_jobs", out.orch.tagJobs);
+    out.orch.replicas = static_cast<unsigned>(cfg.getInt(
+        "orch.replicas", static_cast<std::int64_t>(out.orch.replicas)));
+    out.orch.minReplicas = static_cast<unsigned>(cfg.getInt(
+        "orch.min_replicas",
+        static_cast<std::int64_t>(out.orch.minReplicas)));
+    out.orch.maxReplicas = static_cast<unsigned>(cfg.getInt(
+        "orch.max_replicas",
+        static_cast<std::int64_t>(out.orch.maxReplicas)));
+    out.orch.containerCores = cfg.getDouble("orch.container_cores",
+                                            out.orch.containerCores);
+    if (cfg.has("orch.container_mem_mb")) {
+        out.orch.containerMemBytes = static_cast<Bytes>(
+            cfg.getDouble("orch.container_mem_mb") * 1024.0 * 1024.0);
+    }
+    out.orch.remoteMemFrac = cfg.getDouble("orch.remote_mem_frac",
+                                           out.orch.remoteMemFrac);
+    out.orch.antiAffinity =
+        cfg.getBool("orch.anti_affinity", out.orch.antiAffinity);
+    // Any orch.* key opts the layer in unless an explicit
+    // enabled=false vetoes it; no section at all stays fully off
+    // (and default behavior byte-identical).
+    bool anyOrchKey = false;
+    for (const std::string &key : cfg.keys()) {
+        if (key.rfind("orch.", 0) == 0) {
+            anyOrchKey = true;
+            break;
+        }
+    }
+    out.orch.enabled = cfg.getBool("orch.enabled", anyOrchKey);
+
     out.telemetry.traceOut =
         cfg.getString("telemetry.trace_out", out.telemetry.traceOut);
     out.telemetry.traceFormat = cfg.getString(
@@ -274,6 +381,16 @@ const char *const knownConfigKeys[] = {
     "fault.fault_linecards", "fault.fault_links", "fault.max_retries",
     "fault.retry_backoff_base_ms", "fault.retry_backoff_max_ms",
     "fault.task_timeout_ms",
+    "orch.enabled", "orch.placement", "orch.reconcile_ms",
+    "orch.overcommit", "orch.interference",
+    "orch.remote_mem_penalty_per_us", "orch.server_mem_mb",
+    "orch.autoscale", "orch.autoscale_high", "orch.autoscale_low",
+    "orch.rebalance", "orch.migration_dirty_frac",
+    "orch.migration_stop_copy_mb", "orch.migration_max_rounds",
+    "orch.tag_jobs", "orch.replicas", "orch.min_replicas",
+    "orch.max_replicas", "orch.container_cores",
+    "orch.container_mem_mb", "orch.remote_mem_frac",
+    "orch.anti_affinity",
     "telemetry.enabled", "telemetry.trace_out",
     "telemetry.trace_format", "telemetry.trace_categories",
     "telemetry.sample_out", "telemetry.sample_period_ms",
@@ -304,6 +421,54 @@ const char *const knownConfigKeys[] = {
     // clang-format on
 };
 
+/**
+ * Levenshtein distance of @p a and @p b, capped at @p limit + 1
+ * (band-pruned: anything farther reports limit + 1).
+ */
+std::size_t
+editDistance(const std::string &a, const std::string &b,
+             std::size_t limit)
+{
+    if (a.size() > b.size())
+        return editDistance(b, a, limit);
+    if (b.size() - a.size() > limit)
+        return limit + 1;
+    std::vector<std::size_t> prev(a.size() + 1);
+    std::vector<std::size_t> cur(a.size() + 1);
+    for (std::size_t i = 0; i <= a.size(); ++i)
+        prev[i] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+        cur[0] = j;
+        std::size_t rowMin = cur[0];
+        for (std::size_t i = 1; i <= a.size(); ++i) {
+            std::size_t sub = prev[i - 1] + (a[i - 1] != b[j - 1]);
+            cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+            rowMin = std::min(rowMin, cur[i]);
+        }
+        if (rowMin > limit)
+            return limit + 1;
+        prev.swap(cur);
+    }
+    return prev[a.size()];
+}
+
+/** Closest known key within edit distance 2, or empty. */
+std::string
+nearestKnownKey(const std::string &key)
+{
+    constexpr std::size_t limit = 2;
+    std::string best;
+    std::size_t bestDist = limit + 1;
+    for (const char *k : knownConfigKeys) {
+        std::size_t d = editDistance(key, k, limit);
+        if (d < bestDist) {
+            bestDist = d;
+            best = k;
+        }
+    }
+    return best;
+}
+
 } // namespace
 
 void
@@ -323,9 +488,10 @@ warnUnknownConfigKeys(const Config &cfg)
         }
         if (!known) {
             std::string where = cfg.origin(key);
+            std::string near = nearestKnownKey(key);
             warn("unknown config key '", key, "'",
-                 where.empty() ? "" : " (" + where + ")",
-                 " ignored");
+                 where.empty() ? "" : " (" + where + ")", " ignored",
+                 near.empty() ? "" : "; did you mean '" + near + "'?");
         }
     }
 }

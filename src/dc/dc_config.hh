@@ -128,6 +128,53 @@ struct DataCenterConfig {
     TelemetrySettings telemetry;
     ///@}
 
+    /** @name Container orchestration (strictly opt-in) */
+    ///@{
+    struct OrchSettings {
+        /**
+         * Resolved master switch. fromConfig defaults it to "true iff
+         * any orch.* key is present"; an explicit orch.enabled=false
+         * forces the layer off. When off the DataCenter behaves
+         * byte-identically to a build without the orchestrator.
+         */
+        bool enabled = false;
+        /** Placement policy: bin_pack | spread | affinity. */
+        std::string placement = "bin_pack";
+        Tick reconcilePeriod = 1 * sec;
+        /** Core overcommit cap (>= 1). */
+        double overcommit = 1.0;
+        /** Local memory capacity per server. */
+        Bytes serverMemBytes = static_cast<Bytes>(64) << 30;
+        /** Co-location interference coefficient (0 disables). */
+        double interference = 0.0;
+        /** Remote-memory penalty per us of fabric path latency. */
+        double remoteMemPenaltyPerUs = 0.0;
+        /** Threshold autoscaler. */
+        bool autoscale = false;
+        double autoscaleHigh = 0.75;
+        double autoscaleLow = 0.25;
+        /** Migrate off physically overcommitted servers. */
+        bool rebalance = false;
+        /** Dirty-page migration model (see OrchConfig). */
+        double migrationDirtyFrac = 0.25;
+        Bytes migrationStopCopyBytes = static_cast<Bytes>(4) << 20;
+        unsigned migrationMaxRounds = 8;
+        /** Tag every generated job with the default group. */
+        bool tagJobs = true;
+        /** @name Default deployment (created at construction) */
+        ///@{
+        unsigned replicas = 4;
+        unsigned minReplicas = 1;
+        unsigned maxReplicas = 16;
+        double containerCores = 1.0;
+        Bytes containerMemBytes = static_cast<Bytes>(512) << 20;
+        double remoteMemFrac = 0.0;
+        bool antiAffinity = false;
+        ///@}
+    };
+    OrchSettings orch;
+    ///@}
+
     /** @name Runtime invariant auditing (strictly opt-in) */
     ///@{
     struct AuditSettings {
@@ -191,6 +238,15 @@ struct DataCenterConfig {
      *                fault_switches, fault_linecards, fault_links,
      *                max_retries, retry_backoff_base_ms,
      *                retry_backoff_max_ms, task_timeout_ms
+     *   [orch]       enabled, placement (bin_pack|spread|affinity),
+     *                reconcile_ms, overcommit, interference,
+     *                remote_mem_penalty_per_us, server_mem_mb,
+     *                autoscale, autoscale_high, autoscale_low,
+     *                rebalance, migration_dirty_frac,
+     *                migration_stop_copy_mb, migration_max_rounds,
+     *                tag_jobs, replicas, min_replicas, max_replicas,
+     *                container_cores, container_mem_mb,
+     *                remote_mem_frac, anti_affinity
      *   [telemetry]  enabled, trace_out, trace_format (json|csv),
      *                trace_categories, sample_out, sample_period_ms,
      *                profile

@@ -132,6 +132,8 @@ FaultManager::applyDown(TargetState &ts)
         std::vector<TaskRef> killed = _servers.at(t.index)->fail();
         if (_sched)
             _sched->onServerFailed(t.index, killed);
+        if (_serverEvent)
+            _serverEvent(t.index, true);
         break;
       }
       case FaultKind::swtch:
@@ -155,6 +157,8 @@ FaultManager::applyUp(TargetState &ts)
         _servers.at(t.index)->repair();
         if (_sched)
             _sched->onServerRepaired(t.index);
+        if (_serverEvent)
+            _serverEvent(t.index, false);
         break;
       case FaultKind::swtch:
         _net->repairSwitch(t.index);

@@ -17,6 +17,7 @@
 #ifndef HOLDCSIM_FAULT_FAULT_MANAGER_HH
 #define HOLDCSIM_FAULT_FAULT_MANAGER_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -73,6 +74,19 @@ class FaultManager
     ~FaultManager();
     FaultManager(const FaultManager &) = delete;
     FaultManager &operator=(const FaultManager &) = delete;
+
+    /**
+     * Observer of server up/down edges (beyond the scheduler, which
+     * is always notified): invoked with the server index and whether
+     * it just went down. The orchestration layer uses this to
+     * reschedule containers off crashed hosts. Called after the
+     * server and scheduler have processed the edge.
+     */
+    using ServerEventFn = std::function<void(std::size_t, bool down)>;
+    void setServerEventHook(ServerEventFn fn)
+    {
+        _serverEvent = std::move(fn);
+    }
 
     /** @name Introspection and statistics */
     ///@{
@@ -134,6 +148,7 @@ class FaultManager
     Network *_net;
     GlobalScheduler *_sched;
 
+    ServerEventFn _serverEvent;
     std::vector<std::unique_ptr<TargetState>> _targets;
     std::uint64_t _faultsInjected = 0;
     std::size_t _currentlyDown = 0;

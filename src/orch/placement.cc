@@ -1,0 +1,90 @@
+#include "placement.hh"
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+const char *
+toString(ContainerState s)
+{
+    switch (s) {
+      case ContainerState::pending:
+        return "pending";
+      case ContainerState::running:
+        return "running";
+      case ContainerState::migrating:
+        return "migrating";
+      case ContainerState::downtime:
+        return "downtime";
+      case ContainerState::draining:
+        return "draining";
+      case ContainerState::stopped:
+        return "stopped";
+    }
+    HOLDCSIM_PANIC("unknown ContainerState");
+}
+
+std::optional<std::size_t>
+BinPackPlacement::place(const ContainerSpec &,
+                        const std::vector<ServerView> &candidates)
+{
+    const ServerView *best = nullptr;
+    for (const ServerView &v : candidates) {
+        if (!best || v.coresFree < best->coresFree)
+            best = &v;
+    }
+    if (!best)
+        return std::nullopt;
+    return best->index;
+}
+
+std::optional<std::size_t>
+SpreadPlacement::place(const ContainerSpec &,
+                       const std::vector<ServerView> &candidates)
+{
+    const ServerView *best = nullptr;
+    for (const ServerView &v : candidates) {
+        // Fewest co-hosted containers first; most free cores second.
+        if (!best || v.containers < best->containers ||
+            (v.containers == best->containers &&
+             v.coresFree > best->coresFree)) {
+            best = &v;
+        }
+    }
+    if (!best)
+        return std::nullopt;
+    return best->index;
+}
+
+std::optional<std::size_t>
+AffinityPlacement::place(const ContainerSpec &,
+                         const std::vector<ServerView> &candidates)
+{
+    const ServerView *best = nullptr;
+    for (const ServerView &v : candidates) {
+        // Most same-deployment neighbors first, then bin-pack.
+        if (!best || v.sameDeployment > best->sameDeployment ||
+            (v.sameDeployment == best->sameDeployment &&
+             v.coresFree < best->coresFree)) {
+            best = &v;
+        }
+    }
+    if (!best)
+        return std::nullopt;
+    return best->index;
+}
+
+std::unique_ptr<PlacementPolicy>
+makePlacementPolicy(const std::string &name)
+{
+    if (name == "bin_pack")
+        return std::make_unique<BinPackPlacement>();
+    if (name == "spread")
+        return std::make_unique<SpreadPlacement>();
+    if (name == "affinity")
+        return std::make_unique<AffinityPlacement>();
+    fatal("unknown placement policy '", name,
+          "' (bin_pack|spread|affinity)");
+}
+
+} // namespace holdcsim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Pluggable container placement policies.
+ *
+ * The orchestrator pre-filters the fleet to servers that fit the
+ * container (healthy, enough free cores under the overcommit cap,
+ * enough free local memory, anti-affinity honored) and the policy
+ * picks one. All policies are deterministic: ties break toward the
+ * lowest server index.
+ */
+
+#ifndef HOLDCSIM_ORCH_PLACEMENT_HH
+#define HOLDCSIM_ORCH_PLACEMENT_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "container.hh"
+
+namespace holdcsim {
+
+/** A candidate server as the placement policy sees it. */
+struct ServerView {
+    std::size_t index = 0;
+    /** Cores still unreserved (under the overcommit cap). */
+    double coresFree = 0.0;
+    /** Local memory still unreserved. */
+    Bytes memFree = 0;
+    /** Containers of the same deployment already hosted here. */
+    unsigned sameDeployment = 0;
+    /** All containers hosted here. */
+    unsigned containers = 0;
+};
+
+/** Picks a server for a container from pre-filtered candidates. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+    virtual const char *name() const = 0;
+    /**
+     * Choose from @p candidates (each already fits @p spec; sorted
+     * by ascending server index). nullopt = refuse placement.
+     */
+    virtual std::optional<std::size_t>
+    place(const ContainerSpec &spec,
+          const std::vector<ServerView> &candidates) = 0;
+};
+
+/** Most-allocated first: fills servers before opening new ones
+ *  (consolidates for power management; maximizes co-location). */
+class BinPackPlacement : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "bin_pack"; }
+    std::optional<std::size_t>
+    place(const ContainerSpec &spec,
+          const std::vector<ServerView> &candidates) override;
+};
+
+/** Least-allocated first: spreads replicas across the fleet
+ *  (minimizes co-location interference and crash blast radius). */
+class SpreadPlacement : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "spread"; }
+    std::optional<std::size_t>
+    place(const ContainerSpec &spec,
+          const std::vector<ServerView> &candidates) override;
+};
+
+/** Prefers servers already hosting the same deployment (chatty
+ *  replica sets); falls back to bin-packing among fresh servers. */
+class AffinityPlacement : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "affinity"; }
+    std::optional<std::size_t>
+    place(const ContainerSpec &spec,
+          const std::vector<ServerView> &candidates) override;
+};
+
+/** Factory for "bin_pack" | "spread" | "affinity"; fatals on
+ *  anything else. */
+std::unique_ptr<PlacementPolicy>
+makePlacementPolicy(const std::string &name);
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_ORCH_PLACEMENT_HH

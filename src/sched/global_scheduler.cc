@@ -1,6 +1,7 @@
 #include "global_scheduler.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "network/network.hh"
 #include "sim/logging.hh"
@@ -49,6 +50,26 @@ GlobalScheduler::setRetryPolicy(const RetryPolicy &policy,
     _retry = policy;
     _retryJitter = jitter_rng;
     _retryEnabled = true;
+}
+
+void
+GlobalScheduler::setTaskRouter(TaskRouteFn router, TaskClosedFn closed)
+{
+    _router = std::move(router);
+    _taskClosed = std::move(closed);
+}
+
+void
+GlobalScheduler::resumeTask(JobId job, TaskId t)
+{
+    auto it = _jobs.find(job);
+    if (it == _jobs.end())
+        return; // job finished or abandoned while deferred
+    RuntimeJob &rt = it->second;
+    if (t >= rt.state.size() || rt.state[t] != TaskState::deferred)
+        return;
+    --_deferredCount;
+    taskReady(rt, t);
 }
 
 void
@@ -106,8 +127,18 @@ TaskRef
 GlobalScheduler::makeRef(const RuntimeJob &rt, TaskId t) const
 {
     const TaskSpec &spec = rt.job.task(t);
-    return TaskRef{rt.job.id(), t, spec.serviceTime,
-                   spec.computeIntensity, spec.type};
+    TaskRef ref{rt.job.id(), t, spec.serviceTime,
+                spec.computeIntensity, spec.type,
+                rt.job.orchGroup()};
+    // Routed placements may inflate the service time (co-location
+    // interference, remote-memory latency). The exact-1.0 test keeps
+    // the unrouted path bit-identical to a build without routing.
+    double scale = rt.serviceScale.empty() ? 1.0 : rt.serviceScale[t];
+    if (scale != 1.0) {
+        ref.serviceTime = static_cast<Tick>(std::llround(
+            static_cast<double>(spec.serviceTime) * scale));
+    }
+    return ref;
 }
 
 TraceManager *
@@ -137,13 +168,14 @@ GlobalScheduler::submitJob(Job job)
                     "j" + std::to_string(id) + ".submit",
                     _sim.curTick());
     }
-    RuntimeJob rt{std::move(job), {}, {}, {}, {}, {}, 0};
+    RuntimeJob rt{std::move(job), {}, {}, {}, {}, {}, {}, 0};
     const std::size_t n = rt.job.numTasks();
     rt.pendingParents.resize(n);
     rt.pendingTransfers.assign(n, 0);
     rt.taskServer.assign(n, -1);
     rt.state.assign(n, TaskState::waiting);
     rt.attempts.assign(n, 0);
+    rt.serviceScale.assign(n, 1.0);
     rt.remaining = n;
     _tasksCreated += n;
     for (TaskId t = 0; t < n; ++t)
@@ -200,6 +232,38 @@ GlobalScheduler::candidatesFor(int type, bool need_capacity) const
 void
 GlobalScheduler::taskReady(RuntimeJob &rt, TaskId t)
 {
+    if (_router) {
+        // Orchestration routing: tagged tasks go to a container
+        // replica (or wait for one); untagged tasks fall through to
+        // the normal dispatch path below.
+        rt.serviceScale[t] = 1.0;
+        TaskRoute route = _router(makeRef(rt, t));
+        if (route.action == TaskRoute::Action::defer) {
+            rt.state[t] = TaskState::deferred;
+            ++_deferredCount;
+            return;
+        }
+        if (route.action == TaskRoute::Action::pin) {
+            if (route.server >= _servers.size())
+                HOLDCSIM_PANIC("task routed to unknown server ",
+                               route.server);
+            rt.serviceScale[t] = route.serviceScale;
+            if (_servers[route.server]->failed()) {
+                // The replica's host crashed under us. Burn an
+                // attempt and back off; by the redispatch the
+                // orchestrator has rescheduled the container.
+                if (_retryEnabled) {
+                    ++rt.attempts[t];
+                    taskAttemptFailed(rt.job.id(), t);
+                    return;
+                }
+                fatal("task routed to failed server ", route.server);
+            }
+            assignTask(rt, t, route.server);
+            return;
+        }
+    }
+
     TaskRef ref = makeRef(rt, t);
     if (_config.useGlobalQueue) {
         // Pull model: only dispatch when a free execution unit
@@ -389,6 +453,9 @@ GlobalScheduler::taskAttemptFailed(JobId job, TaskId t)
         failJob(job); // closes any open task spans
         return;
     }
+    // The routed attempt died; the retry re-routes from scratch.
+    if (_taskClosed)
+        _taskClosed(job, t, false);
     ++_taskRetries;
     if (TraceManager *tr = taskTracer()) {
         if (rt.state[t] == TaskState::running) {
@@ -427,6 +494,14 @@ GlobalScheduler::failJob(JobId job)
     ++_jobsFailedCount;
     // Every not-yet-done task of the job is abandoned with it.
     _tasksAborted += rt.remaining;
+    // Tell the orchestration router every live task is gone
+    // (receivers ignore tasks they never routed).
+    for (TaskId t = 0; t < rt.job.numTasks(); ++t) {
+        if (rt.state[t] == TaskState::deferred)
+            --_deferredCount;
+        if (_taskClosed && rt.state[t] != TaskState::done)
+            _taskClosed(job, t, false);
+    }
     // Cancel every sibling still holding resources.
     for (TaskId t = 0; t < rt.job.numTasks(); ++t) {
         if (rt.state[t] != TaskState::running)
@@ -502,6 +577,11 @@ GlobalScheduler::onTaskDone(Server &server, const TaskRef &task)
         HOLDCSIM_PANIC("job ", task.job, " over-completed");
     --rt.remaining;
     ++_tasksFinished;
+
+    // Free the container slot before waking children so their
+    // routing sees the updated replica occupancy.
+    if (_taskClosed)
+        _taskClosed(task.job, task.task, true);
 
     // Wake children whose last parent just finished.
     for (TaskId child : rt.job.children(task.task)) {

@@ -127,6 +127,49 @@ class GlobalScheduler
     }
     ///@}
 
+    /** @name Container orchestration hooks (src/orch) */
+    ///@{
+    /**
+     * How the orchestration router wants a ready task handled.
+     * `none` falls through to the normal dispatch policy; `pin`
+     * bypasses the policy and places the task on a specific server
+     * with its service time inflated by @p serviceScale (co-location
+     * interference, remote-memory latency); `defer` parks the task
+     * until resumeTask() (e.g. every replica is in a migration
+     * stop-and-copy window).
+     */
+    struct TaskRoute {
+        enum class Action : std::uint8_t { none, pin, defer };
+        Action action = Action::none;
+        std::size_t server = 0;
+        double serviceScale = 1.0;
+    };
+    /** Decides placement for each ready task of a tagged job. */
+    using TaskRouteFn = std::function<TaskRoute(const TaskRef &)>;
+    /**
+     * A previously routed attempt left the system: completed
+     * (@p done true), or died/was abandoned (@p done false). Fires
+     * at least once per routed attempt; the router sees the next
+     * attempt again, so receivers must treat repeats as idempotent.
+     */
+    using TaskClosedFn =
+        std::function<void(JobId, TaskId, bool done)>;
+
+    /**
+     * Install the orchestration router. With no router installed
+     * (the default) scheduling behavior is byte-identical to a
+     * build without orchestration.
+     */
+    void setTaskRouter(TaskRouteFn router, TaskClosedFn closed);
+
+    /** Re-enter placement for a task the router deferred. No-op if
+     * the job is gone or the task is not deferred. */
+    void resumeTask(JobId job, TaskId t);
+
+    /** Tasks currently parked by a `defer` route. */
+    std::size_t deferredTasks() const { return _deferredCount; }
+    ///@}
+
     /** @name Introspection */
     ///@{
     /** Jobs admitted but not yet fully finished. */
@@ -199,6 +242,7 @@ class GlobalScheduler
         transferring, ///< inbound result transfers in flight
         running,      ///< submitted to a server
         backoff,      ///< attempt died; redispatch scheduled
+        deferred,     ///< parked by the orchestration router
         done,         ///< completed
     };
 
@@ -214,6 +258,12 @@ class GlobalScheduler
         std::vector<TaskState> state;
         /** Attempts started per task (1 = first dispatch). */
         std::vector<std::uint32_t> attempts;
+        /**
+         * Service-time inflation of the current routed attempt
+         * (1.0 = nominal). Set by the orchestration router per
+         * placement; applied in makeRef.
+         */
+        std::vector<double> serviceScale;
         std::size_t remaining;
     };
 
@@ -274,6 +324,9 @@ class GlobalScheduler
     JobDoneFn _jobDone;
     JobFailedFn _jobFailed;
     LoadChangedFn _loadChanged;
+    TaskRouteFn _router;
+    TaskClosedFn _taskClosed;
+    std::size_t _deferredCount = 0;
 
     RetryPolicy _retry;
     bool _retryEnabled = false;

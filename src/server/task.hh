@@ -28,6 +28,8 @@ struct TaskRef {
     double computeIntensity = 1.0;
     /** Task type, for type-restricted servers. */
     int type = 0;
+    /** Orchestration group of the owning job (-1 = untagged). */
+    int orchGroup = -1;
 };
 
 } // namespace holdcsim

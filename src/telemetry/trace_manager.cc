@@ -24,6 +24,8 @@ toString(TraceCategory c)
         return "fault";
       case TraceCategory::audit:
         return "audit";
+      case TraceCategory::orch:
+        return "orch";
     }
     HOLDCSIM_PANIC("unknown TraceCategory");
 }
@@ -53,6 +55,8 @@ parseTraceCategories(const std::string &spec)
             mask |= static_cast<std::uint32_t>(TraceCategory::fault);
         else if (token == "audit")
             mask |= static_cast<std::uint32_t>(TraceCategory::audit);
+        else if (token == "orch")
+            mask |= static_cast<std::uint32_t>(TraceCategory::orch);
         else
             fatal("unknown trace category '", token, "'");
     }

@@ -46,10 +46,12 @@ enum class TraceCategory : std::uint32_t {
     fault = 1u << 5,
     /** Invariant-audit violations and watchdog cancellations. */
     audit = 1u << 6,
+    /** Container placements, migrations, downtime windows. */
+    orch = 1u << 7,
 };
 
 /** Mask with every category enabled. */
-constexpr std::uint32_t allTraceCategories = 0x7f;
+constexpr std::uint32_t allTraceCategories = 0xff;
 
 /** Stable lowercase name (trace "cat" field, config tokens). */
 const char *toString(TraceCategory c);

@@ -64,6 +64,17 @@ class Job
     JobId id() const { return _id; }
     Tick arrivalTick() const { return _arrival; }
 
+    /** @name Container orchestration tag (src/orch)
+     * Jobs may be tagged with an orchestration group: the id of the
+     * container deployment whose replicas serve the job's tasks.
+     * Untagged jobs (-1, the default) bypass the orchestrator
+     * entirely and dispatch to bare servers as before.
+     */
+    ///@{
+    void setOrchGroup(int group) { _orchGroup = group; }
+    int orchGroup() const { return _orchGroup; }
+    ///@}
+
     /** Append a task; returns its TaskId. */
     TaskId addTask(const TaskSpec &spec);
 
@@ -111,6 +122,7 @@ class Job
   private:
     JobId _id;
     Tick _arrival;
+    int _orchGroup = -1;
     std::vector<TaskSpec> _tasks;
     std::vector<TaskEdge> _edges;
     std::vector<std::vector<TaskId>> _parents;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <memory>
 #include <string>
@@ -584,3 +585,115 @@ INSTANTIATE_TEST_SUITE_P(
         return std::string(toString(std::get<0>(info.param))) + "_" +
                std::get<1>(info.param);
     });
+
+// ---------------------------------------------------------------------------
+// Property: RetryPolicy backoff is monotone non-decreasing in the
+// attempt number, saturates exactly at backoffMax (no overflow at
+// large shifts), and jitter never escapes its declared band.
+// ---------------------------------------------------------------------------
+
+using BackoffParam = std::tuple<Tick, Tick>; // (base, max)
+
+class RetryBackoffProperty
+    : public ::testing::TestWithParam<BackoffParam>
+{};
+
+TEST_P(RetryBackoffProperty, MonotoneAndCapped)
+{
+    auto [base, max] = GetParam();
+    RetryPolicy p;
+    p.backoffBase = base;
+    p.backoffMax = max;
+    p.jitterFrac = 0.0;
+
+    Tick prev = 0;
+    bool saturated = false;
+    for (unsigned attempt = 1; attempt <= 96; ++attempt) {
+        Tick b = p.backoff(attempt);
+        EXPECT_GE(b, prev) << "attempt " << attempt;
+        EXPECT_GE(b, 1u) << "attempt " << attempt;
+        EXPECT_LE(b, std::max<Tick>(max, 1)) << "attempt " << attempt;
+        if (saturated)
+            EXPECT_EQ(b, prev) << "left the cap at attempt " << attempt;
+        if (b >= max)
+            saturated = true;
+        prev = b;
+    }
+    // Doubling from any base reaches the cap within 96 attempts, and
+    // huge shifts (>= 63) must saturate rather than overflow.
+    EXPECT_TRUE(saturated);
+    EXPECT_EQ(p.backoff(1000000), std::max<Tick>(max, 1));
+    // Attempt 0 is treated as the first failure.
+    EXPECT_EQ(p.backoff(0), p.backoff(1));
+}
+
+TEST_P(RetryBackoffProperty, JitterStaysInBand)
+{
+    auto [base, max] = GetParam();
+    RetryPolicy p;
+    p.backoffBase = base;
+    p.backoffMax = max;
+    p.jitterFrac = 0.1;
+
+    Rng rng(1234);
+    for (unsigned attempt = 1; attempt <= 40; ++attempt) {
+        Tick mid = p.backoff(attempt); // null rng: midpoint
+        for (int draw = 0; draw < 8; ++draw) {
+            Tick b = p.backoff(attempt, &rng);
+            EXPECT_GE(b, 1u);
+            auto lo = static_cast<double>(mid) * (1.0 - p.jitterFrac);
+            auto hi = static_cast<double>(mid) * (1.0 + p.jitterFrac);
+            EXPECT_GE(static_cast<double>(b), std::floor(lo));
+            EXPECT_LE(static_cast<double>(b), hi);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bases, RetryBackoffProperty,
+    ::testing::Values(BackoffParam{10 * msec, 10 * sec},
+                      BackoffParam{1, 10 * sec},
+                      BackoffParam{1 * usec, 500 * usec},
+                      // base already above the cap: clamp from try 1
+                      BackoffParam{20 * sec, 10 * sec}),
+    [](const ::testing::TestParamInfo<BackoffParam> &info) {
+        return "base" + std::to_string(std::get<0>(info.param)) +
+               "_max" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: a task that can never finish within its timeout burns
+// exactly its attempt budget (maxRetries retries after the first
+// try), then the job is abandoned -- no infinite retry loop.
+// ---------------------------------------------------------------------------
+
+TEST(RetryBudgetProperty, ExhaustionAbandonsTheJob)
+{
+    DataCenterConfig cfg;
+    cfg.nServers = 1;
+    cfg.nCores = 1;
+    cfg.seed = 7;
+    cfg.fault.enabled = true;
+    cfg.fault.mttfHours = 1e5; // ~11 kyears: no faults in this run
+    cfg.fault.maxRetries = 2;
+    cfg.fault.taskTimeout = 50 * msec;
+    cfg.fault.retryBackoffBase = 10 * msec;
+    DataCenter dc(cfg);
+
+    // 10 s of work against a 50 ms timeout: every attempt is lost.
+    auto service = std::make_shared<FixedService>(10 * sec);
+    SingleTaskGenerator jobs(service);
+    dc.pumpTrace({0}, jobs);
+    dc.run();
+
+    EXPECT_EQ(dc.scheduler().jobsCompleted(), 0u);
+    EXPECT_EQ(dc.scheduler().jobsFailed(), 1u);
+    EXPECT_EQ(dc.scheduler().taskTimeouts(), 3u); // 1 try + 2 retries
+    EXPECT_EQ(dc.scheduler().taskRetries(), 2u);
+    // The whole ordeal fits the budget arithmetic: 3 x timeout plus
+    // two bounded backoffs.
+    Tick worst = 3 * cfg.fault.taskTimeout +
+                 dc.scheduler().retryPolicy().backoff(1) * 12 / 10 +
+                 dc.scheduler().retryPolicy().backoff(2) * 12 / 10 + sec;
+    EXPECT_LE(dc.sim().curTick(), worst);
+}

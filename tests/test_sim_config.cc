@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dc/dc_config.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
 
@@ -102,4 +103,52 @@ TEST(Config, SetOverridesAndKeysSorted)
 TEST(Config, LoadMissingFileIsFatal)
 {
     EXPECT_THROW(Config::load("/nonexistent/holdcsim.ini"), FatalError);
+}
+
+namespace {
+
+std::string
+capturedUnknownKeyWarnings(const std::string &ini)
+{
+    auto cfg = Config::parseString(ini);
+    ::testing::internal::CaptureStderr();
+    warnUnknownConfigKeys(cfg);
+    return ::testing::internal::GetCapturedStderr();
+}
+
+} // namespace
+
+TEST(Config, KnownOrchKeysDoNotWarn)
+{
+    std::string out = capturedUnknownKeyWarnings(R"(
+[orch]
+enabled = true
+placement = spread
+replicas = 3
+autoscale = true
+migration_dirty_frac = 0.25
+)");
+    EXPECT_EQ(out, "") << out;
+}
+
+TEST(Config, UnknownKeyWarnsWithNearestSuggestion)
+{
+    // One edit away: suggest the known spelling.
+    std::string out = capturedUnknownKeyWarnings("[orch]\nreplcas = 3\n");
+    EXPECT_NE(out.find("orch.replcas"), std::string::npos) << out;
+    EXPECT_NE(out.find("did you mean 'orch.replicas'"), std::string::npos)
+        << out;
+
+    // Two edits away still qualifies.
+    out = capturedUnknownKeyWarnings("[orch]\nplacemnet = spread\n");
+    EXPECT_NE(out.find("did you mean 'orch.placement'"), std::string::npos)
+        << out;
+}
+
+TEST(Config, FarFetchedKeyGetsNoSuggestion)
+{
+    std::string out =
+        capturedUnknownKeyWarnings("[orch]\nzzz_flux_capacitor = 1\n");
+    EXPECT_NE(out.find("orch.zzz_flux_capacitor"), std::string::npos) << out;
+    EXPECT_EQ(out.find("did you mean"), std::string::npos) << out;
 }
