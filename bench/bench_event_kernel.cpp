@@ -16,12 +16,22 @@
  *    star fabric, as in examples/three_tier.cpp) run end to end on
  *    each backend. The per-request statistics must be bit-identical;
  *    events-per-host-second is reported per backend.
+ *  - replay (wheel): the same fleet with the governor timers riding
+ *    the shared timer wheel. At unit granularity the workload
+ *    statistics must match the per-event timer discipline exactly
+ *    (same gate as the backend equivalence); at coarse granularity
+ *    the coalesced tick count and throughput are reported.
+ *  - warehouse: a --servers=N flat fleet (default 100k x 4 cores)
+ *    driven by synchronized task waves, so every core's idle-demotion
+ *    ladder re-arms at once. The wheel must complete the same work
+ *    while collapsing the per-core governor events into shared
+ *    boundary ticks.
  *
  * Every workload records the exact pop order (or final statistics)
- * and the binary exits nonzero on any divergence between backends, so
- * `bench_event_kernel --quick` doubles as the CI determinism smoke
- * test. `--json=FILE` writes the numbers run_kernel_profile.sh folds
- * into BENCH_kernel.json.
+ * and the binary exits nonzero on any divergence between backends or
+ * timer disciplines, so `bench_event_kernel --quick` doubles as the
+ * CI determinism smoke test. `--json=FILE` writes the numbers
+ * run_kernel_profile.sh folds into BENCH_kernel.json.
  */
 
 #include <chrono>
@@ -40,6 +50,7 @@
 #include "sim/logging.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
+#include "sim/timer_wheel.hh"
 #include "workload/service.hh"
 
 using namespace holdcsim;
@@ -204,6 +215,9 @@ struct ReplayStats {
     Tick endTick = 0;
     double latMean = 0.0, latP50 = 0.0, latP95 = 0.0, latP99 = 0.0;
     double wallSeconds = 0.0;
+    /** Wheel counters (zero when running per-event timers). */
+    std::uint64_t wheelTickEvents = 0;
+    std::uint64_t wheelFired = 0;
 
     bool identicalTo(const ReplayStats &o) const
     {
@@ -212,6 +226,19 @@ struct ReplayStats {
         // every derived statistic.
         return jobs == o.jobs && transfers == o.transfers &&
                eventsProcessed == o.eventsProcessed &&
+               endTick == o.endTick && latMean == o.latMean &&
+               latP50 == o.latP50 && latP95 == o.latP95 &&
+               latP99 == o.latP99;
+    }
+    /**
+     * Workload-statistics equality across timer disciplines. The
+     * wheel replaces each governor timer event with a shared boundary
+     * tick, so the raw event count legitimately differs; everything
+     * the workload can observe must not.
+     */
+    bool equivalentTo(const ReplayStats &o) const
+    {
+        return jobs == o.jobs && transfers == o.transfers &&
                endTick == o.endTick && latMean == o.latMean &&
                latP50 == o.latP50 && latP95 == o.latP95 &&
                latP99 == o.latP99;
@@ -225,11 +252,21 @@ struct ReplayStats {
 };
 
 /** The three_tier example fleet, shrunk into a harness: 12 typed
- *  servers behind a star switch serving web->app->db request chains. */
+ *  servers behind a star switch serving web->app->db request chains.
+ *  @p wheel_granularity 0 keeps per-event timers; otherwise the
+ *  governor ladders ride a shared wheel with that bucket width. */
 ReplayStats
-runReplay(EventQueue::Backend backend, std::size_t n_requests)
+runReplay(EventQueue::Backend backend, std::size_t n_requests,
+          Tick wheel_granularity = 0)
 {
     Simulator sim(backend);
+    // Declared before every entity so the handles entities still hold
+    // at teardown outlive them.
+    std::unique_ptr<TimerWheel> wheel;
+    if (wheel_granularity > 0) {
+        wheel = std::make_unique<TimerWheel>(sim, wheel_granularity);
+        sim.setTimerWheel(wheel.get());
+    }
     ServerPowerProfile profile;
     Topology topo = Topology::star(12, 1e9, 5 * usec);
     Network net(sim, std::move(topo),
@@ -282,7 +319,94 @@ runReplay(EventQueue::Backend backend, std::size_t n_requests)
     s.latP50 = lat.p50();
     s.latP95 = lat.p95();
     s.latP99 = lat.p99();
+    if (wheel) {
+        s.wheelTickEvents = wheel->stats().tickEvents;
+        s.wheelFired = wheel->stats().fired;
+    }
     return s;
+}
+
+struct WarehouseStats {
+    std::uint64_t completions = 0;
+    std::uint64_t eventsProcessed = 0;
+    Tick endTick = 0;
+    double wallSeconds = 0.0;
+    std::uint64_t wheelTickEvents = 0;
+    std::uint64_t wheelFired = 0;
+    std::uint64_t wheelMaxBatch = 0;
+
+    double eventsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(eventsProcessed) / wallSeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * Warehouse-scale governor churn: @p n_servers flat servers (4 cores
+ * each, no fabric, no global scheduler) hit by @p waves synchronized
+ * waves of one short task per server. Every completion re-enters the
+ * idle-demotion ladder at the same instant across the fleet -- the
+ * worst case for per-core timer events and the best case for the
+ * shared wheel, which folds each aligned boundary into one tick.
+ * Only the sim.run() is timed; fleet construction is not.
+ */
+WarehouseStats
+runWarehouse(std::size_t n_servers, unsigned waves,
+             Tick wheel_granularity)
+{
+    Simulator sim(EventQueue::Backend::calendar);
+    std::unique_ptr<TimerWheel> wheel;
+    if (wheel_granularity > 0) {
+        wheel = std::make_unique<TimerWheel>(sim, wheel_granularity);
+        sim.setTimerWheel(wheel.get());
+    }
+    ServerPowerProfile profile;
+    std::vector<std::unique_ptr<Server>> servers;
+    servers.reserve(n_servers);
+    std::uint64_t completions = 0;
+    for (std::size_t i = 0; i < n_servers; ++i) {
+        ServerConfig cfg;
+        cfg.id = static_cast<unsigned>(i);
+        cfg.nCores = 4;
+        servers.push_back(
+            std::make_unique<Server>(sim, cfg, profile));
+        servers.back()->setTaskDoneCallback(
+            [&completions](Server &, const TaskRef &) {
+                ++completions;
+            });
+    }
+
+    unsigned wave = 0;
+    JobId next_job = 0;
+    EventFunctionWrapper injector(
+        [&] {
+            for (auto &s : servers) {
+                TaskRef t;
+                t.job = next_job++;
+                t.serviceTime = 50 * usec;
+                s->submit(t);
+            }
+            if (++wave < waves)
+                sim.schedule(injector, sim.curTick() + 2 * msec);
+        },
+        "warehouse.wave");
+    sim.schedule(injector, 1 * msec);
+
+    double start = now_seconds();
+    sim.run();
+    WarehouseStats w;
+    w.wallSeconds = now_seconds() - start;
+    w.completions = completions;
+    w.eventsProcessed = sim.eventsProcessed();
+    w.endTick = sim.curTick();
+    if (wheel) {
+        w.wheelTickEvents = wheel->stats().tickEvents;
+        w.wheelFired = wheel->stats().fired;
+        w.wheelMaxBatch = wheel->stats().maxBatch;
+    }
+    return w;
 }
 
 bool
@@ -311,16 +435,20 @@ main(int argc, char **argv)
 {
     bool quick = false;
     std::string json_out;
+    std::size_t servers_override = 0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--quick") {
             quick = true;
         } else if (arg.rfind("--json=", 0) == 0) {
             json_out = arg.substr(7);
+        } else if (arg.rfind("--servers=", 0) == 0) {
+            servers_override =
+                static_cast<std::size_t>(std::stoull(arg.substr(10)));
         } else {
             std::fprintf(stderr,
                          "usage: bench_event_kernel [--quick] "
-                         "[--json=FILE]\n");
+                         "[--json=FILE] [--servers=N]\n");
             return 2;
         }
     }
@@ -333,6 +461,16 @@ main(int argc, char **argv)
     const std::size_t churn_size = quick ? 2048 : 8192;
     const std::uint64_t n_ops = quick ? 200'000 : 4'000'000;
     const std::size_t n_requests = quick ? 2'000 : 20'000;
+    // Warehouse point: the paper-scale fleet. Quick mode keeps the
+    // same shape at a size a sanitizer job can afford.
+    const std::size_t warehouse_servers =
+        servers_override ? servers_override
+                         : (quick ? 4'096 : 100'000);
+    const unsigned warehouse_waves = 2;
+    // Coarse bucket: one boundary per 100 us lines up with the
+    // C3/C6 demotion thresholds, so aligned ladders coalesce fully.
+    const Tick warehouse_granularity = 100 * usec;
+    const Tick replay_coarse_granularity = 1 * msec;
 
     bool ok = true;
 
@@ -383,6 +521,53 @@ main(int argc, char **argv)
         ok = false;
     }
 
+    // ---- timer-wheel gate: unit granularity must match exactly ---
+    ReplayStats replay_wheel1 =
+        runReplay(EventQueue::Backend::calendar, n_requests, 1);
+    if (!replay_wheel1.equivalentTo(replay_cal)) {
+        std::fprintf(stderr,
+                     "FAIL: unit-granularity wheel replay diverges "
+                     "from per-event timers (jobs %llu/%llu, end tick "
+                     "%llu/%llu, mean latency %.17g/%.17g)\n",
+                     (unsigned long long)replay_wheel1.jobs,
+                     (unsigned long long)replay_cal.jobs,
+                     (unsigned long long)replay_wheel1.endTick,
+                     (unsigned long long)replay_cal.endTick,
+                     replay_wheel1.latMean, replay_cal.latMean);
+        ok = false;
+    }
+
+    // ---- coarse wheel: coalescing throughput (approximate timing) -
+    ReplayStats replay_wheelC = runReplay(
+        EventQueue::Backend::calendar, n_requests,
+        replay_coarse_granularity);
+    if (replay_wheelC.jobs != replay_cal.jobs) {
+        std::fprintf(stderr,
+                     "FAIL: coarse wheel replay lost work (jobs "
+                     "%llu/%llu)\n",
+                     (unsigned long long)replay_wheelC.jobs,
+                     (unsigned long long)replay_cal.jobs);
+        ok = false;
+    }
+
+    // ---- warehouse fleet: events vs. wheel at 100k x 4 cores ----
+    WarehouseStats wh_events =
+        runWarehouse(warehouse_servers, warehouse_waves, 0);
+    WarehouseStats wh_wheel = runWarehouse(
+        warehouse_servers, warehouse_waves, warehouse_granularity);
+    if (wh_events.completions != wh_wheel.completions ||
+        wh_events.completions !=
+            warehouse_servers * warehouse_waves) {
+        std::fprintf(stderr,
+                     "FAIL: warehouse completions differ (events "
+                     "%llu, wheel %llu, expected %llu)\n",
+                     (unsigned long long)wh_events.completions,
+                     (unsigned long long)wh_wheel.completions,
+                     (unsigned long long)(warehouse_servers *
+                                          warehouse_waves));
+        ok = false;
+    }
+
     double hold_small_speedup =
         holdS_heap.opsPerSec() > 0.0
             ? holdS_cal.opsPerSec() / holdS_heap.opsPerSec()
@@ -411,6 +596,34 @@ main(int argc, char **argv)
                 "events/s, heap %.0f events/s\n",
                 n_requests, replay_cal.eventsPerSec(),
                 replay_heap.eventsPerSec());
+    std::printf("replay wheel g=1: %.0f events/s, %llu governor "
+                "timers in %llu ticks, stats %s\n",
+                replay_wheel1.eventsPerSec(),
+                (unsigned long long)replay_wheel1.wheelFired,
+                (unsigned long long)replay_wheel1.wheelTickEvents,
+                replay_wheel1.equivalentTo(replay_cal) ? "identical"
+                                                       : "DIVERGED");
+    std::printf("replay wheel g=%lluus: %.0f events/s, %llu governor "
+                "timers coalesced into %llu ticks (%llu -> %llu "
+                "events processed)\n",
+                (unsigned long long)(replay_coarse_granularity / usec),
+                replay_wheelC.eventsPerSec(),
+                (unsigned long long)replay_wheelC.wheelFired,
+                (unsigned long long)replay_wheelC.wheelTickEvents,
+                (unsigned long long)replay_cal.eventsProcessed,
+                (unsigned long long)replay_wheelC.eventsProcessed);
+    std::printf("warehouse (%zu servers x 4 cores, %u waves): events "
+                "%.0f ev/s (%llu events), wheel %.0f ev/s (%llu "
+                "events, %llu timers in %llu ticks, max batch "
+                "%llu)\n",
+                warehouse_servers, warehouse_waves,
+                wh_events.eventsPerSec(),
+                (unsigned long long)wh_events.eventsProcessed,
+                wh_wheel.eventsPerSec(),
+                (unsigned long long)wh_wheel.eventsProcessed,
+                (unsigned long long)wh_wheel.wheelFired,
+                (unsigned long long)wh_wheel.wheelTickEvents,
+                (unsigned long long)wh_wheel.wheelMaxBatch);
     std::printf("backend equivalence: %s\n", ok ? "OK" : "FAILED");
 
     if (!json_out.empty()) {
@@ -439,6 +652,45 @@ main(int argc, char **argv)
            << replay_heap.eventsPerSec()
            << ", \"stats_identical\": "
            << (replay_cal.identicalTo(replay_heap) ? "true" : "false")
+           << "},\n";
+        os << "  \"replay_wheel\": {\"unit_events_per_sec\": "
+           << replay_wheel1.eventsPerSec()
+           << ", \"unit_stats_identical\": "
+           << (replay_wheel1.equivalentTo(replay_cal) ? "true"
+                                                      : "false")
+           << ", \"coarse_granularity_us\": "
+           << replay_coarse_granularity / usec
+           << ", \"coarse_events_per_sec\": "
+           << replay_wheelC.eventsPerSec()
+           << ", \"coarse_events_processed\": "
+           << replay_wheelC.eventsProcessed
+           << ", \"events_mode_events_processed\": "
+           << replay_cal.eventsProcessed
+           << ", \"coarse_timers_fired\": " << replay_wheelC.wheelFired
+           << ", \"coarse_tick_events\": "
+           << replay_wheelC.wheelTickEvents << "},\n";
+        os << "  \"warehouse\": {\"servers\": " << warehouse_servers
+           << ", \"cores_per_server\": 4"
+           << ", \"waves\": " << warehouse_waves
+           << ", \"events_mode_events_per_sec\": "
+           << wh_events.eventsPerSec()
+           << ", \"events_mode_events_processed\": "
+           << wh_events.eventsProcessed
+           << ", \"events_mode_wall_seconds\": "
+           << wh_events.wallSeconds
+           << ", \"wheel_wall_seconds\": " << wh_wheel.wallSeconds
+           << ", \"wheel_granularity_us\": "
+           << warehouse_granularity / usec
+           << ", \"wheel_events_per_sec\": " << wh_wheel.eventsPerSec()
+           << ", \"wheel_events_processed\": "
+           << wh_wheel.eventsProcessed
+           << ", \"wheel_timers_fired\": " << wh_wheel.wheelFired
+           << ", \"wheel_tick_events\": " << wh_wheel.wheelTickEvents
+           << ", \"wheel_max_batch\": " << wh_wheel.wheelMaxBatch
+           << ", \"completions_identical\": "
+           << (wh_events.completions == wh_wheel.completions
+                   ? "true"
+                   : "false")
            << "},\n";
         os << "  \"backends_equivalent\": " << (ok ? "true" : "false")
            << "\n";

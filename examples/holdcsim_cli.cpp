@@ -118,6 +118,13 @@ options:
                         autoscaler; implies --orch
   --profile             profile the DES kernel; adds profile.* stats
                         and a hot-events table to the dump
+  --timer-mode=M        governor timer discipline: events (default;
+                        one kernel event per timeout) | wheel
+                        (coalesce onto a shared timer wheel; adds
+                        profile.wheel.* stats under --profile)
+  --wheel-granularity-us=N
+                        wheel bucket width in us (default 0.001 =
+                        1 ns, exact firing)
   --jobs=N              run experiment cells on N worker threads
                         (0 = one per hardware thread; default 1)
   --replicas=R          run R replications per sweep point, each
@@ -395,6 +402,11 @@ main(int argc, char **argv)
             overrides.emplace_back("orch.autoscale", "true");
         } else if (arg == "--profile") {
             overrides.emplace_back("telemetry.profile", "true");
+        } else if (valueFlag(arg, "timer-mode", value)) {
+            overrides.emplace_back("datacenter.timer_mode", value);
+        } else if (valueFlag(arg, "wheel-granularity-us", value)) {
+            overrides.emplace_back("datacenter.wheel_granularity_us",
+                                   value);
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "unknown option '%s'\n%s",
                          arg.c_str(), usage);

@@ -22,6 +22,7 @@
 
 #include "dc/datacenter.hh"
 #include "sim/logging.hh"
+#include "sim/timer_wheel.hh"
 #include "telemetry/profiler.hh"
 #include "workload/service.hh"
 
@@ -42,10 +43,14 @@ main(int argc, char **argv)
     // summary to FILE (stdout when omitted); used by
     // bench/run_kernel_profile.sh. --queue=heap|calendar selects the
     // event-queue backend so the script can record before/after
-    // events-per-host-second.
+    // events-per-host-second. --timer-mode=wheel coalesces the
+    // governor timers onto a shared wheel (bucket width set by
+    // --wheel-granularity-us; 0 = exact 1-tick buckets).
     bool profile_on = false;
     std::string profile_out;
     auto backend = EventQueue::Backend::calendar;
+    bool use_wheel = false;
+    Tick wheel_granularity = 1;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--profile") {
@@ -57,10 +62,22 @@ main(int argc, char **argv)
             backend = EventQueue::Backend::binaryHeap;
         } else if (arg == "--queue=calendar") {
             backend = EventQueue::Backend::calendar;
+        } else if (arg == "--timer-mode=wheel") {
+            use_wheel = true;
+        } else if (arg == "--timer-mode=events") {
+            use_wheel = false;
+        } else if (arg.rfind("--wheel-granularity-us=", 0) == 0) {
+            double us = std::stod(arg.substr(23));
+            wheel_granularity =
+                us <= 0.0 ? 1
+                          : static_cast<Tick>(
+                                us * static_cast<double>(usec));
         } else {
             std::fprintf(stderr,
                          "usage: three_tier [--profile[=FILE]] "
-                         "[--queue=heap|calendar]\n");
+                         "[--queue=heap|calendar] "
+                         "[--timer-mode=events|wheel] "
+                         "[--wheel-granularity-us=N]\n");
             return 2;
         }
     }
@@ -69,6 +86,11 @@ main(int argc, char **argv)
     // (DataCenter builds untyped servers, so build this fleet by
     // hand to show the lower-level API).
     Simulator sim(backend);
+    std::unique_ptr<TimerWheel> wheel;
+    if (use_wheel) {
+        wheel = std::make_unique<TimerWheel>(sim, wheel_granularity);
+        sim.setTimerWheel(wheel.get());
+    }
     ServerPowerProfile profile;
     Topology topo = Topology::star(12, 1e9, 5 * usec);
     Network net(sim, std::move(topo),
@@ -158,12 +180,14 @@ main(int argc, char **argv)
 
     if (profile_on) {
         if (profile_out.empty()) {
-            profiler.dumpJson(std::cout, wall_s, &sim.eventQueue());
+            profiler.dumpJson(std::cout, wall_s, &sim.eventQueue(),
+                              wheel.get());
         } else {
             std::ofstream os(profile_out);
             if (!os)
                 fatal("cannot open '", profile_out, "' for writing");
-            profiler.dumpJson(os, wall_s, &sim.eventQueue());
+            profiler.dumpJson(os, wall_s, &sim.eventQueue(),
+                              wheel.get());
         }
         std::printf("kernel events      : %llu (%.0f events/s host)\n",
                     static_cast<unsigned long long>(

@@ -89,6 +89,15 @@ DataCenter::DataCenter(const DataCenterConfig &config)
         _sim.setProbe(_profiler.get());
     }
 
+    // The shared governor timer wheel must be installed before any
+    // entity that arms power-state timeouts is built: pools, line
+    // cards and switches latch the wheel pointer at construction.
+    if (_config.timerMode == DataCenterConfig::TimerMode::wheel) {
+        _wheel = std::make_unique<TimerWheel>(_sim,
+                                              _config.wheelGranularity);
+        _sim.setTimerWheel(_wheel.get());
+    }
+
     // Fabric first: topologies dictate the server count.
     if (_config.fabric != DataCenterConfig::Fabric::none) {
         Topology topo;
@@ -474,6 +483,8 @@ DataCenter::dumpStats(std::ostream &os)
         StatGroup profile_group("profile");
         _profiler->addStats(profile_group);
         KernelProfiler::addQueueStats(profile_group, _sim.eventQueue());
+        if (_wheel)
+            KernelProfiler::addWheelStats(profile_group, *_wheel);
         profile_group.dump(os);
         _profiler->dumpHotTable(os);
     }

@@ -27,6 +27,7 @@
 #include "sim/auditor.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
+#include "sim/timer_wheel.hh"
 #include "telemetry/profiler.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/trace_manager.hh"
@@ -68,6 +69,8 @@ class DataCenter
     KernelProfiler *profiler() { return _profiler.get(); }
     /** Null unless config.audit.enabled. */
     InvariantAuditor *auditor() { return _auditor.get(); }
+    /** Null unless config.timerMode == TimerMode::wheel. */
+    TimerWheel *timerWheel() { return _wheel.get(); }
     const DataCenterConfig &config() const { return _config; }
     ///@}
 
@@ -135,6 +138,13 @@ class DataCenter
 
     DataCenterConfig _config;
     Simulator _sim;
+    /**
+     * Shared governor timer wheel (timer_mode=wheel only). Declared
+     * directly after the engine: every pool/card/switch latches the
+     * pointer at construction and cancels its handles before this
+     * dtor runs.
+     */
+    std::unique_ptr<TimerWheel> _wheel;
     /**
      * Telemetry sits between the engine and the plant: constructed
      * before (destroyed after) every component that may emit trace

@@ -92,6 +92,8 @@ DataCenterConfig::validate() const
         if (audit.energyTolerance < 0.0)
             fatal("audit.energy_tolerance must be non-negative");
     }
+    if (wheelGranularity == 0)
+        fatal("datacenter.wheel_granularity_us must be positive");
     if (campaign.maxAttempts == 0)
         fatal("campaign.max_attempts must be at least 1");
     if (campaign.watchdogSec < 0.0)
@@ -111,6 +113,19 @@ DataCenterConfig::fromConfig(const Config &cfg)
         cfg.getInt("datacenter.cores", out.nCores));
     out.seed = static_cast<std::uint64_t>(
         cfg.getInt("datacenter.seed", static_cast<std::int64_t>(out.seed)));
+
+    std::string tm = cfg.getString("datacenter.timer_mode", "events");
+    if (tm == "events")
+        out.timerMode = TimerMode::events;
+    else if (tm == "wheel")
+        out.timerMode = TimerMode::wheel;
+    else
+        fatal("unknown datacenter.timer_mode '", tm, "'");
+    if (cfg.has("datacenter.wheel_granularity_us")) {
+        out.wheelGranularity = static_cast<Tick>(
+            cfg.getDouble("datacenter.wheel_granularity_us") *
+            static_cast<double>(usec));
+    }
 
     std::string qm = cfg.getString("server.queue_mode", "unified");
     if (qm == "unified")
@@ -367,6 +382,7 @@ namespace {
 const char *const knownConfigKeys[] = {
     // clang-format off
     "datacenter.servers", "datacenter.cores", "datacenter.seed",
+    "datacenter.timer_mode", "datacenter.wheel_granularity_us",
     "server.queue_mode", "server.core_pick", "server.allow_pkg_c6",
     "server.controller", "server.tau_ms",
     "scheduler.policy", "scheduler.global_queue",

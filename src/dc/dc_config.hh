@@ -51,6 +51,22 @@ struct DataCenterConfig {
     bool taskAntiAffinity = false;
     ///@}
 
+    /** @name Kernel timer discipline */
+    ///@{
+    /**
+     * How power-state governor timeouts (core demotion, port LPI,
+     * line card / switch sleep) are scheduled: one kernel event per
+     * timeout (events), or coalesced onto a shared hierarchical
+     * timer wheel (wheel). With wheelGranularity = 1 the wheel is
+     * statistics-identical to events mode; coarser buckets trade
+     * firing exactness (quantized up) for fewer kernel events.
+     */
+    enum class TimerMode { events, wheel };
+    TimerMode timerMode = TimerMode::events;
+    /** Wheel bucket width (default 1 ns = exact firing). */
+    Tick wheelGranularity = 1;
+    ///@}
+
     /** @name Network fabric */
     ///@{
     enum class Fabric { none, star, fatTree, flattenedButterfly,
@@ -221,7 +237,8 @@ struct DataCenterConfig {
     /**
      * Load from parsed INI text. Recognized keys (all optional):
      *
-     *   [datacenter] servers, cores, seed
+     *   [datacenter] servers, cores, seed,
+     *                timer_mode (events|wheel), wheel_granularity_us
      *   [server]     queue_mode (unified|per_core),
      *                core_pick (round_robin|least_loaded),
      *                allow_pkg_c6,

@@ -15,6 +15,7 @@
 #include "sim/event.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
+#include "sim/timer_wheel.hh"
 #include "switch_power.hh"
 #include "telemetry/trace_manager.hh"
 
@@ -27,9 +28,10 @@ enum class LineCardState { active, sleep, off };
  * A line card hosting a contiguous group of ports. The card sleeps
  * when all of its ports have been quiescent (LPI or off) for the
  * profile's threshold and wakes -- paying the wake latency -- when
- * traffic returns.
+ * traffic returns. The sleep countdown rides the shared TimerWheel
+ * when one is installed, a private event otherwise.
  */
-class LineCard
+class LineCard : private TimerClient
 {
   public:
     using AccrueFn = std::function<void()>;
@@ -73,6 +75,13 @@ class LineCard
 
     const StateResidency &residency() const { return _residency; }
     void finishStats(Tick now) { _residency.finish(now); }
+    /** Zero residency (end of warmup). */
+    void
+    resetStats(Tick now)
+    {
+        _residency.reset();
+        _residency.enter(static_cast<int>(_state), now);
+    }
 
     /**
      * Name this card on the timeline ("sw2.lc0"); assigned by the
@@ -85,12 +94,21 @@ class LineCard
     void setState(LineCardState next);
     /** Emit the current state to the timeline tracer. */
     void traceState();
+    /** TimerClient: the sleep countdown expired. */
+    void timerFired(std::uint64_t token, Tick deadline) override;
+    /** Body shared by the sleep event and the wheel callback. */
+    void sleepDeadline();
+    void armSleep(Tick delay);
+    void cancelSleep();
 
     Simulator &_sim;
     unsigned _id;
     const SwitchPowerProfile &_profile;
     AccrueFn _accrue;
     StateChangedFn _stateChanged;
+    /** Wheel latched at construction; nullptr = private event. */
+    TimerWheel *_wheel;
+    TimerWheel::Handle _sleepHandle;
 
     LineCardState _state = LineCardState::active;
     std::vector<Port *> _ports;

@@ -4,163 +4,225 @@
 
 namespace holdcsim {
 
-Port::Port(Simulator &sim, unsigned id,
-           const SwitchPowerProfile &profile, BitsPerSec line_rate,
-           std::size_t buffer_capacity, AccrueFn accrue,
-           ActivityFn activity_changed)
-    : _sim(sim), _id(id), _profile(profile), _lineRate(line_rate),
-      _bufferCapacity(buffer_capacity), _accrue(std::move(accrue)),
-      _activityChanged(std::move(activity_changed)),
-      _txDoneEvent([this] { transmitDone(); }, "port.txDone"),
-      _lpiEvent([this] {
-          if (!busy() && _state == PortState::active) {
-              setState(PortState::lpi);
-              _activityChanged();
-          }
-      }, "port.lpi", Event::powerPriority)
+PortPool::PortPool(Simulator &sim, PortHost &host,
+                   const SwitchPowerProfile &profile,
+                   std::vector<BitsPerSec> line_rates,
+                   std::size_t buffer_capacity)
+    : _sim(sim), _host(host), _profile(profile),
+      _bufferCapacity(buffer_capacity), _wheel(sim.timerWheel())
 {
-    if (line_rate <= 0.0)
-        fatal("port line rate must be positive");
+    for (BitsPerSec r : line_rates)
+        if (r <= 0.0)
+            fatal("port line rate must be positive");
     if (buffer_capacity == 0)
         fatal("port buffer capacity must be positive");
-    _residency.enter(static_cast<int>(_state), sim.curTick());
-    maybeArmLpi();
+
+    const unsigned n = static_cast<unsigned>(line_rates.size());
+    _state.assign(n, PortState::active);
+    _rateFraction.assign(n, 1.0);
+    _activeFlows.assign(n, 0);
+    _lineRate = std::move(line_rates);
+    _lpi.resize(n);
+    _residency.resize(n);
+    _packetsSent.assign(n, 0);
+    _packetsDropped.assign(n, 0);
+    _bytesSent.assign(n, 0);
+    _io.resize(n);
+
+    const Tick now = sim.curTick();
+    for (unsigned p = 0; p < n; ++p) {
+        _txDoneEvents.emplace_back([this, p] { transmitDone(p); },
+                                   "port.txDone");
+        if (!_wheel)
+            _lpiEvents.emplace_back([this, p] {
+                if (!busy(p) && _state[p] == PortState::active) {
+                    setState(p, PortState::lpi);
+                    _host.portActivityChanged(p);
+                }
+            }, "port.lpi", Event::powerPriority);
+        _residency[p].enter(static_cast<int>(_state[p]), now);
+        maybeArmLpi(p);
+    }
 }
 
-Port::~Port()
+PortPool::~PortPool()
 {
-    if (_txDoneEvent.scheduled())
-        _sim.deschedule(_txDoneEvent);
-    if (_lpiEvent.scheduled())
-        _sim.deschedule(_lpiEvent);
+    for (auto &ev : _txDoneEvents)
+        if (ev.scheduled())
+            _sim.deschedule(ev);
+    for (auto &ev : _lpiEvents)
+        if (ev.scheduled())
+            _sim.deschedule(ev);
+    if (_wheel)
+        for (auto &h : _lpi)
+            _wheel->cancel(h);
 }
 
 void
-Port::setState(PortState next)
+PortPool::timerFired(std::uint64_t token, Tick)
 {
-    if (next == _state)
+    const unsigned p = static_cast<unsigned>(token);
+    _lpi[p] = {}; // the firing handle is already dead
+    if (!busy(p) && _state[p] == PortState::active) {
+        setState(p, PortState::lpi);
+        _host.portActivityChanged(p);
+    }
+}
+
+void
+PortPool::setState(unsigned p, PortState next)
+{
+    if (next == _state[p])
         return;
-    _accrue();
-    _state = next;
-    _residency.enter(static_cast<int>(next), _sim.curTick());
+    _host.portAccrue();
+    _state[p] = next;
+    _residency[p].enter(static_cast<int>(next), _sim.curTick());
 }
 
 Tick
-Port::wake()
+PortPool::wake(unsigned p)
 {
-    if (_lpiEvent.scheduled())
-        _sim.deschedule(_lpiEvent);
-    if (_state == PortState::active)
+    cancelLpi(p);
+    if (_state[p] == PortState::active)
         return 0;
-    if (_state == PortState::off)
+    if (_state[p] == PortState::off)
         fatal("cannot route traffic through a powered-off port");
-    setState(PortState::active);
-    _activityChanged();
+    setState(p, PortState::active);
+    _host.portActivityChanged(p);
     return _profile.lpiExitLatency;
 }
 
 void
-Port::powerOff()
+PortPool::powerOff(unsigned p)
 {
-    if (busy())
+    if (busy(p))
         fatal("cannot power off a busy port");
-    if (_lpiEvent.scheduled())
-        _sim.deschedule(_lpiEvent);
-    setState(PortState::off);
-    _activityChanged();
+    cancelLpi(p);
+    setState(p, PortState::off);
+    _host.portActivityChanged(p);
 }
 
 void
-Port::setRateFraction(double fraction)
+PortPool::setRateFraction(unsigned p, double fraction)
 {
     if (fraction <= 0.0 || fraction > 1.0)
         fatal("port rate fraction must be in (0, 1]");
-    _accrue();
-    _rateFraction = fraction;
+    _host.portAccrue();
+    _rateFraction[p] = fraction;
 }
 
 bool
-Port::sendPacket(const PacketPtr &pkt, Tick extra_delay)
+PortPool::sendPacket(unsigned p, const PacketPtr &pkt, Tick extra_delay)
 {
-    Tick wake_delay = wake() + extra_delay;
-    if (_queue.size() >= _bufferCapacity) {
-        ++_packetsDropped;
+    Tick wake_delay = wake(p) + extra_delay;
+    PortIo &io = _io[p];
+    if (io.queue.size() >= _bufferCapacity) {
+        ++_packetsDropped[p];
         return false;
     }
-    _queue.push_back(pkt);
-    if (!_transmitting)
-        startNext(wake_delay);
+    io.queue.push_back(pkt);
+    if (!io.transmitting)
+        startNext(p, wake_delay);
     return true;
 }
 
 void
-Port::startNext(Tick extra_delay)
+PortPool::startNext(unsigned p, Tick extra_delay)
 {
-    if (_queue.empty())
-        HOLDCSIM_PANIC("port ", _id, " startNext with empty queue");
-    _inFlight = _queue.front();
-    _queue.pop_front();
-    _transmitting = true;
-    Tick ser = serializationDelay(_inFlight->bytes, currentRate());
-    _sim.scheduleAfter(_txDoneEvent, extra_delay + ser);
+    PortIo &io = _io[p];
+    if (io.queue.empty())
+        HOLDCSIM_PANIC("port ", p, " startNext with empty queue");
+    io.inFlight = io.queue.front();
+    io.queue.pop_front();
+    io.transmitting = true;
+    Tick ser = serializationDelay(io.inFlight->bytes, currentRate(p));
+    _sim.scheduleAfter(_txDoneEvents[p], extra_delay + ser);
 }
 
 void
-Port::transmitDone()
+PortPool::transmitDone(unsigned p)
 {
-    PacketPtr pkt = std::move(_inFlight);
-    _transmitting = false;
-    ++_packetsSent;
-    _bytesSent += pkt->bytes;
-    if (!_queue.empty())
-        startNext(0);
+    PortIo &io = _io[p];
+    PacketPtr pkt = std::move(io.inFlight);
+    io.transmitting = false;
+    ++_packetsSent[p];
+    _bytesSent[p] += pkt->bytes;
+    if (!io.queue.empty())
+        startNext(p, 0);
     else
-        maybeArmLpi();
-    if (_deliver)
-        _deliver(pkt);
+        maybeArmLpi(p);
+    if (io.deliver)
+        io.deliver(pkt);
     else
-        HOLDCSIM_PANIC("port ", _id, " transmitted with no deliver fn");
+        HOLDCSIM_PANIC("port ", p, " transmitted with no deliver fn");
 }
 
 void
-Port::flowStarted()
+PortPool::flowStarted(unsigned p)
 {
-    wake();
-    ++_activeFlows;
+    wake(p);
+    ++_activeFlows[p];
 }
 
 void
-Port::flowEnded()
+PortPool::flowEnded(unsigned p)
 {
-    if (_activeFlows == 0)
-        HOLDCSIM_PANIC("port ", _id, " flowEnded underflow");
-    --_activeFlows;
-    maybeArmLpi();
+    if (_activeFlows[p] == 0)
+        HOLDCSIM_PANIC("port ", p, " flowEnded underflow");
+    --_activeFlows[p];
+    maybeArmLpi(p);
 }
 
 void
-Port::maybeArmLpi()
+PortPool::maybeArmLpi(unsigned p)
 {
-    if (busy() || _state != PortState::active)
+    if (busy(p) || _state[p] != PortState::active)
         return;
     if (_profile.lpiIdleThreshold == maxTick)
         return; // LPI disabled (e.g. pre-802.3az hardware)
-    _sim.reschedule(_lpiEvent,
-                    _sim.curTick() + _profile.lpiIdleThreshold);
+    if (_wheel) {
+        _wheel->cancel(_lpi[p]);
+        _lpi[p] = _wheel->arm(*this, p, _profile.lpiIdleThreshold);
+    } else {
+        _sim.reschedule(_lpiEvents[p],
+                        _sim.curTick() + _profile.lpiIdleThreshold);
+    }
+}
+
+void
+PortPool::cancelLpi(unsigned p)
+{
+    if (_wheel) {
+        _wheel->cancel(_lpi[p]);
+    } else if (_lpiEvents[p].scheduled()) {
+        _sim.deschedule(_lpiEvents[p]);
+    }
 }
 
 Watts
-Port::power() const
+PortPool::power(unsigned p) const
 {
-    switch (_state) {
+    switch (_state[p]) {
       case PortState::active:
-        return _profile.portPowerAt(_rateFraction);
+        return _profile.portPowerAt(_rateFraction[p]);
       case PortState::lpi:
         return _profile.portLpi;
       case PortState::off:
         return _profile.portOff;
     }
     HOLDCSIM_PANIC("unknown PortState");
+}
+
+void
+Port::resetStats(Tick now)
+{
+    PortPool &p = *_pool;
+    p._packetsSent[_id] = 0;
+    p._packetsDropped[_id] = 0;
+    p._bytesSent[_id] = 0;
+    StateResidency &res = p._residency[_id];
+    res.reset();
+    res.enter(static_cast<int>(p._state[_id]), now);
 }
 
 } // namespace holdcsim

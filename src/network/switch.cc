@@ -4,20 +4,38 @@
 
 namespace holdcsim {
 
-Switch::Switch(Simulator &sim, const SwitchConfig &config,
-               const SwitchPowerProfile &profile)
-    : _sim(sim), _config(config), _profile(profile),
-      _sleepEvent([this] { trySleep(); }, "switch.sleep",
-                  Event::powerPriority),
-      _lastAccrue(sim.curTick())
+namespace {
+
+/**
+ * Validate the profile and port configuration, then hand back the
+ * per-port rates. Runs in the member-init list so the checks precede
+ * PortPool construction.
+ */
+std::vector<BitsPerSec>
+checkedPortRates(const SwitchConfig &config,
+                 const SwitchPowerProfile &profile)
 {
-    _profile.validate();
+    profile.validate();
     if (config.portRates.empty())
         fatal("switch needs at least one port");
     if (config.portsPerLinecard == 0)
         fatal("portsPerLinecard must be positive");
+    return config.portRates;
+}
 
-    unsigned n_ports = static_cast<unsigned>(config.portRates.size());
+} // namespace
+
+Switch::Switch(Simulator &sim, const SwitchConfig &config,
+               const SwitchPowerProfile &profile)
+    : _sim(sim), _config(config), _profile(profile),
+      _portPool(sim, *this, _profile, checkedPortRates(config, _profile),
+                config.portBufferCapacity),
+      _wheel(sim.timerWheel()),
+      _sleepEvent([this] { trySleep(); }, "switch.sleep",
+                  Event::powerPriority),
+      _lastAccrue(sim.curTick())
+{
+    unsigned n_ports = _portPool.size();
     unsigned n_cards =
         (n_ports + config.portsPerLinecard - 1) /
         config.portsPerLinecard;
@@ -25,17 +43,16 @@ Switch::Switch(Simulator &sim, const SwitchConfig &config,
         _linecards.push_back(std::make_unique<LineCard>(
             sim, lc, _profile, [this] { accrue(); },
             [this] { linecardStateChanged(); }));
-        _linecards.back()->setTraceLabel(
-            "sw" + std::to_string(config.id) + ".lc" +
-            std::to_string(lc));
+        if (sim.tracer()) {
+            _linecards.back()->setTraceLabel(
+                "sw" + std::to_string(config.id) + ".lc" +
+                std::to_string(lc));
+        }
     }
+    _ports.reserve(n_ports);
     for (unsigned p = 0; p < n_ports; ++p) {
-        unsigned lc = p / config.portsPerLinecard;
-        _ports.push_back(std::make_unique<Port>(
-            sim, p, _profile, config.portRates[p],
-            config.portBufferCapacity, [this] { accrue(); },
-            [this, lc] { portActivityChanged(lc); }));
-        _linecards[lc]->addPort(_ports.back().get());
+        _ports.emplace_back(_portPool, p);
+        _linecards[p / config.portsPerLinecard]->addPort(&_ports.back());
     }
     _residency.enter(0, sim.curTick()); // awake
     traceState();
@@ -48,6 +65,37 @@ Switch::~Switch()
 {
     if (_sleepEvent.scheduled())
         _sim.deschedule(_sleepEvent);
+    if (_wheel)
+        _wheel->cancel(_sleepHandle);
+}
+
+void
+Switch::timerFired(std::uint64_t, Tick)
+{
+    _sleepHandle = {}; // the firing handle is already dead
+    trySleep();
+}
+
+void
+Switch::armSleep()
+{
+    if (_wheel) {
+        _wheel->cancel(_sleepHandle);
+        _sleepHandle = _wheel->arm(*this, 0, _config.switchSleepDelay);
+    } else {
+        _sim.reschedule(_sleepEvent,
+                        _sim.curTick() + _config.switchSleepDelay);
+    }
+}
+
+void
+Switch::cancelSleep()
+{
+    if (_wheel) {
+        _wheel->cancel(_sleepHandle);
+    } else if (_sleepEvent.scheduled()) {
+        _sim.deschedule(_sleepEvent);
+    }
 }
 
 Tick
@@ -58,11 +106,10 @@ Switch::wakeForActivity(unsigned port_idx)
         setAsleep(false);
         delay += _profile.switchWakeLatency;
     }
-    if (_sleepEvent.scheduled())
-        _sim.deschedule(_sleepEvent);
+    cancelSleep();
     unsigned lc = port_idx / _config.portsPerLinecard;
     delay += _linecards.at(lc)->wake();
-    delay += _ports.at(port_idx)->wake();
+    delay += _ports.at(port_idx).wake();
     return delay;
 }
 
@@ -72,7 +119,7 @@ Switch::trySleep()
     if (_asleep)
         return true;
     for (const auto &p : _ports) {
-        if (p->busy())
+        if (p.busy())
             return false;
     }
     setAsleep(true);
@@ -86,8 +133,15 @@ Switch::setFailed(bool failed)
         return;
     accrue();
     _failed = failed;
-    if (failed && _sleepEvent.scheduled())
-        _sim.deschedule(_sleepEvent);
+    if (failed) {
+        cancelSleep();
+    } else {
+        // A repaired switch whose line cards are all still quiescent
+        // would otherwise stay awake forever: no port edge means no
+        // one ever restarts the sleep countdown the failure
+        // cancelled.
+        linecardStateChanged();
+    }
     traceState();
 }
 
@@ -98,7 +152,7 @@ Switch::forwardPacket(const PacketPtr &pkt, unsigned out_port)
         return false; // a dead switch drops everything
     Tick wake_delay = wakeForActivity(out_port);
     ++_packetsForwarded;
-    return _ports.at(out_port)->sendPacket(
+    return _ports.at(out_port).sendPacket(
         pkt, wake_delay + _forwardingDelay);
 }
 
@@ -107,16 +161,16 @@ Switch::flowStarted(unsigned in_port, unsigned out_port)
 {
     Tick delay = wakeForActivity(in_port);
     delay += wakeForActivity(out_port);
-    _ports.at(in_port)->flowStarted();
-    _ports.at(out_port)->flowStarted();
+    _ports.at(in_port).flowStarted();
+    _ports.at(out_port).flowStarted();
     return delay;
 }
 
 void
 Switch::flowEnded(unsigned in_port, unsigned out_port)
 {
-    _ports.at(in_port)->flowEnded();
-    _ports.at(out_port)->flowEnded();
+    _ports.at(in_port).flowEnded();
+    _ports.at(out_port).flowEnded();
 }
 
 Watts
@@ -130,7 +184,7 @@ Switch::power() const
     for (const auto &lc : _linecards)
         total += lc->power();
     for (const auto &p : _ports)
-        total += p->power();
+        total += p.power();
     return total;
 }
 
@@ -151,7 +205,7 @@ Switch::packetsDropped() const
 {
     std::uint64_t total = 0;
     for (const auto &p : _ports)
-        total += p->packetsDropped();
+        total += p.packetsDropped();
     return total;
 }
 
@@ -162,7 +216,7 @@ Switch::finishStats()
     Tick now = _sim.curTick();
     _residency.finish(now);
     for (auto &p : _ports)
-        p->finishStats(now);
+        p.finishStats(now);
     for (auto &lc : _linecards)
         lc->finishStats(now);
 }
@@ -174,14 +228,23 @@ Switch::resetStats()
     _energy = 0.0;
     _packetsForwarded = 0;
     _sleepTransitions = 0;
+    Tick now = _sim.curTick();
     _residency.reset();
-    _residency.enter(_asleep ? 1 : 0, _sim.curTick());
+    _residency.enter(_asleep ? 1 : 0, now);
+    // Cascade: a warmup reset must also zero the per-port packet
+    // counters and the port/line-card residencies, or post-warmup
+    // dumps double-count the warmup interval.
+    for (auto &p : _ports)
+        p.resetStats(now);
+    for (auto &lc : _linecards)
+        lc->resetStats(now);
 }
 
 void
-Switch::portActivityChanged(unsigned linecard_idx)
+Switch::portActivityChanged(unsigned port)
 {
-    _linecards.at(linecard_idx)->portActivityChanged();
+    _linecards.at(port / _config.portsPerLinecard)
+        ->portActivityChanged();
 }
 
 void
@@ -195,8 +258,7 @@ Switch::linecardStateChanged()
         if (lc->state() == LineCardState::active)
             return;
     }
-    _sim.reschedule(_sleepEvent,
-                    _sim.curTick() + _config.switchSleepDelay);
+    armSleep();
 }
 
 void

@@ -40,7 +40,7 @@ struct SwitchConfig {
 };
 
 /** A store-and-forward switch with hierarchical power management. */
-class Switch
+class Switch : private PortHost, private TimerClient
 {
   public:
     Switch(Simulator &sim, const SwitchConfig &config,
@@ -52,8 +52,8 @@ class Switch
     unsigned id() const { return _config.id; }
     std::size_t numPorts() const { return _ports.size(); }
     std::size_t numLineCards() const { return _linecards.size(); }
-    Port &port(unsigned i) { return *_ports.at(i); }
-    const Port &port(unsigned i) const { return *_ports.at(i); }
+    Port &port(unsigned i) { return _ports.at(i); }
+    const Port &port(unsigned i) const { return _ports.at(i); }
     LineCard &lineCard(unsigned i) { return *_linecards.at(i); }
 
     /** Whether the whole switch is in its sleep state. */
@@ -121,8 +121,17 @@ class Switch
     const SwitchConfig &config() const { return _config; }
 
   private:
-    void portActivityChanged(unsigned linecard_idx);
+    /** @name PortHost interface (driven by the port pool) */
+    ///@{
+    void portAccrue() override { accrue(); }
+    /** Route a port's busy/idle edge to its line card. */
+    void portActivityChanged(unsigned port) override;
+    ///@}
+    /** TimerClient: the whole-switch sleep countdown expired. */
+    void timerFired(std::uint64_t token, Tick deadline) override;
     void linecardStateChanged();
+    void armSleep();
+    void cancelSleep();
     void setAsleep(bool asleep);
     /** Emit the chassis state (awake/asleep/failed) to the tracer. */
     void traceState();
@@ -133,12 +142,18 @@ class Switch
      *  temporary profile argument cannot dangle. */
     SwitchPowerProfile _profile;
 
-    std::vector<std::unique_ptr<Port>> _ports;
+    /** Hot per-port state, struct-of-arrays (see port.hh). */
+    PortPool _portPool;
+    /** Thin per-port views (stable addresses; line cards point in). */
+    std::vector<Port> _ports;
     std::vector<std::unique_ptr<LineCard>> _linecards;
 
     bool _asleep = false;
     bool _failed = false;
     Tick _forwardingDelay = 1 * usec;
+    /** Wheel latched at construction; nullptr = private event. */
+    TimerWheel *_wheel = nullptr;
+    TimerWheel::Handle _sleepHandle;
     EventFunctionWrapper _sleepEvent;
 
     Tick _lastAccrue = 0;

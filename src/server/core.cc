@@ -4,70 +4,92 @@
 
 namespace holdcsim {
 
-Core::Core(Simulator &sim, unsigned id, const ServerPowerProfile &profile,
-           double base_freq_ghz, AccrueFn accrue,
-           StateChangedFn state_changed)
-    : _sim(sim), _id(id), _profile(profile),
-      _baseFreqGhz(base_freq_ghz), _accrue(std::move(accrue)),
-      _stateChanged(std::move(state_changed)),
-      _completionEvent([this] {
-          // Task done: hand the result up, then fall idle.
-          TaskRef finished = _current;
-          TaskDoneFn done = std::move(_done);
-          _done = nullptr;
-          ++_tasksExecuted;
-          setCState(CoreCState::c0Idle);
-          armDemotion();
-          if (done)
-              done(finished);
-      }, "core.completion"),
-      _demotionEvent([this] { demote(); }, "core.demotion",
-                     Event::powerPriority)
+CorePool::CorePool(Simulator &sim, CoreHost &host,
+                   const ServerPowerProfile &profile,
+                   std::vector<double> base_freqs_ghz)
+    : _sim(sim), _host(host), _profile(profile),
+      _wheel(sim.timerWheel())
 {
-    if (base_freq_ghz <= 0.0)
-        fatal("core base frequency must be positive");
-    _residency.enter(static_cast<int>(_cstate), sim.curTick());
-    armDemotion();
+    const unsigned n = static_cast<unsigned>(base_freqs_ghz.size());
+    for (double f : base_freqs_ghz)
+        if (f <= 0.0)
+            fatal("core base frequency must be positive");
+
+    _cstate.assign(n, CoreCState::c0Idle);
+    _pstate.assign(n, 0);
+    _baseFreqGhz = std::move(base_freqs_ghz);
+    _current.assign(n, TaskRef{});
+    _startedAt.assign(n, 0);
+    _tasksExecuted.assign(n, 0);
+    _residency.resize(n);
+    _demotion.resize(n);
+    _traceLabel.resize(n);
+    _traceTrack.assign(n, noTraceTrack);
+
+    const Tick now = sim.curTick();
+    for (unsigned c = 0; c < n; ++c) {
+        _completionEvents.emplace_back([this, c] { complete(c); },
+                                       "core.completion");
+        if (!_wheel)
+            _demotionEvents.emplace_back([this, c] { demote(c); },
+                                         "core.demotion",
+                                         Event::powerPriority);
+        _residency[c].enter(static_cast<int>(_cstate[c]), now);
+        armDemotion(c);
+    }
 }
 
-Core::~Core()
+CorePool::~CorePool()
 {
-    if (_completionEvent.scheduled())
-        _sim.deschedule(_completionEvent);
-    if (_demotionEvent.scheduled())
-        _sim.deschedule(_demotionEvent);
-}
-
-double
-Core::frequencyGhz() const
-{
-    const auto &ps = _profile.pstates;
-    return _baseFreqGhz * ps[_pstate].freqGhz / ps[0].freqGhz;
+    for (auto &ev : _completionEvents)
+        if (ev.scheduled())
+            _sim.deschedule(ev);
+    for (auto &ev : _demotionEvents)
+        if (ev.scheduled())
+            _sim.deschedule(ev);
+    if (_wheel)
+        for (auto &h : _demotion)
+            _wheel->cancel(h);
 }
 
 void
-Core::setPState(std::size_t idx)
+CorePool::timerFired(std::uint64_t token, Tick)
+{
+    const unsigned c = static_cast<unsigned>(token);
+    _demotion[c] = {}; // the firing handle is already dead
+    demote(c);
+}
+
+double
+CorePool::frequencyGhz(unsigned c) const
+{
+    const auto &ps = _profile.pstates;
+    return _baseFreqGhz[c] * ps[_pstate[c]].freqGhz / ps[0].freqGhz;
+}
+
+void
+CorePool::setPState(unsigned c, std::size_t idx)
 {
     if (idx >= _profile.pstates.size())
         fatal("P-state ", idx, " out of range");
-    if (busy())
+    if (busy(c))
         fatal("changing P-state mid-task is not modeled");
-    if (idx == _pstate)
+    if (idx == _pstate[c])
         return;
-    _accrue();
-    _pstate = idx;
+    _host.coreAccrue();
+    _pstate[c] = idx;
     if (TraceManager *tr = _sim.tracer();
-        tr && !_traceLabel.empty() && tr->wants(TraceCategory::core)) {
-        if (_traceTrack == noTraceTrack)
-            _traceTrack = tr->track("cores", _traceLabel);
-        tr->instant(_traceTrack, TraceCategory::core,
+        tr && !_traceLabel[c].empty() && tr->wants(TraceCategory::core)) {
+        if (_traceTrack[c] == noTraceTrack)
+            _traceTrack[c] = tr->track("cores", _traceLabel[c]);
+        tr->instant(_traceTrack[c], TraceCategory::core,
                     "P" + std::to_string(idx), _sim.curTick());
     }
-    _stateChanged();
+    _host.coreStateChanged();
 }
 
 Tick
-Core::exitLatency(CoreCState from) const
+CorePool::exitLatency(CoreCState from) const
 {
     switch (from) {
       case CoreCState::c0Active:
@@ -84,40 +106,55 @@ Core::exitLatency(CoreCState from) const
 }
 
 Tick
-Core::processingTime(const TaskRef &task) const
+CorePool::processingTime(unsigned c, const TaskRef &task) const
 {
-    double ratio = _profile.pstates[0].freqGhz / frequencyGhz();
+    double ratio = _profile.pstates[0].freqGhz / frequencyGhz(c);
     double scaled = static_cast<double>(task.serviceTime) *
                     (task.computeIntensity * ratio +
                      (1.0 - task.computeIntensity));
+    // Saturate: casting a double beyond Tick's range is UB, and a
+    // huge service time at a slow P-state can overflow 2^64 ns.
+    if (!(scaled + 0.5 < static_cast<double>(maxTick)))
+        return maxTick;
     Tick t = static_cast<Tick>(scaled + 0.5);
     return t > 0 ? t : 1;
 }
 
 void
-Core::startTask(const TaskRef &task, Tick extra_wake, TaskDoneFn done)
+CorePool::startTask(unsigned c, const TaskRef &task, Tick extra_wake)
 {
-    if (busy())
-        HOLDCSIM_PANIC("core ", _id, " given a task while busy");
-    Tick wake = exitLatency(_cstate) + extra_wake;
-    if (_demotionEvent.scheduled())
-        _sim.deschedule(_demotionEvent);
-    setCState(CoreCState::c0Active);
-    _current = task;
-    _done = std::move(done);
-    _startedAt = _sim.curTick();
+    if (busy(c))
+        HOLDCSIM_PANIC("core ", c, " given a task while busy");
+    Tick wake = exitLatency(_cstate[c]) + extra_wake;
+    cancelDemotion(c);
+    setCState(c, CoreCState::c0Active);
+    _current[c] = task;
+    _startedAt[c] = _sim.curTick();
     // The wake latency delays the task but the core is already
     // powered up (C0) while exiting, so C0-active power during the
     // exit window is a close approximation.
-    _sim.scheduleAfter(_completionEvent, wake + processingTime(task));
+    _sim.scheduleAfter(_completionEvents[c],
+                       wake + processingTime(c, task));
+}
+
+void
+CorePool::complete(unsigned c)
+{
+    // Task done: hand the result up, then fall idle.
+    TaskRef finished = _current[c];
+    ++_tasksExecuted[c];
+    setCState(c, CoreCState::c0Idle);
+    armDemotion(c);
+    _host.coreTaskDone(c, finished);
 }
 
 Watts
-Core::power() const
+CorePool::power(unsigned c) const
 {
-    switch (_cstate) {
+    switch (_cstate[c]) {
       case CoreCState::c0Active:
-        return _profile.coreActive * _profile.pstates[_pstate].powerScale;
+        return _profile.coreActive *
+               _profile.pstates[_pstate[c]].powerScale;
       case CoreCState::c0Idle:
         return _profile.coreC0Idle;
       case CoreCState::c1:
@@ -131,46 +168,46 @@ Core::power() const
 }
 
 void
-Core::setCState(CoreCState next)
+CorePool::setCState(unsigned c, CoreCState next)
 {
-    if (next == _cstate)
+    if (next == _cstate[c])
         return;
-    _accrue();
-    _cstate = next;
-    _residency.enter(static_cast<int>(next), _sim.curTick());
-    traceCState();
-    _stateChanged();
+    _host.coreAccrue();
+    _cstate[c] = next;
+    _residency[c].enter(static_cast<int>(next), _sim.curTick());
+    traceCState(c);
+    _host.coreStateChanged();
 }
 
 void
-Core::setTraceLabel(std::string label)
+CorePool::setTraceLabel(unsigned c, std::string label)
 {
-    _traceLabel = std::move(label);
+    _traceLabel[c] = std::move(label);
     // Open the initial state's slice right away so the timeline
     // starts at construction, not at the first transition.
-    traceCState();
+    traceCState(c);
 }
 
 void
-Core::traceCState()
+CorePool::traceCState(unsigned c)
 {
     TraceManager *tr = _sim.tracer();
-    if (!tr || _traceLabel.empty() || !tr->wants(TraceCategory::core))
+    if (!tr || _traceLabel[c].empty() || !tr->wants(TraceCategory::core))
         return;
-    if (_traceTrack == noTraceTrack)
-        _traceTrack = tr->track("cores", _traceLabel);
-    tr->transition(_traceTrack, TraceCategory::core, toString(_cstate),
-                   _sim.curTick());
+    if (_traceTrack[c] == noTraceTrack)
+        _traceTrack[c] = tr->track("cores", _traceLabel[c]);
+    tr->transition(_traceTrack[c], TraceCategory::core,
+                   toString(_cstate[c]), _sim.curTick());
 }
 
 void
-Core::armDemotion()
+CorePool::armDemotion(unsigned c)
 {
-    if (busy())
+    if (busy(c))
         return;
     // Pick the next deeper state this governor is configured for.
     Tick delay = 0;
-    switch (_cstate) {
+    switch (_cstate[c]) {
       case CoreCState::c0Idle:
         delay = _profile.demoteC1After;
         break;
@@ -185,55 +222,70 @@ Core::armDemotion()
     }
     if (delay == maxTick)
         return; // state disabled
-    _sim.reschedule(_demotionEvent, _sim.curTick() + delay);
+    if (_wheel) {
+        _wheel->cancel(_demotion[c]);
+        _demotion[c] = _wheel->arm(*this, c, delay);
+    } else {
+        _sim.reschedule(_demotionEvents[c], _sim.curTick() + delay);
+    }
 }
 
 void
-Core::demote()
+CorePool::cancelDemotion(unsigned c)
 {
-    if (busy())
+    if (_wheel) {
+        _wheel->cancel(_demotion[c]);
+    } else if (_demotionEvents[c].scheduled()) {
+        _sim.deschedule(_demotionEvents[c]);
+    }
+}
+
+void
+CorePool::demote(unsigned c)
+{
+    if (busy(c))
         return; // raced with a task start; harmless
-    switch (_cstate) {
+    switch (_cstate[c]) {
       case CoreCState::c0Idle:
-        setCState(CoreCState::c1);
+        setCState(c, CoreCState::c1);
         break;
       case CoreCState::c1:
-        setCState(CoreCState::c3);
+        setCState(c, CoreCState::c3);
         break;
       case CoreCState::c3:
-        setCState(CoreCState::c6);
+        setCState(c, CoreCState::c6);
         break;
       default:
         return;
     }
-    armDemotion();
+    armDemotion(c);
+}
+
+void
+CorePool::forceDeepSleep(unsigned c)
+{
+    if (busy(c))
+        HOLDCSIM_PANIC("core ", c, " forced to sleep while busy");
+    cancelDemotion(c);
+    setCState(c, CoreCState::c6);
 }
 
 Core::AbortResult
 Core::abortTask()
 {
+    CorePool &p = *_pool;
+    const unsigned c = _id;
     if (!busy())
-        HOLDCSIM_PANIC("core ", _id, " aborted with no task running");
-    Tick ran = _sim.curTick() - _startedAt;
+        HOLDCSIM_PANIC("core ", c, " aborted with no task running");
+    Tick ran = p._sim.curTick() - p._startedAt[c];
     // Energy burned so far at the current operating point is wasted:
     // the partial execution is discarded and will be redone.
-    AbortResult out{_current, energyOver(power(), ran), ran};
-    if (_completionEvent.scheduled())
-        _sim.deschedule(_completionEvent);
-    _done = nullptr;
-    setCState(CoreCState::c0Idle);
-    armDemotion();
+    AbortResult out{p._current[c], energyOver(p.power(c), ran), ran};
+    if (p._completionEvents[c].scheduled())
+        p._sim.deschedule(p._completionEvents[c]);
+    p.setCState(c, CoreCState::c0Idle);
+    p.armDemotion(c);
     return out;
-}
-
-void
-Core::forceDeepSleep()
-{
-    if (busy())
-        HOLDCSIM_PANIC("core ", _id, " forced to sleep while busy");
-    if (_demotionEvent.scheduled())
-        _sim.deschedule(_demotionEvent);
-    setCState(CoreCState::c6);
 }
 
 } // namespace holdcsim

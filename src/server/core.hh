@@ -10,95 +10,199 @@
  * core through progressively deeper C-states after the profile's
  * residency thresholds; starting a task pays the exit latency of the
  * state the core is found in.
+ *
+ * Storage layout: cores are not individually-allocated objects. A
+ * server owns one CorePool holding the hot per-core state (C-state,
+ * P-state, residency cursor, pending demotion timer) in dense
+ * struct-of-arrays vectors, so a 100k-server plant iterates its cores
+ * cache-linearly and a core costs a few hundred bytes instead of a
+ * heap object plus three std::function thunks. The `Core` class is a
+ * copyable view (pool pointer + dense id) carrying the familiar
+ * per-core API.
+ *
+ * Timer discipline: when the owning Simulator has a TimerWheel
+ * installed, idle-governor demotions arm wheel timers (one kernel
+ * event per occupied bucket, O(1) generation-stamped cancel);
+ * otherwise each core keeps its own demotion event -- bit-identical
+ * to the historical per-event behavior.
  */
 
 #ifndef HOLDCSIM_SERVER_CORE_HH
 #define HOLDCSIM_SERVER_CORE_HH
 
-#include <functional>
+#include <deque>
+#include <string>
+#include <vector>
 
 #include "power_profile.hh"
 #include "power_state.hh"
 #include "sim/event.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
+#include "sim/timer_wheel.hh"
 #include "task.hh"
 #include "telemetry/trace_manager.hh"
 
 namespace holdcsim {
 
-/** One processing unit inside a server. */
+class Core;
+
+/**
+ * The entity that owns a CorePool (a Server, or a test fixture).
+ * Replaces the three per-core std::function hooks of the old
+ * individually-allocated Core: one virtual dispatch per notification
+ * instead of a type-erased call, and no per-dispatch allocation for
+ * the completion callback.
+ */
+class CoreHost
+{
+  public:
+    virtual ~CoreHost() = default;
+
+    /** Called just before any power-relevant core state change. */
+    virtual void coreAccrue() = 0;
+
+    /** Called after a core C-state or P-state change. */
+    virtual void coreStateChanged() = 0;
+
+    /** Core @p core finished @p task (the core is already idle). */
+    virtual void coreTaskDone(unsigned core, const TaskRef &task) = 0;
+};
+
+/**
+ * Dense struct-of-arrays storage for all cores of one server.
+ * Fixed-size: the core count is set at construction.
+ */
+class CorePool : public TimerClient
+{
+  public:
+    /**
+     * @param sim            owning simulation engine
+     * @param host           owner notified of accrual/state/completion
+     * @param profile        power/latency profile (not owned; must
+     *                       outlive the pool)
+     * @param base_freqs_ghz per-core P0 frequencies (heterogeneous
+     *                       processors give cores different bases);
+     *                       one entry per core, all positive
+     */
+    CorePool(Simulator &sim, CoreHost &host,
+             const ServerPowerProfile &profile,
+             std::vector<double> base_freqs_ghz);
+
+    /** Deschedules pending events and cancels wheel timers. */
+    ~CorePool() override;
+
+    CorePool(const CorePool &) = delete;
+    CorePool &operator=(const CorePool &) = delete;
+
+    unsigned size() const { return static_cast<unsigned>(_cstate.size()); }
+
+    Simulator &sim() const { return _sim; }
+
+    /** TimerClient: a demotion deadline expired (token = core id). */
+    void timerFired(std::uint64_t token, Tick deadline) override;
+
+  private:
+    friend class Core;
+
+    bool busy(unsigned c) const
+    {
+        return _cstate[c] == CoreCState::c0Active;
+    }
+    double frequencyGhz(unsigned c) const;
+    void setPState(unsigned c, std::size_t idx);
+    void startTask(unsigned c, const TaskRef &task, Tick extra_wake);
+    Tick processingTime(unsigned c, const TaskRef &task) const;
+    Watts power(unsigned c) const;
+    void forceDeepSleep(unsigned c);
+    void setCState(unsigned c, CoreCState next);
+    void traceCState(unsigned c);
+    void armDemotion(unsigned c);
+    void cancelDemotion(unsigned c);
+    void demote(unsigned c);
+    void complete(unsigned c);
+    Tick exitLatency(CoreCState from) const;
+    void setTraceLabel(unsigned c, std::string label);
+
+    Simulator &_sim;
+    CoreHost &_host;
+    const ServerPowerProfile &_profile;
+    /** Wheel latched at construction; nullptr = per-core events. */
+    TimerWheel *_wheel;
+
+    // Hot per-core state, indexed by dense core id.
+    std::vector<CoreCState> _cstate;
+    std::vector<std::size_t> _pstate;
+    std::vector<double> _baseFreqGhz;
+    std::vector<TaskRef> _current;
+    std::vector<Tick> _startedAt;
+    std::vector<std::uint64_t> _tasksExecuted;
+    std::vector<StateResidency> _residency;
+    std::vector<TimerWheel::Handle> _demotion;
+
+    // Cold: events are address-stable in deques (Event is pinned).
+    // _demotionEvents stays empty in wheel mode.
+    std::deque<EventFunctionWrapper> _completionEvents;
+    std::deque<EventFunctionWrapper> _demotionEvents;
+
+    std::vector<std::string> _traceLabel;
+    std::vector<TraceTrackId> _traceTrack;
+};
+
+/** Copyable view of one processing unit inside a server's pool. */
 class Core
 {
   public:
-    /** Called just before any power-relevant state change. */
-    using AccrueFn = std::function<void()>;
-    /** Called after a C-state change (package recompute etc.). */
-    using StateChangedFn = std::function<void()>;
-    /** Task-completion callback. */
-    using TaskDoneFn = std::function<void(const TaskRef &)>;
-
-    /**
-     * @param sim           owning simulation engine
-     * @param id            core index within the server
-     * @param profile       power/latency profile (not owned; must
-     *                      outlive the core)
-     * @param base_freq_ghz this core's P0 frequency (heterogeneous
-     *                      processors give different cores different
-     *                      base frequencies)
-     * @param accrue        energy-accrual hook, invoked before state
-     *                      changes
-     * @param state_changed post-change hook
-     */
-    Core(Simulator &sim, unsigned id, const ServerPowerProfile &profile,
-         double base_freq_ghz, AccrueFn accrue,
-         StateChangedFn state_changed);
-
-    /** Deschedules any pending completion/demotion events. */
-    ~Core();
+    Core(CorePool &pool, unsigned id) : _pool(&pool), _id(id) {}
 
     unsigned id() const { return _id; }
 
     /** Whether a task is currently executing (C0-active). */
-    bool busy() const { return _cstate == CoreCState::c0Active; }
+    bool busy() const { return _pool->busy(_id); }
 
-    CoreCState cstate() const { return _cstate; }
+    CoreCState cstate() const { return _pool->_cstate[_id]; }
 
     /** Current operating frequency under the active P-state. */
-    double frequencyGhz() const;
+    double frequencyGhz() const { return _pool->frequencyGhz(_id); }
 
     /** This core's base (P0) frequency. */
-    double baseFrequencyGhz() const { return _baseFreqGhz; }
+    double baseFrequencyGhz() const { return _pool->_baseFreqGhz[_id]; }
 
     /** Select DVFS operating point @p idx (0 = fastest). */
-    void setPState(std::size_t idx);
-    std::size_t pstate() const { return _pstate; }
+    void setPState(std::size_t idx) { _pool->setPState(_id, idx); }
+    std::size_t pstate() const { return _pool->_pstate[_id]; }
 
     /**
      * Begin executing @p task. The start is delayed by this core's
      * C-state exit latency plus @p extra_wake (e.g. package C6
-     * exit); @p done fires when the task completes.
+     * exit); the pool's host is notified when the task completes.
      * @pre !busy()
      */
-    void startTask(const TaskRef &task, Tick extra_wake,
-                   TaskDoneFn done);
+    void startTask(const TaskRef &task, Tick extra_wake)
+    {
+        _pool->startTask(_id, task, extra_wake);
+    }
 
     /**
      * Processing time for @p task on this core right now:
      * service * (intensity * fNominal/fCur + (1 - intensity)),
      * where fNominal is the profile's P0 frequency (the reference
-     * the service time was specified at).
+     * the service time was specified at). Saturates at maxTick.
      */
-    Tick processingTime(const TaskRef &task) const;
+    Tick processingTime(const TaskRef &task) const
+    {
+        return _pool->processingTime(_id, task);
+    }
 
     /** Instantaneous power draw of this core. */
-    Watts power() const;
+    Watts power() const { return _pool->power(_id); }
 
     /**
      * Force the deepest C-state immediately (server entering a
-     * system sleep state). @pre !busy()
+     * system sleep state). Cancels any pending demotion timer.
+     * @pre !busy()
      */
-    void forceDeepSleep();
+    void forceDeepSleep() { _pool->forceDeepSleep(_id); }
 
     /** Outcome of abandoning an in-flight task. */
     struct AbortResult {
@@ -113,67 +217,50 @@ class Core
     /**
      * Abandon the current task without completing it (the server
      * crashed or the global scheduler cancelled the task). The
-     * completion event is descheduled, no completion callback fires,
-     * and the core falls back to C0-idle. @pre busy()
+     * completion event is descheduled, no completion notification
+     * fires, and the core falls back to C0-idle. @pre busy()
      */
     AbortResult abortTask();
 
     /** The task currently executing. @pre busy() */
-    const TaskRef &currentTask() const { return _current; }
+    const TaskRef &currentTask() const { return _pool->_current[_id]; }
 
     /** Per-C-state residency (states indexed by CoreCState). */
-    const StateResidency &residency() const { return _residency; }
+    const StateResidency &residency() const
+    {
+        return _pool->_residency[_id];
+    }
 
     /** Close residency books at @p now. */
-    void finishStats(Tick now) { _residency.finish(now); }
+    void finishStats(Tick now) { _pool->_residency[_id].finish(now); }
 
     /** Zero residency and counters (end of warmup). */
     void
     resetStats(Tick now)
     {
-        _residency.reset();
-        _residency.enter(static_cast<int>(_cstate), now);
-        _tasksExecuted = 0;
+        StateResidency &res = _pool->_residency[_id];
+        res.reset();
+        res.enter(static_cast<int>(cstate()), now);
+        _pool->_tasksExecuted[_id] = 0;
     }
 
-    std::uint64_t tasksExecuted() const { return _tasksExecuted; }
+    std::uint64_t tasksExecuted() const
+    {
+        return _pool->_tasksExecuted[_id];
+    }
 
     /**
      * Name this core on the timeline ("server3.core1"); assigned by
      * the owning server. Until set, the core emits no trace records.
      */
-    void setTraceLabel(std::string label);
+    void setTraceLabel(std::string label)
+    {
+        _pool->setTraceLabel(_id, std::move(label));
+    }
 
   private:
-    void setCState(CoreCState next);
-    /** Emit the current C-state to the timeline tracer. */
-    void traceCState();
-    /** (Re)arm the idle-governor demotion event. */
-    void armDemotion();
-    void demote();
-    Tick exitLatency(CoreCState from) const;
-
-    Simulator &_sim;
+    CorePool *_pool;
     unsigned _id;
-    const ServerPowerProfile &_profile;
-    double _baseFreqGhz;
-    AccrueFn _accrue;
-    StateChangedFn _stateChanged;
-
-    CoreCState _cstate = CoreCState::c0Idle;
-    std::size_t _pstate = 0;
-
-    TaskRef _current{};
-    TaskDoneFn _done;
-    Tick _startedAt = 0;
-    EventFunctionWrapper _completionEvent;
-    EventFunctionWrapper _demotionEvent;
-
-    StateResidency _residency;
-    std::uint64_t _tasksExecuted = 0;
-
-    std::string _traceLabel;
-    TraceTrackId _traceTrack = noTraceTrack;
 };
 
 } // namespace holdcsim

@@ -6,9 +6,35 @@
 
 namespace holdcsim {
 
+namespace {
+
+/**
+ * Validate the profile and per-core frequency overrides, then expand
+ * them into one base frequency per core. Runs in the member-init list
+ * so the checks precede CorePool construction.
+ */
+std::vector<double>
+coreFrequencies(const ServerConfig &config,
+                const ServerPowerProfile &profile)
+{
+    profile.validate();
+    if (config.nCores == 0)
+        fatal("server needs at least one core");
+    if (!config.coreFreqGhz.empty() &&
+        config.coreFreqGhz.size() != config.nCores) {
+        fatal("coreFreqGhz must be empty or have one entry per core");
+    }
+    if (!config.coreFreqGhz.empty())
+        return config.coreFreqGhz;
+    return std::vector<double>(config.nCores, profile.pstates[0].freqGhz);
+}
+
+} // namespace
+
 Server::Server(Simulator &sim, const ServerConfig &config,
                const ServerPowerProfile &profile)
     : _sim(sim), _config(config), _profile(profile),
+      _corePool(sim, *this, _profile, coreFrequencies(config, _profile)),
       _local(config.queueMode, config.corePick, config.nCores),
       _wakeDoneEvent([this] {
           accrue();
@@ -19,25 +45,17 @@ Server::Server(Simulator &sim, const ServerConfig &config,
       }, "server.wakeDone", Event::powerPriority),
       _lastAccrue(sim.curTick())
 {
-    _profile.validate();
-    if (config.nCores == 0)
-        fatal("server needs at least one core");
-    if (!config.coreFreqGhz.empty() &&
-        config.coreFreqGhz.size() != config.nCores) {
-        fatal("coreFreqGhz must be empty or have one entry per core");
-    }
-    for (unsigned i = 0; i < config.nCores; ++i) {
-        double freq = config.coreFreqGhz.empty()
-                          ? _profile.pstates[0].freqGhz
-                          : config.coreFreqGhz[i];
-        _cores.push_back(std::make_unique<Core>(
-            sim, i, _profile, freq, [this] { accrue(); },
-            [this] {
-                recomputePkgState();
-                updateResidency();
-            }));
-        _cores.back()->setTraceLabel("server" + std::to_string(id()) +
-                                     ".core" + std::to_string(i));
+    _cores.reserve(config.nCores);
+    for (unsigned i = 0; i < config.nCores; ++i)
+        _cores.emplace_back(_corePool, i);
+    // Labels feed the timeline tracer only; skip the 2 * nCores heap
+    // strings per server when no tracer is installed (100k-server
+    // plants). DataCenter installs its tracer before the plant.
+    if (sim.tracer()) {
+        for (unsigned i = 0; i < config.nCores; ++i) {
+            _cores[i].setTraceLabel("server" + std::to_string(id()) +
+                                    ".core" + std::to_string(i));
+        }
     }
     recomputePkgState();
     _residency.enter(static_cast<int>(observableState()), sim.curTick());
@@ -104,7 +122,7 @@ Server::sleep(SState target)
         return false;
     accrue();
     for (auto &core : _cores)
-        core->forceDeepSleep();
+        core.forceDeepSleep();
     _sstate = target;
     ++_sleepTransitions;
     updateResidency();
@@ -140,19 +158,20 @@ Server::fail()
     _waking = false;
     std::vector<TaskRef> killed;
     for (auto &core : _cores) {
-        if (!core->busy())
+        if (!core.busy())
             continue;
-        Core::AbortResult aborted = core->abortTask();
+        Core::AbortResult aborted = core.abortTask();
         _wastedJoules += aborted.wasted;
         ++_tasksKilled;
         killed.push_back(aborted.task);
     }
     _running = 0;
     _local.drainAll(killed);
-    // Settle the cores so no demotion events tick while we are down;
-    // power is forced to zero by componentPower() regardless.
+    // Settle the cores so no demotion timers (events or wheel
+    // entries) tick while we are down; power is forced to zero by
+    // componentPower() regardless.
     for (auto &core : _cores)
-        core->forceDeepSleep();
+        core.forceDeepSleep();
     updateResidency();
     return killed;
 }
@@ -184,11 +203,11 @@ Server::cancelTask(JobId job, TaskId task)
         return true;
     }
     for (auto &core : _cores) {
-        if (!core->busy() || core->currentTask().job != job ||
-            core->currentTask().task != task) {
+        if (!core.busy() || core.currentTask().job != job ||
+            core.currentTask().task != task) {
             continue;
         }
-        Core::AbortResult aborted = core->abortTask();
+        Core::AbortResult aborted = core.abortTask();
         _wastedJoules += aborted.wasted;
         ++_tasksKilled;
         if (_running == 0)
@@ -252,8 +271,8 @@ Server::componentPower() const
     Watts cpu = 0.0;
     bool any_busy = false;
     for (const auto &core : _cores) {
-        cpu += core->power();
-        any_busy = any_busy || core->busy();
+        cpu += core.power();
+        any_busy = any_busy || core.busy();
     }
     switch (_pkgState) {
       case PkgCState::pc0:
@@ -303,7 +322,7 @@ Server::finishStats()
     Tick now = _sim.curTick();
     _residency.finish(now);
     for (auto &core : _cores)
-        core->finishStats(now);
+        core.finishStats(now);
 }
 
 void
@@ -321,7 +340,7 @@ Server::resetStats()
     _residency.reset();
     _residency.enter(static_cast<int>(observableState()), now);
     for (auto &core : _cores)
-        core->resetStats(now);
+        core.resetStats(now);
 }
 
 void
@@ -339,31 +358,27 @@ Server::dispatch()
             // Prefer the fastest free core (heterogeneous-aware).
             Core *best = nullptr;
             for (auto &core : _cores) {
-                if (core->busy())
+                if (core.busy())
                     continue;
                 if (!best ||
-                    core->frequencyGhz() > best->frequencyGhz()) {
-                    best = core.get();
+                    core.frequencyGhz() > best->frequencyGhz()) {
+                    best = &core;
                 }
             }
             if (!best)
                 break;
             auto task = _local.dequeueFor(best->id());
             ++_running;
-            best->startTask(*task, pkg_exit, [this](const TaskRef &t) {
-                taskFinished(t);
-            });
+            best->startTask(*task, pkg_exit);
             pkg_exit = 0;
         }
     } else {
         for (auto &core : _cores) {
-            if (core->busy() || !_local.hasWorkFor(core->id()))
+            if (core.busy() || !_local.hasWorkFor(core.id()))
                 continue;
-            auto task = _local.dequeueFor(core->id());
+            auto task = _local.dequeueFor(core.id());
             ++_running;
-            core->startTask(*task, pkg_exit, [this](const TaskRef &t) {
-                taskFinished(t);
-            });
+            core.startTask(*task, pkg_exit);
             pkg_exit = 0;
         }
     }
@@ -394,7 +409,7 @@ Server::recomputePkgState()
     bool any_c0 = false;
     bool all_c6 = true;
     for (const auto &core : _cores) {
-        CoreCState s = core->cstate();
+        CoreCState s = core.cstate();
         any_c0 = any_c0 || s == CoreCState::c0Active ||
                  s == CoreCState::c0Idle;
         all_c6 = all_c6 && s == CoreCState::c6;

@@ -89,7 +89,7 @@ struct EnergyBreakdown {
 };
 
 /** A complete simulated server. */
-class Server
+class Server : private CoreHost
 {
   public:
     /** Completion callback: (server, finished task). */
@@ -106,8 +106,8 @@ class Server
 
     unsigned id() const { return _config.id; }
     unsigned numCores() const { return static_cast<unsigned>(_cores.size()); }
-    Core &core(unsigned i) { return *_cores.at(i); }
-    const Core &core(unsigned i) const { return *_cores.at(i); }
+    Core &core(unsigned i) { return _cores.at(i); }
+    const Core &core(unsigned i) const { return _cores.at(i); }
 
     /** Install the power-management policy (may be null). */
     void setController(std::unique_ptr<ServerPowerController> ctrl);
@@ -228,6 +228,23 @@ class Server
     const ServerConfig &config() const { return _config; }
 
   private:
+    /** @name CoreHost interface (driven by the core pool) */
+    ///@{
+    void coreAccrue() override { accrue(); }
+    void
+    coreStateChanged() override
+    {
+        recomputePkgState();
+        updateResidency();
+    }
+    void
+    coreTaskDone(unsigned core, const TaskRef &task) override
+    {
+        (void)core;
+        taskFinished(task);
+    }
+    ///@}
+
     /** Give every free core work while any is available. */
     void dispatch();
     /** Core @p core_id finished @p task. */
@@ -250,7 +267,10 @@ class Server
      *  profile was a temporary. Cores reference this copy. */
     ServerPowerProfile _profile;
 
-    std::vector<std::unique_ptr<Core>> _cores;
+    /** Hot per-core state, struct-of-arrays (see core.hh). */
+    CorePool _corePool;
+    /** Thin per-core views into the pool (stable addresses). */
+    std::vector<Core> _cores;
     LocalScheduler _local;
     std::unique_ptr<ServerPowerController> _controller;
     TaskDoneFn _taskDone;

@@ -22,6 +22,7 @@
 
 namespace holdcsim {
 
+class TimerWheel;
 class TraceManager;
 
 /**
@@ -160,6 +161,20 @@ class Simulator
     TraceManager *tracer() const { return _tracer; }
 
     /**
+     * Install (or clear, with nullptr) the shared governor timer
+     * wheel. Like the tracer, the kernel never dereferences it: the
+     * pointer rides here so entities (core pools, ports, line cards)
+     * can discover whether they should arm wheel timers instead of
+     * per-entity events. Not owned. Install before building the
+     * plant -- entities latch their timer mode at arm time, so
+     * swapping mid-run mixes disciplines.
+     */
+    void setTimerWheel(TimerWheel *wheel) { _timerWheel = wheel; }
+
+    /** Installed timer wheel, or nullptr for per-entity events. */
+    TimerWheel *timerWheel() const { return _timerWheel; }
+
+    /**
      * Install (or clear) the kernel profiling probe. Not owned.
      * Observed at the next run()/runUntil() entry: installing or
      * clearing a probe from inside a running event takes effect only
@@ -238,6 +253,7 @@ class Simulator
     std::uint64_t _eventsProcessed = 0;
     bool _stopRequested = false;
     TraceManager *_tracer = nullptr;
+    TimerWheel *_timerWheel = nullptr;
     KernelProbe *_probe = nullptr;
     /** Fast guard for the per-event limit checks. */
     bool _limits = false;

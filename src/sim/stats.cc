@@ -202,18 +202,30 @@ TimeWeighted::reset()
 // ------------------------------------------------------------- StateResidency
 
 void
+StateResidency::accrueCurrent(Tick delta)
+{
+    if (_current >= 0 && _current < inlineStates)
+        _residency[static_cast<std::size_t>(_current)] += delta;
+    else
+        _residencyOverflow[_current] += delta;
+    _total += delta;
+}
+
+void
 StateResidency::enter(int state, Tick now)
 {
     if (_started) {
         if (now < _lastTick)
             HOLDCSIM_PANIC("StateResidency fed a tick that moves backwards");
-        _residency[_current] += now - _lastTick;
-        _total += now - _lastTick;
+        accrueCurrent(now - _lastTick);
     }
     _started = true;
     _current = state;
     _lastTick = now;
-    ++_entries[state];
+    if (state >= 0 && state < inlineStates)
+        ++_entries[static_cast<std::size_t>(state)];
+    else
+        ++_entriesOverflow[state];
 }
 
 void
@@ -223,16 +235,17 @@ StateResidency::finish(Tick now)
         return;
     if (now < _lastTick)
         HOLDCSIM_PANIC("StateResidency finished with a tick in the past");
-    _residency[_current] += now - _lastTick;
-    _total += now - _lastTick;
+    accrueCurrent(now - _lastTick);
     _lastTick = now;
 }
 
 Tick
 StateResidency::residency(int state) const
 {
-    auto it = _residency.find(state);
-    return it == _residency.end() ? 0 : it->second;
+    if (state >= 0 && state < inlineStates)
+        return _residency[static_cast<std::size_t>(state)];
+    auto it = _residencyOverflow.find(state);
+    return it == _residencyOverflow.end() ? 0 : it->second;
 }
 
 double
@@ -247,8 +260,10 @@ StateResidency::fraction(int state) const
 std::uint64_t
 StateResidency::transitionsInto(int state) const
 {
-    auto it = _entries.find(state);
-    return it == _entries.end() ? 0 : it->second;
+    if (state >= 0 && state < inlineStates)
+        return _entries[static_cast<std::size_t>(state)];
+    auto it = _entriesOverflow.find(state);
+    return it == _entriesOverflow.end() ? 0 : it->second;
 }
 
 void

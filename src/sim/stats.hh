@@ -12,6 +12,7 @@
 #ifndef HOLDCSIM_SIM_STATS_HH
 #define HOLDCSIM_SIM_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -174,12 +175,27 @@ class StateResidency
     void reset();
 
   private:
+    /**
+     * Every state enum in the simulator is small and dense
+     * (CoreCState has 5 states, ServerState 6, PortState 3, ...), so
+     * the common case lives in inline arrays: a StateResidency costs
+     * ~100 bytes with zero heap allocations, which matters when a
+     * 100k-server plant carries one per core, port and card. States
+     * outside [0, inlineStates) spill to by-value maps (empty maps
+     * allocate nothing, and the type stays copyable).
+     */
+    static constexpr int inlineStates = 8;
+
     bool _started = false;
     int _current = -1;
     Tick _lastTick = 0;
     Tick _total = 0;
-    std::map<int, Tick> _residency;
-    std::map<int, std::uint64_t> _entries;
+    std::array<Tick, inlineStates> _residency{};
+    std::array<std::uint64_t, inlineStates> _entries{};
+    std::map<int, Tick> _residencyOverflow;
+    std::map<int, std::uint64_t> _entriesOverflow;
+
+    void accrueCurrent(Tick delta);
 };
 
 /**

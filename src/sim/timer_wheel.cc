@@ -1,0 +1,294 @@
+#include "timer_wheel.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "logging.hh"
+#include "simulator.hh"
+
+namespace holdcsim {
+
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+TimerWheel::TimerWheel(Simulator &sim, Tick granularity, std::size_t slots)
+    : _sim(sim), _granularity(granularity),
+      _slots(roundUpPow2(std::max<std::size_t>(slots, 2))),
+      _tickEvent([this] { tick(); }, "wheel.tick", Event::powerPriority)
+{
+    if (granularity == 0)
+        fatal("TimerWheel: granularity must be >= 1 tick");
+}
+
+TimerWheel::~TimerWheel()
+{
+    if (_scheduledAt != maxTick)
+        _sim.deschedule(_tickEvent);
+}
+
+Tick
+TimerWheel::quantize(Tick t) const
+{
+    if (_granularity == 1)
+        return t;
+    if (t > maxTick - (_granularity - 1))
+        return maxTick - maxTick % _granularity; // saturate on a boundary
+    return ((t + _granularity - 1) / _granularity) * _granularity;
+}
+
+std::uint32_t
+TimerWheel::allocEntry()
+{
+    if (_freeHead != Handle::invalidIdx) {
+        std::uint32_t idx = _freeHead;
+        _freeHead = _arena[idx].nextFree;
+        return idx;
+    }
+    if (_arena.size() >= Handle::invalidIdx)
+        fatal("TimerWheel: arena exhausted (", _arena.size(), " entries)");
+    _arena.emplace_back();
+    return static_cast<std::uint32_t>(_arena.size() - 1);
+}
+
+void
+TimerWheel::freeEntry(std::uint32_t idx)
+{
+    Entry &e = _arena[idx];
+    ++e.gen; // invalidates every outstanding Handle/Ref to this entry
+    e.live = false;
+    e.client = nullptr;
+    e.nextFree = _freeHead;
+    _freeHead = idx;
+}
+
+bool
+TimerWheel::overflowAfter(const OverflowItem &a, const OverflowItem &b)
+{
+    if (a.deadline != b.deadline)
+        return a.deadline > b.deadline;
+    return a.seq > b.seq;
+}
+
+void
+TimerWheel::pushOverflow(OverflowItem item)
+{
+    _overflow.push_back(item);
+    std::push_heap(_overflow.begin(), _overflow.end(), overflowAfter);
+}
+
+void
+TimerWheel::popOverflow()
+{
+    std::pop_heap(_overflow.begin(), _overflow.end(), overflowAfter);
+    _overflow.pop_back();
+}
+
+void
+TimerWheel::settleOverflow(Tick window_base)
+{
+    const Tick horizon_end = window_base + span();
+    while (!_overflow.empty()) {
+        const OverflowItem &top = _overflow.front();
+        Entry &e = _arena[top.idx];
+        if (e.gen != top.gen || !e.live) {
+            popOverflow(); // cancelled (or reused) while parked
+            continue;
+        }
+        if (top.deadline >= horizon_end)
+            break;
+        Slot &s = slotFor(top.deadline);
+        s.ids.push_back({top.idx, top.gen});
+        ++s.liveCount;
+        e.inOverflow = false;
+        ++_stats.overflowMigrations;
+        popOverflow();
+    }
+}
+
+TimerWheel::Handle
+TimerWheel::arm(TimerClient &client, std::uint64_t token, Tick delay)
+{
+    const Tick now = _sim.curTick();
+    if (delay > maxTick - now)
+        fatal("TimerWheel: deadline overflows Tick (now=", now,
+              " delay=", delay, ")");
+    const Tick dl = quantize(now + delay);
+
+    // An empty wheel may hold a stale window from long ago; snap it
+    // forward so near deadlines land in the ring, not the heap.
+    if (_live == 0)
+        _windowBase = now - now % _granularity;
+
+    const std::uint32_t idx = allocEntry();
+    Entry &e = _arena[idx];
+    e.client = &client;
+    e.token = token;
+    e.seq = _nextSeq++;
+    e.deadline = dl;
+    e.live = true;
+
+    if (dl < _windowBase + span()) {
+        e.inOverflow = false;
+        Slot &s = slotFor(dl);
+        s.ids.push_back({idx, e.gen});
+        ++s.liveCount;
+    } else {
+        e.inOverflow = true;
+        pushOverflow({dl, e.seq, idx, e.gen});
+    }
+
+    ++_live;
+    ++_stats.armed;
+    if (_live > _stats.maxLive)
+        _stats.maxLive = _live;
+
+    if (dl < _scheduledAt)
+        scheduleAt(dl);
+    return {idx, e.gen};
+}
+
+void
+TimerWheel::cancel(Handle &h)
+{
+    if (!h.valid()) {
+        h = {};
+        return;
+    }
+    Entry &e = _arena[h.idx];
+    if (e.gen != h.gen || !e.live) {
+        h = {}; // stale: the timer already fired or was re-armed
+        return;
+    }
+    if (!e.inOverflow) {
+        Slot &s = slotFor(e.deadline);
+        if (--s.liveCount == 0)
+            s.ids.clear(); // nothing live left: drop the dead refs too
+    }
+    // Overflow items are dropped lazily by settleOverflow().
+    freeEntry(h.idx);
+    --_live;
+    ++_stats.cancelled;
+    if (_live == 0 && _scheduledAt != maxTick) {
+        _sim.deschedule(_tickEvent);
+        _scheduledAt = maxTick;
+    }
+    h = {};
+}
+
+bool
+TimerWheel::pending(const Handle &h) const
+{
+    if (!h.valid() || h.idx >= _arena.size())
+        return false;
+    const Entry &e = _arena[h.idx];
+    return e.gen == h.gen && e.live;
+}
+
+Tick
+TimerWheel::deadline(const Handle &h) const
+{
+    if (!pending(h))
+        fatal("TimerWheel::deadline on a dead handle");
+    return _arena[h.idx].deadline;
+}
+
+void
+TimerWheel::scheduleAt(Tick when)
+{
+    _sim.reschedule(_tickEvent, when);
+    _scheduledAt = when;
+}
+
+void
+TimerWheel::tick()
+{
+    const Tick boundary = _sim.curTick();
+    _scheduledAt = maxTick;
+    ++_stats.tickEvents;
+
+    // Slide the window so it starts at the boundary being fired. All
+    // live deadlines are >= boundary (it is the minimum), and ring
+    // entries armed under the old window satisfy dl < oldBase + span
+    // <= boundary + span, so every ring entry stays inside the new
+    // window and the slot-index formula still finds it.
+    _windowBase = boundary;
+    settleOverflow(boundary);
+
+    // Detach this boundary's batch before firing: callbacks may arm
+    // new timers (strictly future after quantization) into the slot.
+    Slot &slot = slotFor(boundary);
+    _batch.clear();
+    _batch.swap(slot.ids);
+    slot.liveCount = 0;
+
+    // Fire live entries in arm order (seq) for determinism. Filter
+    // first: dead refs keep stale seqs. Free each entry before its
+    // callback so the callback can re-arm without tripping pending().
+    std::sort(_batch.begin(), _batch.end(),
+              [this](const Ref &a, const Ref &b) {
+                  return _arena[a.idx].seq < _arena[b.idx].seq;
+              });
+    std::uint64_t fired = 0;
+    for (const Ref &ref : _batch) {
+        Entry &e = _arena[ref.idx];
+        if (e.gen != ref.gen || !e.live)
+            continue; // cancelled, possibly by an earlier callback
+        TimerClient *client = e.client;
+        const std::uint64_t token = e.token;
+        freeEntry(ref.idx);
+        --_live;
+        ++_stats.fired;
+        ++fired;
+        client->timerFired(token, boundary);
+    }
+    if (fired > _stats.maxBatch)
+        _stats.maxBatch = fired;
+    _batch.clear();
+
+    if (_live == 0)
+        return; // stay descheduled; run() may drain and finish
+
+    // Find the next occupied boundary. k = 0 re-checks the current
+    // slot: a callback may have armed a zero-delay timer landing on
+    // this very boundary, which must fire later this tick, not a lap
+    // from now. Then scan the ring forward and fall back to the
+    // overflow heap (whose live top is beyond the ring horizon by
+    // construction).
+    Tick next = maxTick;
+    const std::size_t n = _slots.size();
+    for (std::size_t k = 0; k <= n; ++k) {
+        const Tick b = boundary + _granularity * static_cast<Tick>(k);
+        if (_slots[static_cast<std::size_t>(b / _granularity) & (n - 1)]
+                .liveCount > 0) {
+            next = b;
+            break;
+        }
+    }
+    if (next == maxTick) {
+        while (!_overflow.empty()) {
+            const OverflowItem &top = _overflow.front();
+            const Entry &e = _arena[top.idx];
+            if (e.gen != top.gen || !e.live) {
+                popOverflow();
+                continue;
+            }
+            next = top.deadline;
+            break;
+        }
+    }
+    if (next == maxTick)
+        fatal("TimerWheel: ", _live, " live timers but no next boundary");
+    scheduleAt(next);
+}
+
+} // namespace holdcsim

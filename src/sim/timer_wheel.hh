@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Shared timer wheel for power-state governor timers.
+ *
+ * The idle-governor ladder (core C-state demotion, port LPI, line
+ * card and switch sleep countdowns) arms one timer per entity. With
+ * one Event per timer those governors dominate the event kernel:
+ * core.demotion alone is ~43% of all events on the three-tier replay.
+ * The TimerWheel coalesces them: deadlines are quantized UP to a
+ * bucket boundary (granularity G) and all timers sharing a boundary
+ * fire from ONE kernel event, in deterministic arm order.
+ *
+ * Structure: a fixed ring of S slots each covering one G-tick
+ * boundary within the rolling horizon [windowBase, windowBase + S*G),
+ * plus an overflow min-heap for deadlines beyond the horizon
+ * (migrated into the ring as the window advances -- the same
+ * discipline as the calendar event queue's overflow heap). A single
+ * "wheel.tick" event rides the simulator at the earliest live
+ * boundary; when no timers are live it is descheduled, so the wheel
+ * never extends a run() past the last real deadline.
+ *
+ * Cancellation is O(1) and race-free: handles carry a generation
+ * stamp that is bumped whenever an arena entry is freed, so a stale
+ * handle (or a slot reference to a reused entry) can never cancel or
+ * fire the wrong timer. Callbacks may freely arm/cancel timers while
+ * a batch is firing.
+ *
+ * Semantics vs. per-entity events: a timer armed for now+d fires at
+ * ceil((now+d)/G)*G -- never early, at most G-1 ticks late (Linux
+ * timer-slack style). With G == 1 the wheel is tick-exact and
+ * statistics-identical to the per-event path; coarser G trades
+ * bounded governor-transition delay for event coalescing.
+ */
+
+#ifndef HOLDCSIM_SIM_TIMER_WHEEL_HH
+#define HOLDCSIM_SIM_TIMER_WHEEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "event.hh"
+#include "types.hh"
+
+namespace holdcsim {
+
+class Simulator;
+
+/** Something that owns wheel timers (a pool, a card, a switch). */
+class TimerClient
+{
+  public:
+    virtual ~TimerClient() = default;
+
+    /**
+     * Timer @p token expired. @p deadline is the quantized tick the
+     * timer was set for (== curTick() at the callback). The handle
+     * that armed this timer is already dead; re-arming from inside
+     * the callback is allowed and yields a fresh handle.
+     */
+    virtual void timerFired(std::uint64_t token, Tick deadline) = 0;
+};
+
+/** Bucketed one-shot timer facility shared by many entities. */
+class TimerWheel
+{
+  public:
+    /** Generation-stamped reference to an armed timer. */
+    struct Handle {
+        static constexpr std::uint32_t invalidIdx = 0xffffffffu;
+        std::uint32_t idx = invalidIdx;
+        std::uint32_t gen = 0;
+        bool valid() const { return idx != invalidIdx; }
+    };
+
+    /** Kernel-visible cost counters (dumped as profile.wheel.*). */
+    struct Stats {
+        std::uint64_t armed = 0;
+        std::uint64_t cancelled = 0;
+        std::uint64_t fired = 0;
+        /** Kernel event dispatches ("wheel.tick" count). */
+        std::uint64_t tickEvents = 0;
+        /** Largest number of timers fired by one tick event. */
+        std::uint64_t maxBatch = 0;
+        /** Entries moved overflow-heap -> ring as the window slid. */
+        std::uint64_t overflowMigrations = 0;
+        /** Peak live timers. */
+        std::uint64_t maxLive = 0;
+    };
+
+    /**
+     * @param sim         owning engine (the wheel schedules one event)
+     * @param granularity bucket width G in ticks (>= 1; 1 = exact)
+     * @param slots       ring size (rounded up to a power of two)
+     */
+    explicit TimerWheel(Simulator &sim, Tick granularity = 1,
+                        std::size_t slots = 1024);
+    ~TimerWheel();
+    TimerWheel(const TimerWheel &) = delete;
+    TimerWheel &operator=(const TimerWheel &) = delete;
+
+    /**
+     * Arm a one-shot timer for @p client at curTick() + @p delay,
+     * quantized up to the next bucket boundary. @p delay must be
+     * finite (callers gate their own maxTick = disabled sentinels).
+     */
+    Handle arm(TimerClient &client, std::uint64_t token, Tick delay);
+
+    /**
+     * Cancel the timer behind @p h. O(1); safe (and a no-op) on
+     * invalid, stale or already-fired handles. @p h is reset.
+     */
+    void cancel(Handle &h);
+
+    /** Whether @p h still refers to a live, unfired timer. */
+    bool pending(const Handle &h) const;
+
+    /** Quantized fire tick of a pending handle. @pre pending(h) */
+    Tick deadline(const Handle &h) const;
+
+    Tick granularity() const { return _granularity; }
+    std::size_t numSlots() const { return _slots.size(); }
+    /** Currently armed (live, unfired) timers. */
+    std::size_t live() const { return _live; }
+    const Stats &stats() const { return _stats; }
+
+  private:
+    struct Entry {
+        TimerClient *client = nullptr;
+        std::uint64_t token = 0;
+        /** Global arm order: deterministic intra-batch fire order. */
+        std::uint64_t seq = 0;
+        Tick deadline = 0;
+        std::uint32_t gen = 0;
+        std::uint32_t nextFree = Handle::invalidIdx;
+        bool live = false;
+        bool inOverflow = false;
+    };
+
+    /** (idx, gen) pair: detects freed-and-reused arena entries. */
+    struct Ref {
+        std::uint32_t idx;
+        std::uint32_t gen;
+    };
+
+    struct Slot {
+        std::vector<Ref> ids;
+        std::uint32_t liveCount = 0;
+    };
+
+    struct OverflowItem {
+        Tick deadline;
+        std::uint64_t seq;
+        std::uint32_t idx;
+        std::uint32_t gen;
+    };
+
+    Tick quantize(Tick t) const;
+    Tick span() const
+    {
+        return _granularity * static_cast<Tick>(_slots.size());
+    }
+    Slot &slotFor(Tick deadline)
+    {
+        return _slots[static_cast<std::size_t>(deadline / _granularity) &
+                      (_slots.size() - 1)];
+    }
+    std::uint32_t allocEntry();
+    void freeEntry(std::uint32_t idx);
+    /** Keep a min-heap over (deadline, seq): deterministic order. */
+    static bool overflowAfter(const OverflowItem &a,
+                              const OverflowItem &b);
+    void pushOverflow(OverflowItem item);
+    void popOverflow();
+    /** Drop dead heap tops; migrate items inside the new window. */
+    void settleOverflow(Tick window_base);
+    /** Kernel event body: fire the current boundary's batch. */
+    void tick();
+    void scheduleAt(Tick when);
+
+    Simulator &_sim;
+    Tick _granularity;
+    std::vector<Slot> _slots;
+    std::vector<Entry> _arena;
+    std::uint32_t _freeHead = Handle::invalidIdx;
+    std::vector<OverflowItem> _overflow; // binary heap (by deadline,seq)
+    std::size_t _live = 0;
+    std::uint64_t _nextSeq = 0;
+    /** Boundaries < _windowBase have fired; ring covers
+     *  [_windowBase, _windowBase + span()). */
+    Tick _windowBase = 0;
+    Tick _scheduledAt = maxTick;
+    EventFunctionWrapper _tickEvent;
+    /** Scratch for the firing batch (reused across ticks). */
+    std::vector<Ref> _batch;
+    Stats _stats;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_SIM_TIMER_WHEEL_HH

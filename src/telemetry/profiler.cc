@@ -110,6 +110,23 @@ KernelProfiler::addQueueStats(StatGroup &group, const EventQueue &queue)
 }
 
 void
+KernelProfiler::addWheelStats(StatGroup &group, const TimerWheel &wheel)
+{
+    const TimerWheel::Stats &s = wheel.stats();
+    group.add("wheel.granularity_ticks",
+              static_cast<std::uint64_t>(wheel.granularity()));
+    group.add("wheel.slots",
+              static_cast<std::uint64_t>(wheel.numSlots()));
+    group.add("wheel.armed", s.armed);
+    group.add("wheel.cancelled", s.cancelled);
+    group.add("wheel.fired", s.fired);
+    group.add("wheel.tick_events", s.tickEvents);
+    group.add("wheel.max_batch", s.maxBatch);
+    group.add("wheel.overflow_migrations", s.overflowMigrations);
+    group.add("wheel.max_live", s.maxLive);
+}
+
+void
 KernelProfiler::dumpHotTable(std::ostream &os) const
 {
     os << "# kernel hot events (by host time inside process())\n";
@@ -131,7 +148,8 @@ KernelProfiler::dumpHotTable(std::ostream &os) const
 
 void
 KernelProfiler::dumpJson(std::ostream &os, double wall_seconds,
-                         const EventQueue *queue) const
+                         const EventQueue *queue,
+                         const TimerWheel *wheel) const
 {
     os << "{\n";
     os << "  \"events_total\": " << _events << ",\n";
@@ -158,6 +176,21 @@ KernelProfiler::dumpJson(std::ostream &os, double wall_seconds,
         os << "    \"peak_occupancy\": " << c.peakSize << ",\n";
         os << "    \"bucket_width_ticks\": " << queue->bucketWidth()
            << "\n  },\n";
+    }
+    if (wheel) {
+        const TimerWheel::Stats &s = wheel->stats();
+        os << "  \"timer_wheel\": {\n";
+        os << "    \"granularity_ticks\": " << wheel->granularity()
+           << ",\n";
+        os << "    \"slots\": " << wheel->numSlots() << ",\n";
+        os << "    \"armed\": " << s.armed << ",\n";
+        os << "    \"cancelled\": " << s.cancelled << ",\n";
+        os << "    \"fired\": " << s.fired << ",\n";
+        os << "    \"tick_events\": " << s.tickEvents << ",\n";
+        os << "    \"max_batch\": " << s.maxBatch << ",\n";
+        os << "    \"overflow_migrations\": " << s.overflowMigrations
+           << ",\n";
+        os << "    \"max_live\": " << s.maxLive << "\n  },\n";
     }
     os << "  \"host_seconds_in_events\": "
        << static_cast<double>(totalHostNs()) * 1e-9 << ",\n";

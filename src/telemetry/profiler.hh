@@ -22,6 +22,7 @@
 
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
+#include "sim/timer_wheel.hh"
 
 namespace holdcsim {
 
@@ -73,6 +74,13 @@ class KernelProfiler : public KernelProbe
      */
     static void addQueueStats(StatGroup &group, const EventQueue &queue);
 
+    /**
+     * Register wheel.* coalescing counters of the shared governor
+     * timer wheel on @p group (pairs with addStats on the same
+     * "profile" group; call only when a wheel is installed).
+     */
+    static void addWheelStats(StatGroup &group, const TimerWheel &wheel);
+
     /** Human-readable hot-events table, each line "# "-prefixed. */
     void dumpHotTable(std::ostream &os) const;
 
@@ -81,10 +89,12 @@ class KernelProfiler : public KernelProbe
      * wall_seconds is the harness-measured wall time of the run; pass
      * 0 if unknown (events_per_sec is then omitted). When @p queue is
      * non-null its occupancy / spill counters are emitted as an
-     * "event_queue" object.
+     * "event_queue" object. When @p wheel is non-null its coalescing
+     * counters are emitted as a "timer_wheel" object.
      */
     void dumpJson(std::ostream &os, double wall_seconds,
-                  const EventQueue *queue = nullptr) const;
+                  const EventQueue *queue = nullptr,
+                  const TimerWheel *wheel = nullptr) const;
 
     void reset();
 

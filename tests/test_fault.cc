@@ -23,6 +23,7 @@
 #include "server/server.hh"
 #include "sim/logging.hh"
 #include "sim/simulator.hh"
+#include "sim/timer_wheel.hh"
 #include "workload/job.hh"
 
 using namespace holdcsim;
@@ -346,6 +347,55 @@ TEST_F(FaultFixture, RepairedServerServesAgain)
     EXPECT_EQ(servers[0]->failures(), 1u);
 }
 
+TEST_F(FaultFixture, WheelModeFaultCycleLeavesNoZombieTimers)
+{
+    // Same crash/retry scenario as CrashedTaskRetriesOnHealthyServer
+    // but with the governor timers riding the shared wheel. A server
+    // failure forces cores into deep sleep mid-ladder; the wheel
+    // handles armed before the crash must all be cancelled -- a
+    // zombie entry would either fire into a failed machine or keep
+    // the run alive forever.
+    TimerWheel wheel(sim, 1);
+    sim.setTimerWheel(&wheel);
+    makeFleet(2);
+    makeScheduler(flatPolicy(3));
+    auto trace = std::make_unique<TraceFaultModel>();
+    trace->addFault({FaultKind::server, 0, 0}, 10 * msec, 50 * msec);
+    trace->addFault({FaultKind::server, 1, 0}, 200 * msec,
+                    300 * msec);
+    makeManager(std::move(trace));
+
+    sched->submitJob(singleTaskJob(0, 100 * msec));
+    sim.run();
+
+    ASSERT_EQ(finished.size(), 1u);
+    EXPECT_TRUE(failed.empty());
+    EXPECT_EQ(sched->taskRetries(), 1u);
+    EXPECT_EQ(servers[0]->tasksKilled(), 1u);
+    EXPECT_EQ(servers[1]->tasksCompleted(), 1u);
+
+    // The run drained: every governor ladder ran dry, and no zombie
+    // wheel entry survives the fail/repair cycles. Server 1's unused
+    // 200 ms fault cycle legitimately remains queued -- injection
+    // events are background -- so the check is that nothing
+    // *foreground* (i.e. no wheel tick) is left: re-running must not
+    // advance the clock.
+    EXPECT_EQ(wheel.live(), 0u);
+    const Tick done = sim.curTick();
+    sim.run();
+    EXPECT_EQ(sim.curTick(), done);
+    EXPECT_GT(wheel.stats().fired, 0u);
+    // forceDeepSleep on the crash cancelled at least one ladder.
+    EXPECT_GT(wheel.stats().cancelled, 0u);
+
+    // The fixture's servers latched &wheel (a test-body local):
+    // destroy everything that might touch it before it dies.
+    mgr.reset();
+    sched.reset();
+    servers.clear();
+    owned.clear();
+}
+
 TEST_F(FaultFixture, TaskTimeoutTriggersRetry)
 {
     makeFleet(2);
@@ -447,6 +497,46 @@ TEST_F(NetFaultFixture, ManagerDrivesSwitchFaults)
     EXPECT_FALSE(net->switchAt(0).failed());
     EXPECT_TRUE(net->serversReachable(0, 1));
     EXPECT_EQ(fm.currentlyDown(), 0u);
+}
+
+TEST(NetFaultWheel, SwitchFaultCancelsWheelSleepTimers)
+{
+    // Wheel-mode switch: LPI / line card / switch sleep countdowns
+    // all live on the shared wheel. Failing the switch mid-countdown
+    // must cancel them (a zombie timer would put a dead switch to
+    // sleep), and the repair must restart the ladder cleanly.
+    Simulator sim;
+    TimerWheel wheel(sim, 1);
+    sim.setTimerWheel(&wheel);
+    NetworkConfig net_cfg;
+    net_cfg.switchSleepDelay = 50 * msec;
+    {
+        Network net(sim, Topology::star(4, 1e9, 5 * usec),
+                    SwitchPowerProfile::cisco2960_24(), net_cfg);
+        auto trace = std::make_unique<TraceFaultModel>();
+        trace->addFault({FaultKind::swtch, 0, 0}, 10 * msec,
+                        200 * msec);
+        FaultManagerConfig cfg;
+        cfg.faultServers = false;
+        cfg.faultSwitches = true;
+        FaultManager fm(sim, std::move(trace), {}, &net, nullptr,
+                        cfg);
+
+        sim.runUntil(100 * msec);
+        EXPECT_TRUE(net.switchAt(0).failed());
+        // Injection events are background, so run() alone would stop
+        // before the 200 ms repair: step past it with runUntil, which
+        // drains background events too.
+        sim.runUntil(400 * msec);
+        EXPECT_FALSE(net.switchAt(0).failed());
+        EXPECT_TRUE(net.switchAt(0).asleep());
+        EXPECT_EQ(wheel.live(), 0u);
+        EXPECT_FALSE(sim.hasPendingEvents());
+        EXPECT_GT(wheel.stats().fired, 0u);
+    }
+    // Network destroyed while the wheel is alive: port/card/switch
+    // dtors cancelled every handle they still held.
+    EXPECT_EQ(wheel.live(), 0u);
 }
 
 // -------------------------------------------------------- DataCenter wiring

@@ -19,7 +19,9 @@
 #include "network/fluid/net_model.hh"
 #include "network/network.hh"
 #include "network/routing.hh"
+#include "sched/dispatch_policy.hh"
 #include "sim/logging.hh"
+#include "sim/timer_wheel.hh"
 #include "workload/service.hh"
 #include "workload/trace.hh"
 
@@ -666,6 +668,175 @@ INSTANTIATE_TEST_SUITE_P(
 // exactly its attempt budget (maxRetries retries after the first
 // try), then the job is abandoned -- no infinite retry loop.
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Property: the shared governor timer wheel at granularity 1 is
+// statistics-identical to per-entity governor events -- every core
+// C-state residency, port/line-card/switch residency, energy figure
+// and job latency agrees exactly, on both event-queue backends. The
+// wheel only coalesces *when* timer callbacks run onto shared tick
+// events; with 1-tick buckets it must never move them.
+// ---------------------------------------------------------------------------
+
+class TimerModeProperty
+    : public ::testing::TestWithParam<EventQueue::Backend>
+{
+  protected:
+    /** Every statistic the two timer disciplines must agree on.
+     *  Residencies are exact Ticks; energies come from the same
+     *  arithmetic sequence, so doubles must match bit-for-bit. */
+    struct Signature {
+        std::vector<Tick> residencies;
+        std::vector<double> energies;
+        std::uint64_t jobs = 0;
+        double latencyMean = 0.0;
+        Tick endTick = 0;
+    };
+
+    Signature
+    runOnce(bool use_wheel, Tick granularity)
+    {
+        Simulator sim(GetParam());
+        std::unique_ptr<TimerWheel> wheel;
+        if (use_wheel) {
+            wheel = std::make_unique<TimerWheel>(sim, granularity);
+            sim.setTimerWheel(wheel.get());
+        }
+
+        // A small star fabric with aggressive sleep thresholds so
+        // the run exercises every governor tier: core demotion, port
+        // LPI, line card sleep and whole-switch sleep.
+        NetworkConfig net_cfg;
+        net_cfg.switchSleepDelay = 20 * msec;
+        Network net(sim, Topology::star(8, 1e9, 5 * usec),
+                    SwitchPowerProfile::cisco2960_24(), net_cfg);
+
+        std::vector<std::unique_ptr<Server>> owned;
+        std::vector<Server *> servers;
+        for (unsigned i = 0; i < 8; ++i) {
+            ServerConfig sc;
+            sc.id = i;
+            sc.nCores = 2;
+            auto server = std::make_unique<Server>(
+                sim, sc, ServerPowerProfile{});
+            servers.push_back(server.get());
+            owned.push_back(std::move(server));
+        }
+        GlobalScheduler sched(sim, servers,
+                              std::make_unique<LeastLoadedPolicy>(),
+                              {}, &net);
+
+        // Bursty two-stage jobs with transfers: idle gaps between
+        // bursts let the governors cycle through their ladders.
+        auto svc = std::make_shared<ExponentialService>(
+            4 * msec, Rng(42, "svc"));
+        ChainJobGenerator gen({svc, svc}, {0, 0}, 32 * 1024);
+        PoissonArrival arrivals(120.0, Rng(42, "arrivals"));
+        std::size_t injected = 0;
+        EventFunctionWrapper inject(
+            [&] {
+                sched.submitJob(gen.makeJob(sim.curTick()));
+                if (++injected < 600)
+                    sim.schedule(inject, arrivals.nextArrival());
+            },
+            "inject");
+        sim.schedule(inject, arrivals.nextArrival());
+        sim.run();
+        Tick end = sim.curTick();
+
+        Signature sig;
+        sig.jobs = sched.jobsCompleted();
+        sig.latencyMean = sched.jobLatency().mean();
+        sig.endTick = end;
+        for (Server *s : servers) {
+            s->finishStats();
+            for (unsigned c = 0; c < 2; ++c) {
+                const auto &res = s->core(c).residency();
+                for (int st = 0; st < 5; ++st)
+                    sig.residencies.push_back(res.residency(st));
+            }
+            for (int st = 0; st < 5; ++st)
+                sig.residencies.push_back(s->residency().residency(st));
+            sig.energies.push_back(s->energy().total());
+        }
+        for (std::size_t i = 0; i < net.numSwitches(); ++i) {
+            Switch &sw = net.switchAt(i);
+            sw.finishStats();
+            sig.residencies.push_back(sw.residency().residency(0));
+            sig.residencies.push_back(sw.residency().residency(1));
+            sig.residencies.push_back(sw.sleepTransitions());
+            for (unsigned p = 0; p < sw.numPorts(); ++p) {
+                const auto &res = sw.port(p).residency();
+                for (int st = 0; st < 3; ++st)
+                    sig.residencies.push_back(res.residency(st));
+            }
+            for (unsigned lc = 0; lc < sw.numLineCards(); ++lc) {
+                const auto &res = sw.lineCard(lc).residency();
+                for (int st = 0; st < 3; ++st)
+                    sig.residencies.push_back(res.residency(st));
+            }
+            sig.energies.push_back(sw.energy());
+        }
+        return sig;
+    }
+};
+
+TEST_P(TimerModeProperty, UnitGranularityWheelMatchesEventsExactly)
+{
+    Signature events = runOnce(false, 1);
+    Signature wheel = runOnce(true, 1);
+
+    ASSERT_GT(events.jobs, 0u);
+    EXPECT_EQ(wheel.jobs, events.jobs);
+    EXPECT_DOUBLE_EQ(wheel.latencyMean, events.latencyMean);
+    EXPECT_EQ(wheel.endTick, events.endTick);
+    ASSERT_EQ(wheel.residencies.size(), events.residencies.size());
+    for (std::size_t i = 0; i < events.residencies.size(); ++i) {
+        EXPECT_EQ(wheel.residencies[i], events.residencies[i])
+            << "residency slot " << i;
+    }
+    ASSERT_EQ(wheel.energies.size(), events.energies.size());
+    for (std::size_t i = 0; i < events.energies.size(); ++i) {
+        EXPECT_DOUBLE_EQ(wheel.energies[i], events.energies[i])
+            << "energy slot " << i;
+    }
+}
+
+TEST_P(TimerModeProperty, CoarseWheelConservesResidencyPartitions)
+{
+    // 100 us buckets shift governor transitions (never earlier, at
+    // most one bucket later) but must keep every residency account a
+    // partition of simulated time and complete the same job count.
+    Signature events = runOnce(false, 1);
+    Signature coarse = runOnce(true, 100 * usec);
+    EXPECT_EQ(coarse.jobs, events.jobs);
+    // Core + server residency blocks partition [0, endTick] per
+    // entity: 8 servers x (2 cores x 5 states + 5 server states).
+    std::size_t off = 0;
+    for (int server = 0; server < 8; ++server) {
+        for (int core = 0; core < 2; ++core) {
+            Tick sum = 0;
+            for (int st = 0; st < 5; ++st)
+                sum += coarse.residencies[off++];
+            EXPECT_EQ(sum, coarse.endTick)
+                << "server " << server << " core " << core;
+        }
+        Tick sum = 0;
+        for (int st = 0; st < 5; ++st)
+            sum += coarse.residencies[off++];
+        EXPECT_EQ(sum, coarse.endTick) << "server " << server;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, TimerModeProperty,
+    ::testing::Values(EventQueue::Backend::calendar,
+                      EventQueue::Backend::binaryHeap),
+    [](const ::testing::TestParamInfo<EventQueue::Backend> &info) {
+        return info.param == EventQueue::Backend::calendar
+                   ? "calendar"
+                   : "heap";
+    });
 
 TEST(RetryBudgetProperty, ExhaustionAbandonsTheJob)
 {

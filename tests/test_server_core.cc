@@ -1,12 +1,13 @@
 /**
  * @file
  * Unit tests for the core model: C-state machine, DVFS scaling and
- * the idle governor.
+ * the idle governor, exercised through a one-core CorePool.
  */
 
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <vector>
 
 #include "server/core.hh"
 #include "sim/logging.hh"
@@ -16,20 +17,38 @@ using namespace holdcsim;
 
 namespace {
 
+struct RecordingHost : CoreHost {
+    Simulator *sim = nullptr;
+    int accrues = 0;
+    int changes = 0;
+    Tick doneAt = 0;
+    std::vector<TaskRef> done;
+
+    void coreAccrue() override { ++accrues; }
+    void coreStateChanged() override { ++changes; }
+    void
+    coreTaskDone(unsigned, const TaskRef &t) override
+    {
+        doneAt = sim->curTick();
+        done.push_back(t);
+    }
+};
+
 struct CoreFixture : ::testing::Test {
     Simulator sim;
     ServerPowerProfile prof;
+    RecordingHost host;
+    std::optional<CorePool> pool;
     std::optional<Core> core;
-    int accrues = 0;
-    int changes = 0;
 
     void
     makeCore(double freq = 0.0)
     {
         if (freq == 0.0)
             freq = prof.pstates[0].freqGhz;
-        core.emplace(sim, 0, prof, freq, [this] { ++accrues; },
-                     [this] { ++changes; });
+        host.sim = &sim;
+        pool.emplace(sim, host, prof, std::vector<double>{freq});
+        core.emplace(*pool, 0);
     }
 
     TaskRef
@@ -44,15 +63,13 @@ struct CoreFixture : ::testing::Test {
 TEST_F(CoreFixture, ExecutesTaskForServiceTime)
 {
     makeCore();
-    Tick done_at = 0;
-    core->startTask(task(5 * msec), 0, [&](const TaskRef &) {
-        done_at = sim.curTick();
-    });
+    core->startTask(task(5 * msec), 0);
     EXPECT_TRUE(core->busy());
     sim.run();
     EXPECT_FALSE(core->busy());
     // Started from C0-idle: no exit latency.
-    EXPECT_EQ(done_at, 5 * msec);
+    EXPECT_EQ(host.doneAt, 5 * msec);
+    ASSERT_EQ(host.done.size(), 1u);
     EXPECT_EQ(core->tasksExecuted(), 1u);
 }
 
@@ -77,24 +94,18 @@ TEST_F(CoreFixture, WakeLatencyDelaysCompletion)
     sim.runUntil(10 * msec); // governor reaches C6
     ASSERT_EQ(core->cstate(), CoreCState::c6);
     Tick started = sim.curTick();
-    Tick done_at = 0;
-    core->startTask(task(1 * msec), 0, [&](const TaskRef &) {
-        done_at = sim.curTick();
-    });
+    core->startTask(task(1 * msec), 0);
     sim.run();
-    EXPECT_EQ(done_at, started + prof.c6ExitLatency + 1 * msec);
+    EXPECT_EQ(host.doneAt, started + prof.c6ExitLatency + 1 * msec);
 }
 
 TEST_F(CoreFixture, ExtraWakeLatencyApplied)
 {
     makeCore();
     Tick extra = 600 * usec;
-    Tick done_at = 0;
-    core->startTask(task(1 * msec), extra, [&](const TaskRef &) {
-        done_at = sim.curTick();
-    });
+    core->startTask(task(1 * msec), extra);
     sim.run();
-    EXPECT_EQ(done_at, extra + 1 * msec);
+    EXPECT_EQ(host.doneAt, extra + 1 * msec);
 }
 
 TEST_F(CoreFixture, PStateSlowsComputeBoundTask)
@@ -131,11 +142,23 @@ TEST_F(CoreFixture, HeterogeneousBaseFrequency)
     EXPECT_NEAR(static_cast<double>(t), 20.0 * msec, 1.0);
 }
 
+TEST_F(CoreFixture, ProcessingTimeSaturatesInsteadOfOverflowing)
+{
+    makeCore();
+    core->setPState(4); // slowest: ratio > 1 amplifies further
+    // A service time near the Tick ceiling scaled by the P-state
+    // ratio exceeds 2^64 ns; the cast must saturate, not invoke UB.
+    Tick t = core->processingTime(task(maxTick - 5, 1.0));
+    EXPECT_EQ(t, maxTick);
+    // Just below the ceiling stays exact.
+    EXPECT_EQ(core->processingTime(task(10 * msec, 0.0)), 10 * msec);
+}
+
 TEST_F(CoreFixture, PowerFollowsCState)
 {
     makeCore();
     EXPECT_DOUBLE_EQ(core->power(), prof.coreC0Idle);
-    core->startTask(task(1 * msec), 0, nullptr);
+    core->startTask(task(1 * msec), 0);
     EXPECT_DOUBLE_EQ(core->power(), prof.coreActive);
     sim.run();
     sim.runUntil(sim.curTick() + 10 * msec);
@@ -147,7 +170,7 @@ TEST_F(CoreFixture, ActivePowerScalesWithPState)
 {
     makeCore();
     core->setPState(1);
-    core->startTask(task(1 * msec), 0, nullptr);
+    core->startTask(task(1 * msec), 0);
     EXPECT_DOUBLE_EQ(core->power(),
                      prof.coreActive * prof.pstates[1].powerScale);
     sim.run();
@@ -165,7 +188,7 @@ TEST_F(CoreFixture, ForceDeepSleepFromIdle)
 TEST_F(CoreFixture, ResidencyTracksStates)
 {
     makeCore();
-    core->startTask(task(10 * msec), 0, nullptr);
+    core->startTask(task(10 * msec), 0);
     sim.run();
     sim.runUntil(20 * msec);
     core->finishStats(sim.curTick());
@@ -179,7 +202,9 @@ TEST_F(CoreFixture, RejectsBadParameters)
 {
     makeCore();
     EXPECT_THROW(core->setPState(99), FatalError);
-    EXPECT_THROW(Core(sim, 1, prof, -1.0, [] {}, [] {}), FatalError);
+    RecordingHost other;
+    other.sim = &sim;
+    EXPECT_THROW(CorePool(sim, other, prof, {-1.0}), FatalError);
 }
 
 TEST_F(CoreFixture, ProfileValidation)
