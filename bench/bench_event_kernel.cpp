@@ -26,6 +26,15 @@
  *    ladder re-arms at once. The wheel must complete the same work
  *    while collapsing the per-core governor events into shared
  *    boundary ticks.
+ *  - pdes: an 8-pod PodCluster with cross-pod request forwarding run
+ *    on the sequential kernel and on 1/2/4 partitions of the
+ *    conservative parallel kernel (src/sim/pdes). The deterministic
+ *    statistics dumps must be byte-identical across every kernel
+ *    configuration; events-per-second and the window-protocol
+ *    counters are reported per worker count. Speedups are relative
+ *    to the sequential kernel on THIS host -- the JSON records
+ *    host_cpus so a 2-core CI box's numbers are not misread as the
+ *    paper-scale result.
  *
  * Every workload records the exact pop order (or final statistics)
  * and the binary exits nonzero on any divergence between backends or
@@ -41,10 +50,13 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dc/datacenter.hh"
+#include "dc/pod_cluster.hh"
 #include "sim/event.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
@@ -409,6 +421,47 @@ runWarehouse(std::size_t n_servers, unsigned waves,
     return w;
 }
 
+// ---------------------------------------------------------------------------
+// pdes: pod-partitioned cluster, sequential vs windowed-parallel.
+// ---------------------------------------------------------------------------
+
+struct PdesRun {
+    double wallSeconds = 0.0;
+    std::uint64_t events = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t fastForwards = 0;
+    double blockedFraction = 0.0;
+    std::string dump;
+
+    double eventsPerSec() const
+    {
+        return wallSeconds > 0.0 ? double(events) / wallSeconds : 0.0;
+    }
+};
+
+PdesRun
+runPods(const PodClusterConfig &cfg, unsigned partitions)
+{
+    PodCluster cluster(cfg, partitions);
+    double start = now_seconds();
+    cluster.run();
+    PdesRun r;
+    r.wallSeconds = now_seconds() - start;
+    r.events = cluster.eventsTotal();
+    if (partitions >= 2) {
+        const auto &st = cluster.pdesStats();
+        r.windows = st.windows;
+        r.messages = st.messages;
+        r.fastForwards = st.fastForwards;
+        r.blockedFraction = st.blockedFraction();
+    }
+    std::ostringstream os;
+    cluster.dumpStats(os);
+    r.dump = os.str();
+    return r;
+}
+
 bool
 sameOrder(const char *what, const KernelRun &cal, const KernelRun &heap)
 {
@@ -568,6 +621,34 @@ main(int argc, char **argv)
         ok = false;
     }
 
+    // ---- pdes: the parallel kernel must be statistics-invisible --
+    PodClusterConfig pdes_cfg;
+    pdes_cfg.pods = 8;
+    pdes_cfg.requestsPerPod = quick ? 600 : 6'000;
+    pdes_cfg.arrivalRate = 1'500.0;
+    pdes_cfg.forwardProbability = 0.3;
+    // A metro-scale 1 ms inter-pod latency: wide windows amortize the
+    // barrier, which a 2-core CI host needs to show any overlap at
+    // all. The conservative protocol is latency-bound by design --
+    // the tests cover the tight 20 us default.
+    pdes_cfg.interPodLatency = 1 * msec;
+    pdes_cfg.statsHorizon = quick ? 1 * sec : 6 * sec;
+    pdes_cfg.seed = 7;
+
+    PdesRun pdes_seq = runPods(pdes_cfg, 0);
+    const unsigned pdes_workers[] = {1, 2, 4};
+    std::vector<PdesRun> pdes_par;
+    for (unsigned w : pdes_workers) {
+        pdes_par.push_back(runPods(pdes_cfg, w));
+        if (pdes_par.back().dump != pdes_seq.dump) {
+            std::fprintf(stderr,
+                         "FAIL: pdes dump with %u partitions differs "
+                         "from the sequential kernel\n",
+                         w);
+            ok = false;
+        }
+    }
+
     double hold_small_speedup =
         holdS_heap.opsPerSec() > 0.0
             ? holdS_cal.opsPerSec() / holdS_heap.opsPerSec()
@@ -624,6 +705,26 @@ main(int argc, char **argv)
                 (unsigned long long)wh_wheel.wheelFired,
                 (unsigned long long)wh_wheel.wheelTickEvents,
                 (unsigned long long)wh_wheel.wheelMaxBatch);
+    const unsigned host_cpus = std::thread::hardware_concurrency();
+    std::printf("pdes (%u pods, %zu req/pod, host_cpus=%u): "
+                "sequential %.0f ev/s\n",
+                pdes_cfg.pods, pdes_cfg.requestsPerPod, host_cpus,
+                pdes_seq.eventsPerSec());
+    for (std::size_t i = 0; i < pdes_par.size(); ++i) {
+        const PdesRun &r = pdes_par[i];
+        std::printf("pdes workers=%u: %.0f ev/s (%.2fx), %llu windows, "
+                    "%llu messages, %llu fast-forwards, blocked "
+                    "%.0f%%, stats %s\n",
+                    pdes_workers[i], r.eventsPerSec(),
+                    pdes_seq.eventsPerSec() > 0.0
+                        ? r.eventsPerSec() / pdes_seq.eventsPerSec()
+                        : 0.0,
+                    (unsigned long long)r.windows,
+                    (unsigned long long)r.messages,
+                    (unsigned long long)r.fastForwards,
+                    100.0 * r.blockedFraction,
+                    r.dump == pdes_seq.dump ? "identical" : "DIVERGED");
+    }
     std::printf("backend equivalence: %s\n", ok ? "OK" : "FAILED");
 
     if (!json_out.empty()) {
@@ -692,6 +793,32 @@ main(int argc, char **argv)
                    ? "true"
                    : "false")
            << "},\n";
+        os << "  \"pdes\": {\"pods\": " << pdes_cfg.pods
+           << ", \"requests_per_pod\": " << pdes_cfg.requestsPerPod
+           << ", \"host_cpus\": " << host_cpus
+           << ", \"lookahead_us\": "
+           << pdes_cfg.interPodLatency / usec
+           << ", \"sequential_events_per_sec\": "
+           << pdes_seq.eventsPerSec()
+           << ", \"events_total\": " << pdes_seq.events
+           << ", \"workers\": [";
+        for (std::size_t i = 0; i < pdes_par.size(); ++i) {
+            const PdesRun &r = pdes_par[i];
+            os << (i ? ", " : "") << "{\"workers\": "
+               << pdes_workers[i]
+               << ", \"events_per_sec\": " << r.eventsPerSec()
+               << ", \"speedup\": "
+               << (pdes_seq.eventsPerSec() > 0.0
+                       ? r.eventsPerSec() / pdes_seq.eventsPerSec()
+                       : 0.0)
+               << ", \"windows\": " << r.windows
+               << ", \"messages\": " << r.messages
+               << ", \"fast_forwards\": " << r.fastForwards
+               << ", \"blocked_fraction\": " << r.blockedFraction
+               << ", \"stats_identical\": "
+               << (r.dump == pdes_seq.dump ? "true" : "false") << "}";
+        }
+        os << "]},\n";
         os << "  \"backends_equivalent\": " << (ok ? "true" : "false")
            << "\n";
         os << "}\n";

@@ -14,6 +14,11 @@
 #                               (with calendar-vs-heap speedups) from
 #                               bench_event_kernel, including the
 #                               100k-server warehouse point
+#   pdes                        pod-partitioned parallel kernel scaling
+#                               (workers x events/s, window count,
+#                               blocked fraction) with host_cpus
+#                               recorded so the speedups can be read
+#                               against the machine that produced them
 # Usage: bench/run_kernel_profile.sh [build-dir]
 set -euo pipefail
 
@@ -65,6 +70,10 @@ out['wheel_replay'] = {
     'timer_wheel': wheel.get('timer_wheel'),
 }
 out['microbench'] = micro
+# Promote the parallel-kernel scaling run to a top-level section:
+# it is the headline number of the PDES work, not a queue-backend
+# microbenchmark detail.
+out['pdes'] = micro.pop('pdes')
 with open(sys.argv[1], 'w') as f:
     json.dump(out, f, indent=2)
     f.write('\n')
@@ -77,6 +86,13 @@ wh = micro['warehouse']
 print('warehouse %dx4 cores: %.2fs events-mode -> %.2fs wheel' %
       (wh['servers'], wh['events_mode_wall_seconds'],
        wh['wheel_wall_seconds']))
+p = out['pdes']
+print('pdes (%d pods, host_cpus=%d): sequential %.0f ev/s; ' %
+      (p['pods'], p['host_cpus'], p['sequential_events_per_sec']) +
+      ', '.join('%dw %.2fx (blocked %.0f%%)' %
+                (w['workers'], w['speedup'],
+                 100 * w['blocked_fraction'])
+                for w in p['workers']))
 PYEOF
 rm -f profile_heap.json.tmp profile_cal.json.tmp \
     profile_wheel.json.tmp kernel_micro.json.tmp

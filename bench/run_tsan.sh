@@ -3,7 +3,11 @@
 # thread pool: the test_exp suite (pool scheduling, nested submits,
 # stealing, parallel Simulators) plus the engine acceptance bench and
 # the event-kernel backend-equivalence smoke (calendar vs heap pop
-# order must match under TSan too).
+# order must match under TSan too). The PDES suite runs as well --
+# the window barrier, mailbox hand-off and cross-worker error plumbing
+# in src/sim/pdes are exactly the code TSan exists for -- and the
+# bench's --quick gate replays the pod cluster at 1/2/4 workers,
+# failing if any parallel stats dump drifts from sequential.
 # Usage: bench/run_tsan.sh [build-dir]
 set -euo pipefail
 
@@ -12,9 +16,11 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DHOLDCSIM_TSAN=ON
 cmake --build "$BUILD_DIR" -j \
-    --target test_exp bench_engine_parallel bench_event_kernel
+    --target test_exp test_pdes bench_engine_parallel \
+    bench_event_kernel
 
 TSAN_OPTIONS=halt_on_error=1 "$BUILD_DIR"/tests/test_exp
+TSAN_OPTIONS=halt_on_error=1 "$BUILD_DIR"/tests/test_pdes
 TSAN_OPTIONS=halt_on_error=1 \
     "$BUILD_DIR"/bench/bench_engine_parallel
 TSAN_OPTIONS=halt_on_error=1 \

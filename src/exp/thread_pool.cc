@@ -55,16 +55,45 @@ ThreadPool::submit(Task task)
         target = _nextWorker;
         _nextWorker = (_nextWorker + 1) % _workers.size();
     }
+    // Count the task BEFORE publishing it: once it is visible in a
+    // deque any thread may run and decrement it, and wait() treats
+    // _unfinished == 0 as "pool idle" -- an uncounted pending task
+    // would let wait() return early.
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_unfinished;
+    }
     {
         std::lock_guard<std::mutex> lock(
             _workers[target]->mutex);
         _workers[target]->tasks.push_back(std::move(task));
     }
+    _workCv.notify_one();
+}
+
+void
+ThreadPool::submitTo(std::size_t worker, Task task)
+{
+    Worker &w = *_workers.at(worker);
+    // Count before publish, as in submit().
     {
         std::lock_guard<std::mutex> lock(_mutex);
         ++_unfinished;
     }
-    _workCv.notify_one();
+    {
+        std::lock_guard<std::mutex> lock(w.mutex);
+        w.pinned.push_back(std::move(task));
+    }
+    // notify_all, not notify_one: only one specific worker can run
+    // this task, and notify_one may wake a different one. The wrong
+    // workers find nothing and go back to sleep.
+    _workCv.notify_all();
+}
+
+std::size_t
+ThreadPool::currentWorker()
+{
+    return tls_pool ? tls_worker : npos;
 }
 
 ThreadPool::Task
@@ -90,6 +119,11 @@ ThreadPool::grab(std::size_t self)
     Worker &own = *_workers[self];
     {
         std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.pinned.empty()) {
+            Task task = std::move(own.pinned.front());
+            own.pinned.pop_front();
+            return task;
+        }
         if (!own.tasks.empty()) {
             Task task = std::move(own.tasks.back());
             own.tasks.pop_back();

@@ -51,6 +51,30 @@ class ThreadPool
     void submit(Task task);
 
     /**
+     * Enqueue @p task pinned to worker @p worker (< workers()).
+     * Pinned tasks are never stolen and run before the worker touches
+     * its stealable deque, in submission order. This is the
+     * named-worker mode: a task can recover its worker index with
+     * currentWorker(), so long-lived per-worker state (a PDES
+     * partition, a replica's arena) can be owned by worker index
+     * instead of by an ad-hoc thread. Do not mix pinned tasks with
+     * blocking dependencies on other pinned tasks of the same worker
+     * unless they are submitted in dependency order.
+     */
+    void submitTo(std::size_t worker, Task task);
+
+    /**
+     * Index of the worker the calling thread is, or npos when the
+     * caller is not a pool worker (e.g. the thread inside wait()
+     * lending a hand is NOT a worker). When nested pools exist the
+     * index refers to the innermost pool the thread belongs to.
+     */
+    static std::size_t currentWorker();
+
+    /** Sentinel for currentWorker(): not a worker thread. */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /**
      * Block until every submitted task (including tasks submitted by
      * running tasks) has finished. The calling thread lends a hand:
      * it steals and runs queued tasks instead of spinning.
@@ -97,6 +121,9 @@ class ThreadPool
   private:
     struct Worker {
         std::deque<Task> tasks;
+        /** submitTo() targets; drained FIFO by the owner, never
+         *  stolen. */
+        std::deque<Task> pinned;
         std::mutex mutex;
     };
 

@@ -1,0 +1,133 @@
+#include "partition_map.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace holdcsim {
+
+PartitionMap
+PartitionMap::derive(const Topology &topo)
+{
+    PartitionMap map;
+    map._podOf.assign(topo.numNodes(), -1);
+
+    if (topo.numSwitches() == 0) {
+        map._reason = "server-only topology: no switch tier to cut";
+        return map;
+    }
+
+    // Multi-source BFS from every server: dist[n] = min hops to a
+    // server. Switch tiers of a layered fabric come out as distance
+    // bands (fat tree: edge 1, aggregation 2, core 3).
+    constexpr unsigned unreached = std::numeric_limits<unsigned>::max();
+    std::vector<unsigned> dist(topo.numNodes(), unreached);
+    std::deque<NodeId> frontier;
+    for (std::size_t i = 0; i < topo.numServers(); ++i) {
+        NodeId s = topo.serverNode(i);
+        dist[s] = 0;
+        frontier.push_back(s);
+    }
+    while (!frontier.empty()) {
+        NodeId n = frontier.front();
+        frontier.pop_front();
+        for (LinkId l : topo.linksAt(n)) {
+            NodeId m = topo.otherEnd(l, n);
+            if (dist[m] == unreached) {
+                dist[m] = dist[n] + 1;
+                frontier.push_back(m);
+            }
+        }
+    }
+
+    unsigned max_d = 0;
+    for (std::size_t i = 0; i < topo.numSwitches(); ++i)
+        max_d = std::max(max_d, dist[topo.switchNode(i)]);
+    if (max_d < 2) {
+        map._reason =
+            "single switch tier: removing it would isolate every "
+            "server (star / flattened-butterfly class)";
+        return map;
+    }
+
+    // The boundary is the topmost tier. Everything else is flood-
+    // filled into components; component discovery order (lowest node
+    // id first) numbers the pods deterministically.
+    std::vector<bool> boundary(topo.numNodes(), false);
+    for (std::size_t i = 0; i < topo.numSwitches(); ++i) {
+        NodeId sw = topo.switchNode(i);
+        if (dist[sw] == max_d)
+            boundary[sw] = true;
+    }
+
+    int next_pod = 0;
+    for (NodeId seed = 0; seed < topo.numNodes(); ++seed) {
+        if (boundary[seed] || map._podOf[seed] >= 0)
+            continue;
+        map._podOf[seed] = next_pod;
+        frontier.push_back(seed);
+        while (!frontier.empty()) {
+            NodeId n = frontier.front();
+            frontier.pop_front();
+            for (LinkId l : topo.linksAt(n)) {
+                NodeId m = topo.otherEnd(l, n);
+                if (boundary[m] || map._podOf[m] >= 0)
+                    continue;
+                map._podOf[m] = next_pod;
+                frontier.push_back(m);
+            }
+        }
+        ++next_pod;
+    }
+    if (next_pod < 2) {
+        map._reason = "cutting the top switch tier leaves a single "
+                      "component";
+        return map;
+    }
+    map._pods = static_cast<std::size_t>(next_pod);
+
+    // Lookahead: the cheapest way one pod can reach another crosses
+    // at least one pod-to-core link, so its minimum latency is a
+    // conservative (under-estimating, hence safe) window width.
+    Tick lookahead = maxTick;
+    for (LinkId l = 0; l < topo.numLinks(); ++l) {
+        const LinkInfo &li = topo.link(l);
+        if (boundary[li.a] != boundary[li.b])
+            lookahead = std::min(lookahead, li.latency);
+    }
+    if (lookahead == 0 || lookahead == maxTick) {
+        map._reason = "zero-latency cross-partition link admits no "
+                      "synchronization window";
+        map._pods = 0;
+        std::fill(map._podOf.begin(), map._podOf.end(), -1);
+        return map;
+    }
+    map._lookahead = lookahead;
+
+    map._podServers.resize(map._pods);
+    for (std::size_t i = 0; i < topo.numServers(); ++i) {
+        int pod = map._podOf[topo.serverNode(i)];
+        // Every server sits below the core tier, so it has a pod.
+        map._podServers.at(static_cast<std::size_t>(pod)).push_back(i);
+    }
+    return map;
+}
+
+std::vector<int>
+PartitionMap::partitionOfPod(std::size_t n_partitions) const
+{
+    if (!splittable())
+        fatal("PartitionMap: unsplittable topology (", _reason, ")");
+    if (n_partitions == 0 || n_partitions > _pods) {
+        fatal("PartitionMap: ", n_partitions,
+              " partitions requested for ", _pods, " pods");
+    }
+    std::vector<int> part(_pods);
+    for (std::size_t pod = 0; pod < _pods; ++pod)
+        part[pod] = static_cast<int>(pod * n_partitions / _pods);
+    return part;
+}
+
+} // namespace holdcsim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Topology-derived pod partitioning for the parallel kernel.
+ *
+ * The conservative PDES kernel (src/sim/pdes) needs two things from
+ * the plant: a partition of the entities such that every
+ * cross-partition interaction traverses the network, and the minimum
+ * latency of any cross-partition link (the lookahead). Datacenter
+ * fabrics supply both naturally: cutting the topmost switch tier
+ * (core) of a fat tree leaves the pods as connected components, and
+ * every inter-pod path crosses a pod-to-core link whose propagation
+ * delay bounds how soon one pod can affect another. PartitionMap
+ * derives that cut from a Topology alone -- no annotations -- and
+ * refuses topologies where the cut does not exist (star and
+ * flattened butterfly have a single switch tier; server-only tori
+ * have no switch layer at all; a zero-latency cross link would force
+ * a zero-width window).
+ */
+
+#ifndef HOLDCSIM_NETWORK_PARTITION_MAP_HH
+#define HOLDCSIM_NETWORK_PARTITION_MAP_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+#include "topology.hh"
+
+namespace holdcsim {
+
+/** A pod cut of a Topology: per-node pod labels plus the lookahead. */
+class PartitionMap
+{
+  public:
+    /**
+     * Derive the pod cut: label every switch with its minimum hop
+     * distance from any server, remove the switches at the maximum
+     * distance (the core tier), and read the pods off as the
+     * connected components of what remains. Always returns; check
+     * splittable() before using the labels.
+     */
+    static PartitionMap derive(const Topology &topo);
+
+    /** Whether the topology admits a >= 2-pod cut. */
+    bool splittable() const { return _reason.empty(); }
+
+    /** Human-readable refusal cause; empty when splittable(). */
+    const std::string &reason() const { return _reason; }
+
+    /** Number of pods. @pre splittable(). */
+    std::size_t pods() const { return _pods; }
+
+    /**
+     * Pod of node @p n, or -1 for boundary (core-tier) nodes, which
+     * belong to no pod: their events run in whichever partition owns
+     * them by assignment, and the PDES integration pins them to
+     * partition 0 (see docs/DESIGN.md).
+     */
+    int podOf(NodeId n) const { return _podOf.at(n); }
+
+    /** Minimum latency over pod-to-core links. @pre splittable(). */
+    Tick lookahead() const { return _lookahead; }
+
+    /** Server ordinals (Topology::serverIndex) in pod @p pod. */
+    const std::vector<std::size_t> &serversInPod(std::size_t pod) const
+    {
+        return _podServers.at(pod);
+    }
+
+    /**
+     * Group pods into @p n_partitions contiguous blocks (pod i goes
+     * to partition i * n / pods). @p n_partitions must be in
+     * [1, pods()].
+     */
+    std::vector<int> partitionOfPod(std::size_t n_partitions) const;
+
+  private:
+    std::size_t _pods = 0;
+    Tick _lookahead = 0;
+    std::string _reason;
+    std::vector<int> _podOf;
+    std::vector<std::vector<std::size_t>> _podServers;
+};
+
+} // namespace holdcsim
+
+#endif // HOLDCSIM_NETWORK_PARTITION_MAP_HH

@@ -33,6 +33,14 @@ InvariantAuditor::addCheck(std::string name, CheckFn fn)
 }
 
 void
+InvariantAuditor::addEventQueueCheck(Simulator &other,
+                                     const std::string &label)
+{
+    addCheck(detail::format("event_queue[", label, "]"),
+             [&other] { return other.eventQueue().auditConsistency(); });
+}
+
+void
 InvariantAuditor::start()
 {
     _started = true;

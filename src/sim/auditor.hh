@@ -62,6 +62,17 @@ class InvariantAuditor
     void addCheck(std::string name, CheckFn fn);
 
     /**
+     * Register the structural event-queue audit for a queue other
+     * than the home simulator's, as check "event_queue[label]". The
+     * built-in "event_queue" check covers only the auditor's own
+     * simulator; a partitioned run (src/sim/pdes) registers one of
+     * these per partition so every shard's calendar is audited at the
+     * window boundaries. @p other is not owned and must outlive the
+     * auditor.
+     */
+    void addEventQueueCheck(Simulator &other, const std::string &label);
+
+    /**
      * Observe violations (e.g. emit a telemetry instant). Called
      * before the abort dump, so the trace records the violation even
      * when the run is then torn down.

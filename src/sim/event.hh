@@ -35,6 +35,15 @@ class Event
     enum Priority : int {
         /** Power-state bookkeeping runs before normal model events. */
         powerPriority = -10,
+        /**
+         * Cross-partition mailbox deliveries (src/sim/pdes). A
+         * dedicated class so a delivery's order against same-tick
+         * local events is fixed by priority alone, never by insertion
+         * order -- deliveries are inserted at send time by the
+         * sequential kernel but at window boundaries by the parallel
+         * one, and the two must execute identically.
+         */
+        mailboxPriority = -5,
         /** Default for model events. */
         defaultPriority = 0,
         /** Statistics sampling runs after the model settles. */

@@ -513,6 +513,14 @@ EventQueue::nextTick() const
 Event &
 EventQueue::pop()
 {
+    Event *ev = popIfBefore(maxTick, /*unbounded=*/true);
+    // Unbounded extraction never declines; findMin panics on empty.
+    return *ev;
+}
+
+Event *
+EventQueue::popIfBefore(Tick bound, bool unbounded)
+{
     if (_backend == Backend::calendar) {
         if (_bucketCount == 0 && !_heap.empty())
             rebaseOntoHeap();
@@ -522,6 +530,8 @@ EventQueue::pop()
     if (!findMin(m))
         HOLDCSIM_PANIC("pop() on empty event queue");
     Entry e = m.inHeap ? _heap.front() : _buckets[m.bucket][m.slot];
+    if (!unbounded && e.when >= bound)
+        return nullptr;
     if (m.inHeap) {
         heapRemoveAt(0);
         ++_counters.heapPops;
@@ -542,7 +552,7 @@ EventQueue::pop()
             rehash(_bucketShift, _buckets.size() / 2);
         observePopGap(e.when);
     }
-    return ev;
+    return &ev;
 }
 
 } // namespace holdcsim

@@ -122,6 +122,15 @@ class EventQueue
      */
     Event &pop();
 
+    /**
+     * Pop the earliest event only if it fires strictly before
+     * @p bound; return nullptr (queue untouched) otherwise. One
+     * findMin() serves both the check and the extraction -- the
+     * windowed run loop (src/sim/pdes) would otherwise pay a second
+     * head-bucket scan per event via nextTick(). @pre !empty().
+     */
+    Event *popIfBefore(Tick bound, bool unbounded = false);
+
     /** Which backend this queue runs on. */
     Backend backend() const { return _backend; }
 

@@ -13,7 +13,7 @@ class OneShotPool::Shot : public Event
 {
   public:
     explicit Shot(OneShotPool &pool)
-        : Event(pool._name), _pool(pool)
+        : Event(pool._name, pool._priority), _pool(pool)
     {}
 
     void
@@ -40,8 +40,8 @@ class OneShotPool::Shot : public Event
     std::size_t _liveIdx = 0;
 };
 
-OneShotPool::OneShotPool(Simulator &sim, std::string name)
-    : _sim(sim), _name(std::move(name))
+OneShotPool::OneShotPool(Simulator &sim, std::string name, int priority)
+    : _sim(sim), _name(std::move(name)), _priority(priority)
 {}
 
 OneShotPool::~OneShotPool()
@@ -55,8 +55,8 @@ OneShotPool::~OneShotPool()
         delete shot;
 }
 
-void
-OneShotPool::schedule(Tick delay, std::function<void()> fn)
+OneShotPool::Shot *
+OneShotPool::acquire(std::function<void()> fn)
 {
     Shot *shot;
     if (_free.empty()) {
@@ -67,7 +67,19 @@ OneShotPool::schedule(Tick delay, std::function<void()> fn)
     }
     shot->arm(std::move(fn), _live.size());
     _live.push_back(shot);
-    _sim.scheduleAfter(*shot, delay);
+    return shot;
+}
+
+void
+OneShotPool::schedule(Tick delay, std::function<void()> fn)
+{
+    _sim.scheduleAfter(*acquire(std::move(fn)), delay);
+}
+
+void
+OneShotPool::scheduleAt(Tick when, std::function<void()> fn)
+{
+    _sim.schedule(*acquire(std::move(fn)), when);
 }
 
 void

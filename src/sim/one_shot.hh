@@ -33,10 +33,13 @@ class OneShotPool
 {
   public:
     /**
-     * @param sim  engine the shots are scheduled against
-     * @param name event-name prefix for diagnostics
+     * @param sim      engine the shots are scheduled against
+     * @param name     event-name prefix for diagnostics
+     * @param priority tick-priority every shot of this pool fires at
+     *                 (mailbox-delivery pools use mailboxPriority)
      */
-    explicit OneShotPool(Simulator &sim, std::string name = "oneShot");
+    explicit OneShotPool(Simulator &sim, std::string name = "oneShot",
+                         int priority = Event::defaultPriority);
 
     /** Deschedules and frees every still-pending shot. */
     ~OneShotPool();
@@ -46,6 +49,9 @@ class OneShotPool
 
     /** Run @p fn once at curTick() + @p delay. */
     void schedule(Tick delay, std::function<void()> fn);
+
+    /** Run @p fn once at absolute tick @p when (>= curTick()). */
+    void scheduleAt(Tick when, std::function<void()> fn);
 
     /** Shots scheduled but not yet fired. */
     std::size_t pending() const { return _live.size(); }
@@ -60,8 +66,12 @@ class OneShotPool
     /** Move a fired shot from the live set onto the free list. */
     void recycle(Shot *shot);
 
+    /** Allocate or recycle a shot armed with @p fn. */
+    Shot *acquire(std::function<void()> fn);
+
     Simulator &_sim;
     std::string _name;
+    int _priority;
     /** In-flight shots; each shot knows its index (swap-remove). */
     std::vector<Shot *> _live;
     /** Recycled shots ready to be re-armed. */

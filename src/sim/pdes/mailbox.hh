@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Timestamped cross-partition messages for the conservative parallel
+ * kernel.
+ *
+ * During a synchronization window each partition appends messages to
+ * its own outbox only -- no locks, because no other thread reads the
+ * outbox until the window barrier. At the barrier the WindowScheduler
+ * drains every outbox single-threaded, sorts the union by
+ * (when, sentAt, srcPartition, seq) and schedules each message's
+ * closure into its destination simulator at `when` with
+ * Event::mailboxPriority. That total order is exactly the order the
+ * sequential kernel would have executed the same deliveries in, which
+ * is what makes `--pdes=off` and `--pdes=pods:N` statistically
+ * identical (see docs/DESIGN.md, "Conservative parallel kernel").
+ */
+
+#ifndef HOLDCSIM_SIM_PDES_MAILBOX_HH
+#define HOLDCSIM_SIM_PDES_MAILBOX_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace holdcsim::pdes {
+
+/** One cross-partition interaction, pinned to a delivery tick. */
+struct Message {
+    /** Delivery tick at the destination (sentAt + link latency). */
+    Tick when = 0;
+    /** Source partition's clock at send time (merge tiebreak). */
+    Tick sentAt = 0;
+    /** Destination partition index. */
+    std::uint32_t dst = 0;
+    /** Source partition index (merge tiebreak). */
+    std::uint32_t src = 0;
+    /** Per-source send counter (final merge tiebreak = FIFO). */
+    std::uint64_t seq = 0;
+    /** Runs on the destination partition's worker at tick `when`. */
+    std::function<void()> fn;
+};
+
+/**
+ * A partition's outbox. Single-writer (the owning partition's worker,
+ * inside its window) / single-reader (the barrier completion thread,
+ * while every worker is blocked) -- the phases never overlap, so no
+ * synchronization beyond the barrier itself is needed.
+ */
+class Mailbox
+{
+  public:
+    /** Append a message; called only from the owning worker. */
+    void
+    post(std::uint32_t src, std::uint32_t dst, Tick sent_at, Tick when,
+         std::function<void()> fn)
+    {
+        _pending.push_back(
+            Message{when, sent_at, dst, src, _nextSeq++, std::move(fn)});
+    }
+
+    /** Pending messages; touched only at a window barrier. */
+    std::vector<Message> &pending() { return _pending; }
+
+    /** Lifetime total of messages posted (telemetry). */
+    std::uint64_t posted() const { return _nextSeq; }
+
+  private:
+    std::vector<Message> _pending;
+    std::uint64_t _nextSeq = 0;
+};
+
+} // namespace holdcsim::pdes
+
+#endif // HOLDCSIM_SIM_PDES_MAILBOX_HH

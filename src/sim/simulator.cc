@@ -96,7 +96,13 @@ template <bool WithProbe>
 void
 Simulator::processOne()
 {
-    Event &ev = _queue.pop();
+    processPopped<WithProbe>(_queue.pop());
+}
+
+template <bool WithProbe>
+void
+Simulator::processPopped(Event &ev)
+{
     // pop() preserves when(); reading it off the popped event saves a
     // separate nextTick() peek per event.
     _curTick = ev.when();
@@ -166,6 +172,29 @@ Simulator::runUntil(Tick limit)
 {
     _stopRequested = false;
     return _probe ? runUntilLoop<true>(limit) : runUntilLoop<false>(limit);
+}
+
+template <bool WithProbe>
+Tick
+Simulator::runBeforeLoop(Tick bound)
+{
+    while (!_queue.empty() && !_stopRequested) {
+        if (_limits)
+            checkLimits();
+        Event *ev = _queue.popIfBefore(bound);
+        if (!ev)
+            break;
+        processPopped<WithProbe>(*ev);
+    }
+    return _curTick;
+}
+
+Tick
+Simulator::runBefore(Tick bound)
+{
+    _stopRequested = false;
+    return _probe ? runBeforeLoop<true>(bound)
+                  : runBeforeLoop<false>(bound);
 }
 
 } // namespace holdcsim

@@ -142,6 +142,21 @@ class Simulator
      */
     Tick runUntil(Tick limit);
 
+    /**
+     * Process every event strictly before @p bound and return. The
+     * workhorse of the conservative parallel kernel (src/sim/pdes):
+     * one call executes one synchronization window [floor, bound).
+     * Unlike runUntil(), the upper edge is exclusive and the clock is
+     * left at the last processed event's tick -- never advanced to
+     * @p bound -- so events delivered into [bound, ...) by a later
+     * mailbox drain are still in this simulator's future. Unlike
+     * run(), events are popped while the queue is nonempty even if
+     * only background events remain below the bound: a partition must
+     * not stall its periodic machinery just because its foreground
+     * work momentarily lives in another partition's window.
+     */
+    Tick runBefore(Tick bound);
+
     /** Request that run()/runUntil() return after the current event. */
     void stop() { _stopRequested = true; }
 
@@ -239,8 +254,10 @@ class Simulator
   private:
     /** Pop the next event and process it (shared run-loop body). */
     template <bool WithProbe> void processOne();
+    template <bool WithProbe> void processPopped(Event &ev);
     template <bool WithProbe> Tick runLoop();
     template <bool WithProbe> Tick runUntilLoop(Tick limit);
+    template <bool WithProbe> Tick runBeforeLoop(Tick bound);
 
     /** Throw SimInterrupted when a watchdog limit has tripped. */
     void checkLimits() const;

@@ -24,9 +24,9 @@ SingleTaskGenerator::SingleTaskGenerator(
 }
 
 Job
-SingleTaskGenerator::makeJob(Tick arrival)
+SingleTaskGenerator::buildJob(JobId id, Tick arrival)
 {
-    Job job(nextId(), arrival);
+    Job job(id, arrival);
     job.addTask(TaskSpec{_service->sample(), _taskType, 1.0});
     job.validate();
     return job;
@@ -47,9 +47,9 @@ ChainJobGenerator::ChainJobGenerator(
 }
 
 Job
-ChainJobGenerator::makeJob(Tick arrival)
+ChainJobGenerator::buildJob(JobId id, Tick arrival)
 {
-    Job job(nextId(), arrival);
+    Job job(id, arrival);
     TaskId prev = 0;
     for (std::size_t s = 0; s < _stages.size(); ++s) {
         TaskId t = job.addTask(
@@ -81,9 +81,9 @@ FanOutInGenerator::FanOutInGenerator(
 }
 
 Job
-FanOutInGenerator::makeJob(Tick arrival)
+FanOutInGenerator::buildJob(JobId id, Tick arrival)
 {
-    Job job(nextId(), arrival);
+    Job job(id, arrival);
     TaskId root = job.addTask(TaskSpec{_rootService->sample(), 0, 1.0});
     TaskId agg = job.addTask(TaskSpec{_aggService->sample(), 0, 1.0});
     for (unsigned w = 0; w < _width; ++w) {
@@ -115,9 +115,9 @@ RandomDagGenerator::RandomDagGenerator(
 }
 
 Job
-RandomDagGenerator::makeJob(Tick arrival)
+RandomDagGenerator::buildJob(JobId id, Tick arrival)
 {
-    Job job(nextId(), arrival);
+    Job job(id, arrival);
     std::vector<std::vector<TaskId>> layer_tasks(_layers);
     for (unsigned l = 0; l < _layers; ++l) {
         unsigned count =

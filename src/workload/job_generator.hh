@@ -32,9 +32,20 @@ class JobGenerator
     virtual ~JobGenerator() = default;
 
     /** Build the next job, arriving at @p arrival. */
-    virtual Job makeJob(Tick arrival) = 0;
+    Job makeJob(Tick arrival) { return buildJob(nextId(), arrival); }
+
+    /**
+     * Build a job with a caller-chosen id. Partitioned runs
+     * (src/sim/pdes) use this with per-partition id namespaces: the
+     * process-wide counter is thread-safe but hands out ids in
+     * wall-clock interleaving order, which would differ run to run.
+     */
+    Job makeJob(Tick arrival, JobId id) { return buildJob(id, arrival); }
 
   protected:
+    /** Construct the job DAG for (@p id, @p arrival). */
+    virtual Job buildJob(JobId id, Tick arrival) = 0;
+
     /** Next process-globally-unique job id. */
     static JobId nextId();
 };
@@ -45,7 +56,7 @@ class SingleTaskGenerator : public JobGenerator
   public:
     SingleTaskGenerator(std::shared_ptr<ServiceModel> service,
                         int task_type = 0);
-    Job makeJob(Tick arrival) override;
+    Job buildJob(JobId id, Tick arrival) override;
 
   private:
     std::shared_ptr<ServiceModel> _service;
@@ -62,7 +73,7 @@ class ChainJobGenerator : public JobGenerator
   public:
     ChainJobGenerator(std::vector<std::shared_ptr<ServiceModel>> stages,
                       std::vector<int> stage_types, Bytes transfer_bytes);
-    Job makeJob(Tick arrival) override;
+    Job buildJob(JobId id, Tick arrival) override;
 
   private:
     std::vector<std::shared_ptr<ServiceModel>> _stages;
@@ -81,7 +92,7 @@ class FanOutInGenerator : public JobGenerator
                       std::shared_ptr<ServiceModel> worker_service,
                       std::shared_ptr<ServiceModel> agg_service,
                       unsigned width, Bytes transfer_bytes);
-    Job makeJob(Tick arrival) override;
+    Job buildJob(JobId id, Tick arrival) override;
 
   private:
     std::shared_ptr<ServiceModel> _rootService;
@@ -105,7 +116,7 @@ class RandomDagGenerator : public JobGenerator
                        unsigned layers, unsigned width,
                        double edge_probability, Bytes transfer_bytes,
                        Rng rng);
-    Job makeJob(Tick arrival) override;
+    Job buildJob(JobId id, Tick arrival) override;
 
   private:
     std::shared_ptr<ServiceModel> _service;

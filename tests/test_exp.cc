@@ -144,6 +144,61 @@ TEST(ThreadPool, NonThrowingRunHasNoFailures)
     EXPECT_FALSE(pool.firstException());
 }
 
+TEST(ThreadPool, PinnedTasksRunOnNamedWorkerInOrder)
+{
+    // submitTo() is the named-worker mode: every pinned task must
+    // observe currentWorker() == its target index, and pinned tasks
+    // of one worker must run in submission order even while the
+    // stealable deques churn.
+    ThreadPool pool(4);
+    std::vector<std::vector<int>> order(4);
+    std::atomic<int> misplaced{0};
+    for (int round = 0; round < 64; ++round) {
+        for (std::size_t w = 0; w < 4; ++w) {
+            pool.submitTo(w, [&, w, round] {
+                if (ThreadPool::currentWorker() != w)
+                    ++misplaced;
+                else
+                    order[w].push_back(round);
+            });
+        }
+        pool.submit([] {});
+    }
+    pool.wait();
+    EXPECT_EQ(misplaced.load(), 0);
+    for (std::size_t w = 0; w < 4; ++w) {
+        ASSERT_EQ(order[w].size(), 64u) << "worker " << w;
+        for (int round = 0; round < 64; ++round)
+            EXPECT_EQ(order[w][round], round) << "worker " << w;
+    }
+}
+
+TEST(ThreadPool, CurrentWorkerIsNposOutsidePool)
+{
+    EXPECT_EQ(ThreadPool::currentWorker(), ThreadPool::npos);
+    ThreadPool pool(2);
+    std::atomic<bool> inside_ok{false};
+    // Pinned to worker 0: pinned tasks are never stolen, so this
+    // cannot end up running on the waiting thread below (where
+    // currentWorker() is rightly npos).
+    pool.submitTo(0, [&] {
+        inside_ok = ThreadPool::currentWorker() == 0;
+    });
+    pool.wait();
+    EXPECT_TRUE(inside_ok.load());
+    // The waiter lending a hand is not a worker either.
+    EXPECT_EQ(ThreadPool::currentWorker(), ThreadPool::npos);
+}
+
+TEST(ThreadPool, PinnedTaskExceptionIsAbsorbed)
+{
+    ThreadPool pool(2);
+    pool.submitTo(1, [] { throw std::runtime_error("pinned boom"); });
+    pool.wait();
+    EXPECT_EQ(pool.failedTasks(), 1u);
+    ASSERT_TRUE(pool.firstException());
+}
+
 TEST(ThreadPool, ParallelForCoversAllIndicesOnce)
 {
     ThreadPool pool(3);

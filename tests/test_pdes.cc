@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Conservative parallel kernel tests: window protocol mechanics,
+ * topology-derived partition plans, cross-partition invariant audits
+ * and -- the central contract -- statistics identity between the
+ * sequential kernel and every partition count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dc/dc_config.hh"
+#include "dc/pod_cluster.hh"
+#include "network/partition_map.hh"
+#include "network/topology.hh"
+#include "sim/logging.hh"
+#include "sim/pdes/partition.hh"
+#include "sim/pdes/window_scheduler.hh"
+#include "sim/simulator.hh"
+
+using namespace holdcsim;
+
+namespace {
+
+/** Small but genuinely interacting cluster (forwards cross pods). */
+PodClusterConfig
+smallCluster()
+{
+    PodClusterConfig cfg;
+    cfg.pods = 4;
+    cfg.requestsPerPod = 40;
+    cfg.arrivalRate = 800.0;
+    cfg.forwardProbability = 0.5;
+    cfg.maxForwards = 2;
+    cfg.statsHorizon = 1 * sec;
+    cfg.seed = 42;
+    return cfg;
+}
+
+std::string
+runAndDump(const PodClusterConfig &cfg, unsigned n_partitions,
+           bool audits = false)
+{
+    PodCluster cluster(cfg, n_partitions);
+    if (audits)
+        cluster.enableBoundaryAudits();
+    cluster.run();
+    std::ostringstream os;
+    cluster.dumpStats(os);
+    return os.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Window protocol mechanics (raw Simulators + Partitions).
+// ---------------------------------------------------------------------------
+
+TEST(WindowScheduler, DeliversCrossPartitionMessagesAtTheirTick)
+{
+    Simulator a, b;
+    pdes::Partition pa(0, a), pb(1, b);
+    const Tick lookahead = 100;
+
+    std::vector<Tick> deliveredAt;
+    EventFunctionWrapper sender(
+        [&] { pa.post(1, lookahead, [&, &sim = b] {
+                  deliveredAt.push_back(sim.curTick());
+              }); },
+        "sender");
+    a.schedule(sender, 10);
+    // Something for b to do, far later, so the fast-forward path and
+    // the delivery interleave.
+    EventFunctionWrapper idle([] {}, "idle");
+    b.schedule(idle, 500);
+
+    pdes::WindowScheduler ws({&pa, &pb}, lookahead);
+    ws.run();
+
+    ASSERT_EQ(deliveredAt.size(), 1u);
+    EXPECT_EQ(deliveredAt[0], 110);
+    EXPECT_EQ(ws.stats().messages, 1u);
+    EXPECT_GE(ws.stats().windows, 1u);
+    EXPECT_EQ(ws.stats().lookahead, lookahead);
+    EXPECT_EQ(b.curTick(), 500);
+}
+
+TEST(WindowScheduler, MessageChainsPingPongAcrossPartitions)
+{
+    Simulator a, b;
+    pdes::Partition pa(0, a), pb(1, b);
+    const Tick lookahead = 50;
+
+    int bounces = 0;
+    std::function<void(int)> bounce = [&](int left) {
+        if (left == 0)
+            return;
+        ++bounces;
+        // The kick runs on a; each delivery flips sides.
+        const bool onA = (left % 2 == 0);
+        pdes::Partition &from = onA ? pa : pb;
+        from.post(onA ? 1u : 0u, lookahead,
+                  [&bounce, left] { bounce(left - 1); });
+    };
+    EventFunctionWrapper kick([&] { bounce(8); }, "kick");
+    a.schedule(kick, 0);
+
+    pdes::WindowScheduler ws({&pa, &pb}, lookahead);
+    ws.run();
+    EXPECT_EQ(bounces, 8);
+    EXPECT_EQ(ws.stats().messages, 8u);
+}
+
+TEST(WindowScheduler, LatencyBelowLookaheadAbortsTheRun)
+{
+    Simulator a, b;
+    pdes::Partition pa(0, a), pb(1, b);
+
+    EventFunctionWrapper sender([&] { pa.post(1, 10, [] {}); },
+                                "sender");
+    a.schedule(sender, 0);
+
+    pdes::WindowScheduler ws({&pa, &pb}, 100);
+    EXPECT_THROW(ws.run(), SimAbortError);
+}
+
+TEST(WindowScheduler, WorkerExceptionIsRethrownDeterministically)
+{
+    Simulator a, b;
+    pdes::Partition pa(0, a), pb(1, b);
+
+    EventFunctionWrapper boom(
+        [] { throw std::runtime_error("pod exploded"); }, "boom");
+    a.schedule(boom, 5);
+    EventFunctionWrapper idle([] {}, "idle");
+    b.schedule(idle, 5);
+
+    pdes::WindowScheduler ws({&pa, &pb}, 100);
+    EXPECT_THROW(ws.run(), std::runtime_error);
+}
+
+TEST(WindowScheduler, InterruptFlagSurfacesAsSimInterrupted)
+{
+    Simulator a, b;
+    pdes::Partition pa(0, a), pb(1, b);
+
+    std::atomic<bool> stop{true}; // tripped before the run starts
+    EventFunctionWrapper idleA([] {}, "idleA");
+    a.schedule(idleA, 10);
+    EventFunctionWrapper idleB([] {}, "idleB");
+    b.schedule(idleB, 10);
+
+    pdes::WindowScheduler ws({&pa, &pb}, 100);
+    ws.setInterruptFlag(&stop);
+    EXPECT_THROW(ws.run(), SimInterrupted);
+
+    // The interrupt left the calendars populated; drain them so the
+    // wrappers are not destroyed while scheduled.
+    if (idleA.scheduled())
+        a.deschedule(idleA);
+    if (idleB.scheduled())
+        b.deschedule(idleB);
+}
+
+TEST(WindowScheduler, RejectsEmptyAndZeroLookahead)
+{
+    EXPECT_THROW(pdes::WindowScheduler({}, 100), std::invalid_argument);
+
+    Simulator a, b;
+    pdes::Partition pa(0, a), pb(1, b);
+    EXPECT_THROW(pdes::WindowScheduler({&pa, &pb}, 0),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Topology-derived partition plans.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionMap, FatTreeSplitsIntoPodsWithLinkLookahead)
+{
+    const Tick lat = 5 * usec;
+    auto map = PartitionMap::derive(Topology::fatTree(4, 1e9, lat));
+    ASSERT_TRUE(map.splittable()) << map.reason();
+    EXPECT_EQ(map.pods(), 4u);
+    EXPECT_EQ(map.lookahead(), lat);
+    // Every pod owns k/2 * k/2 = 4 servers of the 16.
+    std::size_t servers = 0;
+    for (std::size_t p = 0; p < map.pods(); ++p) {
+        EXPECT_EQ(map.serversInPod(p).size(), 4u);
+        servers += map.serversInPod(p).size();
+    }
+    EXPECT_EQ(servers, 16u);
+}
+
+TEST(PartitionMap, RefusesSingleTierAndServerOnlyTopologies)
+{
+    EXPECT_FALSE(
+        PartitionMap::derive(Topology::star(8, 1e9, usec)).splittable());
+    EXPECT_FALSE(
+        PartitionMap::derive(Topology::camCube(2, 2, 2, 1e9, usec))
+            .splittable());
+}
+
+TEST(PartitionMap, GroupsPodsContiguouslyOntoPartitions)
+{
+    auto map = PartitionMap::derive(Topology::fatTree(4, 1e9, usec));
+    ASSERT_TRUE(map.splittable());
+    const auto two = map.partitionOfPod(2);
+    ASSERT_EQ(two.size(), 4u);
+    EXPECT_EQ(two[0], 0);
+    EXPECT_EQ(two[1], 0);
+    EXPECT_EQ(two[2], 1);
+    EXPECT_EQ(two[3], 1);
+    const auto one = map.partitionOfPod(1);
+    for (int p : one)
+        EXPECT_EQ(p, 0);
+}
+
+TEST(DataCenterConfig, PdesKeysParseAndValidate)
+{
+    Config cfg;
+    cfg.set("datacenter.pdes_mode", "pods:4");
+    cfg.set("network.fabric", "fat_tree");
+    cfg.set("network.param", "4");
+    auto dc = DataCenterConfig::fromConfig(cfg);
+    EXPECT_TRUE(dc.pdes.enabled());
+    EXPECT_EQ(dc.pdes.partitions, 4u);
+    EXPECT_NO_THROW(dc.validate());
+
+    Config off;
+    off.set("datacenter.pdes_mode", "off");
+    EXPECT_FALSE(DataCenterConfig::fromConfig(off).pdes.enabled());
+
+    // pods mode without a fabric cannot derive a partition cut.
+    Config bad;
+    bad.set("datacenter.pdes_mode", "pods:2");
+    EXPECT_THROW(DataCenterConfig::fromConfig(bad).validate(),
+                 FatalError);
+}
+
+// ---------------------------------------------------------------------------
+// The central contract: statistics identity across kernels.
+// ---------------------------------------------------------------------------
+
+TEST(PodCluster, SequentialDumpIsNonTrivial)
+{
+    const std::string dump = runAndDump(smallCluster(), 0);
+    EXPECT_NE(dump.find("pod0.jobs_completed"), std::string::npos);
+    EXPECT_NE(dump.find("cluster.events_total"), std::string::npos);
+
+    PodCluster cluster(smallCluster(), 0);
+    cluster.run();
+    std::uint64_t completed = 0, forwards = 0;
+    for (unsigned p = 0; p < cluster.pods(); ++p) {
+        completed += cluster.podStats(p).jobsCompleted;
+        forwards += cluster.podStats(p).forwardedOut;
+    }
+    // Every injected request completes, plus the forwarded ones.
+    EXPECT_EQ(completed, 4 * 40 + forwards);
+    EXPECT_GT(forwards, 0u) << "pods never interacted";
+    EXPECT_GT(cluster.eventsTotal(), 0u);
+}
+
+TEST(PodCluster, OnePartitionMatchesSequentialByteForByte)
+{
+    EXPECT_EQ(runAndDump(smallCluster(), 0), runAndDump(smallCluster(), 1));
+}
+
+TEST(PodCluster, TwoPartitionsMatchSequentialByteForByte)
+{
+    EXPECT_EQ(runAndDump(smallCluster(), 0), runAndDump(smallCluster(), 2));
+}
+
+TEST(PodCluster, FourPartitionsMatchSequentialByteForByte)
+{
+    EXPECT_EQ(runAndDump(smallCluster(), 0), runAndDump(smallCluster(), 4));
+}
+
+TEST(PodCluster, ParallelRunsAreRunToRunDeterministic)
+{
+    const std::string first = runAndDump(smallCluster(), 4);
+    const std::string second = runAndDump(smallCluster(), 4);
+    EXPECT_EQ(first, second);
+}
+
+TEST(PodCluster, DifferentSeedsProduceDifferentResults)
+{
+    auto other = smallCluster();
+    other.seed = 43;
+    EXPECT_NE(runAndDump(smallCluster(), 2), runAndDump(other, 2));
+}
+
+TEST(PodCluster, ParallelRunRecordsWindowStats)
+{
+    PodCluster cluster(smallCluster(), 4);
+    cluster.run();
+    const auto &st = cluster.pdesStats();
+    EXPECT_GT(st.windows, 0u);
+    EXPECT_GT(st.messages, 0u);
+    EXPECT_GT(st.eventsProcessed, 0u);
+    EXPECT_EQ(st.eventsProcessed, cluster.eventsTotal());
+    ASSERT_EQ(st.workerBusySeconds.size(), 4u);
+    EXPECT_GE(st.blockedFraction(), 0.0);
+    EXPECT_LE(st.blockedFraction(), 1.0);
+}
+
+TEST(PodCluster, RejectsMorePartitionsThanPods)
+{
+    EXPECT_THROW(PodCluster(smallCluster(), 5), FatalError);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-partition invariant audits.
+// ---------------------------------------------------------------------------
+
+TEST(PodCluster, BoundaryAuditsPassOnHealthyRuns)
+{
+    for (unsigned parts : {0u, 2u, 4u}) {
+        PodCluster cluster(smallCluster(), parts);
+        cluster.enableBoundaryAudits();
+        EXPECT_NO_THROW(cluster.run()) << parts << " partitions";
+        ASSERT_NE(cluster.auditor(), nullptr);
+        EXPECT_GT(cluster.auditor()->auditsPassed(), 0u);
+        EXPECT_EQ(cluster.auditor()->violations(), 0u);
+    }
+}
+
+TEST(PodCluster, AuditsDoNotPerturbStatistics)
+{
+    auto cfg = smallCluster();
+    EXPECT_EQ(runAndDump(cfg, 2, /*audits=*/false),
+              runAndDump(cfg, 2, /*audits=*/true));
+}
+
+TEST(PodCluster, TaskLeakIsCaughtAtAWindowBoundary)
+{
+    PodCluster cluster(smallCluster(), 2);
+    cluster.enableBoundaryAudits();
+    cluster.scheduler(0).debugInjectTaskLeak();
+    EXPECT_THROW(cluster.run(), SimAbortError);
+    EXPECT_GT(cluster.auditor()->violations(), 0u);
+}
+
+TEST(PodCluster, TaskLeakIsCaughtOnSequentialRunsToo)
+{
+    PodCluster cluster(smallCluster(), 0);
+    cluster.enableBoundaryAudits();
+    cluster.scheduler(1).debugInjectTaskLeak();
+    EXPECT_THROW(cluster.run(), SimAbortError);
+}

@@ -11,11 +11,13 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "dc/datacenter.hh"
+#include "dc/pod_cluster.hh"
 #include "network/fluid/net_model.hh"
 #include "network/network.hh"
 #include "network/routing.hh"
@@ -868,3 +870,46 @@ TEST(RetryBudgetProperty, ExhaustionAbandonsTheJob)
                  dc.scheduler().retryPolicy().backoff(2) * 12 / 10 + sec;
     EXPECT_LE(dc.sim().curTick(), worst);
 }
+
+// ---------------------------------------------------------------------------
+// Property: the parallel kernel is statistics-invisible. For any
+// partition count and any seed, a pod cluster's deterministic dump is
+// byte-identical to the sequential kernel's.
+// ---------------------------------------------------------------------------
+
+using PdesParam = std::tuple<unsigned, std::uint64_t>;
+
+class PdesIdentityProperty
+    : public ::testing::TestWithParam<PdesParam>
+{};
+
+TEST_P(PdesIdentityProperty, PartitionedDumpMatchesSequential)
+{
+    const auto [partitions, seed] = GetParam();
+
+    PodClusterConfig cfg;
+    cfg.pods = 4;
+    cfg.requestsPerPod = 30;
+    cfg.arrivalRate = 600.0;
+    cfg.forwardProbability = 0.4;
+    cfg.statsHorizon = 1 * sec;
+    cfg.seed = seed;
+
+    auto dump = [&](unsigned parts) {
+        PodCluster cluster(cfg, parts);
+        cluster.run();
+        std::ostringstream os;
+        cluster.dumpStats(os);
+        return os.str();
+    };
+    EXPECT_EQ(dump(0), dump(partitions));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, PdesIdentityProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1u, 99u)),
+    [](const ::testing::TestParamInfo<PdesParam> &info) {
+        return "parts" + std::to_string(std::get<0>(info.param)) +
+               "_seed" + std::to_string(std::get<1>(info.param));
+    });
