@@ -7,7 +7,10 @@
 # the window barrier, mailbox hand-off and cross-worker error plumbing
 # in src/sim/pdes are exactly the code TSan exists for -- and the
 # bench's --quick gate replays the pod cluster at 1/2/4 workers,
-# failing if any parallel stats dump drifts from sequential.
+# failing if any parallel stats dump drifts from sequential. The
+# fault-schedule explorer smoke runs its oracle fleet on the same
+# thread pool, so its find -> shrink -> replay loop gets the TSan
+# treatment too.
 # Usage: bench/run_tsan.sh [build-dir]
 set -euo pipefail
 
@@ -16,11 +19,13 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DHOLDCSIM_TSAN=ON
 cmake --build "$BUILD_DIR" -j \
-    --target test_exp test_pdes bench_engine_parallel \
+    --target test_exp test_pdes test_mc bench_engine_parallel \
     bench_event_kernel
 
 TSAN_OPTIONS=halt_on_error=1 "$BUILD_DIR"/tests/test_exp
 TSAN_OPTIONS=halt_on_error=1 "$BUILD_DIR"/tests/test_pdes
+TSAN_OPTIONS=halt_on_error=1 "$BUILD_DIR"/tests/test_mc \
+    --gtest_filter='Explorer.*:Oracle.*'
 TSAN_OPTIONS=halt_on_error=1 \
     "$BUILD_DIR"/bench/bench_engine_parallel
 TSAN_OPTIONS=halt_on_error=1 \

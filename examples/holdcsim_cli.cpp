@@ -63,6 +63,7 @@
 #include "exp/campaign.hh"
 #include "exp/experiment.hh"
 #include "exp/sweep.hh"
+#include "mc/explorer.hh"
 
 using namespace holdcsim;
 
@@ -142,6 +143,24 @@ options:
   --max-events=N        cancel a replica attempt after N simulated
                         events (0 = unlimited)
   --max-attempts=N      tries per cell before quarantine (default 3)
+  --explore             systematically explore fault-injection
+                        schedules: enumerate the [mc] strategy's
+                        schedules, run each through the simulator
+                        with every invariant audited, and shrink the
+                        first failure to a minimal replayable
+                        reproducer (see the [mc] config section)
+  --explore-budget=N    cap the number of schedules explored
+                        (overrides [mc] budget; implies --explore)
+  --repro-out=FILE      where --explore writes the shrunk reproducer
+                        (default mc-repro.fault)
+  --replay-schedule=F   replay the fault schedule in F (a fault-trace
+                        file, e.g. an --explore reproducer) with
+                        audits fatal; exits 3 if the failure
+                        reproduces, 0 if the run passes
+  --fault-schedule-out=FILE
+                        after a single run, write the realized fault
+                        episodes as a replayable fault trace (turns
+                        any stochastic run into a deterministic one)
   --help                show this text
 
 Any of --replicas, --sweep, --csv or a [sweep] config section (or
@@ -324,6 +343,10 @@ main(int argc, char **argv)
     double watchdog_sec = 0.0;
     std::uint64_t max_events = 0;
     unsigned max_attempts = 0;
+    bool explore = false;
+    std::string repro_out = "mc-repro.fault";
+    std::string replay_path;
+    std::string schedule_out;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -378,6 +401,20 @@ main(int argc, char **argv)
                 return 2;
             }
             have_max_attempts = true;
+        } else if (arg == "--explore") {
+            explore = true;
+        } else if (valueFlag2(argc, argv, i, "explore-budget",
+                              value)) {
+            overrides.emplace_back("mc.budget", value);
+            explore = true;
+        } else if (valueFlag2(argc, argv, i, "repro-out", value)) {
+            repro_out = value;
+        } else if (valueFlag2(argc, argv, i, "replay-schedule",
+                              value)) {
+            replay_path = value;
+        } else if (valueFlag2(argc, argv, i, "fault-schedule-out",
+                              value)) {
+            schedule_out = value;
         } else if (valueFlag(arg, "trace-out", value)) {
             overrides.emplace_back("telemetry.trace_out", value);
         } else if (valueFlag(arg, "trace-format", value)) {
@@ -439,6 +476,58 @@ main(int argc, char **argv)
                          "[campaign] journal key)\n");
             return 2;
         }
+    }
+
+    if (explore) {
+        // Parallel oracle runs cannot share telemetry output files.
+        cfg.set("telemetry.enabled", "false");
+        DataCenterConfig probe = DataCenterConfig::fromConfig(cfg);
+
+        mc::ExplorerOptions eopts;
+        eopts.jobs = n_jobs;
+        eopts.journalPath = journal_path.empty()
+                                ? probe.campaign.journal
+                                : journal_path;
+        eopts.resume = resume;
+        eopts.reproPath = repro_out;
+        eopts.configPath =
+            config_path.empty() ? "<demo>" : config_path;
+        eopts.log = &std::cout;
+
+        CampaignRunner::installSignalHandlers();
+        mc::ExplorerReport rep = mc::exploreFaultSchedules(cfg, eopts);
+
+        std::printf("mc.schedules %zu\n", rep.schedules);
+        std::printf("mc.executed %zu\n", rep.executed);
+        std::printf("mc.skipped %zu\n", rep.skipped);
+        std::printf("mc.failures %zu\n", rep.failures);
+        std::printf("mc.found %d\n", rep.found ? 1 : 0);
+        if (rep.found) {
+            std::printf("mc.minimal_faults %zu\n", rep.minimal.size());
+            std::printf("mc.shrink_runs %zu\n", rep.shrinkRuns);
+            std::printf("mc.outcome %s\n",
+                        mc::toString(rep.outcome.kind));
+            if (!rep.reproPath.empty())
+                std::printf("mc.repro %s\n", rep.reproPath.c_str());
+        }
+        return 0;
+    }
+
+    if (!replay_path.empty()) {
+        mc::FaultSchedule schedule =
+            mc::FaultSchedule::fromTraceFile(replay_path);
+        auto seed = static_cast<std::uint64_t>(
+            cfg.getInt("datacenter.seed", 1));
+        mc::OracleOutcome oc =
+            mc::runScheduleOracle(cfg, schedule, seed);
+        std::printf("mc.replay.outcome %s\n",
+                    mc::toString(oc.kind));
+        if (oc.failed()) {
+            std::fprintf(stderr, "schedule reproduces (%s): %s\n",
+                         mc::toString(oc.kind), oc.what.c_str());
+            return 3;
+        }
+        return 0;
     }
 
     if (engine_mode) {
@@ -540,16 +629,32 @@ main(int argc, char **argv)
     JobGenerator &jobs = *wl.jobs;
     dc.pump(std::move(wl.arrivals), jobs, wl.maxJobs, wl.until);
 
+    auto writeScheduleOut = [&] {
+        if (schedule_out.empty() || !dc.faults())
+            return;
+        std::ofstream out(schedule_out);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         schedule_out.c_str());
+            std::exit(1);
+        }
+        dc.faults()->writeScheduleTrace(out);
+    };
+
     try {
         if (wl.until != maxTick)
             dc.runUntil(wl.until);
         dc.run();
     } catch (const SimAbortError &e) {
-        // The structured abort dump already went to stderr.
+        // The structured abort dump already went to stderr. The
+        // realized schedule is still worth exporting: it replays
+        // straight into this abort.
+        writeScheduleOut();
         std::fprintf(stderr, "simulation aborted: %s\n", e.what());
         return 1;
     }
 
+    writeScheduleOut();
     dc.dumpStats(std::cout);
     return 0;
 }

@@ -209,6 +209,8 @@ DataCenter::DataCenter(const DataCenterConfig &config)
     gsc.antiAffinity = _config.taskAntiAffinity;
     _sched = std::make_unique<GlobalScheduler>(
         _sim, _serverPtrs, std::move(policy), gsc, _net.get());
+    if (_config.mc.seedBug && _servers.size() >= 2)
+        _sched->debugArmPairCrashBug(0, 1);
 
     if (_config.fault.enabled) {
         RetryPolicy rp;
@@ -221,7 +223,10 @@ DataCenter::DataCenter(const DataCenterConfig &config)
         _sched->setRetryPolicy(rp, _retryJitter.get());
 
         std::unique_ptr<FaultModel> model;
-        if (!_config.fault.faultTrace.empty()) {
+        if (_config.fault.useSchedule) {
+            model = std::make_unique<ScheduleFaultModel>(
+                _config.fault.schedule);
+        } else if (!_config.fault.faultTrace.empty()) {
             model = TraceFaultModel::fromFile(_config.fault.faultTrace);
         } else {
             auto dist = _config.fault.distribution == "weibull"

@@ -101,6 +101,16 @@ DataCenterConfig::validate() const
             fatal("datacenter.pdes_mode pods requires a fabric (the "
                   "partition cut is derived from the topology)");
     }
+    if (mc.strategy != "boundary" && mc.strategy != "pairwise" &&
+        mc.strategy != "exhaustive" && mc.strategy != "random") {
+        fatal("unknown mc.strategy '", mc.strategy, "'");
+    }
+    if (mc.horizon == 0)
+        fatal("mc.horizon_ms must be positive");
+    if (mc.repair == 0)
+        fatal("mc.repair_ms must be positive");
+    if (mc.maxFaults == 0)
+        fatal("mc.max_faults must be at least 1");
     if (campaign.maxAttempts == 0)
         fatal("campaign.max_attempts must be at least 1");
     if (campaign.watchdogSec < 0.0)
@@ -380,6 +390,24 @@ DataCenterConfig::fromConfig(const Config &cfg)
     out.audit.energyTolerance = cfg.getDouble(
         "audit.energy_tolerance", out.audit.energyTolerance);
 
+    out.mc.strategy = cfg.getString("mc.strategy", out.mc.strategy);
+    if (cfg.has("mc.horizon_ms")) {
+        out.mc.horizon = static_cast<Tick>(
+            cfg.getDouble("mc.horizon_ms") * static_cast<double>(msec));
+    }
+    out.mc.budget = static_cast<std::uint64_t>(cfg.getInt(
+        "mc.budget", static_cast<std::int64_t>(out.mc.budget)));
+    out.mc.eventBudget = static_cast<std::uint64_t>(cfg.getInt(
+        "mc.event_budget",
+        static_cast<std::int64_t>(out.mc.eventBudget)));
+    if (cfg.has("mc.repair_ms")) {
+        out.mc.repair = static_cast<Tick>(
+            cfg.getDouble("mc.repair_ms") * static_cast<double>(msec));
+    }
+    out.mc.maxFaults = static_cast<unsigned>(cfg.getInt(
+        "mc.max_faults", static_cast<std::int64_t>(out.mc.maxFaults)));
+    out.mc.seedBug = cfg.getBool("mc.seed_bug", out.mc.seedBug);
+
     out.campaign.journal =
         cfg.getString("campaign.journal", out.campaign.journal);
     out.campaign.watchdogSec = cfg.getDouble(
@@ -443,6 +471,8 @@ const char *const knownConfigKeys[] = {
     "telemetry.profile",
     "audit.enabled", "audit.period_ms", "audit.fatal",
     "audit.energy_tolerance",
+    "mc.strategy", "mc.horizon_ms", "mc.budget", "mc.event_budget",
+    "mc.repair_ms", "mc.max_faults", "mc.seed_bug",
     "campaign.journal", "campaign.watchdog_sec",
     "campaign.max_events", "campaign.max_attempts",
     "campaign.retry_backoff_base_ms", "campaign.retry_backoff_max_ms",

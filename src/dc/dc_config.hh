@@ -11,7 +11,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "fault/fault_model.hh"
 #include "network/network.hh"
 #include "network/switch_power.hh"
 #include "server/power_profile.hh"
@@ -130,6 +132,16 @@ struct DataCenterConfig {
         Tick retryBackoffMax = 10 * sec;
         /** Per-attempt timeout; 0 disables. */
         Tick taskTimeout = 0;
+        /**
+         * Explicit in-memory schedule (the src/mc explorer's
+         * injection path). When useSchedule is true the episodes
+         * below override both the trace file and the distributions
+         * and are replayed through a ScheduleFaultModel, which
+         * fatals on any drift instead of resynchronizing. Built
+         * programmatically; not an INI key.
+         */
+        bool useSchedule = false;
+        std::vector<ScheduledFault> schedule;
     };
     FaultSettings fault;
     ///@}
@@ -232,6 +244,38 @@ struct DataCenterConfig {
     AuditSettings audit;
     ///@}
 
+    /** @name Fault-schedule exploration (src/mc; strictly opt-in) */
+    ///@{
+    struct McSettings {
+        /**
+         * Strategy lattice tier: boundary | pairwise | exhaustive |
+         * random (see src/mc/strategy.hh for what each enumerates).
+         */
+        std::string strategy = "pairwise";
+        /** Schedule horizon: episodes are injected within [0, this]. */
+        Tick horizon = 2 * sec;
+        /** Max schedules explored per campaign (0 = strategy's own). */
+        std::uint64_t budget = 256;
+        /**
+         * Per-schedule simulated-event budget -- the hang oracle. A
+         * run crossing it counts as a finding (livelock), not a
+         * timeout.
+         */
+        std::uint64_t eventBudget = 5'000'000;
+        /** Repair delay applied to generated episodes. */
+        Tick repair = 50 * msec;
+        /** Episodes per schedule cap (exhaustive/random tiers). */
+        unsigned maxFaults = 2;
+        /**
+         * Arm the seeded pair-crash census bug
+         * (GlobalScheduler::debugArmPairCrashBug(0, 1)) -- the
+         * explorer's negative test and the mc-smoke CI job.
+         */
+        bool seedBug = false;
+    };
+    McSettings mc;
+    ///@}
+
     /** @name Campaign crash tolerance (CLI defaults; flags override) */
     ///@{
     struct CampaignSettings {
@@ -291,6 +335,9 @@ struct DataCenterConfig {
      *                trace_categories, sample_out, sample_period_ms,
      *                profile
      *   [audit]      enabled, period_ms, fatal, energy_tolerance
+     *   [mc]         strategy (boundary|pairwise|exhaustive|random),
+     *                horizon_ms, budget, event_budget, repair_ms,
+     *                max_faults, seed_bug
      *   [campaign]   journal, watchdog_sec, max_events, max_attempts,
      *                retry_backoff_base_ms, retry_backoff_max_ms
      */

@@ -1,5 +1,6 @@
 #include "pod_cluster.hh"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
 #include <string>
@@ -40,9 +41,19 @@ struct PodCluster::Pod {
     std::uint64_t nextJobSeq = 0;
     std::uint64_t forwardedOut = 0;
     std::uint64_t forwardedIn = 0;
+    /** True inside a scripted outage episode. */
+    bool down = false;
+    /** Local, delivery-delayed view of peer health (index by pod). */
+    std::vector<char> peerUp;
+    std::uint64_t refusedInjections = 0;
+    std::uint64_t forwardsDropped = 0;
+    std::uint64_t forwardsRefused = 0;
+    std::uint64_t healthUpdates = 0;
     PodStats stats;
     EventFunctionWrapper injectEvent;
     EventFunctionWrapper closeEvent;
+    /** Down/up transition events of this pod's scripted episodes. */
+    std::vector<std::unique_ptr<EventFunctionWrapper>> faultEvents;
 
     Pod(PodCluster &cluster, unsigned idx, unsigned part, Simulator &s)
         : index(idx), partition(part), sim(&s),
@@ -61,6 +72,9 @@ struct PodCluster::Pod {
             sim->deschedule(injectEvent);
         if (closeEvent.scheduled())
             sim->deschedule(closeEvent);
+        for (auto &ev : faultEvents)
+            if (ev->scheduled())
+                sim->deschedule(*ev);
     }
 };
 
@@ -75,6 +89,24 @@ PodCluster::PodCluster(const PodClusterConfig &cfg, unsigned n_partitions)
     if (_cfg.interPodLatency == 0)
         fatal("pod cluster: inter-pod latency is the lookahead and "
               "must be nonzero");
+    // Scripted outages: in range, forward in time, per-pod disjoint.
+    std::map<unsigned, std::vector<std::pair<Tick, Tick>>> episodes;
+    for (const PodFaultEpisode &f : _cfg.podFaults) {
+        if (f.pod >= _cfg.pods)
+            fatal("pod fault targets pod ", f.pod, " but the cluster "
+                  "has ", _cfg.pods, " pods");
+        if (f.downAt >= f.upAt)
+            fatal("pod fault on pod ", f.pod, " repairs at ", f.upAt,
+                  " <= its failure at ", f.downAt);
+        episodes[f.pod].emplace_back(f.downAt, f.upAt);
+    }
+    for (auto &[pod, spans] : episodes) {
+        std::sort(spans.begin(), spans.end());
+        for (std::size_t i = 1; i < spans.size(); ++i)
+            if (spans[i].first < spans[i - 1].second)
+                fatal("pod fault episodes overlap on pod ", pod,
+                      " around tick ", spans[i].first);
+    }
 
     const std::size_t shards = _nPartitions == 0 ? 1 : _nPartitions;
     for (std::size_t i = 0; i < shards; ++i)
@@ -135,11 +167,28 @@ PodCluster::PodCluster(const PodClusterConfig &cfg, unsigned n_partitions)
         pod->arrivals = std::make_unique<PoissonArrival>(
             _cfg.arrivalRate, Rng(_cfg.seed, ps + ".arrivals"));
 
+        pod->peerUp.assign(_cfg.pods, 1);
+
         if (_cfg.requestsPerPod > 0)
             sim.schedule(pod->injectEvent, pod->arrivals->nextArrival());
         sim.schedule(pod->closeEvent, _cfg.statsHorizon);
 
         _podv.push_back(std::move(pod));
+    }
+
+    for (const PodFaultEpisode &f : _cfg.podFaults) {
+        Pod &pod = *_podv[f.pod];
+        const std::string ps = "pod" + std::to_string(f.pod);
+        auto downEv = std::make_unique<EventFunctionWrapper>(
+            [this, &pod] { applyPodFault(pod, true); },
+            ps + ".fault_down");
+        auto upEv = std::make_unique<EventFunctionWrapper>(
+            [this, &pod] { applyPodFault(pod, false); },
+            ps + ".fault_up");
+        pod.sim->schedule(*downEv, f.downAt);
+        pod.sim->schedule(*upEv, f.upAt);
+        pod.faultEvents.push_back(std::move(downEv));
+        pod.faultEvents.push_back(std::move(upEv));
     }
 }
 
@@ -158,13 +207,21 @@ PodCluster::partitionOf(unsigned pod) const
 void
 PodCluster::injectOne(Pod &pod)
 {
-    // Per-pod id namespace: the process-global counter hands out ids
-    // in wall-clock interleaving order, which would differ run to run
-    // under the parallel kernel (ids key scheduler maps).
-    const JobId id = (static_cast<JobId>(pod.index) << 40)
-                     | pod.nextJobSeq++;
-    pod.hops.emplace(id, _cfg.maxForwards);
-    pod.sched->submitJob(pod.gen->makeJob(pod.sim->curTick(), id));
+    // A down pod refuses the attempt but the attempt still consumes
+    // its slot in the pump budget and its arrival draw, so the
+    // injection timeline is identical whether or not faults fire.
+    if (pod.down) {
+        ++pod.refusedInjections;
+    } else {
+        // Per-pod id namespace: the process-global counter hands out
+        // ids in wall-clock interleaving order, which would differ
+        // run to run under the parallel kernel (ids key scheduler
+        // maps).
+        const JobId id = (static_cast<JobId>(pod.index) << 40)
+                         | pod.nextJobSeq++;
+        pod.hops.emplace(id, _cfg.maxForwards);
+        pod.sched->submitJob(pod.gen->makeJob(pod.sim->curTick(), id));
+    }
     ++pod.injected;
     if (pod.injected < _cfg.requestsPerPod)
         pod.sim->schedule(pod.injectEvent, pod.arrivals->nextArrival());
@@ -188,6 +245,14 @@ PodCluster::onJobDone(Pod &pod, JobId id)
         pod.forwardRng->uniformInt(0, _cfg.pods - 2));
     if (dst >= pod.index)
         ++dst; // skip self
+    // Health gating happens after every draw above so the stream is
+    // still a pure function of the completion order. The sender
+    // consults only its *local* view of the peer: remote state is
+    // reached exclusively through messages, never read across shards.
+    if (pod.down || !pod.peerUp[dst]) {
+        ++pod.forwardsDropped;
+        return;
+    }
     ++pod.forwardedOut;
 
     // The +index skew keeps (delivery, send) timestamp pairs unique
@@ -207,11 +272,52 @@ void
 PodCluster::deliverForward(unsigned dst_pod, unsigned hops_left)
 {
     Pod &pod = *_podv[dst_pod];
+    // The sender's health view lags by the broadcast latency, so a
+    // forward can still reach a pod that just went down; the refusal
+    // happens here, on the destination's own timeline.
+    if (pod.down) {
+        ++pod.forwardsRefused;
+        return;
+    }
     const JobId id = (static_cast<JobId>(pod.index) << 40)
                      | pod.nextJobSeq++;
     pod.hops.emplace(id, hops_left);
     ++pod.forwardedIn;
     pod.sched->submitJob(pod.gen->makeJob(pod.sim->curTick(), id));
+}
+
+void
+PodCluster::applyPodFault(Pod &pod, bool down)
+{
+    pod.down = down;
+    // Announce the transition to every peer as a timestamped message
+    // on the same mailbox path forwards use: the sequential build
+    // schedules the delivery directly, the parallel build routes it
+    // through the partition outbox, and the per-source +index skew
+    // keeps the cross-pod merge order identical in both.
+    const Tick latency = _cfg.interPodLatency
+                         + static_cast<Tick>(pod.index) * nsec;
+    for (unsigned dst = 0; dst < _cfg.pods; ++dst) {
+        if (dst == pod.index)
+            continue;
+        auto fn = [this, dst, src = pod.index, down] {
+            deliverHealth(dst, src, !down);
+        };
+        if (_sims.size() <= 1)
+            _direct->scheduleAt(pod.sim->curTick() + latency,
+                                std::move(fn));
+        else
+            _partitions[pod.partition]->post(partitionOf(dst), latency,
+                                             std::move(fn));
+    }
+}
+
+void
+PodCluster::deliverHealth(unsigned dst_pod, unsigned src_pod, bool up)
+{
+    Pod &pod = *_podv[dst_pod];
+    pod.peerUp[src_pod] = up ? 1 : 0;
+    ++pod.healthUpdates;
 }
 
 void
@@ -243,6 +349,10 @@ PodCluster::closeStats(Pod &pod)
     }
     st.switchEnergy = pod.net->switchEnergy();
     st.census = pod.sched->taskCensus();
+    st.refusedInjections = pod.refusedInjections;
+    st.forwardsDropped = pod.forwardsDropped;
+    st.forwardsRefused = pod.forwardsRefused;
+    st.healthUpdates = pod.healthUpdates;
 }
 
 Tick
@@ -385,6 +495,12 @@ PodCluster::dumpStats(std::ostream &os) const
            << p << "tasks_finished " << st.census.finished << '\n'
            << p << "tasks_aborted " << st.census.aborted << '\n'
            << p << "tasks_live " << st.census.live << '\n';
+        if (!_cfg.podFaults.empty())
+            os << p << "refused_injections " << st.refusedInjections
+               << '\n'
+               << p << "forwards_dropped " << st.forwardsDropped << '\n'
+               << p << "forwards_refused " << st.forwardsRefused << '\n'
+               << p << "health_updates " << st.healthUpdates << '\n';
         jobs += st.jobsCompleted;
         tasks += st.tasksCompleted;
         forwards += st.forwardedOut;

@@ -62,6 +62,16 @@
 
 namespace holdcsim {
 
+/**
+ * One scripted pod outage: the pod refuses new work in
+ * [downAt, upAt) and announces both transitions to every peer.
+ */
+struct PodFaultEpisode {
+    unsigned pod = 0;
+    Tick downAt = 0;
+    Tick upAt = 0;
+};
+
 /** Workload/plant shape of a PodCluster (all pods identical). */
 struct PodClusterConfig {
     /** Pod count (>= 2; forwards need somewhere to go). */
@@ -87,6 +97,16 @@ struct PodClusterConfig {
     Tick statsHorizon = 2 * sec;
     /** Root seed; every stream is pod-scoped under it. */
     std::uint64_t seed = 1;
+    /**
+     * Scripted pod outages. A down pod drains in-flight work but
+     * refuses new injections and incoming forwards, and every
+     * transition is broadcast to the other pods as a timestamped
+     * health message -- through the partition mailbox in parallel
+     * mode, so remote peer-health state is never touched directly
+     * from another shard's timeline. Senders consult their local
+     * (delivery-delayed) view of peer health before forwarding.
+     */
+    std::vector<PodFaultEpisode> podFaults;
 };
 
 /** Per-pod statistics snapshot, taken at the horizon close event. */
@@ -107,6 +127,14 @@ struct PodStats {
     Joules serverEnergy = 0.0;
     Joules switchEnergy = 0.0;
     GlobalScheduler::TaskCensus census;
+    /** Injection attempts refused because the pod was down. */
+    std::uint64_t refusedInjections = 0;
+    /** Forwards dropped at the source (self or peer believed down). */
+    std::uint64_t forwardsDropped = 0;
+    /** Forwards refused on arrival (destination down at delivery). */
+    std::uint64_t forwardsRefused = 0;
+    /** Peer health broadcasts applied at this pod. */
+    std::uint64_t healthUpdates = 0;
 };
 
 /** K interacting pods executable on 0 (sequential) or N partitions. */
@@ -170,6 +198,10 @@ class PodCluster
     void onJobDone(Pod &pod, JobId id);
     /** Runs at the destination, at the message delivery tick. */
     void deliverForward(unsigned dst_pod, unsigned hops_left);
+    /** Flip @p pod's health locally and broadcast it to peers. */
+    void applyPodFault(Pod &pod, bool down);
+    /** Runs at @p dst_pod, at the broadcast delivery tick. */
+    void deliverHealth(unsigned dst_pod, unsigned src_pod, bool up);
     void closeStats(Pod &pod);
     std::string checkTaskConservation() const;
     std::string checkMailboxFloor() const;

@@ -1,5 +1,7 @@
 #include "fault_manager.hh"
 
+#include <ostream>
+
 #include "network/network.hh"
 #include "sched/global_scheduler.hh"
 #include "server/server.hh"
@@ -62,10 +64,15 @@ FaultManager::FaultManager(Simulator &sim,
         _targets.push_back(std::move(ts));
         armNext(*_targets.back(), now);
     }
+
+    _sim.addAbortContext("fault_schedule", [this](std::ostream &os) {
+        dumpAbortContext(os);
+    });
 }
 
 FaultManager::~FaultManager()
 {
+    _sim.removeAbortContext("fault_schedule");
     for (auto &ts : _targets) {
         if (ts->event.scheduled())
             _sim.deschedule(ts->event);
@@ -96,6 +103,9 @@ FaultManager::onEvent(TargetState &ts)
         ++_faultsInjected;
         ++_currentlyDown;
         ts.stats.residency.enter(1, _sim.curTick());
+        ts.openEpisode = _episodeLog.size();
+        _episodeLog.push_back(
+            FiredEpisode{ts.stats.target, _sim.curTick(), maxTick});
         traceEdge(ts, true);
         Tick up = ts.pending.upAt;
         Tick now = _sim.curTick();
@@ -107,8 +117,53 @@ FaultManager::onEvent(TargetState &ts)
     --_currentlyDown;
     Tick now = _sim.curTick();
     ts.stats.residency.enter(0, now);
+    if (ts.openEpisode != static_cast<std::size_t>(-1)) {
+        _episodeLog.at(ts.openEpisode).upAt = now;
+        ts.openEpisode = static_cast<std::size_t>(-1);
+    }
     traceEdge(ts, false);
     armNext(ts, now);
+}
+
+void
+FaultManager::writeScheduleTrace(std::ostream &os) const
+{
+    Tick now = _sim.curTick();
+    os << "# realized fault schedule (" << _episodeLog.size()
+       << " episodes, exported at tick " << now << ")\n";
+    for (const FiredEpisode &ep : _episodeLog) {
+        // Still-down components get a synthetic repair just past the
+        // clock: the replay injects the same down edge and the repair
+        // lands beyond the horizon that mattered.
+        Tick up = ep.upAt == maxTick ? now + 1 : ep.upAt;
+        ScheduledFault fault{ep.target, FaultRecord{ep.downAt, up}};
+        os << formatFaultTraceLine(fault) << '\n';
+    }
+}
+
+void
+FaultManager::dumpAbortContext(std::ostream &os) const
+{
+    os << "  faults_injected: " << _faultsInjected << '\n';
+    os << "  currently_down:";
+    if (_currentlyDown == 0) {
+        os << " none";
+    } else {
+        for (const auto &ts : _targets) {
+            if (ts->stats.down)
+                os << ' ' << toString(ts->stats.target);
+        }
+    }
+    os << '\n';
+    os << "  episodes (down_tick up_tick target):\n";
+    for (const FiredEpisode &ep : _episodeLog) {
+        os << "    " << ep.downAt << ' ';
+        if (ep.upAt == maxTick)
+            os << "pending";
+        else
+            os << ep.upAt;
+        os << ' ' << toString(ep.target) << '\n';
+    }
 }
 
 void
@@ -213,10 +268,21 @@ void
 FaultManager::resetStats()
 {
     Tick now = _sim.curTick();
+    _episodeLog.clear();
     for (auto &ts : _targets) {
         ts->stats.faults = 0;
         ts->stats.residency.reset();
         ts->stats.residency.enter(ts->stats.down ? 1 : 0, now);
+        // A component down across the reset re-opens its episode at
+        // the reset tick: the exported schedule stays replayable from
+        // the measured interval's start.
+        if (ts->stats.down) {
+            ts->openEpisode = _episodeLog.size();
+            _episodeLog.push_back(
+                FiredEpisode{ts->stats.target, now, maxTick});
+        } else {
+            ts->openEpisode = static_cast<std::size_t>(-1);
+        }
     }
     _faultsInjected = 0;
 }

@@ -17,7 +17,9 @@
 #ifndef HOLDCSIM_FAULT_FAULT_MANAGER_HH
 #define HOLDCSIM_FAULT_FAULT_MANAGER_HH
 
+#include <cstddef>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -88,6 +90,32 @@ class FaultManager
         _serverEvent = std::move(fn);
     }
 
+    /** @name Realized schedule (repro export, post-mortems) */
+    ///@{
+    /** One injected episode at its actual fire ticks. */
+    struct FiredEpisode {
+        FaultTarget target;
+        Tick downAt = 0;
+        /** maxTick while the component is still down. */
+        Tick upAt = maxTick;
+    };
+
+    /** Every episode injected so far, in injection order. */
+    const std::vector<FiredEpisode> &episodeLog() const
+    {
+        return _episodeLog;
+    }
+
+    /**
+     * Write the realized episode sequence as a fault trace that
+     * TraceFaultModel::fromFile() (or --replay-schedule) loads, so
+     * any run -- stochastic included -- replays deterministically
+     * without its original seed. Episodes still open are closed one
+     * tick past the current clock.
+     */
+    void writeScheduleTrace(std::ostream &os) const;
+    ///@}
+
     /** @name Introspection and statistics */
     ///@{
     std::size_t numTargets() const { return _targets.size(); }
@@ -129,6 +157,8 @@ class FaultManager
         EventFunctionWrapper event;
         /** Timeline track, resolved on this target's first fault. */
         TraceTrackId traceTrack = noTraceTrack;
+        /** Episode-log slot of the open episode (npos when up). */
+        std::size_t openEpisode = static_cast<std::size_t>(-1);
 
         TargetState(FaultManager &mgr, const FaultTarget &t);
     };
@@ -141,6 +171,8 @@ class FaultManager
     void applyUp(TargetState &ts);
     /** Record @p ts's up/down edge on its fault timeline track. */
     void traceEdge(TargetState &ts, bool down);
+    /** Abort-dump contributor: schedule so far + components down. */
+    void dumpAbortContext(std::ostream &os) const;
 
     Simulator &_sim;
     std::unique_ptr<FaultModel> _model;
@@ -150,6 +182,7 @@ class FaultManager
 
     ServerEventFn _serverEvent;
     std::vector<std::unique_ptr<TargetState>> _targets;
+    std::vector<FiredEpisode> _episodeLog;
     std::uint64_t _faultsInjected = 0;
     std::size_t _currentlyDown = 0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -29,6 +30,62 @@ toString(const FaultTarget &target)
     if (target.kind == FaultKind::linecard)
         s += "." + std::to_string(target.sub);
     return s;
+}
+
+std::string
+formatFaultTraceLine(const ScheduledFault &fault)
+{
+    std::ostringstream os;
+    os << toString(fault.target.kind) << ' ' << fault.target.index;
+    if (fault.target.kind == FaultKind::linecard)
+        os << ' ' << fault.target.sub;
+    // Nine fractional digits = nanosecond resolution: the decimal is
+    // an exact image of the tick count, so parse -> fromSeconds
+    // reproduces it bit-for-bit (see fromSeconds' round-to-nearest).
+    os << ' ' << std::fixed << std::setprecision(9)
+       << toSeconds(fault.record.downAt) << ' '
+       << toSeconds(fault.record.upAt);
+    return os.str();
+}
+
+bool
+parseFaultTraceLine(const std::string &line, const std::string &where,
+                    ScheduledFault &out)
+{
+    std::string text = line;
+    auto hash = text.find('#');
+    if (hash != std::string::npos)
+        text.erase(hash);
+    std::istringstream ss(text);
+    std::string kind_word;
+    if (!(ss >> kind_word))
+        return false; // blank line
+    FaultTarget target;
+    if (kind_word == "server") {
+        target.kind = FaultKind::server;
+    } else if (kind_word == "switch") {
+        target.kind = FaultKind::swtch;
+    } else if (kind_word == "link") {
+        target.kind = FaultKind::link;
+    } else if (kind_word == "linecard") {
+        target.kind = FaultKind::linecard;
+    } else {
+        fatal(where, ": unknown fault kind '", kind_word, "'");
+    }
+    double down_s = 0.0, up_s = 0.0;
+    bool ok;
+    if (target.kind == FaultKind::linecard) {
+        ok = static_cast<bool>(ss >> target.index >> target.sub >>
+                               down_s >> up_s);
+    } else {
+        ok = static_cast<bool>(ss >> target.index >> down_s >> up_s);
+    }
+    if (!ok)
+        fatal(where, ": malformed fault line");
+    out.target = target;
+    out.record.downAt = fromSeconds(down_s);
+    out.record.upAt = fromSeconds(up_s);
+    return true;
 }
 
 // ----------------------------------------------------------- TraceFaultModel
@@ -94,42 +151,60 @@ TraceFaultModel::fromFile(const std::string &path)
     std::size_t lineno = 0;
     while (std::getline(in, line)) {
         ++lineno;
-        auto hash = line.find('#');
-        if (hash != std::string::npos)
-            line.erase(hash);
-        std::istringstream ss(line);
-        std::string kind_word;
-        if (!(ss >> kind_word))
-            continue; // blank line
-        FaultTarget target;
-        if (kind_word == "server") {
-            target.kind = FaultKind::server;
-        } else if (kind_word == "switch") {
-            target.kind = FaultKind::swtch;
-        } else if (kind_word == "link") {
-            target.kind = FaultKind::link;
-        } else if (kind_word == "linecard") {
-            target.kind = FaultKind::linecard;
-        } else {
-            fatal(path, ":", lineno, ": unknown fault kind '",
-                  kind_word, "'");
+        ScheduledFault fault;
+        if (!parseFaultTraceLine(line,
+                                 path + ":" + std::to_string(lineno),
+                                 fault)) {
+            continue;
         }
-        double down_s = 0.0, up_s = 0.0;
-        bool ok;
-        if (target.kind == FaultKind::linecard) {
-            ok = static_cast<bool>(ss >> target.index >> target.sub >>
-                                   down_s >> up_s);
-        } else {
-            ok = static_cast<bool>(ss >> target.index >> down_s >>
-                                   up_s);
-        }
-        if (!ok)
-            fatal(path, ":", lineno, ": malformed fault line");
-        model->addFault(target, fromSeconds(down_s),
-                        fromSeconds(up_s));
+        model->addFault(fault.target, fault.record.downAt,
+                        fault.record.upAt);
     }
     model->finalize();
     return model;
+}
+
+// --------------------------------------------------------- ScheduleFaultModel
+
+ScheduleFaultModel::ScheduleFaultModel(
+    std::vector<ScheduledFault> schedule)
+{
+    for (const ScheduledFault &fault : schedule) {
+        if (fault.record.upAt <= fault.record.downAt)
+            fatal("scheduled fault on ", toString(fault.target),
+                  " repairs before (or as) it breaks");
+        _episodes[fault.target].push_back(fault.record);
+    }
+    for (auto &[target, queue] : _episodes) {
+        std::sort(queue.begin(), queue.end(),
+                  [](const FaultRecord &a, const FaultRecord &b) {
+                      return a.downAt < b.downAt;
+                  });
+        for (std::size_t i = 1; i < queue.size(); ++i) {
+            if (queue[i].downAt < queue[i - 1].upAt)
+                fatal("overlapping scheduled faults for ",
+                      toString(target));
+        }
+    }
+}
+
+std::optional<FaultRecord>
+ScheduleFaultModel::nextFault(const FaultTarget &target, Tick now)
+{
+    auto it = _episodes.find(target);
+    if (it == _episodes.end() || it->second.empty())
+        return std::nullopt;
+    FaultRecord rec = it->second.front();
+    // A schedule is an exact script, not a trace to resynchronize
+    // against: an episode the clock has already passed means the
+    // harness built an unreplayable schedule.
+    if (rec.downAt < now)
+        fatal("scheduled fault on ", toString(target), " at tick ",
+              rec.downAt, " requested at tick ", now,
+              " -- schedule is not replayable");
+    it->second.pop_front();
+    _consumed.push_back(ScheduledFault{target, rec});
+    return rec;
 }
 
 // ------------------------------------------------------ StochasticFaultModel

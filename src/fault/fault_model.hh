@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "sim/random.hh"
 #include "sim/types.hh"
@@ -69,6 +70,35 @@ struct FaultRecord {
     Tick upAt = 0;
 };
 
+/** One explicit episode bound to its target (schedules, exports). */
+struct ScheduledFault {
+    FaultTarget target;
+    FaultRecord record;
+
+    bool
+    operator==(const ScheduledFault &o) const
+    {
+        return !(target < o.target) && !(o.target < target) &&
+               record.downAt == o.record.downAt &&
+               record.upAt == o.record.upAt;
+    }
+};
+
+/**
+ * Format @p fault as one fault-trace line -- the exact text
+ * TraceFaultModel::fromFile() parses. Times are printed as seconds
+ * with nanosecond precision, so the round-trip is tick-exact.
+ */
+std::string formatFaultTraceLine(const ScheduledFault &fault);
+
+/**
+ * Parse one fault-trace line into @p out. Returns false for blank or
+ * comment-only lines; fatals (prefixing @p where, e.g. "file:12") on
+ * malformed ones.
+ */
+bool parseFaultTraceLine(const std::string &line,
+                         const std::string &where, ScheduledFault &out);
+
 /** When does a component next fail, and for how long. */
 class FaultModel
 {
@@ -111,6 +141,37 @@ class TraceFaultModel : public FaultModel
   private:
     std::map<FaultTarget, std::deque<FaultRecord>> _episodes;
     bool _finalized = false;
+};
+
+/**
+ * Replays an explicit, fully enumerated fault schedule and records
+ * every episode it hands out.
+ *
+ * The model-checking explorer's injection vehicle (src/mc): unlike
+ * TraceFaultModel it is built from an in-memory episode list, never
+ * clamps or skips past episodes silently -- a schedule that cannot
+ * replay exactly as written is a harness bug and fatals -- and keeps
+ * the hand-out log from which the realized schedule is exported for
+ * repro files.
+ */
+class ScheduleFaultModel : public FaultModel
+{
+  public:
+    /** @param schedule episodes; per-target overlaps are fatal. */
+    explicit ScheduleFaultModel(std::vector<ScheduledFault> schedule);
+
+    std::optional<FaultRecord> nextFault(const FaultTarget &target,
+                                         Tick now) override;
+
+    /** Episodes handed out so far, in hand-out order. */
+    const std::vector<ScheduledFault> &consumed() const
+    {
+        return _consumed;
+    }
+
+  private:
+    std::map<FaultTarget, std::deque<FaultRecord>> _episodes;
+    std::vector<ScheduledFault> _consumed;
 };
 
 /** Draws failure/repair times from lifetime distributions. */

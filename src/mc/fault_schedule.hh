@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The unit of exploration: one explicit fault schedule.
+ *
+ * A FaultSchedule is a finite list of (target, down, up) episodes
+ * over a bounded horizon -- the "input word" the model-checking
+ * explorer enumerates, runs through the deterministic simulator, and
+ * delta-debugs down to a minimal reproducer. Schedules have a
+ * canonical text form (exactly the fault-trace format
+ * TraceFaultModel::fromFile() parses, sorted) and a stable 64-bit
+ * hash over it, used for deduplication across strategy tiers and for
+ * campaign-journal keying, so interrupted explorations resume
+ * without re-running completed schedules.
+ */
+
+#ifndef HOLDCSIM_MC_FAULT_SCHEDULE_HH
+#define HOLDCSIM_MC_FAULT_SCHEDULE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fault/fault_model.hh"
+
+namespace holdcsim::mc {
+
+/** An explicit, bounded fault schedule (the explored object). */
+struct FaultSchedule {
+    std::vector<ScheduledFault> faults;
+
+    /**
+     * Sort episodes into the canonical order (downAt, target, upAt).
+     * Replay semantics are order-independent -- the FaultManager
+     * plays each target's episodes by time -- so sorting never
+     * changes behavior, only the text and hash.
+     */
+    void canonicalize();
+
+    /**
+     * The canonical text: one fault-trace line per episode, sorted.
+     * Parseable by TraceFaultModel::fromFile() and fromTraceText().
+     */
+    std::string canonicalText() const;
+
+    /**
+     * FNV-1a 64-bit hash of canonicalText(). Stable across runs and
+     * platforms; the dedup and journal key.
+     */
+    std::uint64_t hash() const;
+
+    bool empty() const { return faults.empty(); }
+    std::size_t size() const { return faults.size(); }
+
+    bool
+    operator==(const FaultSchedule &o) const
+    {
+        return faults == o.faults;
+    }
+
+    /** Parse from fault-trace text (@p where prefixes diagnostics). */
+    static FaultSchedule fromTraceText(const std::string &text,
+                                       const std::string &where);
+
+    /** Parse a fault-trace file (same format as TraceFaultModel). */
+    static FaultSchedule fromTraceFile(const std::string &path);
+};
+
+/**
+ * Write @p schedule as a replayable repro file: @p header_lines (one
+ * "# "-prefixed comment each, e.g. the oracle verdict and the exact
+ * replay command) followed by the canonical trace lines.
+ */
+void writeReproFile(std::ostream &os, const FaultSchedule &schedule,
+                    const std::vector<std::string> &header_lines);
+
+} // namespace holdcsim::mc
+
+#endif // HOLDCSIM_MC_FAULT_SCHEDULE_HH

@@ -1,0 +1,79 @@
+#include "shrink.hh"
+
+#include <algorithm>
+
+namespace holdcsim::mc {
+
+namespace {
+
+/** Episodes of @p s except the [begin, end) slice. */
+FaultSchedule
+without(const FaultSchedule &s, std::size_t begin, std::size_t end)
+{
+    FaultSchedule out;
+    for (std::size_t i = 0; i < s.faults.size(); ++i) {
+        if (i < begin || i >= end)
+            out.faults.push_back(s.faults[i]);
+    }
+    return out;
+}
+
+/** The [begin, end) slice of @p s alone. */
+FaultSchedule
+slice(const FaultSchedule &s, std::size_t begin, std::size_t end)
+{
+    FaultSchedule out;
+    out.faults.assign(s.faults.begin() +
+                          static_cast<std::ptrdiff_t>(begin),
+                      s.faults.begin() +
+                          static_cast<std::ptrdiff_t>(end));
+    return out;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkSchedule(const FaultSchedule &failing,
+               const std::function<bool(const FaultSchedule &)>
+                   &still_fails)
+{
+    ShrinkResult result;
+    FaultSchedule cur = failing;
+    cur.canonicalize();
+    std::size_t n = 2;
+    while (cur.size() >= 2) {
+        std::size_t len = cur.size();
+        std::size_t chunk = (len + n - 1) / n;
+        bool reduced = false;
+
+        // Try each chunk alone (steep reduction first), then each
+        // complement (drop one chunk).
+        for (std::size_t pass = 0; pass < 2 && !reduced; ++pass) {
+            for (std::size_t begin = 0; begin < len; begin += chunk) {
+                std::size_t end = std::min(begin + chunk, len);
+                FaultSchedule cand =
+                    pass == 0 ? slice(cur, begin, end)
+                              : without(cur, begin, end);
+                if (cand.empty() || cand.size() == cur.size())
+                    continue;
+                ++result.oracleRuns;
+                if (still_fails(cand)) {
+                    cur = std::move(cand);
+                    n = std::max<std::size_t>(2, n - 1);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+
+        if (!reduced) {
+            if (chunk <= 1)
+                break; // 1-minimal
+            n = std::min(2 * n, cur.size());
+        }
+    }
+    result.minimal = std::move(cur);
+    return result;
+}
+
+} // namespace holdcsim::mc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Delta-debugging schedule minimization.
+ *
+ * Given a failing fault schedule and a deterministic oracle ("does
+ * this schedule still fail the same way"), shrinkSchedule() runs the
+ * classic ddmin algorithm over the episode list: try chunks and
+ * chunk-complements at doubling granularity, keep any subset that
+ * still fails, until the schedule is 1-minimal -- removing any single
+ * episode makes the failure vanish. Because the simulator is
+ * deterministic, one oracle run per candidate is a proof, not a
+ * sample; the result is the smallest reproducer the episode lattice
+ * contains.
+ */
+
+#ifndef HOLDCSIM_MC_SHRINK_HH
+#define HOLDCSIM_MC_SHRINK_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "fault_schedule.hh"
+
+namespace holdcsim::mc {
+
+/** Outcome of a shrink: the 1-minimal schedule and the cost. */
+struct ShrinkResult {
+    FaultSchedule minimal;
+    /** Oracle invocations the minimization spent. */
+    std::size_t oracleRuns = 0;
+};
+
+/**
+ * ddmin @p failing down to a 1-minimal failing schedule.
+ * @p still_fails must return true iff its argument reproduces the
+ * original failure; it is never called on the empty schedule.
+ * @p failing itself must fail (the caller already proved it).
+ */
+ShrinkResult
+shrinkSchedule(const FaultSchedule &failing,
+               const std::function<bool(const FaultSchedule &)>
+                   &still_fails);
+
+} // namespace holdcsim::mc
+
+#endif // HOLDCSIM_MC_SHRINK_HH

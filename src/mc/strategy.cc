@@ -1,0 +1,272 @@
+#include "strategy.hh"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace holdcsim::mc {
+
+namespace {
+
+/** Append @p t if it lands inside (0, horizon]. */
+void
+addInstant(std::vector<Tick> &times, Tick t, Tick horizon)
+{
+    if (t > 0 && t <= horizon)
+        times.push_back(t);
+}
+
+/** Dedup @p schedules by canonical hash, keeping first-seen order,
+ *  and truncate to @p budget (0 = unlimited). */
+std::vector<FaultSchedule>
+dedupAndCap(std::vector<FaultSchedule> schedules, std::uint64_t budget)
+{
+    std::set<std::uint64_t> seen;
+    std::vector<FaultSchedule> out;
+    for (FaultSchedule &s : schedules) {
+        s.canonicalize();
+        if (!seen.insert(s.hash()).second)
+            continue;
+        out.push_back(std::move(s));
+        if (budget != 0 && out.size() >= budget)
+            break;
+    }
+    return out;
+}
+
+/** One episode: @p target down over [down, down + repair). */
+ScheduledFault
+episode(const FaultTarget &target, Tick down, Tick repair)
+{
+    return ScheduledFault{target, FaultRecord{down, down + repair}};
+}
+
+std::vector<FaultSchedule>
+boundaryTier(const StrategySpace &sp)
+{
+    std::vector<FaultSchedule> out;
+    for (Tick t : sp.boundaryTimes) {
+        for (const FaultTarget &target : sp.targets) {
+            FaultSchedule s;
+            s.faults.push_back(episode(target, t, sp.repair));
+            out.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
+std::vector<FaultSchedule>
+pairwiseTier(const StrategySpace &sp)
+{
+    // Inter-fault offsets spanning the coincidence spectrum: exactly
+    // coincident, one tick apart (ordering race), half-overlapped,
+    // back-to-back (repair boundary), and fully disjoint.
+    const Tick offsets[] = {0, 1, sp.repair / 2, sp.repair,
+                            sp.repair + msec};
+    std::vector<FaultSchedule> out;
+    for (std::size_t a = 0; a < sp.targets.size(); ++a) {
+        for (std::size_t b = 0; b < sp.targets.size(); ++b) {
+            if (a == b)
+                continue;
+            for (Tick t : sp.boundaryTimes) {
+                for (Tick d : offsets) {
+                    if (t + d > sp.horizon)
+                        continue;
+                    FaultSchedule s;
+                    s.faults.push_back(
+                        episode(sp.targets[a], t, sp.repair));
+                    s.faults.push_back(
+                        episode(sp.targets[b], t + d, sp.repair));
+                    out.push_back(std::move(s));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<FaultSchedule>
+exhaustiveTier(const StrategySpace &sp)
+{
+    // Atoms of the discretized space: every (target, instant) pair.
+    struct Atom {
+        std::size_t target;
+        Tick down;
+    };
+    std::vector<Atom> atoms;
+    for (std::size_t i = 0; i < sp.targets.size(); ++i)
+        for (Tick t : sp.boundaryTimes)
+            atoms.push_back({i, t});
+
+    // Every subset of up to maxFaults atoms whose per-target episodes
+    // do not overlap, enumerated in lexicographic index order so the
+    // list is stable. Recursion depth is bounded by maxFaults.
+    std::vector<FaultSchedule> out;
+    std::vector<std::size_t> picked;
+    auto overlaps = [&](const Atom &atom) {
+        for (std::size_t idx : picked) {
+            const Atom &other = atoms[idx];
+            if (other.target != atom.target)
+                continue;
+            Tick lo = std::min(other.down, atom.down);
+            Tick hi = std::max(other.down, atom.down);
+            if (lo + sp.repair > hi)
+                return true;
+        }
+        return false;
+    };
+    std::function<void(std::size_t)> expand = [&](std::size_t from) {
+        for (std::size_t i = from; i < atoms.size(); ++i) {
+            if (overlaps(atoms[i]))
+                continue;
+            picked.push_back(i);
+            FaultSchedule s;
+            for (std::size_t idx : picked) {
+                s.faults.push_back(episode(sp.targets[atoms[idx].target],
+                                           atoms[idx].down, sp.repair));
+            }
+            out.push_back(std::move(s));
+            if (picked.size() < sp.maxFaults)
+                expand(i + 1);
+            picked.pop_back();
+        }
+    };
+    expand(0);
+    return out;
+}
+
+std::vector<FaultSchedule>
+randomTier(const StrategySpace &sp)
+{
+    Rng rng(sp.seed, "mc.random_tier");
+    std::uint64_t want = sp.budget != 0 ? sp.budget : 256;
+    std::vector<FaultSchedule> out;
+    // Oversample: duplicates and dropped-overlap episodes thin the
+    // yield, and dedupAndCap trims back down to the budget.
+    for (std::uint64_t n = 0; n < want * 2; ++n) {
+        FaultSchedule s;
+        auto faults = static_cast<unsigned>(
+            rng.uniformInt(1, sp.maxFaults));
+        for (unsigned f = 0; f < faults; ++f) {
+            const FaultTarget &target = sp.targets[rng.uniformInt(
+                0, sp.targets.size() - 1)];
+            Tick down;
+            if (!sp.boundaryTimes.empty() && rng.bernoulli(0.5)) {
+                // Boundary bias: at or one tick around an instant.
+                Tick base = sp.boundaryTimes[rng.uniformInt(
+                    0, sp.boundaryTimes.size() - 1)];
+                std::uint64_t jitter = rng.uniformInt(0, 2);
+                down = base + jitter;
+                if (down > 1)
+                    down -= 1;
+            } else {
+                down = rng.uniformInt(1, sp.horizon);
+            }
+            if (down > sp.horizon)
+                continue;
+            Tick repair = sp.repair * rng.uniformInt(1, 2);
+            ScheduledFault cand = episode(target, down, repair);
+            bool clash = false;
+            for (const ScheduledFault &have : s.faults) {
+                if (have.target < cand.target ||
+                    cand.target < have.target)
+                    continue;
+                if (cand.record.downAt < have.record.upAt &&
+                    have.record.downAt < cand.record.upAt)
+                    clash = true;
+            }
+            if (!clash)
+                s.faults.push_back(cand);
+        }
+        if (!s.empty())
+            out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Tick>
+boundaryTimes(const DataCenterConfig &cfg, Tick horizon)
+{
+    std::vector<Tick> times;
+    if (cfg.controller == DataCenterConfig::Controller::delayTimer &&
+        cfg.delayTimerTau != maxTick) {
+        // The suspend decision edge: just at and just after tau, the
+        // window where a crash races the S3 entry.
+        addInstant(times, cfg.delayTimerTau, horizon);
+        addInstant(times, cfg.delayTimerTau + 1, horizon);
+    }
+    // Retry-timeout edges (the retry machinery runs whenever the
+    // explorer injects faults, whether or not [fault] was configured).
+    addInstant(times, cfg.fault.retryBackoffBase, horizon);
+    addInstant(times, cfg.fault.retryBackoffBase + 1, horizon);
+    if (cfg.fault.taskTimeout != 0) {
+        addInstant(times, cfg.fault.taskTimeout, horizon);
+        addInstant(times, cfg.fault.taskTimeout + 1, horizon);
+    }
+    if (cfg.orch.enabled) {
+        // Reconcile boundaries are where migrations start; their
+        // stop-and-copy windows trail the decision.
+        addInstant(times, cfg.orch.reconcilePeriod, horizon);
+        addInstant(times, cfg.orch.reconcilePeriod + 1, horizon);
+        addInstant(times, 2 * cfg.orch.reconcilePeriod, horizon);
+    }
+    if (cfg.audit.enabled) {
+        addInstant(times, cfg.audit.period, horizon);
+        addInstant(times, cfg.audit.period + 1, horizon);
+    }
+    // Coarse spread so minimal configs still cover the horizon.
+    for (unsigned k = 1; k <= 4; ++k)
+        addInstant(times, horizon / 8 * k, horizon);
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+    return times;
+}
+
+std::vector<FaultTarget>
+faultTargets(const DataCenterConfig &cfg, std::size_t num_switches,
+             std::size_t num_links)
+{
+    std::vector<FaultTarget> targets;
+    if (cfg.fault.faultServers) {
+        for (std::size_t i = 0; i < cfg.nServers; ++i)
+            targets.push_back({FaultKind::server, i, 0});
+    }
+    if (cfg.fault.faultSwitches) {
+        for (std::size_t i = 0; i < num_switches; ++i)
+            targets.push_back({FaultKind::swtch, i, 0});
+    }
+    if (cfg.fault.faultLinks) {
+        for (std::size_t l = 0; l < num_links; ++l)
+            targets.push_back({FaultKind::link, l, 0});
+    }
+    return targets;
+}
+
+std::vector<FaultSchedule>
+generateSchedules(const std::string &strategy,
+                  const StrategySpace &space)
+{
+    if (space.targets.empty())
+        fatal("fault-schedule strategy needs at least one target");
+    if (space.boundaryTimes.empty())
+        fatal("fault-schedule strategy needs at least one instant");
+    std::vector<FaultSchedule> raw;
+    if (strategy == "boundary")
+        raw = boundaryTier(space);
+    else if (strategy == "pairwise")
+        raw = pairwiseTier(space);
+    else if (strategy == "exhaustive")
+        raw = exhaustiveTier(space);
+    else if (strategy == "random")
+        raw = randomTier(space);
+    else
+        fatal("unknown fault-schedule strategy '", strategy, "'");
+    return dedupAndCap(std::move(raw), space.budget);
+}
+
+} // namespace holdcsim::mc

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fault-schedule generation strategies: the explorer's input lattice.
+ *
+ * Each strategy tier enumerates (or bias-samples) a family of
+ * bounded-horizon fault schedules over the faultable components:
+ *
+ *   boundary   -- one episode per schedule, injected at the
+ *                 "interesting" instants where the plant changes
+ *                 regime (governor timeout edges, retry-backoff
+ *                 edges, reconcile/migration boundaries, audit
+ *                 ticks), where races live.
+ *   pairwise   -- two episodes per schedule: every ordered component
+ *                 pair at every boundary instant, swept through a
+ *                 small set of inter-fault offsets from exactly
+ *                 coincident through overlapping to disjoint. The
+ *                 workhorse tier: most injection bugs are pair
+ *                 coincidences.
+ *   exhaustive -- every schedule of up to maxFaults episodes over
+ *                 the (component x boundary-instant) grid. Complete
+ *                 over the discretized space; meant for small
+ *                 horizons and fleets.
+ *   random     -- seeded biased sampling (uniform times mixed with
+ *                 boundary instants, varied repair delays) for the
+ *                 space beyond the grid.
+ *
+ * Every tier is deterministic: the same space yields the same
+ * schedules in the same order. Duplicates are removed by canonical
+ * hash and the list is truncated to the configured budget.
+ */
+
+#ifndef HOLDCSIM_MC_STRATEGY_HH
+#define HOLDCSIM_MC_STRATEGY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dc/dc_config.hh"
+#include "fault_schedule.hh"
+
+namespace holdcsim::mc {
+
+/** The schedule space a strategy enumerates over. */
+struct StrategySpace {
+    /** Components schedules may strike. */
+    std::vector<FaultTarget> targets;
+    /** Injection instants stay within (0, horizon]. */
+    Tick horizon = 2 * sec;
+    /** Base repair delay applied to generated episodes. */
+    Tick repair = 50 * msec;
+    /** Episodes per schedule cap (exhaustive/random tiers). */
+    unsigned maxFaults = 2;
+    /** Bias instants; sorted, unique, within (0, horizon]. */
+    std::vector<Tick> boundaryTimes;
+    /** Max schedules returned (0 = whatever the tier yields). */
+    std::uint64_t budget = 0;
+    /** Seed for the random tier. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * The boundary instants of @p cfg's plant within (0, horizon]: the
+ * delay-timer tau (suspend decision edge) and one tick after it, the
+ * retry-backoff base (redispatch edge), the orchestrator reconcile
+ * period (migration decisions and their stop-and-copy windows), the
+ * audit period, and coarse horizon fractions so sparse configs still
+ * get spread. Sorted and deduplicated.
+ */
+std::vector<Tick> boundaryTimes(const DataCenterConfig &cfg,
+                                Tick horizon);
+
+/**
+ * The faultable components of @p cfg's plant, honoring the
+ * fault.fault_* class switches (servers by default). Network classes
+ * require the fabric to be materialized; the caller passes the real
+ * counts since config alone does not know switch/link totals.
+ */
+std::vector<FaultTarget> faultTargets(const DataCenterConfig &cfg,
+                                      std::size_t num_switches,
+                                      std::size_t num_links);
+
+/**
+ * Generate @p strategy's schedule list over @p space. Fatals on an
+ * unknown strategy name. Deterministic, deduplicated, canonicalized,
+ * budget-truncated.
+ */
+std::vector<FaultSchedule>
+generateSchedules(const std::string &strategy,
+                  const StrategySpace &space);
+
+} // namespace holdcsim::mc
+
+#endif // HOLDCSIM_MC_STRATEGY_HH

@@ -538,7 +538,11 @@ void
 GlobalScheduler::onServerFailed(std::size_t idx,
                                 const std::vector<TaskRef> &killed)
 {
-    (void)idx;
+    if (_pairBugArmed && idx == _pairBug.second &&
+        _pairBug.first < _servers.size() &&
+        _servers.at(_pairBug.first)->failed()) {
+        debugInjectTaskLeak();
+    }
     invalidateCandidateCache();
     for (const TaskRef &ref : killed)
         taskAttemptFailed(ref.job, ref.task);

@@ -227,6 +227,23 @@ class GlobalScheduler
      * audit fires.
      */
     void debugInjectTaskLeak() { ++_tasksCreated; }
+
+    /**
+     * Test hook: arm a seeded coincidence bug. When server @p b
+     * fails while server @p a is already down, one task leaks from
+     * the census (exactly debugInjectTaskLeak()). Only schedules
+     * where the two crash windows overlap trip it, so the
+     * fault-schedule explorer (src/mc) must discover the pairwise
+     * coincidence -- the negative tests and the mc-smoke CI job
+     * prove it does, and that shrinking converges to the 2-episode
+     * core.
+     */
+    void
+    debugArmPairCrashBug(std::size_t a, std::size_t b)
+    {
+        _pairBug = {a, b};
+        _pairBugArmed = true;
+    }
     ///@}
 
   private:
@@ -348,6 +365,10 @@ class GlobalScheduler
     std::uint64_t _transfersAborted = 0;
     std::uint64_t _jobsFailedCount = 0;
     Percentile _jobLatency;
+
+    /** Seeded pair-crash bug (debugArmPairCrashBug). */
+    bool _pairBugArmed = false;
+    std::pair<std::size_t, std::size_t> _pairBug{0, 0};
 
     // Conservation counters (see TaskCensus): never reset.
     std::uint64_t _tasksCreated = 0;

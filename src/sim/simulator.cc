@@ -36,6 +36,11 @@ Simulator::abortDump(std::ostream &os, const std::string &reason) const
     os << "queue.recalibrations: " << c.recalibrations << '\n';
     os << "queue.peak_size: " << c.peakSize << '\n';
 
+    for (const auto &[name, fn] : _abortContexts) {
+        os << "context." << name << ":\n";
+        fn(os);
+    }
+
     if (_probe) {
         os << "recent events (newest last):\n";
         _probe->dumpRecent(os);

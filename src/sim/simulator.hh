@@ -13,9 +13,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "event_queue.hh"
 #include "types.hh"
@@ -242,12 +245,42 @@ class Simulator
      */
     void setExperimentSeed(std::uint64_t seed) { _seed = seed; }
 
+    /** @name Abort-dump context contributors
+     * Subsystems that hold state a post-mortem should name (the fault
+     * manager's injected schedule, a harness's campaign cell) register
+     * a labeled writer here; abortDump() invokes each one after the
+     * kernel's own summary. Contributors must deregister before they
+     * are destroyed. Writers must be read-only: they run mid-abort on
+     * a simulator whose model state may be inconsistent.
+     */
+    ///@{
+    void
+    addAbortContext(const std::string &name,
+                    std::function<void(std::ostream &)> fn)
+    {
+        _abortContexts.emplace_back(name, std::move(fn));
+    }
+
+    void
+    removeAbortContext(const std::string &name)
+    {
+        for (auto it = _abortContexts.begin();
+             it != _abortContexts.end(); ++it) {
+            if (it->first == name) {
+                _abortContexts.erase(it);
+                return;
+            }
+        }
+    }
+    ///@}
+
     /**
      * Structured post-mortem: reason, clock, event counters, queue
-     * summary (backend, occupancy, spill counters), the probe's
-     * recent-event ring (when one is installed) and the experiment
-     * seed. Written on internal aborts before SimAbortError is
-     * thrown; harnesses may also call it directly.
+     * summary (backend, occupancy, spill counters), every registered
+     * abort context, the probe's recent-event ring (when one is
+     * installed) and the experiment seed. Written on internal aborts
+     * before SimAbortError is thrown; harnesses may also call it
+     * directly.
      */
     void abortDump(std::ostream &os, const std::string &reason) const;
 
@@ -277,6 +310,9 @@ class Simulator
     const std::atomic<bool> *_interrupt = nullptr;
     std::uint64_t _eventBudget = 0;
     std::uint64_t _seed = 0;
+    std::vector<std::pair<std::string,
+                          std::function<void(std::ostream &)>>>
+        _abortContexts;
 };
 
 } // namespace holdcsim

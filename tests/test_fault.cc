@@ -248,6 +248,75 @@ TEST(StochasticFaultModel, ComponentsDrawIndependentStreams)
     EXPECT_NE(a->downAt, b->downAt);
 }
 
+// ------------------------------------------------- explicit fault schedules
+
+TEST(ScheduleFaultModel, HandsOutEpisodesAndRecordsThem)
+{
+    FaultTarget s0{FaultKind::server, 0, 0};
+    FaultTarget s1{FaultKind::server, 1, 0};
+    std::vector<ScheduledFault> sched = {
+        {s0, {300 * msec, 400 * msec}},
+        {s0, {100 * msec, 200 * msec}},
+        {s1, {150 * msec, 250 * msec}},
+    };
+    ScheduleFaultModel m(sched);
+
+    auto first = m.nextFault(s0, 0);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->downAt, 100 * msec);
+    auto other = m.nextFault(s1, 0);
+    ASSERT_TRUE(other.has_value());
+    EXPECT_EQ(other->downAt, 150 * msec);
+    auto second = m.nextFault(s0, 200 * msec);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->downAt, 300 * msec);
+    EXPECT_FALSE(m.nextFault(s0, 400 * msec).has_value());
+
+    // The hand-out log keeps episodes in hand-out order.
+    ASSERT_EQ(m.consumed().size(), 3u);
+    EXPECT_EQ(m.consumed()[0].record.downAt, 100 * msec);
+    EXPECT_EQ(m.consumed()[1].record.downAt, 150 * msec);
+    EXPECT_EQ(m.consumed()[2].record.downAt, 300 * msec);
+}
+
+TEST(ScheduleFaultModel, FatalsInsteadOfDriftingFromTheScript)
+{
+    FaultTarget t{FaultKind::server, 0, 0};
+    // Overlapping episodes are a harness bug, not a schedule.
+    EXPECT_THROW(ScheduleFaultModel({
+                     {t, {100 * msec, 300 * msec}},
+                     {t, {200 * msec, 400 * msec}},
+                 }),
+                 FatalError);
+    // An episode the clock has already passed cannot replay exactly
+    // as written; TraceFaultModel would clamp, this model refuses.
+    ScheduleFaultModel m({{t, {100 * msec, 200 * msec}}});
+    EXPECT_THROW(m.nextFault(t, 150 * msec), FatalError);
+}
+
+TEST(FaultTraceLine, RoundTripIsTickExact)
+{
+    // Deliberately awkward tick values: the 9-decimal seconds text
+    // must reproduce them exactly (fromSeconds rounds to nearest).
+    std::vector<ScheduledFault> faults = {
+        {{FaultKind::server, 7, 0}, {123456789, 987654321}},
+        {{FaultKind::swtch, 2, 0}, {1, 2}},
+        {{FaultKind::linecard, 1, 3}, {999999999, 1000000001}},
+    };
+    for (const ScheduledFault &f : faults) {
+        ScheduledFault parsed;
+        ASSERT_TRUE(parseFaultTraceLine(formatFaultTraceLine(f),
+                                        "test:1", parsed));
+        EXPECT_TRUE(parsed == f) << formatFaultTraceLine(f);
+    }
+    ScheduledFault ignored;
+    EXPECT_FALSE(parseFaultTraceLine("", "test:1", ignored));
+    EXPECT_FALSE(parseFaultTraceLine("# comment", "test:1", ignored));
+    EXPECT_THROW(parseFaultTraceLine("server x 1.0 2.0", "test:1",
+                                     ignored),
+                 FatalError);
+}
+
 // ------------------------------------------------------------ fault manager
 
 TEST_F(FaultFixture, DowntimeResidencySumsToWallTime)
@@ -274,6 +343,71 @@ TEST_F(FaultFixture, DowntimeResidencySumsToWallTime)
     EXPECT_EQ(mgr->currentlyDown(), 0u);
     EXPECT_FALSE(servers[0]->failed());
     EXPECT_EQ(servers[0]->failures(), 1u);
+}
+
+TEST_F(FaultFixture, EpisodeLogExportsRealizedScheduleForReplay)
+{
+    makeFleet(2);
+    auto trace = std::make_unique<TraceFaultModel>();
+    trace->addFault({FaultKind::server, 0, 0}, 100 * msec,
+                    300 * msec);
+    trace->addFault({FaultKind::server, 1, 0}, 200 * msec, 10 * sec);
+    makeManager(std::move(trace));
+
+    sim.runUntil(1 * sec);
+
+    ASSERT_EQ(mgr->episodeLog().size(), 2u);
+    EXPECT_EQ(mgr->episodeLog()[0].downAt, 100 * msec);
+    EXPECT_EQ(mgr->episodeLog()[0].upAt, 300 * msec);
+    EXPECT_EQ(mgr->episodeLog()[1].downAt, 200 * msec);
+    // Server 1 is still down: the log keeps the episode open...
+    EXPECT_EQ(mgr->episodeLog()[1].upAt, maxTick);
+
+    // ...and the exported trace closes it one tick past the clock,
+    // in text TraceFaultModel (and the mc explorer) can load.
+    std::ostringstream os;
+    mgr->writeScheduleTrace(os);
+    std::istringstream in(os.str());
+    std::string line;
+    std::vector<ScheduledFault> parsed;
+    while (std::getline(in, line)) {
+        ScheduledFault f;
+        if (parseFaultTraceLine(line, "export", f))
+            parsed.push_back(f);
+    }
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].record.downAt, 100 * msec);
+    EXPECT_EQ(parsed[0].record.upAt, 300 * msec);
+    EXPECT_EQ(parsed[1].record.downAt, 200 * msec);
+    EXPECT_EQ(parsed[1].record.upAt, sim.curTick() + 1);
+}
+
+TEST_F(FaultFixture, AbortDumpNamesTheActiveFaultSchedule)
+{
+    makeFleet(2);
+    auto trace = std::make_unique<TraceFaultModel>();
+    trace->addFault({FaultKind::server, 0, 0}, 100 * msec,
+                    300 * msec);
+    trace->addFault({FaultKind::server, 1, 0}, 200 * msec, 10 * sec);
+    makeManager(std::move(trace));
+    sim.runUntil(500 * msec);
+
+    // A fault-provoked abort names the faults, not just the damage.
+    std::ostringstream os;
+    sim.abortDump(os, "test abort");
+    const std::string dump = os.str();
+    EXPECT_NE(dump.find("context.fault_schedule:"), std::string::npos);
+    EXPECT_NE(dump.find("faults_injected: 2"), std::string::npos);
+    EXPECT_NE(dump.find("currently_down: server.1"),
+              std::string::npos);
+    EXPECT_NE(dump.find("pending"), std::string::npos);
+
+    // Deregistration on destruction: no dangling contributor.
+    mgr.reset();
+    std::ostringstream after;
+    sim.abortDump(after, "test abort");
+    EXPECT_EQ(after.str().find("context.fault_schedule:"),
+              std::string::npos);
 }
 
 TEST_F(FaultFixture, CrashedTaskRetriesOnHealthyServer)

@@ -353,3 +353,80 @@ TEST(PodCluster, TaskLeakIsCaughtOnSequentialRunsToo)
     cluster.scheduler(1).debugInjectTaskLeak();
     EXPECT_THROW(cluster.run(), SimAbortError);
 }
+
+// ---------------------------------------------------------------------------
+// Scripted pod faults: health broadcasts ride the mailboxes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** smallCluster plus two overlapping pod outages. */
+PodClusterConfig
+faultedCluster()
+{
+    PodClusterConfig cfg = smallCluster();
+    // Early enough to overlap the ~50 ms injection burst at rate 800.
+    cfg.podFaults = {{1, 5 * msec, 500 * msec},
+                     {3, 30 * msec, 600 * msec}};
+    return cfg;
+}
+
+} // namespace
+
+TEST(PodFaults, OutageRefusesWorkAndAnnouncesBothEdges)
+{
+    PodCluster cluster(faultedCluster(), 0);
+    cluster.run();
+
+    // The downed pods refused injection attempts during their
+    // outages and forwards aimed at them were dropped or refused.
+    const PodStats &p1 = cluster.podStats(1);
+    EXPECT_GT(p1.refusedInjections, 0u);
+    std::uint64_t dropped = 0, refused = 0;
+    for (unsigned p = 0; p < cluster.pods(); ++p) {
+        dropped += cluster.podStats(p).forwardsDropped;
+        refused += cluster.podStats(p).forwardsRefused;
+    }
+    EXPECT_GT(dropped + refused, 0u);
+    // Each of the 2 episodes broadcasts a down and an up edge to the
+    // 3 peers: every pod saw all 4 transitions minus its own.
+    for (unsigned p = 0; p < cluster.pods(); ++p) {
+        const unsigned own = (p == 1 || p == 3) ? 2u : 0u;
+        EXPECT_EQ(cluster.podStats(p).healthUpdates, 4u - own)
+            << "pod " << p;
+    }
+    // Task conservation still holds globally: every injection
+    // attempt is either refused or completes, every sent forward is
+    // either refused on arrival or completes. Nothing leaks.
+    std::uint64_t completed = 0, forwards = 0, refusedInj = 0;
+    for (unsigned p = 0; p < cluster.pods(); ++p) {
+        completed += cluster.podStats(p).jobsCompleted;
+        forwards += cluster.podStats(p).forwardedOut;
+        refusedInj += cluster.podStats(p).refusedInjections;
+    }
+    EXPECT_EQ(completed, 4 * 40 - refusedInj + forwards - refused);
+}
+
+TEST(PodFaults, FaultedRunsStayByteIdenticalAcrossKernels)
+{
+    const std::string seq = runAndDump(faultedCluster(), 0);
+    EXPECT_NE(seq.find("pod1.refused_injections"), std::string::npos);
+    EXPECT_EQ(seq, runAndDump(faultedCluster(), 1));
+    EXPECT_EQ(seq, runAndDump(faultedCluster(), 2));
+    EXPECT_EQ(seq, runAndDump(faultedCluster(), 4));
+    // And with the boundary audits armed on every kernel.
+    for (unsigned parts : {0u, 2u, 4u})
+        EXPECT_EQ(seq, runAndDump(faultedCluster(), parts, true));
+}
+
+TEST(PodFaults, ValidatesTheScript)
+{
+    PodClusterConfig bad = smallCluster();
+    bad.podFaults = {{9, 100 * msec, 200 * msec}};
+    EXPECT_THROW(PodCluster(bad, 0), FatalError);
+    bad.podFaults = {{1, 200 * msec, 200 * msec}};
+    EXPECT_THROW(PodCluster(bad, 0), FatalError);
+    bad.podFaults = {{1, 100 * msec, 300 * msec},
+                     {1, 200 * msec, 400 * msec}};
+    EXPECT_THROW(PodCluster(bad, 2), FatalError);
+}

@@ -18,6 +18,8 @@
 
 #include "dc/datacenter.hh"
 #include "dc/pod_cluster.hh"
+#include "fault/fault_manager.hh"
+#include "fault/fault_model.hh"
 #include "network/fluid/net_model.hh"
 #include "network/network.hh"
 #include "network/routing.hh"
@@ -870,6 +872,301 @@ TEST(RetryBudgetProperty, ExhaustionAbandonsTheJob)
                  dc.scheduler().retryPolicy().backoff(2) * 12 / 10 + sec;
     EXPECT_LE(dc.sim().curTick(), worst);
 }
+
+// ---------------------------------------------------------------------------
+// Property: energy and residency books stay conserved across crash/
+// repair cycles -- every server's residency still partitions wall
+// time exactly, component energies sum to the fleet total, crashes
+// strand a nonzero-but-bounded wasted-energy account -- and the whole
+// ledger is bit-identical across both event-queue backends and both
+// timer modes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Every figure the four (backend x timer mode) runs must agree on. */
+struct FaultedLedger {
+    std::vector<Tick> residencies;
+    std::vector<double> energies;
+    double wasted = 0.0;
+    double fleetTotal = 0.0;
+    std::uint64_t jobs = 0;
+    std::uint64_t faults = 0;
+    Tick endTick = 0;
+};
+
+FaultedLedger
+runFaultedLedger(EventQueue::Backend backend, bool use_wheel)
+{
+    Simulator sim(backend);
+    std::unique_ptr<TimerWheel> wheel;
+    if (use_wheel) {
+        wheel = std::make_unique<TimerWheel>(sim, 1);
+        sim.setTimerWheel(wheel.get());
+    }
+
+    FaultedLedger ledger;
+    {
+        std::vector<std::unique_ptr<Server>> owned;
+        std::vector<Server *> servers;
+        for (unsigned i = 0; i < 4; ++i) {
+            ServerConfig sc;
+            sc.id = i;
+            sc.nCores = 2;
+            auto server = std::make_unique<Server>(
+                sim, sc, ServerPowerProfile{});
+            servers.push_back(server.get());
+            owned.push_back(std::move(server));
+        }
+        GlobalScheduler sched(sim, servers,
+                              std::make_unique<RoundRobinPolicy>());
+        RetryPolicy rp;
+        rp.maxAttempts = 4;
+        rp.backoffBase = 10 * msec;
+        rp.jitterFrac = 0.0;
+        sched.setRetryPolicy(rp);
+
+        // Several overlapping crash/repair cycles, including a
+        // double-dip on server 0 and a blink on server 2.
+        auto trace = std::make_unique<TraceFaultModel>();
+        trace->addFault({FaultKind::server, 0, 0}, 100 * msec,
+                        300 * msec);
+        trace->addFault({FaultKind::server, 0, 0}, 600 * msec,
+                        800 * msec);
+        trace->addFault({FaultKind::server, 1, 0}, 200 * msec,
+                        400 * msec);
+        trace->addFault({FaultKind::server, 2, 0}, 50 * msec,
+                        55 * msec);
+        FaultManager mgr(sim, std::move(trace), servers, nullptr,
+                         &sched);
+
+        auto svc = std::make_shared<ExponentialService>(
+            8 * msec, Rng(31, "svc"));
+        SingleTaskGenerator gen(svc);
+        PoissonArrival arrivals(300.0, Rng(31, "arrivals"));
+        std::size_t injected = 0;
+        EventFunctionWrapper inject(
+            [&] {
+                sched.submitJob(gen.makeJob(sim.curTick()));
+                if (++injected < 250)
+                    sim.schedule(inject, arrivals.nextArrival());
+            },
+            "inject");
+        sim.schedule(inject, arrivals.nextArrival());
+        sim.runUntil(2 * sec);
+
+        mgr.finishStats();
+        ledger.jobs = sched.jobsCompleted();
+        ledger.faults = mgr.faultsInjected();
+        ledger.endTick = sim.curTick();
+        for (Server *s : servers) {
+            s->finishStats();
+            // Six server-level states: the paper's five plus the
+            // appended ServerState::failed crash bucket.
+            for (int st = 0; st < 6; ++st)
+                ledger.residencies.push_back(
+                    s->residency().residency(st));
+            for (unsigned c = 0; c < 2; ++c)
+                for (int st = 0; st < 5; ++st)
+                    ledger.residencies.push_back(
+                        s->core(c).residency().residency(st));
+            const EnergyBreakdown &e = s->energy();
+            ledger.energies.push_back(e.cpu);
+            ledger.energies.push_back(e.dram);
+            ledger.energies.push_back(e.platform);
+            ledger.fleetTotal += e.total();
+            ledger.wasted += s->wastedJoules();
+        }
+    }
+    return ledger;
+}
+
+} // namespace
+
+TEST(FaultedEnergyProperty, LedgerConservedAndModeInvariant)
+{
+    const FaultedLedger base =
+        runFaultedLedger(EventQueue::Backend::calendar, false);
+
+    // Conservation on the reference run. Crash/repair cycles must
+    // not leak simulated time out of any residency account...
+    ASSERT_GT(base.jobs, 0u);
+    EXPECT_EQ(base.faults, 4u);
+    for (std::size_t s = 0; s < 4; ++s) {
+        Tick sum = 0;
+        for (int st = 0; st < 6; ++st)
+            sum += base.residencies[s * 16 + st];
+        EXPECT_EQ(sum, base.endTick) << "server " << s;
+        for (int c = 0; c < 2; ++c) {
+            Tick cores = 0;
+            for (int st = 0; st < 5; ++st)
+                cores += base.residencies[s * 16 + 6 + c * 5 + st];
+            EXPECT_EQ(cores, base.endTick)
+                << "server " << s << " core " << c;
+        }
+    }
+    // ...nor out of the energy books: per-component energies sum to
+    // the fleet total, and the killed attempts strand a wasted-energy
+    // account that is nonzero yet still inside the total.
+    double components = 0.0;
+    for (double e : base.energies)
+        components += e;
+    EXPECT_NEAR(components, base.fleetTotal,
+                1e-9 * base.fleetTotal);
+    EXPECT_GT(base.wasted, 0.0);
+    EXPECT_LT(base.wasted, base.fleetTotal);
+
+    // The same ledger, bit for bit, on every (backend, timer) combo.
+    for (auto backend : {EventQueue::Backend::calendar,
+                         EventQueue::Backend::binaryHeap}) {
+        for (bool use_wheel : {false, true}) {
+            if (backend == EventQueue::Backend::calendar && !use_wheel)
+                continue;
+            SCOPED_TRACE(std::string(backend ==
+                                             EventQueue::Backend::calendar
+                                         ? "calendar"
+                                         : "heap") +
+                         (use_wheel ? "+wheel" : "+events"));
+            FaultedLedger other = runFaultedLedger(backend, use_wheel);
+            EXPECT_EQ(other.jobs, base.jobs);
+            EXPECT_EQ(other.faults, base.faults);
+            EXPECT_EQ(other.endTick, base.endTick);
+            ASSERT_EQ(other.residencies.size(),
+                      base.residencies.size());
+            for (std::size_t i = 0; i < base.residencies.size(); ++i)
+                EXPECT_EQ(other.residencies[i], base.residencies[i])
+                    << "residency slot " << i;
+            ASSERT_EQ(other.energies.size(), base.energies.size());
+            for (std::size_t i = 0; i < base.energies.size(); ++i)
+                EXPECT_DOUBLE_EQ(other.energies[i], base.energies[i])
+                    << "energy slot " << i;
+            EXPECT_DOUBLE_EQ(other.wasted, base.wasted);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: the event queue dispatches in total (tick, priority)
+// order even under heavy fault-style churn -- events descheduled and
+// rescheduled mid-run, wheel timers armed and cancelled -- on both
+// backends and both timer modes.
+// ---------------------------------------------------------------------------
+
+using ChurnParam = std::tuple<EventQueue::Backend, bool>;
+
+class EventOrderProperty
+    : public ::testing::TestWithParam<ChurnParam>
+{
+  protected:
+    struct Counter : TimerClient {
+        int fired = 0;
+        void timerFired(std::uint64_t, Tick) override { ++fired; }
+    };
+};
+
+TEST_P(EventOrderProperty, TotalOrderSurvivesFaultCancelChurn)
+{
+    const auto [backend, use_wheel] = GetParam();
+    Simulator sim(backend);
+    std::unique_ptr<TimerWheel> wheel;
+    if (use_wheel) {
+        wheel = std::make_unique<TimerWheel>(sim, 1);
+        sim.setTimerWheel(wheel.get());
+    }
+
+    Rng rng(2024, "churn");
+    const int prios[4] = {Event::powerPriority, Event::mailboxPriority,
+                          Event::defaultPriority, Event::statsPriority};
+    struct Fired {
+        Tick tick;
+        int prio;
+    };
+    std::vector<Fired> fired;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> events;
+    for (int i = 0; i < 300; ++i) {
+        const int p = prios[rng.uniformInt(0, 3)];
+        auto ev = std::make_unique<EventFunctionWrapper>(
+            [&fired, &sim, p] { fired.push_back({sim.curTick(), p}); },
+            "churn.ev" + std::to_string(i), p);
+        sim.schedule(*ev,
+                     1 + static_cast<Tick>(
+                             rng.uniformInt(0, 1'000'000'000)));
+        events.push_back(std::move(ev));
+    }
+
+    // Wheel-mode extra churn: timers armed and a third cancelled, the
+    // way a fault tears down a governor ladder mid-countdown.
+    Counter counter;
+    int armed = 0, cancelled = 0;
+    std::vector<TimerWheel::Handle> handles;
+    if (use_wheel) {
+        for (int i = 0; i < 90; ++i) {
+            handles.push_back(wheel->arm(
+                counter, static_cast<std::uint64_t>(i),
+                1 + static_cast<Tick>(
+                        rng.uniformInt(0, 900'000'000))));
+            ++armed;
+        }
+        for (int i = 0; i < 90; i += 3) {
+            if (wheel->pending(handles[i])) {
+                wheel->cancel(handles[i]);
+                ++cancelled;
+            }
+        }
+    }
+
+    // The churner: every 50 ms, kick a random batch of still-pending
+    // events to new future times -- the deschedule/reschedule pattern
+    // crash repair performs on injection and governor events.
+    int rounds = 0;
+    EventFunctionWrapper churn(
+        [&] {
+            for (int k = 0; k < 30; ++k) {
+                auto &ev = *events[static_cast<std::size_t>(
+                    rng.uniformInt(0, 299))];
+                if (!ev.scheduled())
+                    continue;
+                sim.deschedule(ev);
+                sim.schedule(
+                    ev, sim.curTick() + 1 +
+                            static_cast<Tick>(
+                                rng.uniformInt(0, 200'000'000)));
+            }
+            if (++rounds < 10)
+                sim.schedule(churn, sim.curTick() + 50 * msec);
+        },
+        "churn.driver");
+    sim.schedule(churn, 50 * msec);
+    sim.run();
+
+    // Every event fired exactly once despite the churn...
+    EXPECT_EQ(fired.size(), 300u);
+    for (const auto &ev : events)
+        EXPECT_FALSE(ev->scheduled());
+    if (use_wheel)
+        EXPECT_EQ(counter.fired, armed - cancelled);
+    // ...and dispatch never went backwards in (tick, priority).
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+        ASSERT_LE(fired[i - 1].tick, fired[i].tick) << "slot " << i;
+        if (fired[i - 1].tick == fired[i].tick)
+            EXPECT_LE(fired[i - 1].prio, fired[i].prio)
+                << "slot " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndTimerModes, EventOrderProperty,
+    ::testing::Combine(
+        ::testing::Values(EventQueue::Backend::calendar,
+                          EventQueue::Backend::binaryHeap),
+        ::testing::Values(false, true)),
+    [](const ::testing::TestParamInfo<ChurnParam> &info) {
+        return std::string(std::get<0>(info.param) ==
+                                   EventQueue::Backend::calendar
+                               ? "calendar"
+                               : "heap") +
+               (std::get<1>(info.param) ? "_wheel" : "_events");
+    });
 
 // ---------------------------------------------------------------------------
 // Property: the parallel kernel is statistics-invisible. For any
